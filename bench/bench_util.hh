@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Shared scaffolding for the experiment benches: canned programs,
+ * machine rigs, and the main() pattern (print the paper-shape tables,
+ * then run the google-benchmark microbenchmarks).
+ */
+
+#ifndef FPC_BENCH_BENCH_UTIL_HH
+#define FPC_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/codegen.hh"
+#include "machine/machine.hh"
+#include "program/loader.hh"
+#include "stats/table.hh"
+#include "workload/synthetic.hh"
+#include "workload/trace.hh"
+
+namespace fpc::bench
+{
+
+/** A loaded image plus a machine, built in one go. */
+struct Rig
+{
+    std::unique_ptr<Memory> mem;
+    LoadedImage image;
+    std::unique_ptr<Machine> machine;
+
+    Rig(const std::vector<Module> &modules, const LinkPlan &plan,
+        const MachineConfig &config)
+    {
+        const SystemLayout layout;
+        mem = std::make_unique<Memory>(layout.memWords);
+        Loader loader{layout, SizeClasses::standard()};
+        for (const auto &m : modules)
+            loader.add(m);
+        image = loader.load(*mem, plan);
+        machine = std::make_unique<Machine>(*mem, image, config);
+    }
+};
+
+/** Run Mod.proc(args) to completion; aborts the bench on error. */
+inline Word
+runToResult(Machine &machine, const std::string &module,
+            const std::string &proc, std::vector<Word> args)
+{
+    machine.start(module, proc, args);
+    const RunResult result = machine.run();
+    if (result.reason != StopReason::TopReturn) {
+        std::cerr << "bench program failed: " << result.message << "\n";
+        std::abort();
+    }
+    return machine.popValue();
+}
+
+/** Warm run (fills free lists and caches), reset all statistics,
+ *  then a measured run — boot effects excluded. */
+inline Word
+runSteadyState(Rig &rig, const std::string &module,
+               const std::string &proc, std::vector<Word> args)
+{
+    runToResult(*rig.machine, module, proc, args);
+    rig.machine->resetStats();
+    rig.machine->heap().resetStats();
+    rig.mem->resetStats();
+    return runToResult(*rig.machine, module, proc, std::move(args));
+}
+
+/** The standard MiniMesa benchmark program: call-dense, loopy. */
+inline std::vector<Module>
+primesProgram()
+{
+    return lang::compile(R"(
+        module Primes;
+        var count;
+        proc isPrime(n) {
+            var d;
+            if (n < 2) { return 0; }
+            d = 2;
+            while (d * d <= n) {
+                if (n % d == 0) { return 0; }
+                d = d + 1;
+            }
+            return 1;
+        }
+        proc main(limit) {
+            var i;
+            i = 2;
+            while (i < limit) {
+                if (isPrime(i)) { count = count + 1; }
+                i = i + 1;
+            }
+            return count;
+        }
+    )");
+}
+
+/** A recursion-heavy program (deep LIFO chains). */
+inline std::vector<Module>
+fibProgram()
+{
+    return lang::compile(R"(
+        module Fib;
+        proc fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        proc main(n) { return fib(n); }
+    )");
+}
+
+/** Plan/config pairs for the four implementations. */
+struct EngineCombo
+{
+    Impl impl;
+    CallLowering lowering;
+    bool shortCalls;
+};
+
+inline std::vector<EngineCombo>
+allEngines()
+{
+    return {
+        {Impl::Simple, CallLowering::Fat, false},
+        {Impl::Mesa, CallLowering::Mesa, false},
+        {Impl::Ifu, CallLowering::Direct, true},
+        {Impl::Banked, CallLowering::Direct, true},
+    };
+}
+
+inline LinkPlan
+planFor(const EngineCombo &combo)
+{
+    LinkPlan plan;
+    plan.lowering = combo.lowering;
+    plan.shortCalls = combo.shortCalls;
+    return plan;
+}
+
+inline MachineConfig
+configFor(const EngineCombo &combo)
+{
+    MachineConfig config;
+    config.impl = combo.impl;
+    return config;
+}
+
+} // namespace fpc::bench
+
+#endif // FPC_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Experiment C2 — the space arithmetic of table indirection (§5, T1)
+ * and whole-image size under the three encodings.
+ *
+ * T1: "If the full address takes f bits, the table index takes i
+ * bits, and the address is used n times, then the space changes from
+ * nf to ni+f. For example, if n=3, i=10 (1024 table entries) and
+ * f=32, then 96-62 = 34 bits are saved, or about one-third."
+ *
+ * The empirical half loads the same synthetic program with §4's
+ * inline descriptors (fat), §5's Mesa linkage, and §6's direct calls,
+ * and compares call-site bytes, link-vector words and total image
+ * size. Paper shape: §5 minimizes space, §4 maximizes it, §6 sits
+ * between (trading space back for speed).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+
+using namespace fpc;
+using namespace fpc::bench;
+
+namespace
+{
+
+void
+printT1Arithmetic()
+{
+    std::cout << "T1 — bits to reference one external procedure, "
+                 "inline address (nf) vs table index (ni+f):\n\n";
+    stats::Table table({"uses n", "index bits i", "address bits f",
+                        "inline nf", "table ni+f", "saved",
+                        "saving"});
+    struct Case
+    {
+        unsigned n, i, f;
+    };
+    for (const Case c : {Case{1, 10, 32}, Case{2, 10, 32},
+                         Case{3, 10, 32}, // the paper's example
+                         Case{5, 10, 32}, Case{10, 10, 32},
+                         Case{3, 8, 24}, Case{3, 8, 40}}) {
+        const int inline_bits = c.n * c.f;
+        const int table_bits = c.n * c.i + c.f;
+        const int saved = inline_bits - table_bits;
+        table.row(c.n, c.i, c.f, inline_bits, table_bits, saved,
+                  stats::percent(
+                      static_cast<double>(saved) / inline_bits));
+    }
+    table.print(std::cout);
+    std::cout << "\n(The paper's example is the n=3 row: 96 - 62 = 34 "
+                 "bits saved, about one-third.)\n";
+}
+
+void
+printImageSizes()
+{
+    ProgramConfig pc;
+    pc.modules = 8;
+    pc.procsPerModule = 12;
+    pc.callSitesPerProc = 4;
+    pc.localCallFraction = 0.4;
+    pc.seed = 77;
+    const auto modules = generateProgram(pc);
+
+    std::cout << "\nWhole-image space for the same program under each "
+                 "encoding (§8: \"§4 maximizes simplicity ... §5 "
+                 "minimizes space\"):\n\n";
+    stats::Table table({"encoding", "call sites", "call-site bytes",
+                        "bytes/site", "LV words", "code bytes",
+                        "code+LV bytes"});
+
+    struct PlanRow
+    {
+        const char *name;
+        CallLowering lowering;
+        bool shortCalls;
+    };
+    for (const PlanRow &row :
+         {PlanRow{"fat (§4 inline descriptors)", CallLowering::Fat,
+                  false},
+          PlanRow{"mesa (§5 LV/GFT/EV)", CallLowering::Mesa, false},
+          PlanRow{"direct (§6 DIRECTCALL)", CallLowering::Direct,
+                  false},
+          PlanRow{"short direct (§6 SDFC)", CallLowering::Direct,
+                  true}}) {
+        const SystemLayout layout;
+        Memory mem(layout.memWords);
+        Loader loader{layout, SizeClasses::standard()};
+        for (const auto &m : modules)
+            loader.add(m);
+        LinkPlan plan;
+        plan.lowering = row.lowering;
+        plan.shortCalls = row.shortCalls;
+        const LoadedImage image = loader.load(mem, plan);
+
+        CountT sites = 0;
+        CountT site_bytes = 0;
+        for (const auto &pm : image.modules()) {
+            sites += pm.callSites;
+            site_bytes += pm.callSiteBytes;
+        }
+        table.row(row.name, sites, site_bytes,
+                  stats::fixed(static_cast<double>(site_bytes) / sites,
+                               2),
+                  image.lvWords(), image.codeBytes(),
+                  image.codeBytes() + 2 * image.lvWords());
+    }
+    table.print(std::cout);
+}
+
+void
+BM_LoadImage(benchmark::State &state)
+{
+    ProgramConfig pc;
+    pc.modules = 8;
+    pc.procsPerModule = 12;
+    const auto modules = generateProgram(pc);
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    LinkPlan plan;
+    plan.lowering = static_cast<CallLowering>(state.range(0));
+    for (auto _ : state) {
+        Loader loader{layout, SizeClasses::standard()};
+        for (const auto &m : modules)
+            loader.add(m);
+        benchmark::DoNotOptimize(loader.load(mem, plan));
+    }
+}
+BENCHMARK(BM_LoadImage)
+    ->Arg(static_cast<int>(CallLowering::Fat))
+    ->Arg(static_cast<int>(CallLowering::Mesa))
+    ->Arg(static_cast<int>(CallLowering::Direct));
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printT1Arithmetic();
+    printImageSizes();
+    std::cout << "\n";
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

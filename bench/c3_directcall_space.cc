@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Experiment C3 — D1's space tradeoff for DIRECTCALL (§6).
+ *
+ * Paper: "The call instruction is larger: four bytes instead of one
+ * ... Of course, two bytes of LV entry are saved, so the space is
+ * only 30% more if the procedure is called only once from the
+ * module." And for SHORTDIRECTCALL: "If this succeeds, the space is
+ * the same as in the current scheme for a single call of p from a
+ * module, and 50% more (6 bytes instead of 4) for two calls."
+ *
+ * The analytic table reproduces that arithmetic; the empirical table
+ * builds real modules with k call sites to one external procedure
+ * and measures the loaded image.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "asm/builder.hh"
+#include "bench_util.hh"
+
+using namespace fpc;
+using namespace fpc::bench;
+
+namespace
+{
+
+void
+printAnalytic()
+{
+    std::cout << "D1 — bytes to call procedure p, k sites in one "
+                 "module (call sites + LV entry):\n\n";
+    stats::Table table({"calls k", "mesa (1-byte EFC + 2-byte LV)",
+                        "DFC (4 bytes, no LV)", "DFC vs mesa",
+                        "SDFC (3 bytes, no LV)", "SDFC vs mesa"});
+    for (unsigned k = 1; k <= 6; ++k) {
+        const unsigned mesa = k * 1 + 2;
+        const unsigned dfc = k * 4;
+        const unsigned sdfc = k * 3;
+        auto rel = [&](unsigned v) {
+            return stats::percent(
+                static_cast<double>(v) / mesa - 1.0, 0);
+        };
+        table.row(k, mesa, dfc, "+" + rel(dfc), sdfc,
+                  (sdfc >= mesa ? "+" : "") + rel(sdfc));
+    }
+    table.print(std::cout);
+    std::cout << "\n(The paper's quotes are the k=1 DFC row, +33% ~ "
+                 "\"30% more\", the k=1 SDFC row, equal space, and "
+                 "the k=2 SDFC row, 6 bytes vs 4 = +50%.)\n";
+}
+
+/** Build caller/callee modules with k external call sites. */
+std::vector<Module>
+kCallProgram(unsigned k)
+{
+    ModuleBuilder callee("Lib");
+    auto &work = callee.proc("work", 1, 1);
+    work.loadLocal(0).ret();
+
+    ModuleBuilder caller("Client");
+    const unsigned ext = caller.externRef("Lib", "work");
+    auto &main = caller.proc("main", 1, 2);
+    for (unsigned i = 0; i < k; ++i) {
+        main.loadLocal(0).callExtern(ext).storeLocal(1);
+    }
+    main.loadLocal(1).ret();
+
+    return {caller.build(), callee.build()};
+}
+
+void
+printEmpirical()
+{
+    std::cout << "\nMeasured caller-side bytes (call sites + LV) from "
+                 "real loaded images:\n\n";
+    stats::Table table(
+        {"calls k", "mesa bytes", "DFC bytes", "SDFC bytes"});
+    for (unsigned k = 1; k <= 6; ++k) {
+        std::vector<std::string> row = {std::to_string(k)};
+        struct PlanRow
+        {
+            CallLowering lowering;
+            bool shortCalls;
+        };
+        for (const PlanRow pr :
+             {PlanRow{CallLowering::Mesa, false},
+              PlanRow{CallLowering::Direct, false},
+              PlanRow{CallLowering::Direct, true}}) {
+            const SystemLayout layout;
+            Memory mem(layout.memWords);
+            Loader loader{layout, SizeClasses::standard()};
+            for (const auto &m : kCallProgram(k))
+                loader.add(m);
+            LinkPlan plan;
+            plan.lowering = pr.lowering;
+            plan.shortCalls = pr.shortCalls;
+            const LoadedImage image = loader.load(mem, plan);
+            const PlacedModule &client = image.module("Client");
+            row.push_back(std::to_string(client.callSiteBytes +
+                                         2 * client.lvCount));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+}
+
+void
+BM_BindKCalls(benchmark::State &state)
+{
+    const auto modules = kCallProgram(4);
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    LinkPlan plan;
+    plan.lowering = CallLowering::Direct;
+    plan.shortCalls = state.range(0) != 0;
+    for (auto _ : state) {
+        Loader loader{layout, SizeClasses::standard()};
+        for (const auto &m : modules)
+            loader.add(m);
+        benchmark::DoNotOptimize(loader.load(mem, plan));
+    }
+}
+BENCHMARK(BM_BindKCalls)->Arg(0)->Arg(1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printAnalytic();
+    printEmpirical();
+    std::cout << "\n";
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Experiment C6 — encoding compactness and call density.
+ *
+ * Paper claims:
+ *  - "about two-thirds of the instructions compiled for a large
+ *    sample of source programs occupy a single byte" (§5);
+ *  - "one call or return for every 10 instructions executed is not
+ *    uncommon" (§1).
+ *
+ * Static histogram over the loaded images (by disassembling every
+ * procedure body) and dynamic histogram from execution.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_util.hh"
+#include "isa/disasm.hh"
+
+using namespace fpc;
+using namespace fpc::bench;
+
+namespace
+{
+
+struct LenHist
+{
+    std::array<CountT, 7> byLen{};
+    CountT total = 0;
+
+    void
+    add(unsigned len, CountT n = 1)
+    {
+        if (len < byLen.size()) {
+            byLen[len] += n;
+            total += n;
+        }
+    }
+
+    double
+    fraction(unsigned len) const
+    {
+        return total ? static_cast<double>(byLen[len]) / total : 0;
+    }
+
+    double
+    meanBytes() const
+    {
+        double sum = 0;
+        for (unsigned l = 1; l < byLen.size(); ++l)
+            sum += static_cast<double>(l) * byLen[l];
+        return total ? sum / total : 0;
+    }
+};
+
+LenHist
+staticHistogram(const Rig &rig, Memory &mem)
+{
+    LenHist hist;
+    for (const auto &pm : rig.image.modules()) {
+        for (const auto &pp : pm.procs) {
+            std::vector<std::uint8_t> bytes;
+            bytes.reserve(pp.bodyBytes);
+            for (unsigned i = 0; i < pp.bodyBytes; ++i)
+                bytes.push_back(
+                    mem.peekByte(pp.prologueAddr + pp.prologueBytes +
+                                 i));
+            for (const auto &line : isa::disassemble(bytes))
+                hist.add(line.inst.length);
+        }
+    }
+    return hist;
+}
+
+void
+printDensity()
+{
+    std::cout << "Instruction-length distribution and call density "
+                 "(paper: ~2/3 single-byte; ~1 call per 10 executed "
+                 "instructions):\n\n";
+    stats::Table table({"program", "view", "1 byte", "2 bytes",
+                        "3+ bytes", "mean bytes/inst",
+                        "instr per call+ret"});
+
+    struct Prog
+    {
+        const char *name;
+        std::vector<Module> modules;
+        std::string module, proc;
+        std::vector<Word> args;
+    };
+    ProgramConfig pc;
+    pc.modules = 6;
+    pc.procsPerModule = 10;
+    pc.maxDepth = 8;
+    pc.computeOpsPerCall = 6;
+    pc.seed = 9;
+
+    for (Prog &prog : std::vector<Prog>{
+             {"primes (MiniMesa)", primesProgram(), "Primes", "main",
+              {300}},
+             {"fib (MiniMesa)", fibProgram(), "Fib", "main", {16}},
+             {"synthetic", generateProgram(pc),
+              generatedEntryModule(), generatedEntryProc(), {8}}}) {
+        Rig rig(prog.modules, LinkPlan{}, MachineConfig{});
+
+        const LenHist stat = staticHistogram(rig, *rig.mem);
+        table.row(prog.name, "static", stats::percent(stat.fraction(1)),
+                  stats::percent(stat.fraction(2)),
+                  stats::percent(std::max(
+                      0.0, 1 - stat.fraction(1) - stat.fraction(2))),
+                  stats::fixed(stat.meanBytes(), 2), "-");
+
+        runSteadyState(rig, prog.module, prog.proc, prog.args);
+        const MachineStats &s = rig.machine->stats();
+        LenHist dyn;
+        for (unsigned l = 1; l < s.instLenCount.size(); ++l)
+            dyn.add(l, s.instLenCount[l]);
+        const double per_call =
+            static_cast<double>(s.steps) /
+            std::max<CountT>(1, s.calls() + s.returns());
+        table.row(prog.name, "dynamic",
+                  stats::percent(dyn.fraction(1)),
+                  stats::percent(dyn.fraction(2)),
+                  stats::percent(std::max(
+                      0.0, 1 - dyn.fraction(1) - dyn.fraction(2))),
+                  stats::fixed(dyn.meanBytes(), 2),
+                  stats::fixed(per_call, 1));
+    }
+    table.print(std::cout);
+}
+
+void
+BM_Disassemble(benchmark::State &state)
+{
+    Rig rig(primesProgram(), LinkPlan{}, MachineConfig{});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(staticHistogram(rig, *rig.mem));
+}
+BENCHMARK(BM_Disassemble);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printDensity();
+    std::cout << "\n";
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

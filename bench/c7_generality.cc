@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Experiment C7 — generality of the transfer model (§3, F1-F4).
+ *
+ * "A mechanism for control transfers should handle a variety of
+ * applications (e.g., procedure calls and returns, coroutine
+ * transfers, exceptions, process switches) in a uniform way."
+ *
+ * Every engine (I1-I4) runs every discipline through the same XFER
+ * substrate: procedure calls, coroutine transfers, traps, process
+ * switches, and retained frames — with no special storage discipline
+ * (the frame heap never assumes LIFO). The table reports the cost of
+ * each discipline per engine, showing the orderly fallback: unusual
+ * transfers flush the return stack / banks and pay storage
+ * references, while plain calls stay fast.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "asm/builder.hh"
+#include "bench_util.hh"
+#include "common/strfmt.hh"
+
+using namespace fpc;
+using namespace fpc::bench;
+
+namespace
+{
+
+/** Coroutine producer/consumer (§3's motivating generality). */
+Module
+coroModule()
+{
+    ModuleBuilder b("Coro");
+    auto &prod = b.proc("producer", 2, 3);
+    auto loop = prod.newLabel();
+    prod.loadImm(1).storeLocal(2);
+    prod.label(loop);
+    prod.loadLocal(2).loadLocal(2).op(isa::Op::MUL);
+    prod.loadLocal(1).op(isa::Op::XF);
+    prod.loadLocal(2).loadImm(1).op(isa::Op::ADD).storeLocal(2);
+    prod.loadLocal(2).loadLocal(0).op(isa::Op::LE).jumpNotZero(loop);
+    prod.halt();
+
+    auto &cons = b.proc("consumer", 0, 1);
+    auto again = cons.newLabel();
+    cons.label(again);
+    cons.op(isa::Op::OUT).op(isa::Op::LRC).op(isa::Op::XF);
+    cons.jump(again);
+
+    // A one-instruction trap handler: out the trap code, halt.
+    auto &handler = b.proc("handler", 0, 1);
+    handler.op(isa::Op::OUT).halt();
+
+    return b.build();
+}
+
+std::vector<Module>
+processModules()
+{
+    return lang::compile(R"(
+        module Procs;
+        proc worker(id) {
+            var i;
+            i = 0;
+            while (i < 3) {
+                out id * 10 + i;
+                yield;
+                i = i + 1;
+            }
+            return 0;
+        }
+    )");
+}
+
+std::vector<Module>
+trapModules()
+{
+    return lang::compile(R"(
+        module Oops;
+        proc main(n) { return 100 / n; }
+    )");
+}
+
+double
+meanRefs(const MachineStats &stats, XferKind kind)
+{
+    return stats.xferRefs[static_cast<unsigned>(kind)].mean();
+}
+
+void
+printGenerality()
+{
+    std::cout << "Every discipline on every engine, through one XFER "
+                 "substrate:\n\n";
+    stats::Table table({"engine", "discipline", "transfers",
+                        "mean refs", "result", "fallback effects"});
+
+    for (const EngineCombo &combo : allEngines()) {
+        // -- 1. plain calls --------------------------------------------
+        {
+            Rig rig(primesProgram(), planFor(combo), configFor(combo));
+            const Word primes =
+                runToResult(*rig.machine, "Primes", "main", {50});
+            const MachineStats &s = rig.machine->stats();
+            table.row(implName(combo.impl), "call/return",
+                      s.calls() + s.returns(),
+                      stats::fixed(meanRefs(s, XferKind::Return), 1),
+                      primes == 15 ? "ok" : "WRONG",
+                      strfmt("{} fast", stats::percent(
+                                            s.fastCallReturnRate())));
+        }
+
+        // -- 2. coroutines ---------------------------------------------
+        {
+            Rig rig({coroModule()}, planFor(combo), configFor(combo));
+            const Word consumer = rig.machine->spawn("Coro", "consumer");
+            rig.machine->start("Coro", "producer", {{6, consumer}});
+            rig.machine->run();
+            const MachineStats &s = rig.machine->stats();
+            const bool ok =
+                rig.machine->output() ==
+                std::vector<Word>{1, 4, 9, 16, 25, 36};
+            table.row(
+                implName(combo.impl), "coroutine XFER",
+                s.xferCount[static_cast<unsigned>(XferKind::Coroutine)],
+                stats::fixed(meanRefs(s, XferKind::Coroutine), 1),
+                ok ? "ok" : "WRONG",
+                strfmt("{} ret-stack flushes", s.returnStackFlushes));
+        }
+
+        // -- 3. process switches ---------------------------------------
+        {
+            Rig rig(processModules(), planFor(combo), configFor(combo));
+            Machine &m = *rig.machine;
+            std::vector<Word> queue = {
+                m.spawn("Procs", "worker", {{2}}),
+                m.spawn("Procs", "worker", {{3}}),
+            };
+            m.setScheduler([&queue](Machine &mm) {
+                queue.push_back(mm.currentFrameContext());
+                const Word next = queue.front();
+                queue.erase(queue.begin());
+                return next;
+            });
+            m.start("Procs", "worker", {{1}});
+            m.run();
+            const MachineStats &s = m.stats();
+            // Interleaved: 10 20 30 11 21 31 12 22 32.
+            const bool ok = m.output() == std::vector<Word>{10, 20, 30,
+                                                            11, 21, 31,
+                                                            12, 22, 32};
+            table.row(implName(combo.impl), "process switch",
+                      s.xferCount[static_cast<unsigned>(
+                          XferKind::ProcSwitch)],
+                      stats::fixed(meanRefs(s, XferKind::ProcSwitch), 1),
+                      ok ? "ok" : "WRONG",
+                      strfmt("{} bank flush words", s.bankFlushWords));
+        }
+
+        // -- 4. traps ----------------------------------------------------
+        {
+            auto modules = trapModules();
+            modules.push_back(coroModule());
+            Rig rig(modules, planFor(combo), configFor(combo));
+            Machine &m = *rig.machine;
+            m.setTrapContext(m.spawn("Coro", "handler"));
+            m.start("Oops", "main", {{0}}); // divide by zero
+            m.run();
+            const MachineStats &s = m.stats();
+            const bool ok = m.output().size() == 1 &&
+                            m.output()[0] == 5; // trap code 5
+            table.row(implName(combo.impl), "trap",
+                      s.xferCount[static_cast<unsigned>(XferKind::Trap)],
+                      stats::fixed(meanRefs(s, XferKind::Trap), 1),
+                      ok ? "ok" : "WRONG", "handled, halted");
+        }
+
+        // -- 5. retained frames ------------------------------------------
+        {
+            MachineConfig config = configFor(combo);
+            TraceRunner runner(config, FrameSizeDist::fixed(10), 1);
+            Machine &m = runner.machine();
+            runner.call(1);
+            const Addr kept = m.currentFrame();
+            m.setRetained(kept, true);
+            m.inspectVar(kept, 0); // touch it
+            runner.ret();
+            const bool survived = m.heap().isRetained(kept);
+            const auto &hs = m.heap().stats();
+            table.row(implName(combo.impl), "retained frame", 1,
+                      "-",
+                      survived && hs.retainedSkips == 1 ? "ok"
+                                                         : "WRONG",
+                      "frame outlives its return");
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nF2/F3 in action: frames are explicit objects; the "
+                 "destination context chooses the discipline; unusual "
+                 "transfers pay the fallback, plain calls do not.\n";
+}
+
+void
+BM_CoroutinePingPong(benchmark::State &state)
+{
+    const auto combo = allEngines()[state.range(0)];
+    Rig rig({coroModule()}, planFor(combo), configFor(combo));
+    for (auto _ : state) {
+        Rig fresh({coroModule()}, planFor(combo), configFor(combo));
+        const Word consumer = fresh.machine->spawn("Coro", "consumer");
+        fresh.machine->start("Coro", "producer", {{32, consumer}});
+        fresh.machine->run();
+    }
+    state.SetLabel(implName(combo.impl));
+}
+BENCHMARK(BM_CoroutinePingPong)->DenseRange(0, 3);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printGenerality();
+    std::cout << "\n";
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Experiment F1 — Figure 1: levels of indirection in a procedure call.
+ *
+ * Regenerates the figure as data: for one EXTERNALCALL under the Mesa
+ * implementation, walk and print the four tables the call goes
+ * through (link vector -> GFT -> global frame -> entry vector), then
+ * measure storage references per transfer for every call variety.
+ *
+ * Paper expectations: the external call makes four table references
+ * before the instruction address is known; LOCALCALL "has only one
+ * level of indirection"; DIRECTCALL none (the IFU reads GF and fsi
+ * with the prefetch stream); FCALL (the §4 scheme) none but carries
+ * the descriptor inline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "common/strfmt.hh"
+#include "xfer/context.hh"
+
+using namespace fpc;
+using namespace fpc::bench;
+
+namespace
+{
+
+std::vector<Module>
+twoModules()
+{
+    return lang::compile(R"(
+        module Client;
+        proc leaf() { return 7; }
+        proc main(n) {
+            var acc, i;
+            i = 0;
+            while (i < n) {
+                acc = acc + Lib.work(i) + leaf();
+                i = i + 1;
+            }
+            return acc;
+        }
+
+        module Lib;
+        proc work(x) { return x * 3; }
+    )");
+}
+
+void
+printIndirectionChain()
+{
+    Rig rig(twoModules(), LinkPlan{}, MachineConfig{});
+    const SystemLayout &layout = rig.image.layout();
+    Memory &mem = *rig.mem;
+
+    // Client's first LV slot binds Lib.work (hottest extern).
+    const PlacedInstance &client = rig.image.instance("Client");
+    const Addr lv_slot = client.gfAddr - 1;
+    const Word desc = mem.peek(lv_slot);
+    const Context ctx = unpackContext(desc, layout);
+
+    const Word gft_raw = mem.peek(layout.gftAddr + ctx.env);
+    const GftEntry gft = unpackGftEntry(gft_raw, layout);
+    const Word code_seg = mem.peek(gft.gfAddr);
+    const CodeByteAddr code_base = layout.codeSegBase(code_seg);
+    const unsigned ev_index = ctx.code + gft.bias * 32;
+    const Word ev_offset =
+        mem.peek(code_base / wordBytes + ev_index);
+    const unsigned fsi = mem.peekByte(code_base + ev_offset);
+
+    std::cout << "Figure 1 — the four levels of indirection for "
+                 "EXTERNALCALL Lib.work from Client:\n\n";
+    stats::Table chain({"step", "table", "address", "holds", "value"});
+    chain.row(1, "link vector LV", lv_slot, "procedure descriptor",
+              strfmt("tag=proc env={} code={}", ctx.env, ctx.code));
+    chain.row(2, "global frame table GFT", layout.gftAddr + ctx.env,
+              "global frame address + bias",
+              strfmt("gf={} bias={}", gft.gfAddr, gft.bias));
+    chain.row(3, "global frame", gft.gfAddr, "code base",
+              strfmt("segment {} -> byte {}", code_seg, code_base));
+    chain.row(4, "entry vector EV",
+              code_base / wordBytes + ev_index,
+              "byte offset of entry", ev_offset);
+    chain.row("-", "code", code_base + ev_offset,
+              "fsi byte, then the first instruction", fsi);
+    chain.print(std::cout);
+}
+
+/** Measure per-kind storage references by running real programs. */
+void
+printTransferCosts()
+{
+    std::cout << "\nStorage references per transfer, by call variety "
+                 "and implementation:\n\n";
+    stats::Table table({"impl", "transfer", "count", "mean refs",
+                        "mean cycles", "table refs before PC known"});
+
+    for (const EngineCombo &combo : allEngines()) {
+        Rig rig(twoModules(), planFor(combo), configFor(combo));
+        runSteadyState(rig, "Client", "main", {60});
+        const MachineStats &s = rig.machine->stats();
+
+        auto row = [&](XferKind kind, const char *levels) {
+            const auto &refs = s.xferRefs[static_cast<unsigned>(kind)];
+            const auto &cycles =
+                s.xferCycles[static_cast<unsigned>(kind)];
+            if (refs.count() == 0)
+                return;
+            table.row(implName(combo.impl), xferKindName(kind),
+                      refs.count(), stats::fixed(refs.mean(), 2),
+                      stats::fixed(cycles.mean(), 1), levels);
+        };
+        row(XferKind::ExtCall, "4 (LV, GFT, GF, EV)");
+        row(XferKind::LocalCall, "1 (EV)");
+        row(XferKind::DirectCall, "0 (header in code stream)");
+        row(XferKind::FatCall, "0 (descriptor inline)");
+        row(XferKind::Return, "-");
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper shape: EXTERNALCALL pays the most "
+                 "references, LOCALCALL fewer, DIRECTCALL/FCALL the "
+                 "fewest; I4 drives call+return references to zero.\n";
+}
+
+// ---- google-benchmark microbenchmarks --------------------------------
+
+void
+BM_ExternalCallReturn(benchmark::State &state)
+{
+    MachineConfig config;
+    config.impl = static_cast<Impl>(state.range(0));
+    TraceRunner runner(config);
+    for (auto _ : state) {
+        runner.call(1);
+        runner.ret();
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ExternalCallReturn)
+    ->Arg(static_cast<int>(Impl::Simple))
+    ->Arg(static_cast<int>(Impl::Mesa))
+    ->Arg(static_cast<int>(Impl::Ifu))
+    ->Arg(static_cast<int>(Impl::Banked));
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printIndirectionChain();
+    printTransferCosts();
+    std::cout << "\n";
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Coroutines through the raw XFER primitive (paper §3).
+ *
+ * The model's point F3: any context may be the destination of any
+ * XFER — "a choice between procedure call, coroutine transfer or some
+ * other discipline is made by the destination context, not the
+ * caller". Here a producer and a consumer exchange control (and one
+ * value per transfer, in the argument record) with no stack
+ * discipline at all: both frames stay alive the whole time, which a
+ * conventional contiguous-stack architecture cannot express.
+ *
+ * The producer pushes i*i and XFERs to the consumer; the consumer
+ * prints it, reads returnContext (LRC) to learn who transferred to
+ * it, and XFERs straight back.
+ */
+
+#include <iostream>
+
+#include "asm/builder.hh"
+#include "machine/machine.hh"
+#include "program/loader.hh"
+
+using namespace fpc;
+
+namespace
+{
+
+Module
+coroModule()
+{
+    ModuleBuilder b("Coro");
+    b.globals(0);
+
+    // producer(n, consumer): sends 1, 4, 9, ... n*n, then halts.
+    auto &prod = b.proc("producer", 2, 3);
+    auto loop = prod.newLabel();
+    prod.loadImm(1).storeLocal(2); // i = 1
+    prod.label(loop);
+    prod.loadLocal(2).loadLocal(2).op(isa::Op::MUL); // push i*i
+    prod.loadLocal(1).op(isa::Op::XF); // XFER[consumer], value rides
+    // ...control comes back here with an empty stack...
+    prod.loadLocal(2).loadImm(1).op(isa::Op::ADD).storeLocal(2);
+    prod.loadLocal(2).loadLocal(0).op(isa::Op::LE).jumpNotZero(loop);
+    prod.halt();
+
+    // consumer(): forever { out value; XFER[returnContext] }.
+    auto &cons = b.proc("consumer", 0, 1);
+    auto again = cons.newLabel();
+    cons.label(again);
+    cons.op(isa::Op::OUT);            // the transferred value
+    cons.op(isa::Op::LRC);            // who sent it?
+    cons.op(isa::Op::XF);             // go back
+    cons.jump(again);
+
+    return b.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    loader.add(coroModule());
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+
+    for (const Impl impl : {Impl::Mesa, Impl::Banked}) {
+        MachineConfig config;
+        config.impl = impl;
+        Machine machine(mem, image, config);
+
+        // The consumer is a suspended activation — the model's
+        // "creation context" made tangible.
+        const Word consumer = machine.spawn("Coro", "consumer");
+        machine.start("Coro", "producer",
+                      std::array<Word, 2>{8, consumer});
+        const RunResult result = machine.run();
+
+        std::cout << implName(impl) << " squares:";
+        for (const Word v : machine.output())
+            std::cout << " " << v;
+        std::cout << "\n  [" << stopReasonName(result.reason) << ", "
+                  << machine.stats().xferCount[static_cast<unsigned>(
+                         XferKind::Coroutine)]
+                  << " coroutine XFERs, "
+                  << machine.stats().returnStackFlushes
+                  << " return-stack flushes]\n";
+    }
+    return 0;
+}

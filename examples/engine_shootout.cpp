@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Engine shootout on a synthetic call-heavy workload: the §8 tradeoff
+ * table, live. I1 maximizes simplicity (and pays in space), I2
+ * minimizes space (and pays in indirection), I3/I4 maximize speed.
+ * The output shows image size, call cost in storage references, and
+ * the fraction of calls/returns that ran at unconditional-jump cost.
+ */
+
+#include <iostream>
+
+#include "machine/machine.hh"
+#include "program/loader.hh"
+#include "stats/table.hh"
+#include "workload/synthetic.hh"
+
+using namespace fpc;
+
+int
+main()
+{
+    ProgramConfig pc;
+    pc.modules = 6;
+    pc.procsPerModule = 10;
+    pc.callSitesPerProc = 3;
+    pc.liveCallsPerProc = 2;
+    pc.maxDepth = 10;
+    pc.seed = 2026;
+    const auto modules = generateProgram(pc);
+
+    const SystemLayout layout;
+    stats::Table table({"impl", "linkage", "code bytes", "LV words",
+                        "cycles", "mean refs/call", "mean refs/ret",
+                        "fast call+ret", "bank events"});
+
+    struct Combo
+    {
+        Impl impl;
+        CallLowering lowering;
+        bool shortCalls;
+    };
+    for (const Combo combo :
+         {Combo{Impl::Simple, CallLowering::Fat, false},
+          Combo{Impl::Mesa, CallLowering::Mesa, false},
+          Combo{Impl::Ifu, CallLowering::Direct, true},
+          Combo{Impl::Banked, CallLowering::Direct, true}}) {
+        Memory mem(layout.memWords);
+        Loader loader{layout, SizeClasses::standard()};
+        for (const auto &m : modules)
+            loader.add(m);
+        LinkPlan plan;
+        plan.lowering = combo.lowering;
+        plan.shortCalls = combo.shortCalls;
+        const LoadedImage image = loader.load(mem, plan);
+
+        MachineConfig config;
+        config.impl = combo.impl;
+        Machine machine(mem, image, config);
+        machine.start(
+            generatedEntryModule(), generatedEntryProc(),
+            std::array<Word, 1>{static_cast<Word>(pc.maxDepth)});
+        const RunResult result = machine.run();
+        if (result.reason != StopReason::TopReturn) {
+            std::cerr << "run failed on " << implName(combo.impl)
+                      << ": " << result.message << "\n";
+            return 1;
+        }
+
+        const MachineStats &s = machine.stats();
+        double call_refs = 0;
+        CountT call_count = 0;
+        for (const XferKind kind :
+             {XferKind::ExtCall, XferKind::LocalCall,
+              XferKind::DirectCall, XferKind::FatCall}) {
+            const auto &d = s.xferRefs[static_cast<unsigned>(kind)];
+            call_refs += d.total();
+            call_count += d.count();
+        }
+        const auto &ret =
+            s.xferRefs[static_cast<unsigned>(XferKind::Return)];
+
+        table.row(
+            implName(combo.impl), callLoweringName(combo.lowering),
+            image.codeBytes(), image.lvWords(), s.cycles,
+            stats::fixed(call_refs / std::max<CountT>(1, call_count),
+                         2),
+            stats::fixed(ret.mean(), 2),
+            stats::percent(s.fastCallReturnRate()),
+            s.bankOverflows + s.bankUnderflows);
+    }
+
+    std::cout
+        << "Synthetic workload (" << pc.modules << " modules, "
+        << pc.procsPerModule
+        << " procs each), identical computation on every engine:\n\n";
+    table.print(std::cout);
+    std::cout << "\nShape to look for (paper §8): I1 biggest image, "
+                 "I2 smallest; refs/transfer fall from I2 to I4; only "
+                 "I3/I4 reach jump-speed transfers.\n";
+    return 0;
+}

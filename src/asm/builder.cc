@@ -1,0 +1,224 @@
+#include "asm/builder.hh"
+
+#include "common/logging.hh"
+
+namespace fpc
+{
+
+using isa::Op;
+
+ProcBuilder &
+ProcBuilder::op(Op op, std::int32_t a, std::int32_t b)
+{
+    def_.code.push_back(AsmInst::plain(op, a, b));
+    return *this;
+}
+
+ProcBuilder &
+ProcBuilder::loadLocal(unsigned index)
+{
+    if (index >= def_.numVars)
+        fatal("proc {}: local {} out of range ({} vars)", def_.name,
+              index, def_.numVars);
+    return op(isa::loadLocalOp(index), static_cast<std::int32_t>(index));
+}
+
+ProcBuilder &
+ProcBuilder::storeLocal(unsigned index)
+{
+    if (index >= def_.numVars)
+        fatal("proc {}: local {} out of range ({} vars)", def_.name,
+              index, def_.numVars);
+    return op(isa::storeLocalOp(index),
+              static_cast<std::int32_t>(index));
+}
+
+ProcBuilder &
+ProcBuilder::loadGlobal(unsigned index)
+{
+    return op(isa::loadGlobalOp(index),
+              static_cast<std::int32_t>(index));
+}
+
+ProcBuilder &
+ProcBuilder::storeGlobal(unsigned index)
+{
+    return op(isa::storeGlobalOp(index),
+              static_cast<std::int32_t>(index));
+}
+
+ProcBuilder &
+ProcBuilder::loadImm(Word value)
+{
+    return op(isa::loadImmOp(value), static_cast<std::int32_t>(value));
+}
+
+ProcBuilder &
+ProcBuilder::loadLocalAddr(unsigned index)
+{
+    if (index >= def_.numVars)
+        fatal("proc {}: local {} out of range ({} vars)", def_.name,
+              index, def_.numVars);
+    return op(Op::LLA, static_cast<std::int32_t>(index));
+}
+
+AsmLabel
+ProcBuilder::newLabel()
+{
+    return AsmLabel{def_.numLabels++};
+}
+
+ProcBuilder &
+ProcBuilder::label(AsmLabel l)
+{
+    def_.code.push_back(AsmInst::label(l.id));
+    return *this;
+}
+
+ProcBuilder &
+ProcBuilder::jump(AsmLabel l)
+{
+    def_.code.push_back(AsmInst::jump(AsmInst::Kind::Jump, l.id));
+    return *this;
+}
+
+ProcBuilder &
+ProcBuilder::jumpZero(AsmLabel l)
+{
+    def_.code.push_back(AsmInst::jump(AsmInst::Kind::JumpZero, l.id));
+    return *this;
+}
+
+ProcBuilder &
+ProcBuilder::jumpNotZero(AsmLabel l)
+{
+    def_.code.push_back(AsmInst::jump(AsmInst::Kind::JumpNotZero, l.id));
+    return *this;
+}
+
+ProcBuilder &
+ProcBuilder::ret()
+{
+    return op(Op::RET);
+}
+
+ProcBuilder &
+ProcBuilder::halt()
+{
+    return op(Op::HALT);
+}
+
+ProcBuilder &
+ProcBuilder::callLocal(const std::string &proc_name)
+{
+    pendingCalls_.push_back({def_.code.size(), proc_name});
+    def_.code.push_back(AsmInst::localCall(0)); // patched in build()
+    return *this;
+}
+
+ProcBuilder &
+ProcBuilder::callExtern(unsigned extern_id)
+{
+    if (extern_id >= owner_.externs_.size())
+        fatal("proc {}: extern id {} out of range", def_.name,
+              extern_id);
+    def_.code.push_back(AsmInst::extCall(extern_id));
+    return *this;
+}
+
+ProcBuilder &
+ProcBuilder::loadDescriptor(unsigned extern_id)
+{
+    if (extern_id >= owner_.externs_.size())
+        fatal("proc {}: extern id {} out of range", def_.name,
+              extern_id);
+    def_.code.push_back(AsmInst::loadDesc(extern_id));
+    return *this;
+}
+
+ProcBuilder &
+ProcBuilder::extraFrameWords(unsigned words)
+{
+    def_.extraWords = words;
+    return *this;
+}
+
+ModuleBuilder::ModuleBuilder(std::string name) : name_(std::move(name)) {}
+
+ModuleBuilder &
+ModuleBuilder::globals(unsigned count, std::vector<Word> init)
+{
+    numGlobals_ = count;
+    globalInit_ = std::move(init);
+    return *this;
+}
+
+unsigned
+ModuleBuilder::externRef(const std::string &module_name,
+                         const std::string &proc_name, unsigned instance)
+{
+    // Reuse an identical existing reference.
+    for (unsigned i = 0; i < externs_.size(); ++i) {
+        const ExternRef &e = externs_[i];
+        if (e.module == module_name && e.proc == proc_name &&
+            e.instance == instance) {
+            return i;
+        }
+    }
+    externs_.push_back({module_name, proc_name, instance});
+    return externs_.size() - 1;
+}
+
+ProcBuilder &
+ModuleBuilder::proc(const std::string &name, unsigned num_args,
+                    unsigned num_vars, unsigned extra_words)
+{
+    for (const auto &p : procs_)
+        if (p.def_.name == name)
+            fatal("module {}: duplicate procedure {}", name_, name);
+    ProcDef def;
+    def.name = name;
+    def.numArgs = num_args;
+    def.numVars = num_vars;
+    def.extraWords = extra_words;
+    procs_.push_back(ProcBuilder(*this, std::move(def)));
+    return procs_.back();
+}
+
+Module
+ModuleBuilder::build()
+{
+    if (built_)
+        fatal("module {} already built", name_);
+    built_ = true;
+
+    Module out;
+    out.name = name_;
+    out.numGlobals = numGlobals_;
+    out.globalInit = globalInit_;
+    out.externs = externs_;
+
+    // Resolve forward local calls by name.
+    auto index_of = [this](const std::string &proc_name) -> int {
+        for (unsigned i = 0; i < procs_.size(); ++i)
+            if (procs_[i].def_.name == proc_name)
+                return static_cast<int>(i);
+        return -1;
+    };
+
+    for (auto &pb : procs_) {
+        for (const auto &pending : pb.pendingCalls_) {
+            const int target = index_of(pending.target);
+            if (target < 0)
+                fatal("module {}: local call to unknown procedure {}",
+                      name_, pending.target);
+            pb.def_.code[pending.instIndex].a = target;
+        }
+        out.procs.push_back(pb.def_);
+    }
+
+    out.validate();
+    return out;
+}
+
+} // namespace fpc

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * A programmatic assembler for FPC modules.
+ *
+ * ModuleBuilder/ProcBuilder provide a fluent interface over the
+ * program IR: labels with forward references, symbolic local and
+ * external calls, and the compact-form selection of the Mesa
+ * encoding. Tests, the examples, the workload generators and the
+ * MiniMesa code generator all emit code through this interface.
+ *
+ * Example:
+ *
+ *   ModuleBuilder b("Math");
+ *   auto &fib = b.proc("fib", 1, 2);
+ *   auto recurse = fib.newLabel();
+ *   fib.loadLocal(0).loadImm(2).op(Op::LT).jumpZero(recurse)
+ *      .loadLocal(0).ret()
+ *      .label(recurse)
+ *      .loadLocal(0).loadImm(1).op(Op::SUB).callLocal("fib")
+ *      .loadLocal(0).loadImm(2).op(Op::SUB).callLocal("fib")
+ *      .op(Op::ADD).ret();
+ *   Module m = b.build();
+ */
+
+#ifndef FPC_ASM_BUILDER_HH
+#define FPC_ASM_BUILDER_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "isa/decode.hh"
+#include "program/module.hh"
+
+namespace fpc
+{
+
+class ModuleBuilder;
+
+/** A forward-referenceable jump label. */
+struct AsmLabel
+{
+    unsigned id;
+};
+
+/** Builds one procedure's body. */
+class ProcBuilder
+{
+  public:
+    /** @name Raw emission. @{ */
+    ProcBuilder &op(isa::Op op, std::int32_t a = 0, std::int32_t b = 0);
+    /** @} */
+
+    /** @name Data movement (compact forms selected automatically). @{ */
+    ProcBuilder &loadLocal(unsigned index);
+    ProcBuilder &storeLocal(unsigned index);
+    ProcBuilder &loadGlobal(unsigned index);
+    ProcBuilder &storeGlobal(unsigned index);
+    ProcBuilder &loadImm(Word value);
+    ProcBuilder &loadLocalAddr(unsigned index);
+    /** @} */
+
+    /** @name Control. @{ */
+    AsmLabel newLabel();
+    ProcBuilder &label(AsmLabel l);
+    ProcBuilder &jump(AsmLabel l);
+    ProcBuilder &jumpZero(AsmLabel l);
+    ProcBuilder &jumpNotZero(AsmLabel l);
+    ProcBuilder &ret();
+    ProcBuilder &halt();
+    /** @} */
+
+    /** @name Calls. @{ */
+    /** Call a procedure of this module by name (forward refs OK). */
+    ProcBuilder &callLocal(const std::string &proc_name);
+    /** Call an external procedure by extern id (see externRef). */
+    ProcBuilder &callExtern(unsigned extern_id);
+    /** Push the descriptor of an extern (for XF-style calls). */
+    ProcBuilder &loadDescriptor(unsigned extern_id);
+    /** @} */
+
+    /** Reserve extra frame words beyond the declared variables. */
+    ProcBuilder &extraFrameWords(unsigned words);
+
+    /** Number of variable slots declared. */
+    unsigned numVars() const { return def_.numVars; }
+
+  private:
+    friend class ModuleBuilder;
+
+    ProcBuilder(ModuleBuilder &owner, ProcDef def)
+        : owner_(owner), def_(std::move(def))
+    {}
+
+    struct PendingLocalCall
+    {
+        std::size_t instIndex;
+        std::string target;
+    };
+
+    ModuleBuilder &owner_;
+    ProcDef def_;
+    std::vector<PendingLocalCall> pendingCalls_;
+};
+
+/** Builds one module. */
+class ModuleBuilder
+{
+  public:
+    explicit ModuleBuilder(std::string name);
+
+    /** Declare the global variable count (and optional initials). */
+    ModuleBuilder &globals(unsigned count,
+                           std::vector<Word> init = {});
+
+    /** Register an external reference; returns its extern id. */
+    unsigned externRef(const std::string &module_name,
+                       const std::string &proc_name,
+                       unsigned instance = 0);
+
+    /**
+     * Begin a procedure. num_vars counts all variable slots including
+     * the num_args argument slots. The reference stays valid until
+     * build().
+     */
+    ProcBuilder &proc(const std::string &name, unsigned num_args,
+                      unsigned num_vars, unsigned extra_words = 0);
+
+    /** Finalize: resolves forward local calls and validates. */
+    Module build();
+
+  private:
+    friend class ProcBuilder;
+
+    std::string name_;
+    unsigned numGlobals_ = 0;
+    std::vector<Word> globalInit_;
+    std::vector<ExternRef> externs_;
+    /** deque: references returned by proc() must remain valid. */
+    std::deque<ProcBuilder> procs_;
+    bool built_ = false;
+};
+
+} // namespace fpc
+
+#endif // FPC_ASM_BUILDER_HH

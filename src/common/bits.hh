@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Bit-field extraction and insertion helpers used by the packed
+ * procedure-descriptor and GFT-entry encodings (paper §5.1).
+ */
+
+#ifndef FPC_COMMON_BITS_HH
+#define FPC_COMMON_BITS_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace fpc
+{
+
+/** Extract bits [lo, lo+width) of val (lo = 0 is the LSB). */
+constexpr std::uint32_t
+bits(std::uint32_t val, unsigned lo, unsigned width)
+{
+    return (val >> lo) & ((1u << width) - 1);
+}
+
+/** Return val with bits [lo, lo+width) replaced by field. */
+constexpr std::uint32_t
+insertBits(std::uint32_t val, unsigned lo, unsigned width,
+           std::uint32_t field)
+{
+    const std::uint32_t mask = ((1u << width) - 1) << lo;
+    return (val & ~mask) | ((field << lo) & mask);
+}
+
+/** True if val fits in an unsigned field of the given width. */
+constexpr bool
+fitsUnsigned(std::uint32_t val, unsigned width)
+{
+    return width >= 32 || val < (1u << width);
+}
+
+/** True if val fits in a signed field of the given width. */
+constexpr bool
+fitsSigned(std::int32_t val, unsigned width)
+{
+    const std::int32_t lim = 1 << (width - 1);
+    return val >= -lim && val < lim;
+}
+
+/** Checked narrowing used by encoders: panics on overflow. */
+inline std::uint32_t
+checkedField(std::uint32_t val, unsigned width, const char *what)
+{
+    if (!fitsUnsigned(val, width))
+        panic("field {} = {} does not fit in {} bits", what, val, width);
+    return val;
+}
+
+} // namespace fpc
+
+#endif // FPC_COMMON_BITS_HH

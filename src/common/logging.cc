@@ -1,0 +1,49 @@
+#include "common/logging.hh"
+
+#include <iostream>
+
+namespace fpc
+{
+
+namespace
+{
+bool quietMode = false;
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietMode = quiet;
+}
+
+void
+panicImpl(const std::string &msg)
+{
+    if (!quietMode)
+        std::cerr << "panic: " << msg << std::endl;
+    throw PanicError(msg);
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    if (!quietMode)
+        std::cerr << "fatal: " << msg << std::endl;
+    throw FatalError(msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quietMode)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quietMode)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace fpc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 discipline:
+ *
+ *  - panic(): an internal invariant of the simulator itself is broken;
+ *    aborts (throws PanicError so tests can assert on it).
+ *  - fatal(): the user's configuration or program is at fault; throws
+ *    FatalError.
+ *  - warn()/inform(): non-fatal status messages to stderr.
+ */
+
+#ifndef FPC_COMMON_LOGGING_HH
+#define FPC_COMMON_LOGGING_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "common/strfmt.hh"
+
+namespace fpc
+{
+
+/** Thrown by panic(): a bug in the simulator. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): a user error (bad program, bad configuration). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+[[noreturn]] void panicImpl(const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Report a simulator bug and abort via exception. */
+template <typename... Args>
+[[noreturn]] void
+panic(std::string_view fmt, const Args &...args)
+{
+    panicImpl(strfmt(fmt, args...));
+}
+
+/** Report a user error and abort via exception. */
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view fmt, const Args &...args)
+{
+    fatalImpl(strfmt(fmt, args...));
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(std::string_view fmt, const Args &...args)
+{
+    warnImpl(strfmt(fmt, args...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(std::string_view fmt, const Args &...args)
+{
+    informImpl(strfmt(fmt, args...));
+}
+
+/** Quiet warn/inform output (benchmarks set this). */
+void setQuiet(bool quiet);
+
+} // namespace fpc
+
+#endif // FPC_COMMON_LOGGING_HH

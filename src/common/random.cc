@@ -1,0 +1,100 @@
+#include "common/random.hh"
+
+#include "common/logging.hh"
+
+namespace fpc
+{
+
+namespace
+{
+
+/** SplitMix64, used to expand the seed into xoshiro state. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::uniform(std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::uniform: lo {} > hi {}", lo, hi);
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) // full 64-bit range
+        return next();
+    return lo + next() % span;
+}
+
+double
+Rng::uniformReal()
+{
+    return (next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniformReal() < p;
+}
+
+unsigned
+Rng::geometric(double p, unsigned max_count)
+{
+    unsigned n = 0;
+    while (n < max_count && chance(p))
+        ++n;
+    return n;
+}
+
+std::size_t
+Rng::weighted(const std::vector<double> &weights)
+{
+    double total = 0;
+    for (double w : weights)
+        total += w;
+    if (total <= 0)
+        panic("Rng::weighted: no positive weights");
+    double pick = uniformReal() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        pick -= weights[i];
+        if (pick <= 0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace fpc

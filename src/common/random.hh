@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * Every workload generator takes an explicit seed so experiments are
+ * reproducible run-to-run; the engine is xoshiro256**, self-contained
+ * so results do not depend on the host library's distributions.
+ */
+
+#ifndef FPC_COMMON_RANDOM_HH
+#define FPC_COMMON_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace fpc
+{
+
+/** A small, fast, deterministic PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Bernoulli trial with probability p of true. */
+    bool chance(double p);
+
+    /** Geometric-ish depth sample: count of successes at probability p,
+     *  clamped to maxCount. */
+    unsigned geometric(double p, unsigned max_count);
+
+    /** Sample an index according to the given (unnormalized) weights. */
+    std::size_t weighted(const std::vector<double> &weights);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace fpc
+
+#endif // FPC_COMMON_RANDOM_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal type-safe string formatting.
+ *
+ * GCC 12 lacks std::format, so this provides a small substitute:
+ * strfmt("x = {}, y = {}", x, y) replaces each "{}" in order with the
+ * ostream rendering of the corresponding argument. Surplus placeholders
+ * are left verbatim; surplus arguments are appended space-separated,
+ * so a malformed format string never throws.
+ */
+
+#ifndef FPC_COMMON_STRFMT_HH
+#define FPC_COMMON_STRFMT_HH
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace fpc
+{
+
+namespace detail
+{
+
+inline void
+strfmtRest(std::ostringstream &os, std::string_view fmt)
+{
+    os << fmt;
+}
+
+template <typename T, typename... Rest>
+void
+strfmtRest(std::ostringstream &os, std::string_view fmt, const T &val,
+           const Rest &...rest)
+{
+    const auto pos = fmt.find("{}");
+    if (pos == std::string_view::npos) {
+        os << fmt << ' ' << val;
+        (void)std::initializer_list<int>{((os << ' ' << rest), 0)...};
+        return;
+    }
+    os << fmt.substr(0, pos) << val;
+    strfmtRest(os, fmt.substr(pos + 2), rest...);
+}
+
+} // namespace detail
+
+/** Render a "{}"-style format string with the given arguments. */
+template <typename... Args>
+std::string
+strfmt(std::string_view fmt, const Args &...args)
+{
+    std::ostringstream os;
+    detail::strfmtRest(os, fmt, args...);
+    return os.str();
+}
+
+} // namespace fpc
+
+#endif // FPC_COMMON_STRFMT_HH

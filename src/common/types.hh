@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fundamental machine types for the FPC (Fast Procedure Calls) simulator.
+ *
+ * The simulated machine follows the Mesa processors described in the
+ * paper: a 16-bit, word-addressed data memory, with byte-addressed code
+ * inside code segments. Word addresses and code byte offsets are kept as
+ * distinct types so they cannot be confused.
+ */
+
+#ifndef FPC_COMMON_TYPES_HH
+#define FPC_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fpc
+{
+
+/** A 16-bit machine word, the unit of data storage. */
+using Word = std::uint16_t;
+
+/** A 32-bit double word, used for intermediate arithmetic. */
+using DWord = std::uint32_t;
+
+/** Signed views of the above, for arithmetic instructions. */
+using SWord = std::int16_t;
+using SDWord = std::int32_t;
+
+/**
+ * A word address into simulated main memory. The simulated address
+ * space is larger than 64K words (the paper's DIRECTCALL carries a
+ * 24-bit program address), so addresses are 32 bits host-side.
+ */
+using Addr = std::uint32_t;
+
+/** A byte offset into a code segment, relative to the code base. */
+using CodeOffset = std::uint32_t;
+
+/** An absolute code byte address: codeBase * 2 + offset. */
+using CodeByteAddr = std::uint32_t;
+
+/** Count types for statistics. */
+using Tick = std::uint64_t;
+using CountT = std::uint64_t;
+
+/** Number of bytes in a simulated word. */
+constexpr unsigned wordBytes = 2;
+
+/** An invalid/NIL address marker (cannot be a valid frame pointer). */
+constexpr Addr nilAddr = 0;
+
+} // namespace fpc
+
+#endif // FPC_COMMON_TYPES_HH

@@ -1,0 +1,73 @@
+#include "frames/size_classes.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fpc
+{
+
+SizeClasses::SizeClasses(unsigned min_words, double growth,
+                         unsigned max_classes)
+{
+    if (min_words == 0 || growth <= 1.0 || max_classes == 0 ||
+        max_classes > 32) {
+        panic("SizeClasses: bad shape (min={}, growth={}, n={})",
+              min_words, growth, max_classes);
+    }
+    double size = min_words;
+    unsigned prev = 0;
+    for (unsigned i = 0; i < max_classes; ++i) {
+        auto words = static_cast<unsigned>(std::ceil(size));
+        if (words <= prev)
+            words = prev + 1;
+        sizes_.push_back(words);
+        prev = words;
+        size *= growth;
+    }
+}
+
+SizeClasses
+SizeClasses::standard()
+{
+    // 8 words = 16 bytes minimum, 20% steps, 19 classes (fewer than
+    // 20). Note the paper's own numbers do not quite close: 20% steps
+    // reach ~430 bytes in 19 steps, not "several thousand" — reaching
+    // several KB would take ~34% steps or ~28 classes. We keep the 20%
+    // step because the ~10% fragmentation claim (F2) follows from it
+    // (expected waste is about half the step size). See EXPERIMENTS.md.
+    return SizeClasses(8, 1.2, 19);
+}
+
+unsigned
+SizeClasses::classWords(unsigned fsi) const
+{
+    if (fsi >= sizes_.size())
+        panic("fsi {} out of range ({} classes)", fsi, sizes_.size());
+    return sizes_[fsi];
+}
+
+unsigned
+SizeClasses::fsiFor(unsigned payload_words) const
+{
+    for (unsigned i = 0; i < sizes_.size(); ++i)
+        if (sizes_[i] >= payload_words)
+            return i;
+    panic("no size class holds {} words (max {})", payload_words,
+          sizes_.back());
+}
+
+bool
+SizeClasses::fits(unsigned payload_words) const
+{
+    return payload_words <= sizes_.back();
+}
+
+unsigned
+SizeClasses::blockWords(unsigned fsi) const
+{
+    const unsigned raw = classWords(fsi) + 1; // + header word
+    return (raw + 3u) & ~3u;                  // quad alignment
+}
+
+} // namespace fpc

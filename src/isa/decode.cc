@@ -1,0 +1,207 @@
+#include "isa/decode.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace fpc::isa
+{
+
+Inst
+decode(const FetchFn &fetch)
+{
+    const std::uint8_t opcode = fetch(0);
+    const OpInfo &info = opInfo(opcode);
+
+    Inst inst;
+    inst.op = static_cast<Op>(opcode);
+    inst.cls = info.cls;
+    inst.length = instLength(opcode);
+
+    switch (info.kind) {
+      case OperandKind::None:
+        inst.operand = info.embedded;
+        break;
+      case OperandKind::UByte:
+        inst.operand = fetch(1);
+        break;
+      case OperandKind::SByte:
+        inst.operand = static_cast<std::int8_t>(fetch(1));
+        break;
+      case OperandKind::UWord:
+        inst.operand = (fetch(1) << 8) | fetch(2);
+        break;
+      case OperandKind::SWord:
+        inst.operand =
+            static_cast<std::int16_t>((fetch(1) << 8) | fetch(2));
+        break;
+      case OperandKind::Code24:
+        inst.operand = (fetch(1) << 16) | (fetch(2) << 8) | fetch(3);
+        break;
+      case OperandKind::Rel20: {
+        std::uint32_t raw = (static_cast<std::uint32_t>(info.embedded)
+                             << 16) |
+                            (fetch(1) << 8) | fetch(2);
+        // Sign-extend from bit 19.
+        if (raw & 0x80000)
+            raw |= 0xFFF00000u;
+        inst.operand = static_cast<std::int32_t>(raw);
+        break;
+      }
+      case OperandKind::Desc40:
+        inst.operand = (fetch(1) << 16) | (fetch(2) << 8) | fetch(3);
+        inst.operand2 = (fetch(4) << 8) | fetch(5);
+        break;
+      case OperandKind::Illegal:
+        inst.operand = 0;
+        break;
+    }
+    return inst;
+}
+
+Inst
+decodeAt(std::span<const std::uint8_t> code, std::size_t offset)
+{
+    return decode([code, offset](unsigned i) -> std::uint8_t {
+        const std::size_t pos = offset + i;
+        if (pos >= code.size())
+            panic("decodeAt: read past end of code ({} of {})", pos,
+                  code.size());
+        return code[pos];
+    });
+}
+
+void
+encode(std::vector<std::uint8_t> &out, Op op, std::int32_t operand,
+       std::int32_t operand2)
+{
+    const OpInfo &info = opInfo(op);
+    out.push_back(static_cast<std::uint8_t>(op));
+
+    switch (info.kind) {
+      case OperandKind::None:
+        break;
+      case OperandKind::UByte:
+        if (!fitsUnsigned(static_cast<std::uint32_t>(operand), 8))
+            panic("encode {}: operand {} does not fit in a byte",
+                  info.name, operand);
+        out.push_back(static_cast<std::uint8_t>(operand));
+        break;
+      case OperandKind::SByte:
+        if (!fitsSigned(operand, 8))
+            panic("encode {}: operand {} does not fit in a signed byte",
+                  info.name, operand);
+        out.push_back(static_cast<std::uint8_t>(operand & 0xFF));
+        break;
+      case OperandKind::UWord:
+      case OperandKind::SWord:
+        if (info.kind == OperandKind::UWord
+                ? !fitsUnsigned(static_cast<std::uint32_t>(operand), 16)
+                : !fitsSigned(operand, 16)) {
+            panic("encode {}: operand {} does not fit in a word",
+                  info.name, operand);
+        }
+        out.push_back(static_cast<std::uint8_t>((operand >> 8) & 0xFF));
+        out.push_back(static_cast<std::uint8_t>(operand & 0xFF));
+        break;
+      case OperandKind::Code24:
+        if (!fitsUnsigned(static_cast<std::uint32_t>(operand), 24))
+            panic("encode {}: address {} does not fit in 24 bits",
+                  info.name, operand);
+        out.push_back(static_cast<std::uint8_t>((operand >> 16) & 0xFF));
+        out.push_back(static_cast<std::uint8_t>((operand >> 8) & 0xFF));
+        out.push_back(static_cast<std::uint8_t>(operand & 0xFF));
+        break;
+      case OperandKind::Rel20: {
+        if (!fitsSigned(operand, 20))
+            panic("encode {}: offset {} does not fit in 20 bits",
+                  info.name, operand);
+        const std::uint32_t raw =
+            static_cast<std::uint32_t>(operand) & 0xFFFFF;
+        const unsigned high = raw >> 16;
+        if (static_cast<std::int32_t>(high) != info.embedded) {
+            panic("encode {}: high bits {} need SDFC{}", info.name,
+                  high, high);
+        }
+        out.push_back(static_cast<std::uint8_t>((raw >> 8) & 0xFF));
+        out.push_back(static_cast<std::uint8_t>(raw & 0xFF));
+        break;
+      }
+      case OperandKind::Desc40:
+        if (!fitsUnsigned(static_cast<std::uint32_t>(operand), 24))
+            panic("encode {}: address {} does not fit in 24 bits",
+                  info.name, operand);
+        if (!fitsUnsigned(static_cast<std::uint32_t>(operand2), 16))
+            panic("encode {}: environment {} does not fit in 16 bits",
+                  info.name, operand2);
+        out.push_back(static_cast<std::uint8_t>((operand >> 16) & 0xFF));
+        out.push_back(static_cast<std::uint8_t>((operand >> 8) & 0xFF));
+        out.push_back(static_cast<std::uint8_t>(operand & 0xFF));
+        out.push_back(static_cast<std::uint8_t>((operand2 >> 8) & 0xFF));
+        out.push_back(static_cast<std::uint8_t>(operand2 & 0xFF));
+        break;
+      case OperandKind::Illegal:
+        panic("encode: illegal opcode {}",
+              static_cast<int>(static_cast<std::uint8_t>(op)));
+    }
+}
+
+namespace
+{
+
+Op
+opPlus(Op base, unsigned n)
+{
+    return static_cast<Op>(static_cast<unsigned>(base) + n);
+}
+
+} // namespace
+
+Op
+loadLocalOp(unsigned index)
+{
+    return index < 8 ? opPlus(Op::LL0, index) : Op::LLB;
+}
+
+Op
+storeLocalOp(unsigned index)
+{
+    return index < 4 ? opPlus(Op::SL0, index) : Op::SLB;
+}
+
+Op
+loadGlobalOp(unsigned index)
+{
+    return index < 4 ? opPlus(Op::LG0, index) : Op::LGB;
+}
+
+Op
+storeGlobalOp(unsigned index)
+{
+    return index < 2 ? opPlus(Op::SG0, index) : Op::SGB;
+}
+
+Op
+loadImmOp(std::uint16_t value)
+{
+    if (value <= 6)
+        return opPlus(Op::LI0, value);
+    if (value == 0xFFFF)
+        return Op::LIN1;
+    if (value <= 0xFF)
+        return Op::LIB;
+    return Op::LIW;
+}
+
+Op
+extCallOp(unsigned lv_index)
+{
+    return lv_index < 8 ? opPlus(Op::EFC0, lv_index) : Op::EFCB;
+}
+
+Op
+localCallOp(unsigned ev_index)
+{
+    return ev_index < 8 ? opPlus(Op::LFC0, ev_index) : Op::LFCB;
+}
+
+} // namespace fpc::isa

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Instruction decoding and encoding.
+ *
+ * decode() folds operand bytes and opcode-embedded values into a
+ * single signed operand so the interpreter never re-derives encoding
+ * details. encode() is the inverse, used by the assembler and by the
+ * binder when it rewrites call sites (§6).
+ */
+
+#ifndef FPC_ISA_DECODE_HH
+#define FPC_ISA_DECODE_HH
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "isa/opcodes.hh"
+
+namespace fpc::isa
+{
+
+/** One decoded instruction. */
+struct Inst
+{
+    Op op = Op::NOOP;
+    OpClass cls = OpClass::Illegal;
+    /**
+     * The folded operand:
+     *  - embedded values (LL3 -> 3, J5 -> 5, LI4 -> 4, EFC2 -> 2);
+     *  - byte/word operands, sign-extended where the kind is signed;
+     *  - DFC: the 24-bit absolute code byte address;
+     *  - SDFC: the full signed 20-bit PC-relative offset;
+     *  - FCALL: the 24-bit code byte address (environment in operand2).
+     */
+    std::int32_t operand = 0;
+    /** FCALL only: the 16-bit environment (global frame) address. */
+    std::int32_t operand2 = 0;
+    unsigned length = 1;
+};
+
+/** Fetches the byte at the given offset from the instruction start. */
+using FetchFn = std::function<std::uint8_t(unsigned)>;
+
+/** Decode one instruction through a byte-fetch callback. */
+Inst decode(const FetchFn &fetch);
+
+/** Decode one instruction from a buffer at the given offset. */
+Inst decodeAt(std::span<const std::uint8_t> code, std::size_t offset);
+
+/**
+ * Append the encoding of (op, operand) to out. The operand must match
+ * the opcode's OperandKind (embedded-operand opcodes take no operand
+ * argument; pass 0). Panics when the operand does not fit.
+ */
+void encode(std::vector<std::uint8_t> &out, Op op,
+            std::int32_t operand = 0, std::int32_t operand2 = 0);
+
+/** @name Compact-form selection (paper §5 space optimization)
+ *  Pick the shortest opcode for the given operand value.
+ *  @{ */
+Op loadLocalOp(unsigned index);
+Op storeLocalOp(unsigned index);
+Op loadGlobalOp(unsigned index);
+Op storeGlobalOp(unsigned index);
+Op loadImmOp(std::uint16_t value);
+Op extCallOp(unsigned lv_index);
+Op localCallOp(unsigned ev_index);
+/** @} */
+
+} // namespace fpc::isa
+
+#endif // FPC_ISA_DECODE_HH

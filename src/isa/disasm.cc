@@ -1,0 +1,36 @@
+#include "isa/disasm.hh"
+
+#include "common/strfmt.hh"
+
+namespace fpc::isa
+{
+
+std::string
+instToString(const Inst &inst)
+{
+    const OpInfo &info = opInfo(inst.op);
+    if (info.kind == OperandKind::None ||
+        info.kind == OperandKind::Illegal) {
+        return info.name;
+    }
+    if (info.kind == OperandKind::Desc40)
+        return strfmt("{} {} {}", info.name, inst.operand, inst.operand2);
+    return strfmt("{} {}", info.name, inst.operand);
+}
+
+std::vector<DisasmLine>
+disassemble(std::span<const std::uint8_t> code, std::size_t start,
+            std::size_t end)
+{
+    std::vector<DisasmLine> lines;
+    std::size_t pos = start;
+    const std::size_t stop = std::min<std::size_t>(end, code.size());
+    while (pos < stop) {
+        Inst inst = decodeAt(code, pos);
+        lines.push_back({pos, inst, instToString(inst)});
+        pos += inst.length;
+    }
+    return lines;
+}
+
+} // namespace fpc::isa

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Disassembler: renders code bytes back into mnemonics, used by the
+ * examples and by debugging output.
+ */
+
+#ifndef FPC_ISA_DISASM_HH
+#define FPC_ISA_DISASM_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/decode.hh"
+
+namespace fpc::isa
+{
+
+/** Render one decoded instruction, e.g. "LLB 12" or "EFC3". */
+std::string instToString(const Inst &inst);
+
+/** One line of disassembly. */
+struct DisasmLine
+{
+    std::size_t offset;
+    Inst inst;
+    std::string text;
+};
+
+/** Disassemble a code buffer from start to end (or the buffer end). */
+std::vector<DisasmLine> disassemble(std::span<const std::uint8_t> code,
+                                    std::size_t start = 0,
+                                    std::size_t end = SIZE_MAX);
+
+} // namespace fpc::isa
+
+#endif // FPC_ISA_DISASM_HH

@@ -1,0 +1,181 @@
+#include "isa/opcodes.hh"
+
+#include <array>
+
+namespace fpc::isa
+{
+
+namespace
+{
+
+constexpr OpInfo illegalOp = {"???", OperandKind::Illegal,
+                              OpClass::Illegal, -1};
+
+std::array<OpInfo, 256>
+buildTable()
+{
+    std::array<OpInfo, 256> t;
+    t.fill(illegalOp);
+
+    auto def = [&t](Op op, const char *name, OperandKind kind, OpClass cls,
+                    std::int32_t embedded = -1) {
+        t[static_cast<std::uint8_t>(op)] = OpInfo{name, kind, cls,
+                                                  embedded};
+    };
+
+    def(Op::NOOP, "NOOP", OperandKind::None, OpClass::Noop);
+    def(Op::HALT, "HALT", OperandKind::None, OpClass::Halt);
+    def(Op::DUP, "DUP", OperandKind::None, OpClass::Dup);
+    def(Op::DROP, "DROP", OperandKind::None, OpClass::Drop);
+    def(Op::EXCH, "EXCH", OperandKind::None, OpClass::Exch);
+    def(Op::OUT, "OUT", OperandKind::None, OpClass::Out);
+    def(Op::LRC, "LRC", OperandKind::None, OpClass::LoadRetCtx);
+    def(Op::XF, "XF", OperandKind::None, OpClass::Xfer);
+    def(Op::RET, "RET", OperandKind::None, OpClass::Ret);
+    def(Op::BRK, "BRK", OperandKind::None, OpClass::Brk);
+    def(Op::YIELD, "YIELD", OperandKind::None, OpClass::Yield);
+
+    static const char *llNames[] = {"LL0", "LL1", "LL2", "LL3",
+                                    "LL4", "LL5", "LL6", "LL7"};
+    for (int i = 0; i < 8; ++i) {
+        def(static_cast<Op>(static_cast<int>(Op::LL0) + i), llNames[i],
+            OperandKind::None, OpClass::LoadLocal, i);
+    }
+    def(Op::LLB, "LLB", OperandKind::UByte, OpClass::LoadLocal);
+    def(Op::LLA, "LLA", OperandKind::UByte, OpClass::LoadLocalAddr);
+    def(Op::RD, "RD", OperandKind::None, OpClass::LoadIndirect);
+    def(Op::WR, "WR", OperandKind::None, OpClass::StoreIndirect);
+    def(Op::READF, "READF", OperandKind::UByte, OpClass::ReadField);
+    def(Op::WRITEF, "WRITEF", OperandKind::UByte, OpClass::WriteField);
+    def(Op::LPD, "LPD", OperandKind::UByte, OpClass::LoadDesc);
+
+    static const char *slNames[] = {"SL0", "SL1", "SL2", "SL3"};
+    for (int i = 0; i < 4; ++i) {
+        def(static_cast<Op>(static_cast<int>(Op::SL0) + i), slNames[i],
+            OperandKind::None, OpClass::StoreLocal, i);
+    }
+    def(Op::SLB, "SLB", OperandKind::UByte, OpClass::StoreLocal);
+
+    static const char *lgNames[] = {"LG0", "LG1", "LG2", "LG3"};
+    for (int i = 0; i < 4; ++i) {
+        def(static_cast<Op>(static_cast<int>(Op::LG0) + i), lgNames[i],
+            OperandKind::None, OpClass::LoadGlobal, i);
+    }
+    def(Op::LGB, "LGB", OperandKind::UByte, OpClass::LoadGlobal);
+    def(Op::SGB, "SGB", OperandKind::UByte, OpClass::StoreGlobal);
+    def(Op::SG0, "SG0", OperandKind::None, OpClass::StoreGlobal, 0);
+    def(Op::SG1, "SG1", OperandKind::None, OpClass::StoreGlobal, 1);
+
+    static const char *liNames[] = {"LI0", "LI1", "LI2", "LI3",
+                                    "LI4", "LI5", "LI6"};
+    for (int i = 0; i < 7; ++i) {
+        def(static_cast<Op>(static_cast<int>(Op::LI0) + i), liNames[i],
+            OperandKind::None, OpClass::LoadImm, i);
+    }
+    def(Op::LIN1, "LIN1", OperandKind::None, OpClass::LoadImm, 0xFFFF);
+    def(Op::LIB, "LIB", OperandKind::UByte, OpClass::LoadImm);
+    def(Op::LIW, "LIW", OperandKind::UWord, OpClass::LoadImm);
+
+    def(Op::ADD, "ADD", OperandKind::None, OpClass::Arith);
+    def(Op::SUB, "SUB", OperandKind::None, OpClass::Arith);
+    def(Op::MUL, "MUL", OperandKind::None, OpClass::Arith);
+    def(Op::DIV, "DIV", OperandKind::None, OpClass::Arith);
+    def(Op::MOD, "MOD", OperandKind::None, OpClass::Arith);
+    def(Op::NEG, "NEG", OperandKind::None, OpClass::Arith);
+    def(Op::AND, "AND", OperandKind::None, OpClass::Arith);
+    def(Op::IOR, "IOR", OperandKind::None, OpClass::Arith);
+    def(Op::XOR, "XOR", OperandKind::None, OpClass::Arith);
+    def(Op::NOT, "NOT", OperandKind::None, OpClass::Arith);
+    def(Op::SHL, "SHL", OperandKind::None, OpClass::Arith);
+    def(Op::SHR, "SHR", OperandKind::None, OpClass::Arith);
+
+    def(Op::LT, "LT", OperandKind::None, OpClass::Compare);
+    def(Op::LE, "LE", OperandKind::None, OpClass::Compare);
+    def(Op::EQ, "EQ", OperandKind::None, OpClass::Compare);
+    def(Op::NE, "NE", OperandKind::None, OpClass::Compare);
+    def(Op::GE, "GE", OperandKind::None, OpClass::Compare);
+    def(Op::GT, "GT", OperandKind::None, OpClass::Compare);
+
+    static const char *jNames[] = {"J2", "J3", "J4", "J5", "J6", "J7",
+                                   "J8"};
+    for (int i = 0; i < 7; ++i) {
+        def(static_cast<Op>(static_cast<int>(Op::J2) + i), jNames[i],
+            OperandKind::None, OpClass::Jump, i + 2);
+    }
+    def(Op::JB, "JB", OperandKind::SByte, OpClass::Jump);
+    def(Op::JW, "JW", OperandKind::SWord, OpClass::Jump);
+    def(Op::JZB, "JZB", OperandKind::SByte, OpClass::JumpZero);
+    def(Op::JNZB, "JNZB", OperandKind::SByte, OpClass::JumpNotZero);
+
+    static const char *efcNames[] = {"EFC0", "EFC1", "EFC2", "EFC3",
+                                     "EFC4", "EFC5", "EFC6", "EFC7"};
+    for (int i = 0; i < 8; ++i) {
+        def(static_cast<Op>(static_cast<int>(Op::EFC0) + i), efcNames[i],
+            OperandKind::None, OpClass::ExtCall, i);
+    }
+    def(Op::EFCB, "EFCB", OperandKind::UByte, OpClass::ExtCall);
+
+    static const char *lfcNames[] = {"LFC0", "LFC1", "LFC2", "LFC3",
+                                     "LFC4", "LFC5", "LFC6", "LFC7"};
+    for (int i = 0; i < 8; ++i) {
+        def(static_cast<Op>(static_cast<int>(Op::LFC0) + i), lfcNames[i],
+            OperandKind::None, OpClass::LocalCall, i);
+    }
+    def(Op::LFCB, "LFCB", OperandKind::UByte, OpClass::LocalCall);
+
+    def(Op::DFC, "DFC", OperandKind::Code24, OpClass::DirectCall);
+    def(Op::FCALL, "FCALL", OperandKind::Desc40, OpClass::FatCall);
+
+    static const char *sdfcNames[] = {
+        "SDFC0", "SDFC1", "SDFC2", "SDFC3", "SDFC4", "SDFC5", "SDFC6",
+        "SDFC7", "SDFC8", "SDFC9", "SDFC10", "SDFC11", "SDFC12",
+        "SDFC13", "SDFC14", "SDFC15"};
+    for (int i = 0; i < 16; ++i) {
+        def(static_cast<Op>(static_cast<int>(Op::SDFC0) + i),
+            sdfcNames[i], OperandKind::Rel20, OpClass::ShortDirectCall,
+            i);
+    }
+
+    return t;
+}
+
+const std::array<OpInfo, 256> opTable = buildTable();
+
+} // namespace
+
+const OpInfo &
+opInfo(std::uint8_t opcode)
+{
+    return opTable[opcode];
+}
+
+unsigned
+instLength(std::uint8_t opcode)
+{
+    switch (opTable[opcode].kind) {
+      case OperandKind::None:
+        return 1;
+      case OperandKind::UByte:
+      case OperandKind::SByte:
+        return 2;
+      case OperandKind::UWord:
+      case OperandKind::SWord:
+      case OperandKind::Rel20:
+        return 3;
+      case OperandKind::Code24:
+        return 4;
+      case OperandKind::Desc40:
+        return 6;
+      case OperandKind::Illegal:
+      default:
+        return 1;
+    }
+}
+
+bool
+opcodeValid(std::uint8_t opcode)
+{
+    return opTable[opcode].cls != OpClass::Illegal;
+}
+
+} // namespace fpc::isa

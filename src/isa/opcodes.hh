@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The FPC byte-coded instruction set.
+ *
+ * The encoding follows the Mesa design criteria from paper §5: one- to
+ * three-byte instructions, a stack (not registers) for working
+ * storage, compact one-byte forms for the statically common cases —
+ * loads of the first few locals, small literals, short jumps, and
+ * calls of the first few link-vector / entry-vector indices — so that
+ * roughly two thirds of compiled instructions occupy a single byte.
+ *
+ * Transfers:
+ *  - EFCn / EFCB: EXTERNALCALL by link-vector index (§5.1);
+ *  - LFCn / LFCB: LOCALCALL by entry-vector index (§5.1);
+ *  - RET: one-byte RETURN;
+ *  - DFC: four-byte DIRECTCALL with a 24-bit code byte address (§6);
+ *  - SDFC0..15: three-byte SHORTDIRECTCALL, sixteen opcodes each
+ *    contributing 4 high bits to a signed 20-bit PC-relative offset,
+ *    "one megabyte around the instruction" (§6, D1);
+ *  - XF: the general XFER primitive taking a context from the stack;
+ *  - LRC: push returnContext (how a callee/coroutinee learns its
+ *    caller, §3).
+ */
+
+#ifndef FPC_ISA_OPCODES_HH
+#define FPC_ISA_OPCODES_HH
+
+#include <cstdint>
+
+namespace fpc::isa
+{
+
+/** Raw opcode values. Gaps are illegal opcodes (decode traps). */
+enum class Op : std::uint8_t
+{
+    NOOP = 0x00,
+    HALT = 0x01,
+    DUP = 0x02,
+    DROP = 0x03,
+    EXCH = 0x04,
+    OUT = 0x05,   ///< pop a word to the machine's output channel
+    LRC = 0x06,   ///< push returnContext
+    XF = 0x07,    ///< general XFER: pop destination context
+    RET = 0x08,   ///< RETURN
+    BRK = 0x09,   ///< programmed trap
+    YIELD = 0x0A, ///< invoke the process scheduler hook
+
+    // Local variable access. LL0..LL7 embed the local index.
+    LL0 = 0x10, LL1 = 0x11, LL2 = 0x12, LL3 = 0x13,
+    LL4 = 0x14, LL5 = 0x15, LL6 = 0x16, LL7 = 0x17,
+    LLB = 0x18,  ///< load local, byte index
+    LLA = 0x19,  ///< load the *address* of a local (§7.4 pointers)
+    RD = 0x1A,   ///< pop addr, push mem[addr]
+    WR = 0x1B,   ///< pop addr, pop value, mem[addr] := value
+    READF = 0x1C,  ///< pop addr, push mem[addr + field]
+    WRITEF = 0x1D, ///< pop addr, pop value, mem[addr + field] := value
+    LPD = 0x1E,  ///< push the link-vector entry (a context word)
+
+    SL0 = 0x20, SL1 = 0x21, SL2 = 0x22, SL3 = 0x23,
+    SLB = 0x24,  ///< store local, byte index
+
+    LG0 = 0x28, LG1 = 0x29, LG2 = 0x2A, LG3 = 0x2B,
+    LGB = 0x2C,  ///< load global, byte index
+    SGB = 0x2D,  ///< store global, byte index
+    SG0 = 0x2E, SG1 = 0x2F,
+
+    // Literals. LI0..LI6 embed the value.
+    LI0 = 0x30, LI1 = 0x31, LI2 = 0x32, LI3 = 0x33,
+    LI4 = 0x34, LI5 = 0x35, LI6 = 0x36,
+    LIN1 = 0x37, ///< push -1 (0xFFFF)
+    LIB = 0x38,  ///< push unsigned byte literal
+    LIW = 0x39,  ///< push word literal
+
+    ADD = 0x40, SUB = 0x41, MUL = 0x42, DIV = 0x43, MOD = 0x44,
+    NEG = 0x45, AND = 0x46, IOR = 0x47, XOR = 0x48, NOT = 0x49,
+    SHL = 0x4A, SHR = 0x4B,
+
+    LT = 0x50, LE = 0x51, EQ = 0x52, NE = 0x53, GE = 0x54, GT = 0x55,
+
+    // Jumps; offsets are relative to the first byte of the jump.
+    J2 = 0x60, J3 = 0x61, J4 = 0x62, J5 = 0x63,
+    J6 = 0x64, J7 = 0x65, J8 = 0x66,
+    JB = 0x67,   ///< signed byte offset
+    JW = 0x68,   ///< signed word offset
+    JZB = 0x69,  ///< pop; jump by signed byte offset if zero
+    JNZB = 0x6A, ///< pop; jump by signed byte offset if nonzero
+
+    // External calls: link-vector index embedded or in a byte.
+    EFC0 = 0x70, EFC1 = 0x71, EFC2 = 0x72, EFC3 = 0x73,
+    EFC4 = 0x74, EFC5 = 0x75, EFC6 = 0x76, EFC7 = 0x77,
+    EFCB = 0x78,
+
+    // Local calls: entry-vector index embedded or in a byte.
+    LFC0 = 0x80, LFC1 = 0x81, LFC2 = 0x82, LFC3 = 0x83,
+    LFC4 = 0x84, LFC5 = 0x85, LFC6 = 0x86, LFC7 = 0x87,
+    LFCB = 0x88,
+
+    DFC = 0x90, ///< DIRECTCALL, 24-bit absolute code byte address
+
+    SDFC0 = 0xA0, SDFC1 = 0xA1, SDFC2 = 0xA2, SDFC3 = 0xA3,
+    SDFC4 = 0xA4, SDFC5 = 0xA5, SDFC6 = 0xA6, SDFC7 = 0xA7,
+    SDFC8 = 0xA8, SDFC9 = 0xA9, SDFC10 = 0xAA, SDFC11 = 0xAB,
+    SDFC12 = 0xAC, SDFC13 = 0xAD, SDFC14 = 0xAE, SDFC15 = 0xAF,
+
+    /**
+     * FCALL: the §4 simple implementation's call. The full procedure
+     * descriptor is a literal in the program ("LOADLITERAL f; XFER"):
+     * a 24-bit code byte address plus a 16-bit environment (global
+     * frame) address — six bytes in all. Space-costly, table-free.
+     */
+    FCALL = 0xB0,
+};
+
+/** Shape of an instruction's operand bytes. */
+enum class OperandKind : std::uint8_t
+{
+    None,   ///< one byte, operand (if any) embedded in the opcode
+    UByte,  ///< one unsigned byte operand
+    SByte,  ///< one signed byte operand
+    UWord,  ///< two-byte unsigned operand (big-endian)
+    SWord,  ///< two-byte signed operand
+    Code24, ///< three-byte absolute code byte address (DFC)
+    Rel20,  ///< two bytes + 4 opcode bits: signed 20-bit offset (SDFC)
+    Desc40, ///< 24-bit code address + 16-bit environment (FCALL)
+    Illegal
+};
+
+/** Semantic class used by the interpreter's dispatch. */
+enum class OpClass : std::uint8_t
+{
+    Noop, Halt, Dup, Drop, Exch, Out, LoadRetCtx, Xfer, Ret, Brk, Yield,
+    LoadLocal, StoreLocal, LoadLocalAddr,
+    LoadGlobal, StoreGlobal,
+    LoadImm, LoadIndirect, StoreIndirect, ReadField, WriteField,
+    LoadDesc,
+    Arith, Compare,
+    Jump, JumpZero, JumpNotZero,
+    ExtCall, LocalCall, DirectCall, ShortDirectCall, FatCall,
+    Illegal
+};
+
+/** Static description of one opcode. */
+struct OpInfo
+{
+    const char *name;
+    OperandKind kind;
+    OpClass cls;
+    /** Value embedded in the opcode (local index, literal, jump span,
+     *  call index, SDFC high bits); -1 when not applicable. */
+    std::int32_t embedded;
+};
+
+/** Look up the static description of a raw opcode byte. */
+const OpInfo &opInfo(std::uint8_t opcode);
+
+inline const OpInfo &
+opInfo(Op op)
+{
+    return opInfo(static_cast<std::uint8_t>(op));
+}
+
+/** Total encoded length in bytes of the instruction. */
+unsigned instLength(std::uint8_t opcode);
+
+/** True if the opcode is defined. */
+bool opcodeValid(std::uint8_t opcode);
+
+} // namespace fpc::isa
+
+#endif // FPC_ISA_OPCODES_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * MiniMesa abstract syntax.
+ */
+
+#ifndef FPC_LANG_AST_HH
+#define FPC_LANG_AST_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "lang/lexer.hh"
+
+namespace fpc::lang
+{
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** An expression node. */
+struct Expr
+{
+    enum class Kind
+    {
+        Num,    ///< literal
+        Var,    ///< local or global variable
+        Unary,  ///< -x  !x  ~x
+        Binary, ///< arithmetic / comparison / bitwise
+        And,    ///< short-circuit &&
+        Or,     ///< short-circuit ||
+        Call,   ///< f(args) or Mod.f(args)
+        AddrOf, ///< @x (address of a local, §7.4)
+        Deref,  ///< *p
+        Index   ///< a[i] (a is a local array)
+    };
+
+    Kind kind;
+    unsigned line = 0;
+    Word number = 0;        ///< Num
+    std::string name;       ///< Var / Call / AddrOf / Index
+    std::string moduleName; ///< Call: qualifier ("" = this module)
+    Tok op = Tok::End;      ///< Unary / Binary operator
+    ExprPtr lhs;            ///< Unary/Deref operand; Binary left; Index subscript
+    ExprPtr rhs;            ///< Binary right
+    std::vector<ExprPtr> args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** A statement node. */
+struct Stmt
+{
+    enum class Kind
+    {
+        VarDecl,     ///< var a, b, buf[8];
+        Assign,      ///< x = e;
+        AssignIndex, ///< a[i] = e;
+        Store,       ///< *p = e;
+        If,      ///< if (e) {..} else {..}
+        While,   ///< while (e) {..}
+        Return,  ///< return e?; (missing e returns 0)
+        Out,     ///< out e;    (append to the machine output channel)
+        Halt,    ///< halt;
+        Yield,   ///< yield;    (process switch)
+        Expr     ///< e;        (value dropped)
+    };
+
+    Kind kind;
+    unsigned line = 0;
+    std::vector<std::string> names; ///< VarDecl
+    /** VarDecl: words per name (1 = scalar, N = array of N). */
+    std::vector<unsigned> sizes;
+    std::string name;               ///< Assign / AssignIndex target
+    ExprPtr value; ///< Assign/Store/Return/Out/Expr value, If/While cond
+    ExprPtr addr;  ///< Store target address; AssignIndex subscript
+    std::vector<StmtPtr> body;     ///< If-then / While body
+    std::vector<StmtPtr> elseBody; ///< If-else
+};
+
+/** One procedure. */
+struct ProcAst
+{
+    std::string name;
+    std::vector<std::string> params;
+    std::vector<StmtPtr> body;
+    unsigned line = 0;
+};
+
+/** One module. */
+struct ModuleAst
+{
+    std::string name;
+    std::vector<std::pair<std::string, Word>> globals;
+    std::vector<ProcAst> procs;
+};
+
+} // namespace fpc::lang
+
+#endif // FPC_LANG_AST_HH

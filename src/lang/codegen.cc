@@ -1,0 +1,737 @@
+#include "lang/codegen.hh"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "asm/builder.hh"
+#include "common/logging.hh"
+#include "lang/parser.hh"
+
+namespace fpc::lang
+{
+
+namespace
+{
+
+using isa::Op;
+
+/** Count the Call nodes in an expression tree. */
+unsigned
+countCalls(const Expr &e)
+{
+    unsigned n = e.kind == Expr::Kind::Call ? 1 : 0;
+    if (e.lhs)
+        n += countCalls(*e.lhs);
+    if (e.rhs)
+        n += countCalls(*e.rhs);
+    for (const auto &arg : e.args)
+        n += countCalls(*arg);
+    return n;
+}
+
+/** Count short-circuit nodes; each may need a temp when it holds
+ *  calls and must be hoisted to preserve lazy evaluation. */
+unsigned
+countAndOr(const Expr &e)
+{
+    unsigned n =
+        (e.kind == Expr::Kind::And || e.kind == Expr::Kind::Or) ? 1 : 0;
+    if (e.lhs)
+        n += countAndOr(*e.lhs);
+    if (e.rhs)
+        n += countAndOr(*e.rhs);
+    for (const auto &arg : e.args)
+        n += countAndOr(*arg);
+    return n;
+}
+
+/** Upper bound on the temps one expression's flattening uses. */
+unsigned
+exprTemps(const Expr &e)
+{
+    return countCalls(e) + countAndOr(e);
+}
+
+/** Temps one statement needs (its root call, if any, goes direct). */
+unsigned
+stmtTemps(const Stmt &s)
+{
+    unsigned n = 0;
+    if (s.value) {
+        n += exprTemps(*s.value);
+        const bool direct_root =
+            s.value->kind == Expr::Kind::Call &&
+            (s.kind == Stmt::Kind::Assign ||
+             s.kind == Stmt::Kind::Return || s.kind == Stmt::Kind::Out ||
+             s.kind == Stmt::Kind::Expr);
+        if (direct_root)
+            --n;
+    }
+    if (s.addr)
+        n += exprTemps(*s.addr);
+    return n;
+}
+
+unsigned
+maxTemps(const std::vector<StmtPtr> &body)
+{
+    unsigned worst = 0;
+    for (const auto &s : body) {
+        worst = std::max(worst, stmtTemps(*s));
+        worst = std::max(worst, maxTemps(s->body));
+        worst = std::max(worst, maxTemps(s->elseBody));
+    }
+    return worst;
+}
+
+/**
+ * Compile-time evaluation of constant expressions, with exactly the
+ * interpreter's 16-bit semantics (so folding never changes results).
+ * Returns nullopt for anything dynamic, a potential trap (division by
+ * zero), or short-circuit forms whose value depends on normalization.
+ */
+std::optional<Word>
+constEval(const Expr &e)
+{
+    using R = std::optional<Word>;
+    switch (e.kind) {
+      case Expr::Kind::Num:
+        return e.number;
+      case Expr::Kind::Unary: {
+        const R v = constEval(*e.lhs);
+        if (!v)
+            return std::nullopt;
+        switch (e.op) {
+          case Tok::Minus:
+            return static_cast<Word>(-static_cast<SWord>(*v));
+          case Tok::Tilde:
+            return static_cast<Word>(~*v);
+          case Tok::Bang:
+            return static_cast<Word>(*v == 0 ? 1 : 0);
+          default:
+            return std::nullopt;
+        }
+      }
+      case Expr::Kind::Binary: {
+        const R a = constEval(*e.lhs);
+        const R b = constEval(*e.rhs);
+        if (!a || !b)
+            return std::nullopt;
+        const auto sa = static_cast<SWord>(*a);
+        const auto sb = static_cast<SWord>(*b);
+        switch (e.op) {
+          case Tok::Plus: return static_cast<Word>(*a + *b);
+          case Tok::Minus: return static_cast<Word>(*a - *b);
+          case Tok::Star:
+            return static_cast<Word>(static_cast<SDWord>(sa) * sb);
+          case Tok::Slash:
+            if (*b == 0)
+                return std::nullopt; // keep the runtime trap
+            return static_cast<Word>(sa / sb);
+          case Tok::Percent:
+            if (*b == 0)
+                return std::nullopt;
+            return static_cast<Word>(sa % sb);
+          case Tok::Amp: return static_cast<Word>(*a & *b);
+          case Tok::Pipe: return static_cast<Word>(*a | *b);
+          case Tok::Caret: return static_cast<Word>(*a ^ *b);
+          case Tok::Shl:
+            return static_cast<Word>(*b >= 16 ? 0 : *a << *b);
+          case Tok::Shr:
+            return static_cast<Word>(*b >= 16 ? 0 : *a >> *b);
+          case Tok::Eq: return static_cast<Word>(*a == *b);
+          case Tok::Ne: return static_cast<Word>(*a != *b);
+          case Tok::Lt: return static_cast<Word>(sa < sb);
+          case Tok::Le: return static_cast<Word>(sa <= sb);
+          case Tok::Gt: return static_cast<Word>(sa > sb);
+          case Tok::Ge: return static_cast<Word>(sa >= sb);
+          default: return std::nullopt;
+        }
+      }
+      case Expr::Kind::And: {
+        const R a = constEval(*e.lhs);
+        if (a && *a == 0)
+            return Word{0}; // rhs (even a call) must not run
+        if (!a)
+            return std::nullopt;
+        const R b = constEval(*e.rhs);
+        if (!b)
+            return std::nullopt;
+        return static_cast<Word>(*b != 0 ? 1 : 0);
+      }
+      case Expr::Kind::Or: {
+        const R a = constEval(*e.lhs);
+        if (a && *a != 0)
+            return Word{1};
+        if (!a)
+            return std::nullopt;
+        const R b = constEval(*e.rhs);
+        if (!b)
+            return std::nullopt;
+        return static_cast<Word>(*b != 0 ? 1 : 0);
+      }
+      default:
+        return std::nullopt;
+    }
+}
+
+struct LocalDecl
+{
+    std::string name;
+    unsigned words;
+};
+
+void
+collectLocals(const std::vector<StmtPtr> &body,
+              std::vector<LocalDecl> &out)
+{
+    for (const auto &s : body) {
+        if (s->kind == Stmt::Kind::VarDecl) {
+            for (std::size_t i = 0; i < s->names.size(); ++i) {
+                const unsigned words =
+                    i < s->sizes.size() ? s->sizes[i] : 1;
+                out.push_back({s->names[i], words});
+            }
+        }
+        collectLocals(s->body, out);
+        collectLocals(s->elseBody, out);
+    }
+}
+
+/** Compiles one module. */
+class ModuleCompiler
+{
+  public:
+    ModuleCompiler(const ModuleAst &ast,
+                   const std::vector<ModuleAst> *batch)
+        : ast_(ast), batch_(batch), builder_(ast.name)
+    {}
+
+    Module
+    compile()
+    {
+        std::vector<Word> init;
+        for (unsigned i = 0; i < ast_.globals.size(); ++i) {
+            const auto &[name, value] = ast_.globals[i];
+            if (globals_.count(name))
+                fatal("module {}: duplicate global {}", ast_.name, name);
+            globals_[name] = i;
+            init.push_back(value);
+        }
+        builder_.globals(ast_.globals.size(), std::move(init));
+
+        for (const auto &proc : ast_.procs) {
+            if (procArity_.count(proc.name))
+                fatal("module {}: duplicate procedure {}", ast_.name,
+                      proc.name);
+            procArity_[proc.name] = proc.params.size();
+        }
+
+        for (const auto &proc : ast_.procs)
+            compileProc(proc);
+        return builder_.build();
+    }
+
+  private:
+    // ---- per-procedure state ----------------------------------------
+    struct Sym
+    {
+        unsigned slot = 0;
+        unsigned words = 1;
+        bool isArray = false;
+    };
+
+    ProcBuilder *pb_ = nullptr;
+    std::map<std::string, Sym> slots_;
+    unsigned tempBase_ = 0;
+    unsigned tempNext_ = 0;
+
+    void
+    compileProc(const ProcAst &proc)
+    {
+        slots_.clear();
+        std::vector<LocalDecl> locals;
+        collectLocals(proc.body, locals);
+
+        unsigned slot = 0;
+        for (const auto &p : proc.params) {
+            if (slots_.count(p))
+                fatal("line {}: duplicate parameter {}", proc.line, p);
+            slots_[p] = Sym{slot++, 1, false};
+        }
+        const unsigned first_local = slot;
+        for (const auto &l : locals) {
+            if (slots_.count(l.name))
+                fatal("proc {}: duplicate local {}", proc.name, l.name);
+            slots_[l.name] = Sym{slot, l.words, l.words > 1};
+            slot += l.words;
+        }
+        tempBase_ = slot;
+        const unsigned num_vars = slot + maxTemps(proc.body);
+
+        pb_ = &builder_.proc(proc.name, proc.params.size(),
+                             std::max(1u, num_vars));
+
+        // Zero-initialize declared locals (and arrays): frames are
+        // recycled through the heap and would carry garbage.
+        for (unsigned i = first_local; i < tempBase_; ++i)
+            pb_->loadImm(0).storeLocal(i);
+
+        emitBody(proc.body);
+
+        // Implicit "return 0" at the end of the body.
+        pb_->loadImm(0).ret();
+    }
+
+    void
+    emitBody(const std::vector<StmtPtr> &body)
+    {
+        for (const auto &s : body)
+            emitStmt(*s);
+    }
+
+    void
+    emitStmt(const Stmt &s)
+    {
+        tempNext_ = tempBase_; // temps recycle per statement
+        switch (s.kind) {
+          case Stmt::Kind::VarDecl:
+            break;
+          case Stmt::Kind::Assign: {
+            emitValueWithDirectRoot(*s.value);
+            auto it = slots_.find(s.name);
+            if (it != slots_.end()) {
+                if (it->second.isArray)
+                    fatal("line {}: cannot assign to array {}", s.line,
+                          s.name);
+                pb_->storeLocal(it->second.slot);
+            } else {
+                auto git = globals_.find(s.name);
+                if (git == globals_.end())
+                    fatal("line {}: unknown variable {}", s.line, s.name);
+                pb_->storeGlobal(git->second);
+            }
+            break;
+          }
+          case Stmt::Kind::AssignIndex: {
+            const Sym sym = arraySym(s.name, s.line);
+            // Constant subscripts address the slot directly, keeping
+            // the access in the register bank.
+            if (const auto k = constEval(*s.addr)) {
+                if (*k >= sym.words)
+                    fatal("line {}: index {} out of bounds for {}[{}]",
+                          s.line, *k, s.name, sym.words);
+                emitValueWithDirectRoot(*s.value);
+                pb_->storeLocal(sym.slot + *k);
+                break;
+            }
+            ExprPtr value = cloneFlatten(*s.value);
+            ExprPtr index = cloneFlatten(*s.addr);
+            emitPure(*value);
+            pb_->loadLocalAddr(sym.slot);
+            emitPure(*index);
+            pb_->op(isa::Op::ADD);
+            pb_->op(isa::Op::WR);
+            break;
+          }
+          case Stmt::Kind::Store: {
+            ExprPtr value = cloneFlatten(*s.value);
+            ExprPtr addr = cloneFlatten(*s.addr);
+            emitPure(*value);
+            emitPure(*addr);
+            pb_->op(Op::WR);
+            break;
+          }
+          case Stmt::Kind::If: {
+            // A constant condition selects its branch at compile time
+            // (the condition can have no side effects if it folds).
+            if (const auto folded = constEval(*s.value)) {
+                emitBody(*folded != 0 ? s.body : s.elseBody);
+                break;
+            }
+            ExprPtr cond = cloneFlatten(*s.value);
+            emitPure(*cond);
+            auto else_label = pb_->newLabel();
+            pb_->jumpZero(else_label);
+            emitBody(s.body);
+            if (s.elseBody.empty()) {
+                pb_->label(else_label);
+            } else {
+                auto end_label = pb_->newLabel();
+                pb_->jump(end_label);
+                pb_->label(else_label);
+                emitBody(s.elseBody);
+                pb_->label(end_label);
+            }
+            break;
+          }
+          case Stmt::Kind::While: {
+            // `while (0)` disappears; `while (k != 0)` keeps only the
+            // backward jump.
+            if (const auto folded = constEval(*s.value);
+                folded && *folded == 0) {
+                break;
+            }
+            auto top = pb_->newLabel();
+            auto end = pb_->newLabel();
+            pb_->label(top);
+            {
+                ExprPtr cond = cloneFlatten(*s.value);
+                emitPure(*cond);
+            }
+            pb_->jumpZero(end);
+            emitBody(s.body);
+            pb_->jump(top);
+            pb_->label(end);
+            break;
+          }
+          case Stmt::Kind::Return:
+            if (s.value)
+                emitValueWithDirectRoot(*s.value);
+            else
+                pb_->loadImm(0);
+            pb_->ret();
+            break;
+          case Stmt::Kind::Out:
+            emitValueWithDirectRoot(*s.value);
+            pb_->op(Op::OUT);
+            break;
+          case Stmt::Kind::Halt:
+            pb_->halt();
+            break;
+          case Stmt::Kind::Yield:
+            pb_->op(Op::YIELD);
+            break;
+          case Stmt::Kind::Expr:
+            emitValueWithDirectRoot(*s.value);
+            pb_->op(Op::DROP);
+            break;
+        }
+    }
+
+    /**
+     * Emit an expression whose root call (if the whole expression is
+     * one) may run with the stack empty, avoiding a temp.
+     */
+    void
+    emitValueWithDirectRoot(const Expr &e)
+    {
+        if (e.kind == Expr::Kind::Call) {
+            emitCall(e);
+            return;
+        }
+        ExprPtr flat = cloneFlatten(e);
+        emitPure(*flat);
+    }
+
+    /**
+     * Clone the expression, replacing every Call subtree by a temp
+     * variable reference after emitting the call and a store. The
+     * returned tree is call-free ("pure"): evaluating it touches only
+     * the stack.
+     */
+    ExprPtr
+    cloneFlatten(const Expr &e)
+    {
+        auto out = std::make_unique<Expr>();
+        out->kind = e.kind;
+        out->line = e.line;
+        out->number = e.number;
+        out->name = e.name;
+        out->moduleName = e.moduleName;
+        out->op = e.op;
+
+        if (e.kind == Expr::Kind::Call) {
+            emitCall(e);
+            return spillToTemp(std::move(out));
+        }
+
+        // A short-circuit node containing calls cannot have the calls
+        // hoisted past its branch points (that would evaluate them
+        // eagerly). Emit the whole short-circuit computation here —
+        // the stack is empty at its branch boundaries — flattening
+        // each side at its own evaluation point, and spill the 0/1.
+        if ((e.kind == Expr::Kind::And || e.kind == Expr::Kind::Or) &&
+            countCalls(e) > 0) {
+            const bool is_and = e.kind == Expr::Kind::And;
+            auto exit_label = pb_->newLabel();
+            auto end_label = pb_->newLabel();
+            {
+                ExprPtr lhs = cloneFlatten(*e.lhs);
+                emitPure(*lhs);
+            }
+            if (is_and)
+                pb_->jumpZero(exit_label);
+            else
+                pb_->jumpNotZero(exit_label);
+            {
+                ExprPtr rhs = cloneFlatten(*e.rhs);
+                emitPure(*rhs);
+            }
+            if (is_and)
+                pb_->jumpZero(exit_label);
+            else
+                pb_->jumpNotZero(exit_label);
+            pb_->loadImm(is_and ? 1 : 0).jump(end_label);
+            pb_->label(exit_label).loadImm(is_and ? 0 : 1);
+            pb_->label(end_label);
+            return spillToTemp(std::move(out));
+        }
+
+        if (e.lhs)
+            out->lhs = cloneFlatten(*e.lhs);
+        if (e.rhs)
+            out->rhs = cloneFlatten(*e.rhs);
+        for (const auto &arg : e.args)
+            out->args.push_back(cloneFlatten(*arg));
+        return out;
+    }
+
+    /** Store the value on the stack into a fresh statement temp and
+     *  return a reference node for it. */
+    ExprPtr
+    spillToTemp(ExprPtr node)
+    {
+        const unsigned temp = tempNext_++;
+        if (temp >= pb_->numVars())
+            panic("temp slot {} beyond frame ({} vars)", temp,
+                  pb_->numVars());
+        pb_->storeLocal(temp);
+        node->kind = Expr::Kind::Var;
+        node->name = "$t";
+        node->number = static_cast<Word>(temp);
+        node->lhs.reset();
+        node->rhs.reset();
+        node->args.clear();
+        return node;
+    }
+
+    /** Look up an array local; fatal if absent or scalar. */
+    Sym
+    arraySym(const std::string &name, unsigned line) const
+    {
+        auto it = slots_.find(name);
+        if (it == slots_.end() || !it->second.isArray)
+            fatal("line {}: {} is not a local array", line, name);
+        return it->second;
+    }
+
+    /** Emit a call: arguments (already call-free trees are produced
+     *  on the fly here) then the transfer. */
+    void
+    emitCall(const Expr &call)
+    {
+        // Arguments are flattened first, so that when they are pushed
+        // the stack contains partial argument records only.
+        std::vector<ExprPtr> flat_args;
+        flat_args.reserve(call.args.size());
+        for (const auto &arg : call.args)
+            flat_args.push_back(cloneFlatten(*arg));
+        for (const auto &arg : flat_args)
+            emitPure(*arg);
+
+        if (call.moduleName.empty()) {
+            auto it = procArity_.find(call.name);
+            if (it == procArity_.end()) {
+                fatal("line {}: unknown procedure {} (qualify external "
+                      "calls as Module.proc)",
+                      call.line, call.name);
+            }
+            if (it->second != call.args.size()) {
+                fatal("line {}: {} takes {} arguments, got {}",
+                      call.line, call.name, it->second,
+                      call.args.size());
+            }
+            pb_->callLocal(call.name);
+            return;
+        }
+
+        if (batch_) {
+            for (const auto &mod : *batch_) {
+                if (mod.name != call.moduleName)
+                    continue;
+                bool found = false;
+                for (const auto &proc : mod.procs) {
+                    if (proc.name != call.name)
+                        continue;
+                    found = true;
+                    if (proc.params.size() != call.args.size()) {
+                        fatal("line {}: {}.{} takes {} arguments, "
+                              "got {}",
+                              call.line, call.moduleName, call.name,
+                              proc.params.size(), call.args.size());
+                    }
+                }
+                if (!found)
+                    fatal("line {}: module {} has no procedure {}",
+                          call.line, call.moduleName, call.name);
+            }
+        }
+        const unsigned ext =
+            builder_.externRef(call.moduleName, call.name);
+        pb_->callExtern(ext);
+    }
+
+    /** Emit a call-free expression (constants folded). */
+    void
+    emitPure(const Expr &e)
+    {
+        if (const auto folded = constEval(e)) {
+            pb_->loadImm(*folded);
+            return;
+        }
+        switch (e.kind) {
+          case Expr::Kind::Num:
+            pb_->loadImm(e.number);
+            break;
+          case Expr::Kind::Var: {
+            if (e.name == "$t") { // flattened temp; slot in number
+                pb_->loadLocal(e.number);
+                break;
+            }
+            auto it = slots_.find(e.name);
+            if (it != slots_.end()) {
+                if (it->second.isArray) {
+                    // An array name decays to the address of its
+                    // first element.
+                    pb_->loadLocalAddr(it->second.slot);
+                } else {
+                    pb_->loadLocal(it->second.slot);
+                }
+                break;
+            }
+            auto git = globals_.find(e.name);
+            if (git == globals_.end())
+                fatal("line {}: unknown variable {}", e.line, e.name);
+            pb_->loadGlobal(git->second);
+            break;
+          }
+          case Expr::Kind::Index: {
+            const Sym sym = arraySym(e.name, e.line);
+            if (const auto k = constEval(*e.lhs)) {
+                if (*k >= sym.words)
+                    fatal("line {}: index {} out of bounds for {}[{}]",
+                          e.line, *k, e.name, sym.words);
+                pb_->loadLocal(sym.slot + *k);
+                break;
+            }
+            pb_->loadLocalAddr(sym.slot);
+            emitPure(*e.lhs);
+            pb_->op(isa::Op::ADD);
+            pb_->op(isa::Op::RD);
+            break;
+          }
+          case Expr::Kind::Unary:
+            emitPure(*e.lhs);
+            switch (e.op) {
+              case Tok::Minus: pb_->op(Op::NEG); break;
+              case Tok::Tilde: pb_->op(Op::NOT); break;
+              case Tok::Bang:
+                pb_->loadImm(0).op(Op::EQ);
+                break;
+              default:
+                panic("bad unary operator");
+            }
+            break;
+          case Expr::Kind::Binary:
+            emitPure(*e.lhs);
+            emitPure(*e.rhs);
+            pb_->op(binaryOp(e.op, e.line));
+            break;
+          case Expr::Kind::And: {
+            auto false_label = pb_->newLabel();
+            auto end_label = pb_->newLabel();
+            emitPure(*e.lhs);
+            pb_->jumpZero(false_label);
+            emitPure(*e.rhs);
+            pb_->jumpZero(false_label);
+            pb_->loadImm(1).jump(end_label);
+            pb_->label(false_label).loadImm(0);
+            pb_->label(end_label);
+            break;
+          }
+          case Expr::Kind::Or: {
+            auto true_label = pb_->newLabel();
+            auto end_label = pb_->newLabel();
+            emitPure(*e.lhs);
+            pb_->jumpNotZero(true_label);
+            emitPure(*e.rhs);
+            pb_->jumpNotZero(true_label);
+            pb_->loadImm(0).jump(end_label);
+            pb_->label(true_label).loadImm(1);
+            pb_->label(end_label);
+            break;
+          }
+          case Expr::Kind::AddrOf: {
+            auto it = slots_.find(e.name);
+            if (it == slots_.end())
+                fatal("line {}: @ requires a local variable, {} is not "
+                      "one",
+                      e.line, e.name);
+            pb_->loadLocalAddr(it->second.slot);
+            break;
+          }
+          case Expr::Kind::Deref:
+            emitPure(*e.lhs);
+            pb_->op(Op::RD);
+            break;
+          case Expr::Kind::Call:
+            panic("call survived flattening");
+        }
+    }
+
+    static Op
+    binaryOp(Tok op, unsigned line)
+    {
+        switch (op) {
+          case Tok::Plus: return Op::ADD;
+          case Tok::Minus: return Op::SUB;
+          case Tok::Star: return Op::MUL;
+          case Tok::Slash: return Op::DIV;
+          case Tok::Percent: return Op::MOD;
+          case Tok::Amp: return Op::AND;
+          case Tok::Pipe: return Op::IOR;
+          case Tok::Caret: return Op::XOR;
+          case Tok::Shl: return Op::SHL;
+          case Tok::Shr: return Op::SHR;
+          case Tok::Eq: return Op::EQ;
+          case Tok::Ne: return Op::NE;
+          case Tok::Lt: return Op::LT;
+          case Tok::Le: return Op::LE;
+          case Tok::Gt: return Op::GT;
+          case Tok::Ge: return Op::GE;
+          default:
+            fatal("line {}: bad binary operator", line);
+        }
+    }
+
+    const ModuleAst &ast_;
+    const std::vector<ModuleAst> *batch_;
+    ModuleBuilder builder_;
+    std::map<std::string, unsigned> globals_;
+    std::map<std::string, unsigned> procArity_;
+};
+
+} // namespace
+
+Module
+compileModule(const ModuleAst &ast, const std::vector<ModuleAst> *batch)
+{
+    ModuleCompiler compiler(ast, batch);
+    return compiler.compile();
+}
+
+std::vector<Module>
+compile(const std::string &source)
+{
+    const auto tokens = tokenize(source);
+    const auto asts = parse(tokens);
+    std::vector<Module> out;
+    out.reserve(asts.size());
+    for (const auto &ast : asts)
+        out.push_back(compileModule(ast, &asts));
+    return out;
+}
+
+} // namespace fpc::lang

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * MiniMesa code generation.
+ *
+ * The generated code obeys the calling convention of §5.2/§7.2: at
+ * every call instruction the evaluation stack holds exactly the
+ * argument record. Nested calls are therefore flattened — the result
+ * of an inner call is stored to a frame temporary before the outer
+ * expression continues, which is precisely the drawback the paper
+ * notes for f[g[], h[]] ("requires the results of g to be saved
+ * before h is called, and then retrieved").
+ *
+ * Declared locals are zero-initialized at procedure entry, because
+ * frames are recycled through the AV heap and would otherwise carry
+ * garbage from prior activations.
+ */
+
+#ifndef FPC_LANG_CODEGEN_HH
+#define FPC_LANG_CODEGEN_HH
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.hh"
+#include "program/module.hh"
+
+namespace fpc::lang
+{
+
+/** Compile one module AST; batch (if given) supplies arity checking
+ *  for qualified calls to sibling modules. */
+Module compileModule(const ModuleAst &ast,
+                     const std::vector<ModuleAst> *batch = nullptr);
+
+/** Lex, parse and compile a MiniMesa source file. */
+std::vector<Module> compile(const std::string &source);
+
+} // namespace fpc::lang
+
+#endif // FPC_LANG_CODEGEN_HH

@@ -1,0 +1,209 @@
+#include "lang/lexer.hh"
+
+#include <cctype>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace fpc::lang
+{
+
+const char *
+tokName(Tok tok)
+{
+    switch (tok) {
+      case Tok::End: return "end of input";
+      case Tok::Ident: return "identifier";
+      case Tok::Number: return "number";
+      case Tok::KwModule: return "'module'";
+      case Tok::KwVar: return "'var'";
+      case Tok::KwProc: return "'proc'";
+      case Tok::KwIf: return "'if'";
+      case Tok::KwElse: return "'else'";
+      case Tok::KwWhile: return "'while'";
+      case Tok::KwReturn: return "'return'";
+      case Tok::KwOut: return "'out'";
+      case Tok::KwHalt: return "'halt'";
+      case Tok::KwYield: return "'yield'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::RBrace: return "'}'";
+      case Tok::Semi: return "';'";
+      case Tok::Comma: return "','";
+      case Tok::Dot: return "'.'";
+      case Tok::Assign: return "'='";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::Amp: return "'&'";
+      case Tok::Pipe: return "'|'";
+      case Tok::Caret: return "'^'";
+      case Tok::Tilde: return "'~'";
+      case Tok::Shl: return "'<<'";
+      case Tok::Shr: return "'>>'";
+      case Tok::Eq: return "'=='";
+      case Tok::Ne: return "'!='";
+      case Tok::Lt: return "'<'";
+      case Tok::Le: return "'<='";
+      case Tok::Gt: return "'>'";
+      case Tok::Ge: return "'>='";
+      case Tok::AndAnd: return "'&&'";
+      case Tok::OrOr: return "'||'";
+      case Tok::Bang: return "'!'";
+      case Tok::At: return "'@'";
+      default: return "?";
+    }
+}
+
+namespace
+{
+
+const std::map<std::string, Tok> keywords = {
+    {"module", Tok::KwModule}, {"var", Tok::KwVar},
+    {"proc", Tok::KwProc},     {"if", Tok::KwIf},
+    {"else", Tok::KwElse},     {"while", Tok::KwWhile},
+    {"return", Tok::KwReturn}, {"out", Tok::KwOut},
+    {"halt", Tok::KwHalt},     {"yield", Tok::KwYield},
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    std::vector<Token> out;
+    unsigned line = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto peek = [&](std::size_t k = 0) -> char {
+        return i + k < n ? source[i + k] : '\0';
+    };
+    auto emit = [&](Tok kind, std::size_t len) {
+        out.push_back({kind, source.substr(i, len), 0, line});
+        i += len;
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Comments: "--" to end of line (Mesa style) and "//".
+        if ((c == '-' && peek(1) == '-') ||
+            (c == '/' && peek(1) == '/')) {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t len = 1;
+            while (std::isalnum(static_cast<unsigned char>(peek(len))) ||
+                   peek(len) == '_') {
+                ++len;
+            }
+            const std::string word = source.substr(i, len);
+            auto kw = keywords.find(word);
+            out.push_back({kw == keywords.end() ? Tok::Ident : kw->second,
+                           word, 0, line});
+            i += len;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t len = 1;
+            unsigned base = 10;
+            if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+                base = 16;
+                len = 2;
+                while (std::isxdigit(
+                    static_cast<unsigned char>(peek(len)))) {
+                    ++len;
+                }
+            } else {
+                while (std::isdigit(
+                    static_cast<unsigned char>(peek(len)))) {
+                    ++len;
+                }
+            }
+            const std::string text = source.substr(i, len);
+            const unsigned long value =
+                std::stoul(base == 16 ? text.substr(2) : text, nullptr,
+                           base);
+            if (value > 0xFFFF)
+                fatal("line {}: literal {} exceeds a 16-bit word", line,
+                      text);
+            out.push_back({Tok::Number, text,
+                           static_cast<std::uint16_t>(value), line});
+            i += len;
+            continue;
+        }
+        switch (c) {
+          case '(': emit(Tok::LParen, 1); break;
+          case ')': emit(Tok::RParen, 1); break;
+          case '{': emit(Tok::LBrace, 1); break;
+          case '[': emit(Tok::LBracket, 1); break;
+          case ']': emit(Tok::RBracket, 1); break;
+          case '}': emit(Tok::RBrace, 1); break;
+          case ';': emit(Tok::Semi, 1); break;
+          case ',': emit(Tok::Comma, 1); break;
+          case '.': emit(Tok::Dot, 1); break;
+          case '+': emit(Tok::Plus, 1); break;
+          case '-': emit(Tok::Minus, 1); break;
+          case '*': emit(Tok::Star, 1); break;
+          case '/': emit(Tok::Slash, 1); break;
+          case '%': emit(Tok::Percent, 1); break;
+          case '^': emit(Tok::Caret, 1); break;
+          case '~': emit(Tok::Tilde, 1); break;
+          case '@': emit(Tok::At, 1); break;
+          case '&':
+            emit(peek(1) == '&' ? Tok::AndAnd : Tok::Amp,
+                 peek(1) == '&' ? 2 : 1);
+            break;
+          case '|':
+            emit(peek(1) == '|' ? Tok::OrOr : Tok::Pipe,
+                 peek(1) == '|' ? 2 : 1);
+            break;
+          case '=':
+            emit(peek(1) == '=' ? Tok::Eq : Tok::Assign,
+                 peek(1) == '=' ? 2 : 1);
+            break;
+          case '!':
+            emit(peek(1) == '=' ? Tok::Ne : Tok::Bang,
+                 peek(1) == '=' ? 2 : 1);
+            break;
+          case '<':
+            if (peek(1) == '<')
+                emit(Tok::Shl, 2);
+            else if (peek(1) == '=')
+                emit(Tok::Le, 2);
+            else
+                emit(Tok::Lt, 1);
+            break;
+          case '>':
+            if (peek(1) == '>')
+                emit(Tok::Shr, 2);
+            else if (peek(1) == '=')
+                emit(Tok::Ge, 2);
+            else
+                emit(Tok::Gt, 1);
+            break;
+          default:
+            fatal("line {}: unexpected character '{}'", line, c);
+        }
+    }
+    out.push_back({Tok::End, "", 0, line});
+    return out;
+}
+
+} // namespace fpc::lang

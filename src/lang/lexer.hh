@@ -1,0 +1,57 @@
+/**
+ * @file
+ * MiniMesa lexer.
+ *
+ * MiniMesa is the Algol-family source language of this reproduction —
+ * the top level of the paper's §2 hierarchy (source -> encoding ->
+ * interpreter). It is deliberately small: 16-bit integers, modules
+ * with globals and procedures, expressions, if/while/return, local
+ * and qualified external calls, plus `out`, `yield` and address-of
+ * for exercising the §7.4 machinery.
+ */
+
+#ifndef FPC_LANG_LEXER_HH
+#define FPC_LANG_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fpc::lang
+{
+
+enum class Tok
+{
+    End,
+    Ident,
+    Number,
+    // keywords
+    KwModule, KwVar, KwProc, KwIf, KwElse, KwWhile, KwReturn, KwOut,
+    KwHalt, KwYield,
+    // punctuation
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semi, Comma, Dot, Assign,
+    // operators
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Shl, Shr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    AndAnd, OrOr, Bang,
+    At ///< '@x': address of a local (§7.4 pointers to locals)
+};
+
+const char *tokName(Tok tok);
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;
+    std::uint16_t number = 0;
+    unsigned line = 0;
+};
+
+/** Tokenize; throws FatalError with a line number on bad input. */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace fpc::lang
+
+#endif // FPC_LANG_LEXER_HH

@@ -1,0 +1,456 @@
+#include "lang/parser.hh"
+
+#include "common/logging.hh"
+
+namespace fpc::lang
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::vector<Token> &tokens) : toks_(tokens) {}
+
+    std::vector<ModuleAst>
+    parseAll()
+    {
+        std::vector<ModuleAst> modules;
+        while (!at(Tok::End))
+            modules.push_back(parseModule());
+        if (modules.empty())
+            fatal("no modules in source");
+        return modules;
+    }
+
+  private:
+    const Token &
+    cur() const
+    {
+        return toks_[pos_];
+    }
+
+    bool
+    at(Tok kind) const
+    {
+        return cur().kind == kind;
+    }
+
+    Token
+    advance()
+    {
+        return toks_[pos_++];
+    }
+
+    Token
+    expect(Tok kind)
+    {
+        if (!at(kind)) {
+            fatal("line {}: expected {}, found {} '{}'", cur().line,
+                  tokName(kind), tokName(cur().kind), cur().text);
+        }
+        return advance();
+    }
+
+    bool
+    accept(Tok kind)
+    {
+        if (!at(kind))
+            return false;
+        advance();
+        return true;
+    }
+
+    [[noreturn]] void
+    err(const std::string &what)
+    {
+        fatal("line {}: {} (found {} '{}')", cur().line, what,
+              tokName(cur().kind), cur().text);
+    }
+
+    ModuleAst
+    parseModule()
+    {
+        ModuleAst mod;
+        expect(Tok::KwModule);
+        mod.name = expect(Tok::Ident).text;
+        expect(Tok::Semi);
+        while (!at(Tok::End) && !at(Tok::KwModule)) {
+            if (at(Tok::KwVar)) {
+                parseGlobalDecl(mod);
+            } else if (at(Tok::KwProc)) {
+                mod.procs.push_back(parseProc());
+            } else {
+                err("expected 'var' or 'proc'");
+            }
+        }
+        return mod;
+    }
+
+    void
+    parseGlobalDecl(ModuleAst &mod)
+    {
+        expect(Tok::KwVar);
+        for (;;) {
+            const std::string name = expect(Tok::Ident).text;
+            Word init = 0;
+            if (accept(Tok::Assign))
+                init = expect(Tok::Number).number;
+            mod.globals.emplace_back(name, init);
+            if (!accept(Tok::Comma))
+                break;
+        }
+        expect(Tok::Semi);
+    }
+
+    ProcAst
+    parseProc()
+    {
+        ProcAst proc;
+        proc.line = cur().line;
+        expect(Tok::KwProc);
+        proc.name = expect(Tok::Ident).text;
+        expect(Tok::LParen);
+        if (!at(Tok::RParen)) {
+            for (;;) {
+                proc.params.push_back(expect(Tok::Ident).text);
+                if (!accept(Tok::Comma))
+                    break;
+            }
+        }
+        expect(Tok::RParen);
+        proc.body = parseBlock();
+        return proc;
+    }
+
+    std::vector<StmtPtr>
+    parseBlock()
+    {
+        expect(Tok::LBrace);
+        std::vector<StmtPtr> body;
+        while (!accept(Tok::RBrace))
+            body.push_back(parseStmt());
+        return body;
+    }
+
+    StmtPtr
+    newStmt(Stmt::Kind kind)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = kind;
+        s->line = cur().line;
+        return s;
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        if (at(Tok::KwVar)) {
+            auto s = newStmt(Stmt::Kind::VarDecl);
+            advance();
+            for (;;) {
+                s->names.push_back(expect(Tok::Ident).text);
+                unsigned words = 1;
+                if (accept(Tok::LBracket)) {
+                    const Token n = expect(Tok::Number);
+                    if (n.number == 0)
+                        fatal("line {}: zero-length array", n.line);
+                    words = n.number;
+                    expect(Tok::RBracket);
+                }
+                s->sizes.push_back(words);
+                if (!accept(Tok::Comma))
+                    break;
+            }
+            expect(Tok::Semi);
+            return s;
+        }
+        if (at(Tok::KwIf)) {
+            auto s = newStmt(Stmt::Kind::If);
+            advance();
+            expect(Tok::LParen);
+            s->value = parseExpr();
+            expect(Tok::RParen);
+            s->body = parseBlock();
+            if (accept(Tok::KwElse)) {
+                if (at(Tok::KwIf)) {
+                    s->elseBody.push_back(parseStmt()); // else if
+                } else {
+                    s->elseBody = parseBlock();
+                }
+            }
+            return s;
+        }
+        if (at(Tok::KwWhile)) {
+            auto s = newStmt(Stmt::Kind::While);
+            advance();
+            expect(Tok::LParen);
+            s->value = parseExpr();
+            expect(Tok::RParen);
+            s->body = parseBlock();
+            return s;
+        }
+        if (at(Tok::KwReturn)) {
+            auto s = newStmt(Stmt::Kind::Return);
+            advance();
+            if (!at(Tok::Semi))
+                s->value = parseExpr();
+            expect(Tok::Semi);
+            return s;
+        }
+        if (at(Tok::KwOut)) {
+            auto s = newStmt(Stmt::Kind::Out);
+            advance();
+            s->value = parseExpr();
+            expect(Tok::Semi);
+            return s;
+        }
+        if (at(Tok::KwHalt)) {
+            auto s = newStmt(Stmt::Kind::Halt);
+            advance();
+            expect(Tok::Semi);
+            return s;
+        }
+        if (at(Tok::KwYield)) {
+            auto s = newStmt(Stmt::Kind::Yield);
+            advance();
+            expect(Tok::Semi);
+            return s;
+        }
+        if (at(Tok::Star)) {
+            // *addr = value;
+            auto s = newStmt(Stmt::Kind::Store);
+            advance();
+            s->addr = parseUnary();
+            expect(Tok::Assign);
+            s->value = parseExpr();
+            expect(Tok::Semi);
+            return s;
+        }
+        // Assignment or expression statement.
+        if (at(Tok::Ident) && toks_[pos_ + 1].kind == Tok::Assign) {
+            auto s = newStmt(Stmt::Kind::Assign);
+            s->name = advance().text;
+            expect(Tok::Assign);
+            s->value = parseExpr();
+            expect(Tok::Semi);
+            return s;
+        }
+        // Indexed assignment: a[i] = e; — backtracks to an expression
+        // statement when no '=' follows the subscript.
+        if (at(Tok::Ident) && toks_[pos_ + 1].kind == Tok::LBracket) {
+            const std::size_t mark = pos_;
+            auto s = newStmt(Stmt::Kind::AssignIndex);
+            s->name = advance().text;
+            expect(Tok::LBracket);
+            s->addr = parseExpr(); // the subscript
+            expect(Tok::RBracket);
+            if (accept(Tok::Assign)) {
+                s->value = parseExpr();
+                expect(Tok::Semi);
+                return s;
+            }
+            pos_ = mark; // a[i] used as an expression
+        }
+        auto s = newStmt(Stmt::Kind::Expr);
+        s->value = parseExpr();
+        expect(Tok::Semi);
+        return s;
+    }
+
+    ExprPtr
+    newExpr(Expr::Kind kind)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->line = cur().line;
+        return e;
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        return parseOr();
+    }
+
+    ExprPtr
+    parseOr()
+    {
+        ExprPtr lhs = parseAnd();
+        while (at(Tok::OrOr)) {
+            auto e = newExpr(Expr::Kind::Or);
+            advance();
+            e->lhs = std::move(lhs);
+            e->rhs = parseAnd();
+            lhs = std::move(e);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseAnd()
+    {
+        ExprPtr lhs = parseCmp();
+        while (at(Tok::AndAnd)) {
+            auto e = newExpr(Expr::Kind::And);
+            advance();
+            e->lhs = std::move(lhs);
+            e->rhs = parseCmp();
+            lhs = std::move(e);
+        }
+        return lhs;
+    }
+
+    bool
+    isCmpOp(Tok t) const
+    {
+        return t == Tok::Eq || t == Tok::Ne || t == Tok::Lt ||
+               t == Tok::Le || t == Tok::Gt || t == Tok::Ge;
+    }
+
+    ExprPtr
+    parseCmp()
+    {
+        ExprPtr lhs = parseAdd();
+        if (isCmpOp(cur().kind)) {
+            auto e = newExpr(Expr::Kind::Binary);
+            e->op = advance().kind;
+            e->lhs = std::move(lhs);
+            e->rhs = parseAdd();
+            return e;
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseAdd()
+    {
+        ExprPtr lhs = parseMul();
+        while (at(Tok::Plus) || at(Tok::Minus) || at(Tok::Pipe) ||
+               at(Tok::Caret)) {
+            auto e = newExpr(Expr::Kind::Binary);
+            e->op = advance().kind;
+            e->lhs = std::move(lhs);
+            e->rhs = parseMul();
+            lhs = std::move(e);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseMul()
+    {
+        ExprPtr lhs = parseUnary();
+        while (at(Tok::Star) || at(Tok::Slash) || at(Tok::Percent) ||
+               at(Tok::Amp) || at(Tok::Shl) || at(Tok::Shr)) {
+            auto e = newExpr(Expr::Kind::Binary);
+            e->op = advance().kind;
+            e->lhs = std::move(lhs);
+            e->rhs = parseUnary();
+            lhs = std::move(e);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (at(Tok::Minus) || at(Tok::Bang) || at(Tok::Tilde)) {
+            auto e = newExpr(Expr::Kind::Unary);
+            e->op = advance().kind;
+            e->lhs = parseUnary();
+            return e;
+        }
+        if (at(Tok::Star)) {
+            auto e = newExpr(Expr::Kind::Deref);
+            advance();
+            e->lhs = parseUnary();
+            return e;
+        }
+        if (at(Tok::At)) {
+            auto e = newExpr(Expr::Kind::AddrOf);
+            advance();
+            e->name = expect(Tok::Ident).text;
+            return e;
+        }
+        return parsePrimary();
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        if (at(Tok::Number)) {
+            auto e = newExpr(Expr::Kind::Num);
+            e->number = advance().number;
+            return e;
+        }
+        if (accept(Tok::LParen)) {
+            ExprPtr e = parseExpr();
+            expect(Tok::RParen);
+            return e;
+        }
+        if (at(Tok::Ident)) {
+            const Token first = advance();
+            // Qualified call: Mod.proc(args)
+            if (at(Tok::Dot)) {
+                advance();
+                const std::string proc = expect(Tok::Ident).text;
+                auto e = newExpr(Expr::Kind::Call);
+                e->moduleName = first.text;
+                e->name = proc;
+                e->line = first.line;
+                parseArgs(*e);
+                return e;
+            }
+            if (at(Tok::LParen)) {
+                auto e = newExpr(Expr::Kind::Call);
+                e->name = first.text;
+                e->line = first.line;
+                parseArgs(*e);
+                return e;
+            }
+            if (accept(Tok::LBracket)) {
+                auto e = newExpr(Expr::Kind::Index);
+                e->name = first.text;
+                e->line = first.line;
+                e->lhs = parseExpr();
+                expect(Tok::RBracket);
+                return e;
+            }
+            auto e = newExpr(Expr::Kind::Var);
+            e->name = first.text;
+            e->line = first.line;
+            return e;
+        }
+        err("expected an expression");
+    }
+
+    void
+    parseArgs(Expr &call)
+    {
+        expect(Tok::LParen);
+        if (!at(Tok::RParen)) {
+            for (;;) {
+                call.args.push_back(parseExpr());
+                if (!accept(Tok::Comma))
+                    break;
+            }
+        }
+        expect(Tok::RParen);
+    }
+
+    const std::vector<Token> &toks_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::vector<ModuleAst>
+parse(const std::vector<Token> &tokens)
+{
+    Parser parser(tokens);
+    return parser.parseAll();
+}
+
+} // namespace fpc::lang

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * MiniMesa recursive-descent parser.
+ */
+
+#ifndef FPC_LANG_PARSER_HH
+#define FPC_LANG_PARSER_HH
+
+#include <vector>
+
+#include "lang/ast.hh"
+
+namespace fpc::lang
+{
+
+/** Parse a source file holding one or more modules. */
+std::vector<ModuleAst> parse(const std::vector<Token> &tokens);
+
+} // namespace fpc::lang
+
+#endif // FPC_LANG_PARSER_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The register-bank file of §7.1–§7.2 and Figure 3.
+ *
+ * Each bank can shadow the first few words of one local frame, or hold
+ * the evaluation stack. A call renames the stack bank to become the
+ * callee's local-frame bank ("the arguments will automatically appear
+ * as the first few local variables, without any actual data
+ * movement") and assigns a fresh bank as the new stack. Banks are not
+ * used in last-in first-out order (Figure 3).
+ *
+ * The bank file itself only manages storage and ownership; the
+ * machine decides when to flush or load and charges the memory
+ * traffic.
+ */
+
+#ifndef FPC_MACHINE_BANKS_HH
+#define FPC_MACHINE_BANKS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fpc
+{
+
+/** The register-bank file. */
+class BankFile
+{
+  public:
+    BankFile(unsigned num_banks, unsigned bank_words);
+
+    unsigned numBanks() const { return banks_.size(); }
+    unsigned bankWords() const { return bankWords_; }
+
+    /** Bank currently shadowing the frame, or -1. */
+    int bankOf(Addr frame_ptr) const;
+
+    /** Take a free bank for the frame; -1 if none is free. */
+    int assignFree(Addr frame_ptr);
+
+    /**
+     * Pick the eviction victim: the oldest-assigned owned bank that is
+     * not one of the pinned banks. -1 if every bank is pinned.
+     */
+    int victim(int pinned_a, int pinned_b) const;
+
+    /** Rename a bank to shadow a (new) frame, keeping its contents. */
+    void rename(int bank, Addr new_owner);
+
+    /** Release a bank (its contents become garbage). */
+    void free(int bank);
+
+    bool isFree(int bank) const { return banks_[bank].free; }
+    Addr owner(int bank) const { return banks_[bank].owner; }
+
+    Word read(int bank, unsigned word) const;
+    void write(int bank, unsigned word, Word value);
+
+    /** Bitmask of written words since the last markClean. */
+    std::uint32_t dirtyMask(int bank) const { return banks_[bank].dirty; }
+    void markClean(int bank) { banks_[bank].dirty = 0; }
+
+    /** Host-side cached frame metadata (fsi / flags snapshot). */
+    void setOwnerFsi(int bank, unsigned fsi);
+    unsigned ownerFsi(int bank) const { return banks_[bank].ownerFsi; }
+
+    /** Drop every ownership (full flush is handled by the machine). */
+    void reset();
+
+  private:
+    struct Bank
+    {
+        bool free = true;
+        Addr owner = nilAddr;
+        std::uint32_t dirty = 0;
+        std::uint64_t assignedAt = 0;
+        unsigned ownerFsi = 0;
+        std::vector<Word> data;
+    };
+
+    std::vector<Bank> banks_;
+    unsigned bankWords_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace fpc
+
+#endif // FPC_MACHINE_BANKS_HH

@@ -1,0 +1,691 @@
+#include "machine/machine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fpc
+{
+
+namespace
+{
+/** Owner tag for the bank holding the evaluation stack. */
+constexpr Addr stackOwner = 0xFFFFFFFFu;
+} // namespace
+
+const char *
+implName(Impl impl)
+{
+    switch (impl) {
+      case Impl::Simple: return "I1-simple";
+      case Impl::Mesa: return "I2-mesa";
+      case Impl::Ifu: return "I3-ifu";
+      case Impl::Banked: return "I4-banked";
+      default: return "?";
+    }
+}
+
+const char *
+stopReasonName(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::Running: return "running";
+      case StopReason::Halted: return "halted";
+      case StopReason::TopReturn: return "topReturn";
+      case StopReason::Error: return "error";
+      case StopReason::StepLimit: return "stepLimit";
+      default: return "?";
+    }
+}
+
+CountT
+MachineStats::calls() const
+{
+    return xferCount[static_cast<unsigned>(XferKind::ExtCall)] +
+           xferCount[static_cast<unsigned>(XferKind::LocalCall)] +
+           xferCount[static_cast<unsigned>(XferKind::DirectCall)] +
+           xferCount[static_cast<unsigned>(XferKind::FatCall)];
+}
+
+CountT
+MachineStats::returns() const
+{
+    return xferCount[static_cast<unsigned>(XferKind::Return)];
+}
+
+CountT
+MachineStats::totalXfers() const
+{
+    CountT total = 0;
+    for (auto c : xferCount)
+        total += c;
+    return total;
+}
+
+double
+MachineStats::bankEventRate() const
+{
+    const CountT xfers = totalXfers();
+    if (xfers == 0)
+        return 0.0;
+    return static_cast<double>(bankOverflows + bankUnderflows) / xfers;
+}
+
+double
+MachineStats::fastCallReturnRate() const
+{
+    const CountT total = calls() + returns();
+    if (total == 0)
+        return 0.0;
+    CountT fast = xferFast[static_cast<unsigned>(XferKind::Return)];
+    fast += xferFast[static_cast<unsigned>(XferKind::ExtCall)];
+    fast += xferFast[static_cast<unsigned>(XferKind::LocalCall)];
+    fast += xferFast[static_cast<unsigned>(XferKind::DirectCall)];
+    fast += xferFast[static_cast<unsigned>(XferKind::FatCall)];
+    return static_cast<double>(fast) / total;
+}
+
+Machine::Machine(Memory &memory, const LoadedImage &image,
+                 const MachineConfig &config)
+    : mem_(memory), image_(image), config_(config),
+      layout_(image.layout()),
+      heap_(memory, image.layout(), image.classes()),
+      banks_(std::max(2u, config.numBanks), config.bankWords)
+{
+    if (config_.useDataCache)
+        cache_ = std::make_unique<Cache>(config_.cacheConfig,
+                                         config_.latency);
+    if (banked()) {
+        const unsigned payload =
+            std::min(config_.fastFramePayloadWords,
+                     image.classes().maxWords());
+        fastFsi_ = image.classes().fsiFor(payload);
+        fastFramesEnabled_ = config_.fastFrameStackDepth > 0;
+    }
+    reset();
+}
+
+void
+Machine::reset()
+{
+    lf_ = nilAddr;
+    gf_ = nilAddr;
+    pcAbs_ = 0;
+    codeBase_ = 0;
+    codeBaseValid_ = false;
+    returnCtx_ = nilContext;
+    sp_ = 0;
+    retStack_.clear();
+    banks_.reset();
+    curLbank_ = -1;
+    stackBank_ = -1;
+    curFrameFlagged_ = false;
+    curFrameFsiValid_ = false;
+    curFrameRetainedHint_ = false;
+    fastFrames_.clear();
+    stop_ = StopReason::Halted;
+    result_ = RunResult();
+
+    if (banked()) {
+        stackBank_ = banks_.assignFree(stackOwner);
+        if (fastFramesEnabled_) {
+            for (unsigned i = 0; i < config_.fastFrameStackDepth; ++i)
+                fastFrames_.push_back(heap_.alloc(fastFsi_));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cost accounting
+// ---------------------------------------------------------------------
+
+Word
+Machine::readMem(Addr addr, AccessKind kind)
+{
+    stats_.cycles += config_.latency.memCycles;
+    return mem_.read(addr, kind);
+}
+
+void
+Machine::writeMem(Addr addr, Word value, AccessKind kind)
+{
+    stats_.cycles += config_.latency.memCycles;
+    mem_.write(addr, value, kind);
+}
+
+Word
+Machine::readData(Addr addr)
+{
+    if (cache_) {
+        stats_.cycles += cache_->access(addr, false);
+        return mem_.read(addr, AccessKind::Data);
+    }
+    stats_.cycles += config_.latency.memCycles;
+    return mem_.read(addr, AccessKind::Data);
+}
+
+void
+Machine::writeData(Addr addr, Word value)
+{
+    if (cache_) {
+        stats_.cycles += cache_->access(addr, true);
+        mem_.write(addr, value, AccessKind::Data);
+        return;
+    }
+    stats_.cycles += config_.latency.memCycles;
+    mem_.write(addr, value, AccessKind::Data);
+}
+
+std::uint8_t
+Machine::fetchCodeByte(unsigned offset_from_pc)
+{
+    // The IFU prefetches sequential code, so byte fetches cost no
+    // extra cycles; they are still counted as code traffic.
+    return mem_.readByte(pcAbs_ + offset_from_pc);
+}
+
+void
+Machine::chargeRedirect()
+{
+    stats_.cycles += config_.latency.redirectCycles;
+    xferRedirected_ = true;
+}
+
+// ---------------------------------------------------------------------
+// Frame word routing: register bank when one shadows the frame
+// ---------------------------------------------------------------------
+
+Word
+Machine::readFrameWord(Addr frame_ptr, unsigned offset)
+{
+    if (banked() && offset < banks_.bankWords()) {
+        const int bank = banks_.bankOf(frame_ptr);
+        if (bank >= 0) {
+            stats_.cycles += config_.latency.regCycles;
+            return banks_.read(bank, offset);
+        }
+    }
+    const AccessKind kind = offset < frame::varsOffset
+                                ? AccessKind::FrameState
+                                : AccessKind::Data;
+    if (kind == AccessKind::Data)
+        return readData(frame_ptr + offset);
+    return readMem(frame_ptr + offset, kind);
+}
+
+void
+Machine::writeFrameWord(Addr frame_ptr, unsigned offset, Word value)
+{
+    if (banked() && offset < banks_.bankWords()) {
+        const int bank = banks_.bankOf(frame_ptr);
+        if (bank >= 0) {
+            stats_.cycles += config_.latency.regCycles;
+            banks_.write(bank, offset, value);
+            return;
+        }
+    }
+    const AccessKind kind = offset < frame::varsOffset
+                                ? AccessKind::FrameState
+                                : AccessKind::Data;
+    if (kind == AccessKind::Data)
+        writeData(frame_ptr + offset, value);
+    else
+        writeMem(frame_ptr + offset, value, kind);
+}
+
+// ---------------------------------------------------------------------
+// Variables and the evaluation stack
+// ---------------------------------------------------------------------
+
+Word
+Machine::readVar(unsigned index)
+{
+    const unsigned offset = frame::varsOffset + index;
+    if (banked() && curLbank_ >= 0 && offset < banks_.bankWords()) {
+        ++stats_.localBankAccesses;
+        stats_.cycles += config_.latency.regCycles;
+        return banks_.read(curLbank_, offset);
+    }
+    ++stats_.localMemAccesses;
+    return readData(lf_ + offset);
+}
+
+void
+Machine::writeVar(unsigned index, Word value)
+{
+    const unsigned offset = frame::varsOffset + index;
+    if (banked() && curLbank_ >= 0 && offset < banks_.bankWords()) {
+        ++stats_.localBankAccesses;
+        stats_.cycles += config_.latency.regCycles;
+        banks_.write(curLbank_, offset, value);
+        return;
+    }
+    ++stats_.localMemAccesses;
+    writeData(lf_ + offset, value);
+}
+
+Word
+Machine::readGlobal(unsigned index)
+{
+    ++stats_.globalAccesses;
+    return readData(gf_ + 1 + index);
+}
+
+void
+Machine::writeGlobal(unsigned index, Word value)
+{
+    ++stats_.globalAccesses;
+    writeData(gf_ + 1 + index, value);
+}
+
+unsigned
+Machine::stackCapacity() const
+{
+    if (banked())
+        return banks_.bankWords() - frame::varsOffset;
+    return stack_.size();
+}
+
+void
+Machine::push(Word value)
+{
+    if (sp_ >= stackCapacity()) {
+        trap(2, "evaluation stack overflow");
+        return;
+    }
+    if (banked())
+        banks_.write(stackBank_, frame::varsOffset + sp_, value);
+    else
+        stack_[sp_] = value;
+    ++sp_;
+}
+
+Word
+Machine::pop()
+{
+    if (sp_ == 0) {
+        trap(3, "evaluation stack underflow");
+        return 0;
+    }
+    --sp_;
+    if (banked())
+        return banks_.read(stackBank_, frame::varsOffset + sp_);
+    return stack_[sp_];
+}
+
+Word
+Machine::stackAt(unsigned index_from_bottom) const
+{
+    if (index_from_bottom >= sp_)
+        panic("stackAt: index {} >= depth {}", index_from_bottom, sp_);
+    if (banked())
+        return banks_.read(stackBank_,
+                           frame::varsOffset + index_from_bottom);
+    return stack_[index_from_bottom];
+}
+
+Word
+Machine::popValue()
+{
+    return pop();
+}
+
+void
+Machine::pushValue(Word value)
+{
+    push(value);
+}
+
+std::vector<Addr>
+Machine::returnStackFrames() const
+{
+    std::vector<Addr> out;
+    out.reserve(retStack_.size());
+    for (const auto &entry : retStack_)
+        out.push_back(entry.lf);
+    return out;
+}
+
+Word
+Machine::currentFrameContext() const
+{
+    return lf_ == nilAddr ? nilContext
+                          : packFrameContext(lf_, layout_);
+}
+
+void
+Machine::setScheduler(Scheduler scheduler)
+{
+    scheduler_ = std::move(scheduler);
+}
+
+void
+Machine::setRetained(Addr frame_ptr, bool retained)
+{
+    heap_.setRetained(frame_ptr, retained);
+    if (frame_ptr == lf_)
+        curFrameRetainedHint_ = retained;
+}
+
+Word
+Machine::inspectVar(Addr frame_ptr, unsigned index) const
+{
+    const unsigned offset = frame::varsOffset + index;
+    if (banked() && offset < banks_.bankWords()) {
+        const int bank = banks_.bankOf(frame_ptr);
+        if (bank >= 0)
+            return banks_.read(bank, offset);
+    }
+    return mem_.peek(frame_ptr + offset);
+}
+
+// ---------------------------------------------------------------------
+// Program control
+// ---------------------------------------------------------------------
+
+void
+Machine::start(const std::string &module_name,
+               const std::string &proc_name, std::span<const Word> args)
+{
+    startContext(image_.procDescriptor(module_name, proc_name), args);
+}
+
+void
+Machine::startContext(Word descriptor, std::span<const Word> args)
+{
+    stop_ = StopReason::Running;
+    result_ = RunResult();
+    for (Word a : args)
+        push(a);
+    callDescriptor(descriptor, XferKind::ExtCall);
+}
+
+RunResult
+Machine::run()
+{
+    std::uint64_t steps = 0;
+    try {
+        while (stop_ == StopReason::Running) {
+            if (steps >= config_.maxSteps) {
+                stopWith(StopReason::StepLimit, "step budget exhausted");
+                break;
+            }
+            step();
+            ++steps;
+        }
+    } catch (const FatalError &err) {
+        stopWith(StopReason::Error, err.what());
+    }
+    result_.steps += steps;
+    return result_;
+}
+
+void
+Machine::stopWith(StopReason reason, std::string message)
+{
+    stop_ = reason;
+    result_.reason = reason;
+    result_.message = std::move(message);
+}
+
+void
+Machine::step()
+{
+    if (stop_ != StopReason::Running)
+        return;
+
+    instStart_ = pcAbs_;
+    const isa::Inst inst =
+        isa::decode([this](unsigned i) { return fetchCodeByte(i); });
+    pcAbs_ += inst.length;
+
+    ++stats_.steps;
+    stats_.cycles += config_.latency.decodeCycles;
+    ++stats_.opCount[static_cast<std::uint8_t>(inst.op)];
+    if (inst.length < stats_.instLenCount.size())
+        ++stats_.instLenCount[inst.length];
+
+    execute(inst);
+}
+
+// ---------------------------------------------------------------------
+// Instruction execution
+// ---------------------------------------------------------------------
+
+void
+Machine::execute(const isa::Inst &inst)
+{
+    using isa::OpClass;
+
+    switch (inst.cls) {
+      case OpClass::Noop:
+        break;
+      case OpClass::Halt:
+        stopWith(StopReason::Halted, "HALT");
+        break;
+      case OpClass::Dup: {
+        const Word v = pop();
+        push(v);
+        push(v);
+        break;
+      }
+      case OpClass::Drop:
+        pop();
+        break;
+      case OpClass::Exch: {
+        const Word a = pop();
+        const Word b = pop();
+        push(a);
+        push(b);
+        break;
+      }
+      case OpClass::Out:
+        output_.push_back(pop());
+        break;
+      case OpClass::LoadRetCtx:
+        push(returnCtx_);
+        break;
+      case OpClass::Xfer:
+        xferTo(pop());
+        break;
+      case OpClass::Ret:
+        doReturn();
+        break;
+      case OpClass::Brk:
+        trap(1, "BRK trap");
+        break;
+      case OpClass::Yield:
+        processSwitch();
+        break;
+
+      case OpClass::LoadLocal:
+        push(readVar(static_cast<unsigned>(inst.operand)));
+        break;
+      case OpClass::StoreLocal:
+        writeVar(static_cast<unsigned>(inst.operand), pop());
+        break;
+      case OpClass::LoadLocalAddr: {
+        // §7.4 (C1/C2): the variable must have an address, and the
+        // register copy must not go stale. The conservative policy:
+        // flag the frame and flush/drop its bank, making storage the
+        // only copy from here on.
+        if (banked() && curLbank_ >= 0)
+            dropCurrentBank();
+        const Addr addr =
+            lf_ + frame::varsOffset + static_cast<unsigned>(inst.operand);
+        push(static_cast<Word>(addr));
+        break;
+      }
+      case OpClass::LoadGlobal:
+        push(readGlobal(static_cast<unsigned>(inst.operand)));
+        break;
+      case OpClass::StoreGlobal:
+        writeGlobal(static_cast<unsigned>(inst.operand), pop());
+        break;
+      case OpClass::LoadImm:
+        push(static_cast<Word>(inst.operand));
+        break;
+
+      case OpClass::LoadIndirect: {
+        const Addr addr = pop();
+        Word value = 0;
+        if (banked() && divertToBank(addr, false, value)) {
+            push(value);
+        } else {
+            push(readData(addr));
+        }
+        break;
+      }
+      case OpClass::StoreIndirect: {
+        const Addr addr = pop();
+        Word value = pop();
+        if (!(banked() && divertToBank(addr, true, value)))
+            writeData(addr, value);
+        break;
+      }
+      case OpClass::ReadField: {
+        const Addr addr = pop();
+        push(readData(addr + static_cast<unsigned>(inst.operand)));
+        break;
+      }
+      case OpClass::WriteField: {
+        const Addr addr = pop();
+        const Word value = pop();
+        writeData(addr + static_cast<unsigned>(inst.operand), value);
+        break;
+      }
+      case OpClass::LoadDesc:
+        push(readMem(gf_ - 1 - static_cast<unsigned>(inst.operand),
+                     AccessKind::Table));
+        break;
+
+      case OpClass::Arith:
+        execArith(inst.op);
+        break;
+      case OpClass::Compare:
+        execCompare(inst.op);
+        break;
+
+      case OpClass::Jump:
+        pcAbs_ = instStart_ + inst.operand;
+        break;
+      case OpClass::JumpZero:
+        if (pop() == 0)
+            pcAbs_ = instStart_ + inst.operand;
+        break;
+      case OpClass::JumpNotZero:
+        if (pop() != 0)
+            pcAbs_ = instStart_ + inst.operand;
+        break;
+
+      case OpClass::ExtCall:
+        callExternal(static_cast<unsigned>(inst.operand));
+        break;
+      case OpClass::LocalCall:
+        callLocal(static_cast<unsigned>(inst.operand));
+        break;
+      case OpClass::DirectCall:
+        callDirect(static_cast<CodeByteAddr>(inst.operand));
+        break;
+      case OpClass::ShortDirectCall:
+        callDirect(instStart_ + inst.operand);
+        break;
+      case OpClass::FatCall:
+        callFat(static_cast<CodeByteAddr>(inst.operand),
+                static_cast<Addr>(inst.operand2));
+        break;
+
+      case OpClass::Illegal:
+        trap(4, strfmt("illegal opcode {} at {}",
+                       static_cast<int>(
+                           static_cast<std::uint8_t>(inst.op)),
+                       instStart_));
+        break;
+      default:
+        panic("unhandled op class");
+    }
+}
+
+void
+Machine::execArith(isa::Op op)
+{
+    using isa::Op;
+    if (op == Op::NEG) {
+        push(static_cast<Word>(-static_cast<SWord>(pop())));
+        return;
+    }
+    if (op == Op::NOT) {
+        push(static_cast<Word>(~pop()));
+        return;
+    }
+
+    const Word b = pop();
+    const Word a = pop();
+    switch (op) {
+      case Op::ADD:
+        push(static_cast<Word>(a + b));
+        break;
+      case Op::SUB:
+        push(static_cast<Word>(a - b));
+        break;
+      case Op::MUL:
+        push(static_cast<Word>(
+            static_cast<SDWord>(static_cast<SWord>(a)) *
+            static_cast<SWord>(b)));
+        break;
+      case Op::DIV:
+        if (b == 0) {
+            trap(5, "division by zero");
+            return;
+        }
+        push(static_cast<Word>(static_cast<SWord>(a) /
+                               static_cast<SWord>(b)));
+        break;
+      case Op::MOD:
+        if (b == 0) {
+            trap(5, "division by zero");
+            return;
+        }
+        push(static_cast<Word>(static_cast<SWord>(a) %
+                               static_cast<SWord>(b)));
+        break;
+      case Op::AND:
+        push(static_cast<Word>(a & b));
+        break;
+      case Op::IOR:
+        push(static_cast<Word>(a | b));
+        break;
+      case Op::XOR:
+        push(static_cast<Word>(a ^ b));
+        break;
+      case Op::SHL:
+        push(static_cast<Word>(b >= 16 ? 0 : a << b));
+        break;
+      case Op::SHR:
+        push(static_cast<Word>(b >= 16 ? 0 : a >> b));
+        break;
+      default:
+        panic("execArith: bad op");
+    }
+}
+
+void
+Machine::execCompare(isa::Op op)
+{
+    using isa::Op;
+    const auto b = static_cast<SWord>(pop());
+    const auto a = static_cast<SWord>(pop());
+    bool result = false;
+    switch (op) {
+      case Op::LT: result = a < b; break;
+      case Op::LE: result = a <= b; break;
+      case Op::EQ: result = a == b; break;
+      case Op::NE: result = a != b; break;
+      case Op::GE: result = a >= b; break;
+      case Op::GT: result = a > b; break;
+      default: panic("execCompare: bad op");
+    }
+    push(result ? 1 : 0);
+}
+
+} // namespace fpc

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * The simulated processor: an interpreter for the FPC byte code with
+ * pluggable realizations of the control-transfer model.
+ *
+ * One Machine executes one loaded image against one Memory. Which of
+ * the paper's implementations it embodies is configuration:
+ *
+ *  - Impl::Simple (I1, §4): every transfer runs the general path;
+ *    descriptors are inline literals (FCALL).
+ *  - Impl::Mesa (I2, §5): EXTERNALCALL resolves through the four
+ *    levels of indirection of Figure 1; frames come from the AV heap.
+ *  - Impl::Ifu (I3, §6): adds DIRECTCALL/SHORTDIRECTCALL that the IFU
+ *    follows like jumps, and the return stack that makes LIFO returns
+ *    equally fast; unusual transfers flush it and fall back.
+ *  - Impl::Banked (I4, §7): adds register banks shadowing frames, the
+ *    stack-bank renaming that passes arguments for free (Figure 3),
+ *    and the processor-held stack of free standard frames.
+ *
+ * The transfer entry points (callDescriptor, doReturn, xferTo,
+ * processSwitch) are public so trace-driven experiments can exercise
+ * the engines without interpreting code.
+ */
+
+#ifndef FPC_MACHINE_MACHINE_HH
+#define FPC_MACHINE_MACHINE_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "frames/frame_heap.hh"
+#include "isa/decode.hh"
+#include "machine/banks.hh"
+#include "machine/config.hh"
+#include "memory/cache.hh"
+#include "memory/memory.hh"
+#include "program/loader.hh"
+#include "stats/stats.hh"
+#include "xfer/context.hh"
+
+namespace fpc
+{
+
+/** Why run() stopped. */
+enum class StopReason
+{
+    Running,   ///< not stopped
+    Halted,    ///< HALT instruction
+    TopReturn, ///< RETURN with a NIL return link
+    Error,     ///< program error with no trap handler
+    StepLimit  ///< maxSteps exhausted
+};
+
+const char *stopReasonName(StopReason reason);
+
+/** Result of a run. */
+struct RunResult
+{
+    StopReason reason = StopReason::Running;
+    std::string message;
+    std::uint64_t steps = 0;
+};
+
+/** Counters the machine maintains (see DESIGN.md §3). */
+struct MachineStats
+{
+    static constexpr unsigned numXferKinds =
+        static_cast<unsigned>(XferKind::NumKinds);
+
+    std::uint64_t steps = 0;
+    Tick cycles = 0;
+
+    /** Per-kind transfer counts and per-kind "jump-equivalent"
+     *  transfers (no storage references, no IFU redirect). */
+    std::array<CountT, numXferKinds> xferCount{};
+    std::array<CountT, numXferKinds> xferFast{};
+    /** Storage references and cycles per transfer, by kind. */
+    std::array<stats::Distribution, numXferKinds> xferRefs{};
+    std::array<stats::Distribution, numXferKinds> xferCycles{};
+
+    CountT returnStackHits = 0;
+    CountT returnStackMisses = 0;
+    CountT returnStackFlushes = 0;
+    CountT returnStackFlushedEntries = 0;
+    CountT returnStackSpills = 0; ///< oldest entry evicted on overflow
+
+    CountT bankOverflows = 0;  ///< evictions to make a bank free
+    CountT bankUnderflows = 0; ///< XFER into a frame with no bank
+    CountT bankFlushWords = 0;
+    CountT bankLoadWords = 0;
+    CountT bankDiverts = 0;    ///< §7.4 pointer references diverted
+    CountT flaggedFrames = 0;  ///< §7.4 frames whose address was taken
+
+    CountT fastFrameAllocs = 0;
+    CountT slowFrameAllocs = 0;
+    CountT fastFrameFrees = 0;
+    CountT slowFrameFrees = 0;
+
+    CountT localBankAccesses = 0;
+    CountT localMemAccesses = 0;
+    CountT globalAccesses = 0;
+
+    std::array<CountT, 256> opCount{};
+    std::array<CountT, 7> instLenCount{}; ///< index = bytes 1..6
+
+    CountT calls() const;
+    CountT returns() const;
+    CountT totalXfers() const;
+    double bankEventRate() const; ///< (over+underflows) / transfers
+    double fastCallReturnRate() const;
+};
+
+/** The processor. */
+class Machine
+{
+  public:
+    Machine(Memory &memory, const LoadedImage &image,
+            const MachineConfig &config = MachineConfig());
+
+    /** @name Program control. @{ */
+
+    /** Reset processor state (not memory contents). */
+    void reset();
+
+    /** Begin executing Mod.proc with the given arguments. */
+    void start(const std::string &module_name,
+               const std::string &proc_name,
+               std::span<const Word> args = {});
+
+    /** Begin executing the given (procedure) context. */
+    void startContext(Word descriptor, std::span<const Word> args = {});
+
+    /** Run until halt/top-return/error or the step budget expires. */
+    RunResult run();
+
+    /** Execute one instruction. */
+    void step();
+
+    bool stopped() const { return stop_ != StopReason::Running; }
+    const RunResult &result() const { return result_; }
+    /** @} */
+
+    /** @name Concurrency hooks. @{ */
+
+    /** Create a suspended activation of Mod.proc: the model's
+     *  "creation context" made tangible, for coroutines/processes. */
+    Word spawn(const std::string &module_name,
+               const std::string &proc_name,
+               std::span<const Word> args = {});
+
+    /** YIELD asks this hook for the next context to run. */
+    using Scheduler = std::function<Word(Machine &)>;
+    void setScheduler(Scheduler scheduler);
+
+    /** Context that receives trap transfers (BRK, zero divide). */
+    void setTrapContext(Word ctx) { trapCtx_ = ctx; }
+    /** @} */
+
+    /** @name Transfer primitives (also for trace-driven use). @{ */
+    void callExternal(unsigned lv_index);
+    void callLocal(unsigned ev_index);
+    void callDirect(CodeByteAddr target);
+    void callFat(CodeByteAddr target, Addr gf);
+    void callDescriptor(Word descriptor, XferKind kind);
+    void doReturn();
+    void xferTo(Word ctx);      ///< the raw XFER primitive
+    void processSwitch();       ///< YIELD path
+    /** @} */
+
+    /** @name Observation. @{ */
+    const std::vector<Word> &output() const { return output_; }
+    unsigned stackDepth() const { return sp_; }
+    Word stackAt(unsigned index_from_bottom) const;
+    Word popValue();
+    void pushValue(Word value);
+
+    Word returnContext() const { return returnCtx_; }
+    Addr currentFrame() const { return lf_; }
+    Addr currentGlobalFrame() const { return gf_; }
+    Word currentFrameContext() const;
+
+    const MachineStats &stats() const { return stats_; }
+    Tick cycles() const { return stats_.cycles; }
+
+    /** @name Microarchitectural state, for experiments/diagnostics. @{ */
+    const BankFile &banks() const { return banks_; }
+    int currentLbank() const { return curLbank_; }
+    int currentStackBank() const { return stackBank_; }
+    unsigned returnStackDepth() const { return retStack_.size(); }
+    unsigned fastFrameStackSize() const { return fastFrames_.size(); }
+    /** Return-stack entry frames, innermost last (empty if none). */
+    std::vector<Addr> returnStackFrames() const;
+    /** @} */
+
+    FrameHeap &heap() { return heap_; }
+    const FrameHeap &heap() const { return heap_; }
+    Memory &memory() { return mem_; }
+    const Cache *dataCache() const { return cache_.get(); }
+    const MachineConfig &config() const { return config_; }
+    const LoadedImage &image() const { return image_; }
+
+    /** Zero the machine's statistics (memory/heap stats are separate;
+     *  see Memory::resetStats and FrameHeap::resetStats). */
+    void resetStats() { stats_ = MachineStats(); }
+
+    /** Retain/flag a frame coherently with the bank metadata. */
+    void setRetained(Addr frame_ptr, bool retained);
+
+    /** Read a variable of an arbitrary frame (test support; routes
+     *  through a live bank when one shadows the frame). */
+    Word inspectVar(Addr frame_ptr, unsigned index) const;
+    /** @} */
+
+  private:
+    friend class TransferTestPeer;
+
+    // -- cost accounting ---------------------------------------------
+    Word readMem(Addr addr, AccessKind kind);
+    void writeMem(Addr addr, Word value, AccessKind kind);
+    Word readData(Addr addr);
+    void writeData(Addr addr, Word value);
+    std::uint8_t fetchCodeByte(unsigned offset_from_pc);
+    void chargeRedirect();
+
+    // -- frame word routing (bank or storage) ------------------------
+    Word readFrameWord(Addr frame_ptr, unsigned offset);
+    void writeFrameWord(Addr frame_ptr, unsigned offset, Word value);
+
+    // -- locals / globals / stack ------------------------------------
+    Word readVar(unsigned index);
+    void writeVar(unsigned index, Word value);
+    Word readGlobal(unsigned index);
+    void writeGlobal(unsigned index, Word value);
+    void push(Word value);
+    Word pop();
+    unsigned stackCapacity() const;
+
+    // -- banks (I4) ---------------------------------------------------
+    bool banked() const { return config_.impl == Impl::Banked; }
+    bool ifuEnabled() const
+    {
+        return config_.impl == Impl::Ifu || config_.impl == Impl::Banked;
+    }
+    int acquireBank(Addr new_owner, int pinned_a, int pinned_b);
+    void flushBank(int bank);
+    int loadBankFor(Addr frame_ptr);
+    void flushAllBanks();
+    void dropCurrentBank(); ///< §7.4: flush + release, frame flagged
+    bool divertToBank(Addr addr, bool is_write, Word &value);
+
+    // -- transfers (implemented in transfers.cc) ----------------------
+    struct RetEntry;
+    struct ProcTarget
+    {
+        Addr gf = 0;
+        /** Callee code base, when the resolution path produced it
+         *  (EFC/LFC do; DFC/FCALL leave it unknown — the paper
+         *  recovers it from the global frame only when transferring
+         *  out). */
+        CodeByteAddr codeBase = 0;
+        bool codeBaseValid = false;
+        unsigned fsi = 0;
+        CodeByteAddr entryPc = 0; ///< absolute byte address
+    };
+
+    ProcTarget resolveDescriptor(const Context &ctx);
+    ProcTarget resolveDirect(CodeByteAddr target);
+    void dispatchContext(Word ctx, XferKind kind, bool followable);
+    void xferKinded(Word ctx, XferKind kind);
+    void finishCall(const ProcTarget &target, XferKind kind,
+                    bool followable);
+
+    struct AllocResult
+    {
+        Addr framePtr;
+        unsigned fsi;
+        bool fast;
+    };
+    AllocResult allocFrame(unsigned fsi);
+    void releaseFrame(Addr frame_ptr, int bank);
+    void resumeFrame(Addr frame_ptr, XferKind kind);
+    void flushReturnStack();
+    void spillOldestReturnEntry();
+    void materializeEntry(const RetEntry &entry, Addr child);
+    void saveCurrentPc();
+    /** Current code base; reads gf[0] if not cached in a register. */
+    CodeByteAddr currentCodeBase();
+    void trap(Word code, const std::string &message);
+
+    struct XferProbe;
+
+    // -- interpreter ---------------------------------------------------
+    void execute(const isa::Inst &inst);
+    void execArith(isa::Op op);
+    void execCompare(isa::Op op);
+    void stopWith(StopReason reason, std::string message);
+
+    // -- state ---------------------------------------------------------
+    Memory &mem_;
+    const LoadedImage &image_;
+    MachineConfig config_;
+    SystemLayout layout_;
+    FrameHeap heap_;
+    BankFile banks_;
+    std::unique_ptr<Cache> cache_;
+
+    // processor registers
+    Addr lf_ = nilAddr;            ///< local frame pointer
+    Addr gf_ = nilAddr;            ///< global frame pointer
+    CodeByteAddr pcAbs_ = 0;       ///< absolute PC (byte address)
+    CodeByteAddr codeBase_ = 0;    ///< cached code base, when valid
+    bool codeBaseValid_ = false;
+    CodeByteAddr instStart_ = 0;   ///< start of the current instruction
+    Word returnCtx_ = nilContext;  ///< the returnContext global (§3)
+    std::array<Word, 16> stack_{}; ///< eval stack (I1-I3 registers)
+    unsigned sp_ = 0;
+    bool xferRedirected_ = false;
+
+    /** Register hints about the current frame (restored via the
+     *  return stack), enabling the I4 zero-reference free path. */
+    unsigned curFrameFsi_ = 0;
+    bool curFrameFsiValid_ = false;
+    bool curFrameRetainedHint_ = false;
+
+    // I3/I4 IFU return stack
+    struct RetEntry
+    {
+        Addr lf;
+        Addr gf;
+        CodeByteAddr pcAbs;
+        CodeByteAddr codeBase;
+        bool codeBaseValid;
+        int lbank;
+        unsigned fsi;
+        bool fsiValid;
+        bool retained;
+    };
+    std::vector<RetEntry> retStack_;
+
+    // I4 bank state
+    int curLbank_ = -1;
+    int stackBank_ = -1;
+    bool curFrameFlagged_ = false;
+
+    // I4 fast frame stack
+    std::vector<Addr> fastFrames_;
+    unsigned fastFsi_ = 0;
+    bool fastFramesEnabled_ = false;
+
+    Scheduler scheduler_;
+    Word trapCtx_ = nilContext;
+
+    RunResult result_;
+    StopReason stop_ = StopReason::Halted;
+    MachineStats stats_;
+    std::vector<Word> output_;
+};
+
+} // namespace fpc
+
+#endif // FPC_MACHINE_MACHINE_HH

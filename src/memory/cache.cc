@@ -1,0 +1,83 @@
+#include "memory/cache.hh"
+
+#include "common/logging.hh"
+
+namespace fpc
+{
+
+Cache::Cache(const CacheConfig &config, const LatencyModel &latency)
+    : config_(config), latency_(latency),
+      lines_(static_cast<std::size_t>(config.sets) * config.ways)
+{
+    if (config.sets == 0 || config.ways == 0 || config.lineWords == 0)
+        panic("Cache: degenerate geometry");
+    if ((config.sets & (config.sets - 1)) != 0)
+        fatal("Cache: set count {} must be a power of two", config.sets);
+    if ((config.lineWords & (config.lineWords - 1)) != 0)
+        fatal("Cache: line size {} must be a power of two",
+              config.lineWords);
+}
+
+unsigned
+Cache::access(Addr addr, bool is_write)
+{
+    ++useClock_;
+    const std::uint32_t line_addr = addr / config_.lineWords;
+    const std::uint32_t set = line_addr & (config_.sets - 1);
+    const std::uint32_t tag = line_addr / config_.sets;
+
+    Line *base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            ++hits_;
+            line.lastUse = useClock_;
+            line.dirty = line.dirty || is_write;
+            return latency_.cacheHitCycles;
+        }
+    }
+
+    // Miss: victim is the first invalid way, else the LRU way.
+    Line *victim = base;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+
+    ++misses_;
+    unsigned cycles = latency_.cacheHitCycles + latency_.memCycles;
+    if (victim->valid && victim->dirty) {
+        ++writebacks_;
+        cycles += latency_.memCycles;
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    return cycles;
+}
+
+double
+Cache::hitRate() const
+{
+    const CountT total = accesses();
+    return total ? static_cast<double>(hits_) / total : 0.0;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines_)
+        line = Line();
+    useClock_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+    writebacks_ = 0;
+}
+
+} // namespace fpc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A parameterized set-associative data cache model.
+ *
+ * This exists for the §7.3 study ("Why not just a cache?"): the paper
+ * argues register banks beat a cache for local-variable traffic
+ * because a cache access takes two cycles to a register's one, and
+ * because locals consume half or more of all data bandwidth. The cache
+ * here is a timing model only — data still lives in Memory — which is
+ * all the comparison needs.
+ */
+
+#ifndef FPC_MEMORY_CACHE_HH
+#define FPC_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "memory/latency.hh"
+
+namespace fpc
+{
+
+/** Cache geometry. */
+struct CacheConfig
+{
+    unsigned sets = 64;
+    unsigned ways = 2;
+    unsigned lineWords = 4;
+};
+
+/** Set-associative, write-back, LRU cache timing model. */
+class Cache
+{
+  public:
+    Cache(const CacheConfig &config, const LatencyModel &latency);
+
+    /**
+     * Simulate one access.
+     * @param addr word address referenced
+     * @param is_write true for a store
+     * @return the number of cycles the access took
+     */
+    unsigned access(Addr addr, bool is_write);
+
+    CountT hits() const { return hits_; }
+    CountT misses() const { return misses_; }
+    CountT writebacks() const { return writebacks_; }
+    CountT accesses() const { return hits_ + misses_; }
+    double hitRate() const;
+
+    void reset();
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint32_t tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    CacheConfig config_;
+    LatencyModel latency_;
+    std::vector<Line> lines_; // sets * ways
+    std::uint64_t useClock_ = 0;
+    CountT hits_ = 0;
+    CountT misses_ = 0;
+    CountT writebacks_ = 0;
+};
+
+} // namespace fpc
+
+#endif // FPC_MEMORY_CACHE_HH

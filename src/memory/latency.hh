@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The cycle-cost model shared by the whole simulator (DESIGN.md §4).
+ *
+ * The paper's performance arguments are phrased in memory references
+ * and cycles, not nanoseconds: a register read/write takes one cycle,
+ * a cache access two ("two cycles are needed for a cache access",
+ * §7.3), and a main-storage reference several. These defaults encode
+ * that ordering; benches may sweep them.
+ */
+
+#ifndef FPC_MEMORY_LATENCY_HH
+#define FPC_MEMORY_LATENCY_HH
+
+namespace fpc
+{
+
+/** Cycle costs of the primitive operations. */
+struct LatencyModel
+{
+    /** A main-storage word reference. */
+    unsigned memCycles = 4;
+    /** A cache hit (paper §7.3: two cycles). */
+    unsigned cacheHitCycles = 2;
+    /** A register (or register-bank) access (paper §7.3: one cycle). */
+    unsigned regCycles = 1;
+    /** Decoding one instruction when the IFU has the bytes ready. */
+    unsigned decodeCycles = 1;
+    /**
+     * Pipeline bubble when the IFU must redirect to an address it
+     * could not pre-follow (an indirect transfer). IFU-followable
+     * transfers (jumps, DIRECTCALLs, return-stack hits) do not pay it.
+     */
+    unsigned redirectCycles = 2;
+};
+
+} // namespace fpc
+
+#endif // FPC_MEMORY_LATENCY_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Simulated main storage: a flat, word-addressed 16-bit memory with
+ * per-kind access accounting.
+ *
+ * All architectural state that the paper keeps "in main storage"
+ * (frames, free lists, the GFT, link vectors, entry vectors, global
+ * frames, code) lives in this one array, so the reference counts the
+ * benches report are literal counts of simulated storage accesses.
+ */
+
+#ifndef FPC_MEMORY_MEMORY_HH
+#define FPC_MEMORY_MEMORY_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace fpc
+{
+
+/**
+ * Why a storage reference was made. The split mirrors the paper's
+ * discussion: transfer-table references (LV/GFT/EV, §5.1), frame-heap
+ * references (AV and free lists, §5.3), frame-state references (saving
+ * or restoring PC / return links / bank flushes), ordinary data, and
+ * code fetches.
+ */
+enum class AccessKind : unsigned
+{
+    Code,       ///< instruction bytes
+    Data,       ///< program loads/stores (locals, globals, pointers)
+    Table,      ///< LV, GFT, EV, interface records
+    Heap,       ///< AV free-list manipulation
+    FrameState, ///< context save/restore (PC, links, bank flushes)
+    NumKinds
+};
+
+/** Printable name of an AccessKind. */
+const char *accessKindName(AccessKind kind);
+
+/** Flat simulated main storage. */
+class Memory
+{
+  public:
+    /** Construct a memory of the given size in 16-bit words. */
+    explicit Memory(std::size_t words);
+
+    std::size_t size() const { return store_.size(); }
+
+    /** Accounted word read. */
+    Word read(Addr addr, AccessKind kind);
+
+    /** Accounted word write. */
+    void write(Addr addr, Word value, AccessKind kind);
+
+    /** Accounted code byte read (big-endian byte order within words). */
+    std::uint8_t readByte(CodeByteAddr byte_addr);
+
+    /** Unaccounted accesses, for loaders and test inspection. */
+    Word peek(Addr addr) const;
+    void poke(Addr addr, Word value);
+    std::uint8_t peekByte(CodeByteAddr byte_addr) const;
+    void pokeByte(CodeByteAddr byte_addr, std::uint8_t value);
+
+    /** Reference counts. */
+    CountT reads(AccessKind kind) const;
+    CountT writes(AccessKind kind) const;
+    CountT totalRefs() const { return totalRefs_; }
+    CountT codeByteFetches() const { return codeBytes_; }
+
+    void resetStats();
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    void checkAddr(Addr addr) const;
+
+    std::vector<Word> store_;
+    std::array<CountT, static_cast<std::size_t>(AccessKind::NumKinds)>
+        readCounts_{};
+    std::array<CountT, static_cast<std::size_t>(AccessKind::NumKinds)>
+        writeCounts_{};
+    CountT totalRefs_ = 0;
+    CountT codeBytes_ = 0;
+};
+
+} // namespace fpc
+
+#endif // FPC_MEMORY_MEMORY_HH

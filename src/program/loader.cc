@@ -1,0 +1,609 @@
+#include "program/loader.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "isa/decode.hh"
+#include "program/lower.hh"
+#include "xfer/context.hh"
+
+namespace fpc
+{
+
+const char *
+callLoweringName(CallLowering lowering)
+{
+    switch (lowering) {
+      case CallLowering::Fat: return "fat";
+      case CallLowering::Mesa: return "mesa";
+      case CallLowering::Direct: return "direct";
+      default: return "?";
+    }
+}
+
+CallLowering
+LinkPlan::loweringFor(const std::string &target_module) const
+{
+    auto it = targetOverride.find(target_module);
+    return it == targetOverride.end() ? lowering : it->second;
+}
+
+const PlacedModule &
+LoadedImage::module(const std::string &name) const
+{
+    auto it = moduleByName_.find(name);
+    if (it == moduleByName_.end())
+        fatal("no module named {}", name);
+    return modules_[it->second];
+}
+
+const PlacedInstance &
+LoadedImage::instance(const std::string &module_name,
+                      unsigned ordinal) const
+{
+    auto it = moduleByName_.find(module_name);
+    if (it == moduleByName_.end())
+        fatal("no module named {}", module_name);
+    const auto &of_module = instancesOfModule_[it->second];
+    if (ordinal >= of_module.size())
+        fatal("module {} has no instance {}", module_name, ordinal);
+    return instances_[of_module[ordinal]];
+}
+
+Word
+LoadedImage::procDescriptor(const std::string &module_name,
+                            const std::string &proc_name,
+                            unsigned instance_ordinal) const
+{
+    const PlacedModule &pm = module(module_name);
+    const int proc = pm.src->procIndex(proc_name);
+    if (proc < 0)
+        fatal("module {} has no procedure {}", module_name, proc_name);
+    const PlacedInstance &inst = instance(module_name, instance_ordinal);
+    const unsigned ep = static_cast<unsigned>(proc);
+    return packProcDesc(inst.gftBase + ep / 32, ep % 32);
+}
+
+CodeByteAddr
+LoadedImage::procAddr(const std::string &module_name,
+                      const std::string &proc_name) const
+{
+    const PlacedModule &pm = module(module_name);
+    const int proc = pm.src->procIndex(proc_name);
+    if (proc < 0)
+        fatal("module {} has no procedure {}", module_name, proc_name);
+    return pm.procs[static_cast<unsigned>(proc)].prologueAddr;
+}
+
+Addr
+LoadedImage::gfAddr(const std::string &module_name,
+                    unsigned instance_ordinal) const
+{
+    return instance(module_name, instance_ordinal).gfAddr;
+}
+
+CountT
+LoadedImage::codeBytes() const
+{
+    CountT total = 0;
+    for (const auto &m : modules_)
+        total += m.segBytes;
+    return total;
+}
+
+CountT
+LoadedImage::lvWords() const
+{
+    CountT total = 0;
+    for (const auto &inst : instances_)
+        total += modules_[inst.moduleIndex].lvCount;
+    return total;
+}
+
+Loader::Loader(const SystemLayout &layout, SizeClasses classes)
+    : layout_(layout), classes_(std::move(classes))
+{
+    layout_.validate();
+}
+
+void
+Loader::add(Module module)
+{
+    module.validate();
+    for (const auto &m : modules_)
+        if (m.name == module.name)
+            fatal("duplicate module name {}", module.name);
+    modules_.push_back(std::move(module));
+}
+
+void
+Loader::addInstance(const std::string &module_name)
+{
+    for (unsigned i = 0; i < modules_.size(); ++i) {
+        if (modules_[i].name == module_name) {
+            extraInstances_.push_back(i);
+            return;
+        }
+    }
+    fatal("addInstance: no module named {}", module_name);
+}
+
+namespace
+{
+
+/** Resolution of one extern reference. */
+struct ResolvedExtern
+{
+    unsigned targetModule = 0;
+    unsigned targetProc = 0;
+    unsigned targetInstance = 0;
+    CallLowering siteLowering = CallLowering::Mesa;
+    bool needsLvSlot = false;
+    CountT staticUses = 0;
+};
+
+/** The loader's CallSitePolicy for one module. */
+class ModulePolicy : public CallSitePolicy
+{
+  public:
+    ModulePolicy(const Module &src, CallLowering own_lowering,
+                 bool short_calls,
+                 const std::vector<ResolvedExtern> &externs,
+                 const std::vector<int> &lv_index)
+        : src_(src), ownLowering_(own_lowering),
+          shortCalls_(short_calls), externs_(externs), lvIndex_(lv_index)
+    {}
+
+    /** Phase B inputs, filled in once layout is known. */
+    const std::vector<PlacedModule> *placedModules = nullptr;
+    const std::vector<PlacedInstance> *placedInstances = nullptr;
+    /** instances-of-module table (first = default instance). */
+    const std::vector<std::vector<unsigned>> *instancesOf = nullptr;
+    unsigned selfModuleIndex = 0;
+
+    unsigned
+    extCallSize(unsigned extern_id) const override
+    {
+        const ResolvedExtern &ext = externs_[extern_id];
+        switch (ext.siteLowering) {
+          case CallLowering::Mesa: {
+            const int lv = lvIndex_[extern_id];
+            return lv >= 0 && lv < 8 ? 1 : 2;
+          }
+          case CallLowering::Direct:
+            return shortCalls_ ? 3 : 4;
+          case CallLowering::Fat:
+            return 6;
+        }
+        panic("extCallSize: bad lowering");
+    }
+
+    unsigned
+    localCallSize(unsigned proc_index) const override
+    {
+        switch (ownLowering_) {
+          case CallLowering::Mesa:
+            return proc_index < 8 ? 1 : 2;
+          case CallLowering::Direct:
+            return shortCalls_ ? 3 : 4;
+          case CallLowering::Fat:
+            return 6;
+        }
+        panic("localCallSize: bad lowering");
+    }
+
+    void
+    encodeExtCall(std::vector<std::uint8_t> &out, unsigned extern_id,
+                  CodeByteAddr site_addr) const override
+    {
+        const ResolvedExtern &ext = externs_[extern_id];
+        switch (ext.siteLowering) {
+          case CallLowering::Mesa: {
+            const int lv = lvIndex_[extern_id];
+            if (lv < 0)
+                panic("mesa call without LV slot");
+            isa::encode(out, isa::extCallOp(static_cast<unsigned>(lv)),
+                        lv);
+            return;
+          }
+          case CallLowering::Direct:
+            encodeDirect(out, targetAddr(ext), site_addr);
+            return;
+          case CallLowering::Fat:
+            isa::encode(out, isa::Op::FCALL,
+                        static_cast<std::int32_t>(targetAddr(ext)),
+                        static_cast<std::int32_t>(targetGf(ext)));
+            return;
+        }
+        panic("encodeExtCall: bad lowering");
+    }
+
+    void
+    encodeLocalCall(std::vector<std::uint8_t> &out, unsigned proc_index,
+                    CodeByteAddr site_addr) const override
+    {
+        switch (ownLowering_) {
+          case CallLowering::Mesa:
+            isa::encode(out, isa::localCallOp(proc_index),
+                        static_cast<std::int32_t>(proc_index));
+            return;
+          case CallLowering::Direct:
+            encodeDirect(out, ownProcAddr(proc_index), site_addr);
+            return;
+          case CallLowering::Fat:
+            isa::encode(out, isa::Op::FCALL,
+                        static_cast<std::int32_t>(ownProcAddr(proc_index)),
+                        static_cast<std::int32_t>(ownGf()));
+            return;
+        }
+        panic("encodeLocalCall: bad lowering");
+    }
+
+    unsigned
+    loadDescLvIndex(unsigned extern_id) const override
+    {
+        const int lv = lvIndex_[extern_id];
+        if (lv < 0)
+            panic("LPD of extern without LV slot");
+        return static_cast<unsigned>(lv);
+    }
+
+  private:
+    CodeByteAddr
+    targetAddr(const ResolvedExtern &ext) const
+    {
+        const PlacedModule &pm = (*placedModules)[ext.targetModule];
+        return pm.procs[ext.targetProc].prologueAddr;
+    }
+
+    Word
+    targetGf(const ResolvedExtern &ext) const
+    {
+        const unsigned inst_index =
+            (*instancesOf)[ext.targetModule][ext.targetInstance];
+        return static_cast<Word>((*placedInstances)[inst_index].gfAddr);
+    }
+
+    CodeByteAddr
+    ownProcAddr(unsigned proc_index) const
+    {
+        return (*placedModules)[selfModuleIndex]
+            .procs[proc_index]
+            .prologueAddr;
+    }
+
+    Word
+    ownGf() const
+    {
+        const unsigned inst_index = (*instancesOf)[selfModuleIndex][0];
+        return static_cast<Word>((*placedInstances)[inst_index].gfAddr);
+    }
+
+    void
+    encodeDirect(std::vector<std::uint8_t> &out, CodeByteAddr target,
+                 CodeByteAddr site_addr) const
+    {
+        if (shortCalls_) {
+            const std::int32_t disp = static_cast<std::int32_t>(target) -
+                                      static_cast<std::int32_t>(site_addr);
+            if (!fitsSigned(disp, 20)) {
+                fatal("SHORTDIRECTCALL displacement {} exceeds one "
+                      "megabyte",
+                      disp);
+            }
+            const std::uint32_t raw =
+                static_cast<std::uint32_t>(disp) & 0xFFFFF;
+            const auto op = static_cast<isa::Op>(
+                static_cast<unsigned>(isa::Op::SDFC0) + (raw >> 16));
+            isa::encode(out, op, disp);
+        } else {
+            isa::encode(out, isa::Op::DFC,
+                        static_cast<std::int32_t>(target));
+        }
+    }
+
+    [[maybe_unused]] const Module &src_;
+    CallLowering ownLowering_;
+    bool shortCalls_;
+    const std::vector<ResolvedExtern> &externs_;
+    const std::vector<int> &lvIndex_;
+};
+
+unsigned
+alignUp(unsigned value, unsigned alignment)
+{
+    return (value + alignment - 1) / alignment * alignment;
+}
+
+} // namespace
+
+LoadedImage
+Loader::load(Memory &memory, const LinkPlan &plan) const
+{
+    if (modules_.empty())
+        fatal("nothing to load");
+
+    LoadedImage image;
+    image.layout_ = layout_;
+    image.classes_ = classes_;
+    image.moduleStore_ =
+        std::make_shared<const std::vector<Module>>(modules_);
+    const std::vector<Module> &modules = *image.moduleStore_;
+
+    const unsigned num_modules = modules_.size();
+    std::vector<unsigned> instance_count(num_modules, 1);
+    for (unsigned mod : extraInstances_)
+        ++instance_count[mod];
+
+    for (unsigned m = 0; m < num_modules; ++m)
+        image.moduleByName_[modules_[m].name] = m;
+
+    // Effective lowering of each module *as a target* (and hence its
+    // prologue style). Direct and Fat burn a single global frame
+    // address into the code, which is impossible with multiple
+    // instances (paper D2): fall back to the general scheme.
+    std::vector<CallLowering> effective(num_modules);
+    for (unsigned m = 0; m < num_modules; ++m) {
+        CallLowering want = plan.loweringFor(modules_[m].name);
+        if (want != CallLowering::Mesa && instance_count[m] > 1) {
+            warn("module {} has {} instances; falling back to mesa "
+                 "linkage (D2)",
+                 modules_[m].name, instance_count[m]);
+            want = CallLowering::Mesa;
+        }
+        effective[m] = want;
+    }
+
+    // Resolve externs and decide per-site lowering.
+    std::vector<std::vector<ResolvedExtern>> resolved(num_modules);
+    for (unsigned m = 0; m < num_modules; ++m) {
+        const Module &mod = modules_[m];
+        resolved[m].resize(mod.externs.size());
+        for (unsigned e = 0; e < mod.externs.size(); ++e) {
+            const ExternRef &ref = mod.externs[e];
+            auto it = image.moduleByName_.find(ref.module);
+            if (it == image.moduleByName_.end())
+                fatal("module {}: unresolved extern {}.{}", mod.name,
+                      ref.module, ref.proc);
+            ResolvedExtern &res = resolved[m][e];
+            res.targetModule = it->second;
+            const int proc = modules_[res.targetModule].procIndex(ref.proc);
+            if (proc < 0)
+                fatal("module {}: no procedure {} in {}", mod.name,
+                      ref.proc, ref.module);
+            res.targetProc = static_cast<unsigned>(proc);
+            if (ref.instance >= instance_count[res.targetModule])
+                fatal("module {}: extern {}.{} instance {} out of range",
+                      mod.name, ref.module, ref.proc, ref.instance);
+            res.targetInstance = ref.instance;
+            res.siteLowering = effective[res.targetModule];
+            // A non-default instance cannot use the burned-in address.
+            if (ref.instance > 0)
+                res.siteLowering = CallLowering::Mesa;
+        }
+        // Count static uses and LV needs.
+        for (const auto &proc : mod.procs) {
+            for (const auto &inst : proc.code) {
+                if (inst.kind == AsmInst::Kind::ExtCall) {
+                    auto &res = resolved[m][inst.a];
+                    ++res.staticUses;
+                    if (res.siteLowering == CallLowering::Mesa)
+                        res.needsLvSlot = true;
+                } else if (inst.kind == AsmInst::Kind::LoadDesc) {
+                    auto &res = resolved[m][inst.a];
+                    ++res.staticUses;
+                    res.needsLvSlot = true;
+                }
+            }
+        }
+    }
+
+    // Assign LV slots, hottest externs first so they get the one-byte
+    // EFC0..EFC7 opcodes.
+    std::vector<std::vector<int>> lv_index(num_modules);
+    image.modules_.resize(num_modules);
+    for (unsigned m = 0; m < num_modules; ++m) {
+        const Module &mod = modules_[m];
+        lv_index[m].assign(mod.externs.size(), -1);
+        std::vector<unsigned> slots;
+        for (unsigned e = 0; e < mod.externs.size(); ++e)
+            if (resolved[m][e].needsLvSlot)
+                slots.push_back(e);
+        if (plan.sortLvByUse) {
+            std::stable_sort(slots.begin(), slots.end(),
+                             [&](unsigned a, unsigned b) {
+                                 return resolved[m][a].staticUses >
+                                        resolved[m][b].staticUses;
+                             });
+        }
+        if (slots.size() > 256)
+            fatal("module {}: {} link-vector slots exceed the EFCB "
+                  "byte index",
+                  mod.name, slots.size());
+        for (unsigned i = 0; i < slots.size(); ++i)
+            lv_index[m][slots[i]] = static_cast<int>(i);
+
+        PlacedModule &pm = image.modules_[m];
+        pm.src = &modules[m];
+        pm.lowering = effective[m];
+        pm.lvIndexOfExtern = lv_index[m];
+        pm.lvSlotExtern = slots;
+        pm.lvCount = slots.size();
+    }
+
+    // Phase A: lay out procedure bodies and code segments.
+    std::vector<ModulePolicy> policies;
+    policies.reserve(num_modules);
+    for (unsigned m = 0; m < num_modules; ++m) {
+        policies.emplace_back(modules_[m], effective[m], plan.shortCalls,
+                              resolved[m], lv_index[m]);
+    }
+
+    std::vector<std::vector<std::vector<unsigned>>> sizes(num_modules);
+    CodeByteAddr next_seg =
+        static_cast<CodeByteAddr>(layout_.codeRegionBase) * wordBytes;
+    for (unsigned m = 0; m < num_modules; ++m) {
+        const Module &mod = modules_[m];
+        PlacedModule &pm = image.modules_[m];
+        pm.segBase = next_seg;
+        pm.procs.resize(mod.procs.size());
+        sizes[m].resize(mod.procs.size());
+
+        const unsigned prologue_bytes =
+            effective[m] == CallLowering::Direct ? 4 : 1;
+        unsigned offset = 2 * mod.procs.size(); // the entry vector
+        for (unsigned p = 0; p < mod.procs.size(); ++p) {
+            const ProcDef &proc = mod.procs[p];
+            sizes[m][p] = layoutBody(proc, policies[m]);
+
+            PlacedProc &pp = pm.procs[p];
+            pp.prologueAddr = pm.segBase + offset;
+            pp.prologueBytes = prologue_bytes;
+            pp.bodyBytes = bodySize(sizes[m][p]);
+            if (!classes_.fits(proc.framePayloadWords()))
+                fatal("module {} proc {}: frame of {} words exceeds the "
+                      "largest size class",
+                      mod.name, proc.name, proc.framePayloadWords());
+            pp.fsi = classes_.fsiFor(proc.framePayloadWords());
+            const unsigned fsi_off =
+                offset + (effective[m] == CallLowering::Direct ? 3 : 0);
+            if (fsi_off > 0xFFFF)
+                fatal("module {}: code segment exceeds 64 KB", mod.name);
+            pp.evOffset = static_cast<Word>(fsi_off);
+            offset += prologue_bytes + pp.bodyBytes;
+
+            // Call-site accounting for the space studies.
+            for (unsigned i = 0; i < proc.code.size(); ++i) {
+                const auto kind = proc.code[i].kind;
+                if (kind == AsmInst::Kind::ExtCall ||
+                    kind == AsmInst::Kind::LocalCall) {
+                    ++pm.callSites;
+                    pm.callSiteBytes += sizes[m][p][i];
+                }
+            }
+        }
+        pm.segBytes = offset;
+        next_seg = alignUp(pm.segBase + pm.segBytes,
+                           layout_.codeGranuleBytes);
+        if (next_seg / wordBytes > layout_.memWords)
+            fatal("out of code space loading module {}", mod.name);
+    }
+
+    // Place instances in the global region and assign GFT entries.
+    Addr cur = layout_.globalBase;
+    image.instancesOfModule_.resize(num_modules);
+    for (unsigned m = 0; m < num_modules; ++m) {
+        const Module &mod = modules_[m];
+        const unsigned gft_count =
+            std::max<unsigned>(1, (mod.procs.size() + 31) / 32);
+        for (unsigned ord = 0; ord < instance_count[m]; ++ord) {
+            PlacedInstance inst;
+            inst.moduleIndex = m;
+            inst.instanceOrdinal = ord;
+            inst.gfWords = 1 + mod.numGlobals;
+            const Addr gf =
+                alignUp(cur + image.modules_[m].lvCount, 4);
+            inst.gfAddr = gf;
+            inst.gftBase = image.gftUsed_;
+            inst.gftCount = gft_count;
+            image.gftUsed_ += gft_count;
+            if (image.gftUsed_ > layout_.gftEntries)
+                fatal("out of GFT entries at module {}", mod.name);
+            cur = gf + inst.gfWords;
+            if (cur > layout_.globalEnd)
+                fatal("out of global-frame space at module {}",
+                      mod.name);
+            image.instancesOfModule_[m].push_back(
+                image.instances_.size());
+            image.instances_.push_back(inst);
+        }
+    }
+
+    // Phase B: encode and write everything into memory.
+    for (auto &policy : policies) {
+        policy.placedModules = &image.modules_;
+        policy.placedInstances = &image.instances_;
+        policy.instancesOf = &image.instancesOfModule_;
+    }
+
+    for (unsigned m = 0; m < num_modules; ++m) {
+        const Module &mod = modules_[m];
+        PlacedModule &pm = image.modules_[m];
+        policies[m].selfModuleIndex = m;
+
+        // Entry vector: one word per procedure at the code base.
+        for (unsigned p = 0; p < mod.procs.size(); ++p) {
+            memory.poke(pm.segBase / wordBytes + p,
+                        pm.procs[p].evOffset);
+        }
+
+        for (unsigned p = 0; p < mod.procs.size(); ++p) {
+            const ProcDef &proc = mod.procs[p];
+            const PlacedProc &pp = pm.procs[p];
+            CodeByteAddr at = pp.prologueAddr;
+
+            if (effective[m] == CallLowering::Direct) {
+                // The §6 header: SETGLOBALFRAME GF; ALLOCATEFRAME fsi
+                // as two bare words before the first instruction.
+                const Word gf = static_cast<Word>(
+                    image.instances_[image.instancesOfModule_[m][0]]
+                        .gfAddr);
+                memory.pokeByte(at++, static_cast<std::uint8_t>(gf >> 8));
+                memory.pokeByte(at++,
+                                static_cast<std::uint8_t>(gf & 0xFF));
+                memory.pokeByte(at++, 0);
+                memory.pokeByte(at++,
+                                static_cast<std::uint8_t>(pp.fsi));
+            } else {
+                memory.pokeByte(at++,
+                                static_cast<std::uint8_t>(pp.fsi));
+            }
+
+            const auto bytes =
+                encodeBody(proc, policies[m], sizes[m][p], at);
+            if (bytes.size() != pp.bodyBytes)
+                panic("module {} proc {}: body size drifted ({} != {})",
+                      mod.name, proc.name, bytes.size(), pp.bodyBytes);
+            for (std::uint8_t b : bytes)
+                memory.pokeByte(at++, b);
+        }
+    }
+
+    for (const PlacedInstance &inst : image.instances_) {
+        const Module &mod = modules_[inst.moduleIndex];
+        const PlacedModule &pm = image.modules_[inst.moduleIndex];
+
+        // GFT entries, one per 32-entry bias window.
+        for (unsigned b = 0; b < inst.gftCount; ++b) {
+            memory.poke(layout_.gftAddr + inst.gftBase + b,
+                        packGftEntry({inst.gfAddr, b}, layout_));
+        }
+
+        // Link vector, growing down from the global frame.
+        for (unsigned slot = 0; slot < pm.lvCount; ++slot) {
+            const ResolvedExtern &res =
+                resolved[inst.moduleIndex][pm.lvSlotExtern[slot]];
+            const PlacedInstance &target =
+                image.instances_[image.instancesOfModule_
+                                     [res.targetModule]
+                                     [res.targetInstance]];
+            const Word desc =
+                packProcDesc(target.gftBase + res.targetProc / 32,
+                             res.targetProc % 32);
+            memory.poke(inst.gfAddr - 1 - slot, desc);
+        }
+
+        // The global frame: code base word then the globals.
+        memory.poke(inst.gfAddr, layout_.codeSegNum(pm.segBase));
+        for (unsigned g = 0; g < mod.numGlobals; ++g) {
+            const Word init =
+                g < mod.globalInit.size() ? mod.globalInit[g] : 0;
+            memory.poke(inst.gfAddr + 1 + g, init);
+        }
+    }
+
+    return image;
+}
+
+} // namespace fpc

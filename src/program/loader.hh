@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Binding and loading: turns a set of Modules into an executable
+ * memory image under a chosen LinkPlan.
+ *
+ * The LinkPlan is the paper's §6 knob. With CallLowering::Mesa every
+ * external call goes through the four levels of indirection of §5.1
+ * (Figure 1): call site -> link vector -> GFT -> global frame -> entry
+ * vector. With CallLowering::Direct, call sites become DIRECTCALLs (or
+ * three-byte SHORTDIRECTCALLs when enabled and in range) straight to
+ * the procedure's code, where the loader has planted the global frame
+ * address and frame size index (the "SETGLOBALFRAME GF /
+ * ALLOCATEFRAME fsi" words); the link-vector entries for those
+ * targets disappear, which is D1's space arithmetic. With
+ * CallLowering::Fat the full descriptor is an inline literal at every
+ * call site, §4's simple implementation.
+ *
+ * Converting between representations is just reloading with a
+ * different plan — the §8 observation that "the programming
+ * environment can automatically convert between the two
+ * representations when appropriate". Direct linkage to a module with
+ * multiple instances is refused (D2) and falls back to Mesa linkage.
+ */
+
+#ifndef FPC_PROGRAM_LOADER_HH
+#define FPC_PROGRAM_LOADER_HH
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "frames/size_classes.hh"
+#include "memory/memory.hh"
+#include "program/module.hh"
+#include "xfer/layout.hh"
+
+namespace fpc
+{
+
+/** How call sites are lowered (per target module). */
+enum class CallLowering
+{
+    Fat,   ///< §4: six-byte inline descriptor (FCALL)
+    Mesa,  ///< §5: EFC/LFC through LV/GFT/EV
+    Direct ///< §6: DFC/SDFC to a planted code address
+};
+
+const char *callLoweringName(CallLowering lowering);
+
+/** The bind-time decisions. */
+struct LinkPlan
+{
+    CallLowering lowering = CallLowering::Mesa;
+    /** Use SHORTDIRECTCALL when the displacement fits 20 bits. */
+    bool shortCalls = false;
+    /** Renumber link-vector slots so the statically most used externs
+     *  get the one-byte EFC0..EFC7 opcodes (§5.1). */
+    bool sortLvByUse = true;
+    /** Per-target-module overrides of the lowering. */
+    std::map<std::string, CallLowering> targetOverride;
+
+    CallLowering loweringFor(const std::string &target_module) const;
+};
+
+/** Where one procedure landed in the image. */
+struct PlacedProc
+{
+    CodeByteAddr prologueAddr = 0; ///< absolute byte address
+    unsigned prologueBytes = 0;    ///< 1 (fsi byte) or 4 (direct header)
+    unsigned bodyBytes = 0;
+    unsigned fsi = 0;
+    Word evOffset = 0; ///< EV entry value (byte offset of the fsi byte)
+};
+
+/** Where one module's code landed. */
+struct PlacedModule
+{
+    const Module *src = nullptr;
+    CallLowering lowering = CallLowering::Mesa;
+    CodeByteAddr segBase = 0; ///< byte address of the code segment
+    unsigned segBytes = 0;    ///< EV + prologues + bodies
+    std::vector<PlacedProc> procs;
+    /** LV slot for each extern, or -1 if no slot was needed. */
+    std::vector<int> lvIndexOfExtern;
+    /** Extern bound by each LV slot. */
+    std::vector<unsigned> lvSlotExtern;
+    unsigned lvCount = 0;
+    /** Static call-site byte counts, for the space studies. */
+    CountT callSiteBytes = 0;
+    CountT callSites = 0;
+};
+
+/** One module instance's data. */
+struct PlacedInstance
+{
+    unsigned moduleIndex = 0;
+    unsigned instanceOrdinal = 0; ///< 0 = the default instance
+    Addr gfAddr = 0;
+    unsigned gfWords = 0; ///< 1 + numGlobals
+    unsigned gftBase = 0; ///< first GFT index
+    unsigned gftCount = 0;
+};
+
+/** The bound image: lookup tables over the loaded memory. */
+class LoadedImage
+{
+  public:
+    const SystemLayout &layout() const { return layout_; }
+    const SizeClasses &classes() const { return classes_; }
+
+    const std::vector<PlacedModule> &modules() const { return modules_; }
+    const std::vector<PlacedInstance> &instances() const
+    {
+        return instances_;
+    }
+
+    const PlacedModule &module(const std::string &name) const;
+    const PlacedInstance &instance(const std::string &module_name,
+                                   unsigned ordinal = 0) const;
+
+    /** Packed procedure-descriptor context for Mod.proc. */
+    Word procDescriptor(const std::string &module_name,
+                        const std::string &proc_name,
+                        unsigned instance = 0) const;
+
+    /** Absolute byte address of the procedure's prologue. */
+    CodeByteAddr procAddr(const std::string &module_name,
+                          const std::string &proc_name) const;
+
+    /** Global frame address of an instance. */
+    Addr gfAddr(const std::string &module_name,
+                unsigned instance = 0) const;
+
+    /** Total image code bytes (all segments). */
+    CountT codeBytes() const;
+    /** Total link-vector words across instances. */
+    CountT lvWords() const;
+    /** GFT entries consumed. */
+    CountT gftEntriesUsed() const { return gftUsed_ - 1; }
+
+  private:
+    friend class Loader;
+    friend unsigned relocateModule(Memory &memory, LoadedImage &image,
+                                   const std::string &module_name,
+                                   CodeByteAddr new_base);
+
+    SystemLayout layout_;
+    SizeClasses classes_ = SizeClasses::standard();
+    /** Owns the module definitions PlacedModule::src points into, so
+     *  the image outlives the loader and survives copies. */
+    std::shared_ptr<const std::vector<Module>> moduleStore_;
+    std::vector<PlacedModule> modules_;
+    std::vector<PlacedInstance> instances_;
+    std::map<std::string, unsigned> moduleByName_;
+    /** instances_ indices for each module, by ordinal. */
+    std::vector<std::vector<unsigned>> instancesOfModule_;
+    unsigned gftUsed_ = 1; // index 0 reserved
+};
+
+/** Binds modules and writes the image into simulated memory. */
+class Loader
+{
+  public:
+    Loader(const SystemLayout &layout, SizeClasses classes);
+
+    /** Register a module (validated here). */
+    void add(Module module);
+
+    /** Create an additional instance of a registered module. */
+    void addInstance(const std::string &module_name);
+
+    /** Bind everything under the plan and write the image. */
+    LoadedImage load(Memory &memory, const LinkPlan &plan) const;
+
+  private:
+    SystemLayout layout_;
+    SizeClasses classes_;
+    std::vector<Module> modules_;
+    std::vector<unsigned> extraInstances_; ///< module index per extra
+};
+
+} // namespace fpc
+
+#endif // FPC_PROGRAM_LOADER_HH

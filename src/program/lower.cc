@@ -1,0 +1,236 @@
+#include "program/lower.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "isa/decode.hh"
+
+namespace fpc
+{
+
+namespace
+{
+
+using Kind = AsmInst::Kind;
+
+bool
+isJump(Kind kind)
+{
+    return kind == Kind::Jump || kind == Kind::JumpZero ||
+           kind == Kind::JumpNotZero;
+}
+
+/** Minimal size of an item, before any growth. */
+unsigned
+minimalSize(const AsmInst &inst, const CallSitePolicy &policy)
+{
+    switch (inst.kind) {
+      case Kind::Plain:
+        return isa::instLength(static_cast<std::uint8_t>(inst.op));
+      case Kind::ExtCall:
+        return policy.extCallSize(static_cast<unsigned>(inst.a));
+      case Kind::LocalCall:
+        return policy.localCallSize(static_cast<unsigned>(inst.a));
+      case Kind::LoadDesc:
+        return 2; // LPD n
+      case Kind::Jump:
+        return 1; // J2..J8 optimistically
+      case Kind::JumpZero:
+      case Kind::JumpNotZero:
+        return 2; // JZB/JNZB optimistically
+      case Kind::Label:
+        return 0;
+    }
+    panic("minimalSize: bad kind");
+}
+
+/** Size a jump needs for the given displacement. */
+unsigned
+neededJumpSize(Kind kind, std::int32_t disp)
+{
+    if (kind == Kind::Jump) {
+        if (disp >= 2 && disp <= 8)
+            return 1;
+        if (fitsSigned(disp, 8))
+            return 2;
+        return 3;
+    }
+    // Conditional: JZB/JNZB reach a signed byte; otherwise an inverted
+    // short conditional hops over a word jump (2 + 3 bytes).
+    if (fitsSigned(disp, 8))
+        return 2;
+    return 5;
+}
+
+struct Offsets
+{
+    std::vector<unsigned> itemOffset;
+    std::vector<std::int32_t> labelOffset;
+    unsigned total = 0;
+};
+
+Offsets
+computeOffsets(const ProcDef &proc, const std::vector<unsigned> &sizes)
+{
+    Offsets out;
+    out.itemOffset.resize(proc.code.size());
+    out.labelOffset.assign(proc.numLabels, -1);
+    unsigned pos = 0;
+    for (std::size_t i = 0; i < proc.code.size(); ++i) {
+        out.itemOffset[i] = pos;
+        if (proc.code[i].kind == Kind::Label)
+            out.labelOffset[proc.code[i].a] = static_cast<std::int32_t>(pos);
+        pos += sizes[i];
+    }
+    out.total = pos;
+    return out;
+}
+
+std::int32_t
+labelTarget(const Offsets &offsets, const ProcDef &proc, std::int32_t id)
+{
+    const std::int32_t off = offsets.labelOffset.at(id);
+    if (off < 0)
+        fatal("proc {}: label {} never bound", proc.name, id);
+    return off;
+}
+
+} // namespace
+
+std::vector<unsigned>
+layoutBody(const ProcDef &proc, const CallSitePolicy &policy)
+{
+    std::vector<unsigned> sizes(proc.code.size());
+    for (std::size_t i = 0; i < proc.code.size(); ++i)
+        sizes[i] = minimalSize(proc.code[i], policy);
+
+    // Grow-only fixpoint: every iteration either grows some jump or
+    // terminates, so this runs at most O(jumps) rounds.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        const Offsets offsets = computeOffsets(proc, sizes);
+        for (std::size_t i = 0; i < proc.code.size(); ++i) {
+            const AsmInst &inst = proc.code[i];
+            if (!isJump(inst.kind))
+                continue;
+            const std::int32_t disp =
+                labelTarget(offsets, proc, inst.a) -
+                static_cast<std::int32_t>(offsets.itemOffset[i]);
+            const unsigned need = neededJumpSize(inst.kind, disp);
+            if (need > sizes[i]) {
+                sizes[i] = need;
+                changed = true;
+            }
+        }
+    }
+    return sizes;
+}
+
+unsigned
+bodySize(const std::vector<unsigned> &sizes)
+{
+    unsigned total = 0;
+    for (unsigned s : sizes)
+        total += s;
+    return total;
+}
+
+namespace
+{
+
+void
+encodeJump(std::vector<std::uint8_t> &out, Kind kind, unsigned size,
+           std::int32_t disp)
+{
+    using isa::Op;
+    switch (kind) {
+      case Kind::Jump:
+        if (size == 1) {
+            if (disp < 2 || disp > 8)
+                panic("one-byte jump displacement {} out of range", disp);
+            isa::encode(out, static_cast<Op>(
+                                 static_cast<unsigned>(Op::J2) + disp - 2));
+        } else if (size == 2) {
+            isa::encode(out, Op::JB, disp);
+        } else {
+            isa::encode(out, Op::JW, disp);
+        }
+        return;
+      case Kind::JumpZero:
+      case Kind::JumpNotZero: {
+        const Op near_op =
+            kind == Kind::JumpZero ? Op::JZB : Op::JNZB;
+        if (size == 2) {
+            isa::encode(out, near_op, disp);
+        } else {
+            // Inverted short conditional over a word jump. The inner
+            // JW starts two bytes into this item.
+            const Op inverted =
+                kind == Kind::JumpZero ? Op::JNZB : Op::JZB;
+            isa::encode(out, inverted, 5);
+            isa::encode(out, Op::JW, disp - 2);
+        }
+        return;
+      }
+      default:
+        panic("encodeJump: bad kind");
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeBody(const ProcDef &proc, const CallSitePolicy &policy,
+           const std::vector<unsigned> &sizes, CodeByteAddr body_addr)
+{
+    const Offsets offsets = computeOffsets(proc, sizes);
+    std::vector<std::uint8_t> out;
+    out.reserve(offsets.total);
+
+    for (std::size_t i = 0; i < proc.code.size(); ++i) {
+        const AsmInst &inst = proc.code[i];
+        const std::size_t before = out.size();
+        if (before != offsets.itemOffset[i])
+            panic("encodeBody: drifted at item {} ({} != {})", i, before,
+                  offsets.itemOffset[i]);
+        const CodeByteAddr site = body_addr + offsets.itemOffset[i];
+
+        switch (inst.kind) {
+          case Kind::Plain:
+            isa::encode(out, inst.op, inst.a, inst.b);
+            break;
+          case Kind::ExtCall:
+            policy.encodeExtCall(out, static_cast<unsigned>(inst.a),
+                                 site);
+            break;
+          case Kind::LocalCall:
+            policy.encodeLocalCall(out, static_cast<unsigned>(inst.a),
+                                   site);
+            break;
+          case Kind::LoadDesc:
+            isa::encode(out, isa::Op::LPD,
+                        static_cast<std::int32_t>(policy.loadDescLvIndex(
+                            static_cast<unsigned>(inst.a))));
+            break;
+          case Kind::Jump:
+          case Kind::JumpZero:
+          case Kind::JumpNotZero: {
+            const std::int32_t disp =
+                labelTarget(offsets, proc, inst.a) -
+                static_cast<std::int32_t>(offsets.itemOffset[i]);
+            encodeJump(out, inst.kind, sizes[i], disp);
+            break;
+          }
+          case Kind::Label:
+            break;
+        }
+
+        if (out.size() - before != sizes[i]) {
+            panic("encodeBody: item {} produced {} bytes, expected {}",
+                  i, out.size() - before, sizes[i]);
+        }
+    }
+    return out;
+}
+
+} // namespace fpc

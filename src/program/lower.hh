@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Lowering of procedure IR to code bytes.
+ *
+ * Call-site encodings depend on the bind-time linkage decision, so
+ * lowering is parameterized by a CallSitePolicy the loader implements.
+ * Jump displacements are resolved with a grow-only fixpoint so the
+ * compact one-byte (J2..J8) and two-byte (JB) forms are used whenever
+ * the final displacement allows — this is where the "two thirds of
+ * instructions are one byte" property of the Mesa encoding comes from.
+ */
+
+#ifndef FPC_PROGRAM_LOWER_HH
+#define FPC_PROGRAM_LOWER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "program/module.hh"
+
+namespace fpc
+{
+
+/** How the loader wants call sites in one module encoded. */
+class CallSitePolicy
+{
+  public:
+    virtual ~CallSitePolicy() = default;
+
+    /** Encoded size in bytes of a call to the given extern. */
+    virtual unsigned extCallSize(unsigned extern_id) const = 0;
+    /** Encoded size in bytes of a call to the given local proc. */
+    virtual unsigned localCallSize(unsigned proc_index) const = 0;
+
+    /**
+     * Emit the call; site_addr is the absolute byte address of the
+     * call instruction (needed for PC-relative SHORTDIRECTCALLs).
+     * Must append exactly the promised size.
+     */
+    virtual void encodeExtCall(std::vector<std::uint8_t> &out,
+                               unsigned extern_id,
+                               CodeByteAddr site_addr) const = 0;
+    virtual void encodeLocalCall(std::vector<std::uint8_t> &out,
+                                 unsigned proc_index,
+                                 CodeByteAddr site_addr) const = 0;
+
+    /** Link-vector index to use for an LPD of the given extern. */
+    virtual unsigned loadDescLvIndex(unsigned extern_id) const = 0;
+};
+
+/** Phase A: fixpoint item sizes for the procedure body. */
+std::vector<unsigned> layoutBody(const ProcDef &proc,
+                                 const CallSitePolicy &policy);
+
+/** Total body size in bytes given the item sizes. */
+unsigned bodySize(const std::vector<unsigned> &sizes);
+
+/**
+ * Phase B: produce the final bytes. body_addr is the absolute byte
+ * address where the body will start (after the prologue).
+ */
+std::vector<std::uint8_t> encodeBody(const ProcDef &proc,
+                                     const CallSitePolicy &policy,
+                                     const std::vector<unsigned> &sizes,
+                                     CodeByteAddr body_addr);
+
+} // namespace fpc
+
+#endif // FPC_PROGRAM_LOWER_HH

@@ -1,0 +1,125 @@
+#include "program/module.hh"
+
+#include "common/logging.hh"
+#include "xfer/context.hh"
+
+namespace fpc
+{
+
+AsmInst
+AsmInst::plain(isa::Op op, std::int32_t a, std::int32_t b)
+{
+    AsmInst inst;
+    inst.kind = Kind::Plain;
+    inst.op = op;
+    inst.a = a;
+    inst.b = b;
+    return inst;
+}
+
+AsmInst
+AsmInst::extCall(unsigned extern_id)
+{
+    AsmInst inst;
+    inst.kind = Kind::ExtCall;
+    inst.a = static_cast<std::int32_t>(extern_id);
+    return inst;
+}
+
+AsmInst
+AsmInst::localCall(unsigned proc_index)
+{
+    AsmInst inst;
+    inst.kind = Kind::LocalCall;
+    inst.a = static_cast<std::int32_t>(proc_index);
+    return inst;
+}
+
+AsmInst
+AsmInst::loadDesc(unsigned extern_id)
+{
+    AsmInst inst;
+    inst.kind = Kind::LoadDesc;
+    inst.a = static_cast<std::int32_t>(extern_id);
+    return inst;
+}
+
+AsmInst
+AsmInst::jump(Kind kind, unsigned label_id)
+{
+    if (kind != Kind::Jump && kind != Kind::JumpZero &&
+        kind != Kind::JumpNotZero) {
+        panic("AsmInst::jump: not a jump kind");
+    }
+    AsmInst inst;
+    inst.kind = kind;
+    inst.a = static_cast<std::int32_t>(label_id);
+    return inst;
+}
+
+AsmInst
+AsmInst::label(unsigned label_id)
+{
+    AsmInst inst;
+    inst.kind = Kind::Label;
+    inst.a = static_cast<std::int32_t>(label_id);
+    return inst;
+}
+
+unsigned
+ProcDef::framePayloadWords() const
+{
+    return frame::overheadWords + numVars + extraWords;
+}
+
+int
+Module::procIndex(const std::string &proc_name) const
+{
+    for (std::size_t i = 0; i < procs.size(); ++i)
+        if (procs[i].name == proc_name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+void
+Module::validate() const
+{
+    if (name.empty())
+        fatal("module has no name");
+    if (procs.empty())
+        fatal("module {} has no procedures", name);
+    if (procs.size() > 128)
+        fatal("module {} has {} procedures; the GFT bias scheme allows "
+              "at most 128 entry points",
+              name, procs.size());
+    if (globalInit.size() > numGlobals)
+        fatal("module {}: more initial values than globals", name);
+    for (const auto &p : procs) {
+        if (p.numArgs > p.numVars)
+            fatal("module {} proc {}: more args than variable slots",
+                  name, p.name);
+        for (const auto &inst : p.code) {
+            const bool is_jump = inst.kind == AsmInst::Kind::Jump ||
+                                 inst.kind == AsmInst::Kind::JumpZero ||
+                                 inst.kind == AsmInst::Kind::JumpNotZero;
+            if ((is_jump || inst.kind == AsmInst::Kind::Label) &&
+                static_cast<unsigned>(inst.a) >= p.numLabels) {
+                fatal("module {} proc {}: label {} out of range", name,
+                      p.name, inst.a);
+            }
+            if ((inst.kind == AsmInst::Kind::ExtCall ||
+                 inst.kind == AsmInst::Kind::LoadDesc) &&
+                static_cast<unsigned>(inst.a) >= externs.size()) {
+                fatal("module {} proc {}: extern {} out of range", name,
+                      p.name, inst.a);
+            }
+            if (inst.kind == AsmInst::Kind::LocalCall &&
+                static_cast<unsigned>(inst.a) >= procs.size()) {
+                fatal("module {} proc {}: local callee {} out of range",
+                      name, p.name, inst.a);
+            }
+        }
+    }
+}
+
+} // namespace fpc

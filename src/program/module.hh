@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The object-program representation: what the compiler produces
+ * (paper §2's "encoding" level, before it is bound into an image).
+ *
+ * Procedures are kept as a small instruction IR rather than raw bytes
+ * because the size of a call site depends on the linkage chosen at
+ * bind time (§6: the same program can be encoded with Mesa links,
+ * DIRECTCALLs, or §4's inline descriptors, "the programming
+ * environment can automatically convert between the two
+ * representations when appropriate"). The loader lowers the IR to
+ * bytes once a LinkPlan is fixed.
+ *
+ * A Module mirrors a Mesa module (§5): a named collection of
+ * procedures sharing a global frame, compiled together so that
+ * intra-module binding (LOCALCALL entry-vector indices) happens at
+ * compile time, with a link vector of symbolic references to external
+ * procedures.
+ */
+
+#ifndef FPC_PROGRAM_MODULE_HH
+#define FPC_PROGRAM_MODULE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace fpc
+{
+
+/** A symbolic reference to an external procedure. */
+struct ExternRef
+{
+    std::string module;
+    std::string proc;
+    /** Which instance of the target module to bind to (D2: multiple
+     *  instances force the general linkage). */
+    unsigned instance = 0;
+};
+
+/** One IR instruction. */
+struct AsmInst
+{
+    enum class Kind : std::uint8_t
+    {
+        Plain,       ///< a concrete opcode; a = operand (b for FCALL)
+        ExtCall,     ///< call extern; a = extern id
+        LocalCall,   ///< call a procedure here; a = proc index
+        LoadDesc,    ///< push the descriptor of extern a (LPD)
+        Jump,        ///< unconditional; a = label id
+        JumpZero,    ///< pop, jump if zero; a = label id
+        JumpNotZero, ///< pop, jump if nonzero; a = label id
+        Label        ///< bind label a here
+    };
+
+    Kind kind = Kind::Plain;
+    isa::Op op = isa::Op::NOOP;
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+
+    static AsmInst plain(isa::Op op, std::int32_t a = 0,
+                         std::int32_t b = 0);
+    static AsmInst extCall(unsigned extern_id);
+    static AsmInst localCall(unsigned proc_index);
+    static AsmInst loadDesc(unsigned extern_id);
+    static AsmInst jump(Kind kind, unsigned label_id);
+    static AsmInst label(unsigned label_id);
+};
+
+/** One procedure definition. */
+struct ProcDef
+{
+    std::string name;
+    /** Argument slots (locals 0 .. numArgs-1 at entry). */
+    unsigned numArgs = 0;
+    /** Total variable slots, including the arguments. */
+    unsigned numVars = 0;
+    /** Extra frame words beyond the variables (spill/temp space). */
+    unsigned extraWords = 0;
+    /** Number of jump labels used in code. */
+    unsigned numLabels = 0;
+    std::vector<AsmInst> code;
+
+    /** Frame payload words this procedure needs. */
+    unsigned framePayloadWords() const;
+};
+
+/** A compiled module. */
+struct Module
+{
+    std::string name;
+    std::vector<ProcDef> procs;
+    std::vector<ExternRef> externs;
+    /** Global variable count (the code base word is extra). */
+    unsigned numGlobals = 0;
+    /** Initial values for the first globals (rest zero). */
+    std::vector<Word> globalInit;
+
+    /** Index of the named procedure; -1 if absent. */
+    int procIndex(const std::string &proc_name) const;
+
+    /** Basic well-formedness checks; fatal on violation. */
+    void validate() const;
+};
+
+} // namespace fpc
+
+#endif // FPC_PROGRAM_MODULE_HH

@@ -1,0 +1,110 @@
+#include "program/relocate.hh"
+
+#include "common/logging.hh"
+#include "isa/disasm.hh"
+
+namespace fpc
+{
+
+CodeByteAddr
+imageCodeEnd(const LoadedImage &image)
+{
+    const SystemLayout &layout = image.layout();
+    CodeByteAddr end =
+        static_cast<CodeByteAddr>(layout.codeRegionBase) * wordBytes;
+    for (const PlacedModule &pm : image.modules()) {
+        const CodeByteAddr seg_end = pm.segBase + pm.segBytes;
+        end = std::max(end, seg_end);
+    }
+    return (end + layout.codeGranuleBytes - 1) /
+           layout.codeGranuleBytes * layout.codeGranuleBytes;
+}
+
+namespace
+{
+
+/** True if any call site in the module is PC-relative (SDFC). */
+bool
+hasPcRelativeSites(const Memory &memory, const PlacedModule &pm)
+{
+    for (const PlacedProc &pp : pm.procs) {
+        std::vector<std::uint8_t> bytes;
+        bytes.reserve(pp.bodyBytes);
+        for (unsigned i = 0; i < pp.bodyBytes; ++i)
+            bytes.push_back(
+                memory.peekByte(pp.prologueAddr + pp.prologueBytes + i));
+        for (const auto &line : isa::disassemble(bytes))
+            if (line.inst.cls == isa::OpClass::ShortDirectCall)
+                return true;
+    }
+    return false;
+}
+
+} // namespace
+
+unsigned
+relocateModule(Memory &memory, LoadedImage &image,
+               const std::string &module_name, CodeByteAddr new_base)
+{
+    const SystemLayout &layout = image.layout();
+    auto it = image.moduleByName_.find(module_name);
+    if (it == image.moduleByName_.end())
+        fatal("relocate: no module named {}", module_name);
+    PlacedModule &pm = image.modules_[it->second];
+
+    // D3: direct linkage burns absolute addresses into callers; the
+    // fat linkage likewise. Only the fully table-driven Mesa linkage
+    // relocates without re-binding.
+    if (pm.lowering != CallLowering::Mesa) {
+        fatal("relocate: module {} uses {} linkage; relocation "
+              "requires re-binding (D3)",
+              module_name, callLoweringName(pm.lowering));
+    }
+    // A PC-relative call site inside the segment would break.
+    if (hasPcRelativeSites(memory, pm)) {
+        fatal("relocate: module {} contains SHORTDIRECTCALL sites",
+              module_name);
+    }
+
+    if (new_base % layout.codeGranuleBytes != 0)
+        fatal("relocate: target {} is not granule-aligned", new_base);
+    if (new_base / wordBytes < layout.codeRegionBase ||
+        (new_base + pm.segBytes + wordBytes - 1) / wordBytes >=
+            layout.memWords) {
+        fatal("relocate: target range out of the code region");
+    }
+    for (const PlacedModule &other : image.modules_) {
+        if (&other == &pm)
+            continue;
+        const bool disjoint =
+            new_base + pm.segBytes <= other.segBase ||
+            other.segBase + other.segBytes <= new_base;
+        if (!disjoint)
+            fatal("relocate: target overlaps module {}",
+                  other.src->name);
+    }
+
+    // Copy the segment and scrub the old bytes (catching any stale
+    // absolute reference immediately).
+    const CodeByteAddr old_base = pm.segBase;
+    for (unsigned i = 0; i < pm.segBytes; ++i)
+        memory.pokeByte(new_base + i, memory.peekByte(old_base + i));
+    for (unsigned i = 0; i < pm.segBytes; ++i)
+        memory.pokeByte(old_base + i, 0);
+
+    // One word per instance: the code base in the global frame (T2).
+    const Word new_seg = layout.codeSegNum(new_base);
+    for (const PlacedInstance &inst : image.instances_) {
+        if (inst.moduleIndex == it->second)
+            memory.poke(inst.gfAddr, new_seg);
+    }
+
+    // Fix the image's own records.
+    pm.segBase = new_base;
+    for (PlacedProc &pp : pm.procs)
+        pp.prologueAddr = pp.prologueAddr - old_base + new_base;
+
+    return pm.segBytes;
+}
+
+} // namespace fpc

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Code-segment relocation (paper §5.1, T2/D3).
+ *
+ * With the Mesa linkage every reference to a module's code funnels
+ * through the code-base word in its global frame, and every saved PC
+ * is code-base-relative, so a code segment can be moved by copying
+ * the bytes and updating one word per instance — "this allows a
+ * simple and efficient implementation of code swapping and
+ * relocation". Even activations suspended inside the module resume
+ * correctly afterwards.
+ *
+ * The converse is D3: a module bound with DIRECTCALLs has absolute
+ * addresses burned into its callers, so relocation is refused for
+ * direct-linked modules (re-binding would be required, "as is
+ * traditional in conventional linkers").
+ *
+ * Relocation must happen while no processor is executing inside the
+ * module (its code base may be cached in processor registers), e.g.
+ * between runs or while every activation of the module is suspended.
+ */
+
+#ifndef FPC_PROGRAM_RELOCATE_HH
+#define FPC_PROGRAM_RELOCATE_HH
+
+#include "memory/memory.hh"
+#include "program/loader.hh"
+
+namespace fpc
+{
+
+/**
+ * Move the named module's code segment to new_base (a granule-aligned
+ * byte address in the code region). Copies the segment, updates the
+ * code-base word of every instance's global frame, and fixes the
+ * image's placement records. Fatal if the module (or any module
+ * calling it) uses direct linkage, or if the target range is invalid.
+ *
+ * @return the number of bytes moved.
+ */
+unsigned relocateModule(Memory &memory, LoadedImage &image,
+                        const std::string &module_name,
+                        CodeByteAddr new_base);
+
+/** First granule-aligned free byte address after all segments. */
+CodeByteAddr imageCodeEnd(const LoadedImage &image);
+
+} // namespace fpc
+
+#endif // FPC_PROGRAM_RELOCATE_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats: named
+ * counters, scalar distributions and histograms grouped into a
+ * StatGroup, dumped as text. Every simulator component owns a group;
+ * benches read individual stats to regenerate the paper's numbers.
+ */
+
+#ifndef FPC_STATS_STATS_HH
+#define FPC_STATS_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fpc::stats
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(CountT n) { value_ += n; return *this; }
+    void reset() { value_ = 0; }
+
+    CountT value() const { return value_; }
+
+  private:
+    CountT value_ = 0;
+};
+
+/** Running min/max/mean/variance over a stream of samples. */
+class Distribution
+{
+  public:
+    void sample(double val, CountT count = 1);
+    void reset();
+
+    CountT count() const { return count_; }
+    double total() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+
+  private:
+    CountT count_ = 0;
+    double sum_ = 0;
+    double sumSq_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** A fixed-bucket histogram over [0, bucketCount * bucketWidth). */
+class Histogram
+{
+  public:
+    Histogram(double bucket_width = 1.0, std::size_t bucket_count = 16);
+
+    void sample(double val, CountT count = 1);
+    void reset();
+
+    CountT count() const { return dist_.count(); }
+    double mean() const { return dist_.mean(); }
+    double min() const { return dist_.min(); }
+    double max() const { return dist_.max(); }
+
+    std::size_t buckets() const { return counts_.size(); }
+    double bucketWidth() const { return bucketWidth_; }
+    CountT bucketCount(std::size_t i) const { return counts_.at(i); }
+    CountT overflow() const { return overflow_; }
+
+    /** Fraction of samples with value <= val (bucket-resolution). */
+    double fractionAtOrBelow(double val) const;
+
+  private:
+    double bucketWidth_;
+    std::vector<CountT> counts_;
+    CountT overflow_ = 0;
+    Distribution dist_;
+};
+
+/**
+ * A named collection of statistics. Components register their stats by
+ * name; dump() prints them; find*() lets benches read them back.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    Counter &counter(const std::string &name, std::string desc = "");
+    Distribution &distribution(const std::string &name,
+                               std::string desc = "");
+    Histogram &histogram(const std::string &name, double bucket_width,
+                         std::size_t buckets, std::string desc = "");
+
+    const std::string &name() const { return name_; }
+
+    /** Look up a previously registered stat; panics if missing. */
+    const Counter &findCounter(const std::string &name) const;
+    const Distribution &findDistribution(const std::string &name) const;
+    const Histogram &findHistogram(const std::string &name) const;
+
+    bool hasCounter(const std::string &name) const;
+
+    void resetAll();
+    void dump(std::ostream &os) const;
+
+  private:
+    struct Entry
+    {
+        std::string desc;
+        // Exactly one of these is non-null; unique ownership.
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Distribution> dist;
+        std::unique_ptr<Histogram> hist;
+    };
+
+    std::string name_;
+    std::map<std::string, Entry> entries_;
+    std::vector<std::string> order_;
+
+    Entry &newEntry(const std::string &name, std::string desc);
+};
+
+} // namespace fpc::stats
+
+#endif // FPC_STATS_STATS_HH

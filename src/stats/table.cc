@@ -1,0 +1,69 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace fpc::stats
+{
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        panic("Table: no headers");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        panic("Table: row arity {} != header arity {}", cells.size(),
+              headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << " " << std::setw(static_cast<int>(widths[c]))
+               << cells[c] << " |";
+        os << "\n";
+    };
+
+    print_row(headers_);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+fixed(double v, int places)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(places) << v;
+    return os.str();
+}
+
+std::string
+percent(double fraction, int places)
+{
+    return fixed(fraction * 100.0, places) + "%";
+}
+
+} // namespace fpc::stats

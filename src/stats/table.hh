@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Plain-text table rendering for bench output. Every bench prints the
+ * table or series the paper reports through this formatter so the
+ * outputs are uniform and diffable.
+ */
+
+#ifndef FPC_STATS_TABLE_HH
+#define FPC_STATS_TABLE_HH
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace fpc::stats
+{
+
+/** A simple left/right-aligned column table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format arbitrary streamable cells. */
+    template <typename... Cells>
+    void
+    row(const Cells &...cells)
+    {
+        addRow({cellStr(cells)...});
+    }
+
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    template <typename T>
+    static std::string
+    cellStr(const T &v)
+    {
+        if constexpr (std::is_convertible_v<T, std::string>) {
+            return std::string(v);
+        } else {
+            std::ostringstream os;
+            os << v;
+            return os.str();
+        }
+    }
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimal places. */
+std::string fixed(double v, int places = 2);
+
+/** Format a fraction as a percentage string, e.g. "95.0%". */
+std::string percent(double fraction, int places = 1);
+
+} // namespace fpc::stats
+
+#endif // FPC_STATS_TABLE_HH

@@ -1,0 +1,68 @@
+#include "workload/frame_dist.hh"
+
+#include "common/logging.hh"
+
+namespace fpc
+{
+
+FrameSizeDist::FrameSizeDist(std::vector<Bucket> buckets)
+    : buckets_(std::move(buckets))
+{
+    if (buckets_.empty())
+        panic("FrameSizeDist: no buckets");
+    for (const auto &b : buckets_) {
+        if (b.minWords > b.maxWords || b.weight < 0)
+            panic("FrameSizeDist: bad bucket");
+        weights_.push_back(b.weight);
+    }
+}
+
+FrameSizeDist
+FrameSizeDist::mesa()
+{
+    // Paper §7.1: 95% of frames < 80 bytes (40 words). The frame
+    // payload here excludes nothing: it is what allocWords() receives
+    // (overhead + variables), so the smallest useful frame is ~5
+    // words.
+    return FrameSizeDist({
+        {5, 10, 0.34},
+        {11, 20, 0.36},
+        {21, 39, 0.25},
+        {40, 100, 0.04},
+        {101, 200, 0.01},
+    });
+}
+
+FrameSizeDist
+FrameSizeDist::fixed(unsigned words)
+{
+    return FrameSizeDist({{words, words, 1.0}});
+}
+
+unsigned
+FrameSizeDist::sample(Rng &rng) const
+{
+    const std::size_t i = rng.weighted(weights_);
+    const Bucket &b = buckets_[i];
+    return static_cast<unsigned>(
+        rng.uniform(b.minWords, b.maxWords));
+}
+
+double
+FrameSizeDist::fractionAtOrBelow(unsigned words) const
+{
+    double total = 0;
+    double below = 0;
+    for (const auto &b : buckets_) {
+        total += b.weight;
+        if (b.maxWords <= words) {
+            below += b.weight;
+        } else if (b.minWords <= words) {
+            const double span = b.maxWords - b.minWords + 1;
+            below += b.weight * (words - b.minWords + 1) / span;
+        }
+    }
+    return total > 0 ? below / total : 0.0;
+}
+
+} // namespace fpc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Frame-size distributions.
+ *
+ * The paper's §7.1 statistic — "Mesa statistics suggest that 95% of
+ * all frames allocated are smaller than 80 bytes" — calibrates the
+ * default distribution; benches verify their workloads match it and
+ * sweep alternatives.
+ */
+
+#ifndef FPC_WORKLOAD_FRAME_DIST_HH
+#define FPC_WORKLOAD_FRAME_DIST_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace fpc
+{
+
+/** A bucketed sampler of frame payload sizes in words. */
+class FrameSizeDist
+{
+  public:
+    struct Bucket
+    {
+        unsigned minWords;
+        unsigned maxWords; ///< inclusive
+        double weight;
+    };
+
+    explicit FrameSizeDist(std::vector<Bucket> buckets);
+
+    /** The paper's Mesa-like shape: 95% of frames below 40 words
+     *  (80 bytes), a thin tail up to ~200 words. */
+    static FrameSizeDist mesa();
+
+    /** Every frame the same size (for controlled experiments). */
+    static FrameSizeDist fixed(unsigned words);
+
+    unsigned sample(Rng &rng) const;
+
+    /** Expected fraction of samples at or below the threshold. */
+    double fractionAtOrBelow(unsigned words) const;
+
+  private:
+    std::vector<Bucket> buckets_;
+    std::vector<double> weights_;
+};
+
+} // namespace fpc
+
+#endif // FPC_WORKLOAD_FRAME_DIST_HH

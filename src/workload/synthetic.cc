@@ -1,0 +1,162 @@
+#include "workload/synthetic.hh"
+
+#include "asm/builder.hh"
+#include "common/logging.hh"
+#include "common/strfmt.hh"
+#include "xfer/context.hh"
+
+namespace fpc
+{
+
+namespace
+{
+
+/** Slots: 0 = depth argument, 1 = accumulator, 2..3 = filler. */
+constexpr unsigned slotDepth = 0;
+constexpr unsigned slotAcc = 1;
+constexpr unsigned slotFillA = 2;
+constexpr unsigned slotFillB = 3;
+constexpr unsigned numSlots = 4;
+
+void
+emitFiller(ProcBuilder &pb, Rng &rng, unsigned ops)
+{
+    using isa::Op;
+    for (unsigned i = 0; i < ops; ++i) {
+        switch (rng.uniform(0, 4)) {
+          case 0:
+            pb.loadLocal(slotFillA);
+            pb.loadImm(static_cast<Word>(rng.uniform(0, 6)));
+            pb.op(Op::ADD);
+            pb.storeLocal(slotFillA);
+            i += 3;
+            break;
+          case 1:
+            pb.loadLocal(slotAcc);
+            pb.loadLocal(slotFillB);
+            pb.op(Op::XOR);
+            pb.storeLocal(slotFillB);
+            i += 3;
+            break;
+          case 2:
+            pb.loadImm(static_cast<Word>(rng.uniform(0, 255)));
+            pb.storeLocal(slotFillB);
+            i += 1;
+            break;
+          case 3:
+            pb.loadLocal(slotFillA);
+            pb.loadImm(1);
+            pb.op(Op::SHL);
+            pb.storeLocal(slotFillA);
+            i += 3;
+            break;
+          default:
+            pb.loadGlobal(0);
+            pb.loadImm(1);
+            pb.op(Op::ADD);
+            pb.storeGlobal(0);
+            i += 3;
+            break;
+        }
+    }
+}
+
+} // namespace
+
+std::string
+generatedEntryModule()
+{
+    return "Gen0";
+}
+
+std::string
+generatedEntryProc()
+{
+    return "p0";
+}
+
+std::vector<Module>
+generateProgram(const ProgramConfig &config)
+{
+    if (config.modules == 0 || config.procsPerModule == 0)
+        fatal("generateProgram: empty shape");
+    if (config.liveCallsPerProc > config.callSitesPerProc)
+        fatal("generateProgram: more live calls than call sites");
+
+    Rng rng(config.seed);
+    std::vector<ModuleBuilder> builders;
+    builders.reserve(config.modules);
+    for (unsigned m = 0; m < config.modules; ++m) {
+        builders.emplace_back(strfmt("Gen{}", m));
+        builders.back().globals(2);
+    }
+
+    for (unsigned m = 0; m < config.modules; ++m) {
+        for (unsigned p = 0; p < config.procsPerModule; ++p) {
+            const unsigned payload = config.frameDist.sample(rng);
+            const unsigned extra =
+                payload > frame::overheadWords + numSlots
+                    ? payload - frame::overheadWords - numSlots
+                    : 0;
+            auto &pb = builders[m].proc(strfmt("p{}", p), 1, numSlots,
+                                        extra);
+
+            using isa::Op;
+            // if (depth == 0) return 1;
+            auto go = pb.newLabel();
+            pb.loadLocal(slotDepth).jumpNotZero(go);
+            pb.loadImm(1).ret();
+            pb.label(go);
+            // acc = depth;
+            pb.loadLocal(slotDepth).storeLocal(slotAcc);
+
+            for (unsigned site = 0; site < config.callSitesPerProc;
+                 ++site) {
+                emitFiller(pb, rng, config.computeOpsPerCall);
+
+                const bool live = site < config.liveCallsPerProc;
+                AsmLabel skip{0};
+                if (!live) {
+                    // A statically present, dynamically dead site: it
+                    // contributes to the image and to the static call
+                    // profile but never executes.
+                    skip = pb.newLabel();
+                    pb.loadImm(0).jumpZero(skip);
+                }
+
+                // acc = acc + target(depth - 1)
+                pb.loadLocal(slotDepth).loadImm(1).op(Op::SUB);
+                const bool local =
+                    config.modules == 1 ||
+                    rng.chance(config.localCallFraction);
+                if (local) {
+                    const unsigned target =
+                        rng.uniform(0, config.procsPerModule - 1);
+                    pb.callLocal(strfmt("p{}", target));
+                } else {
+                    unsigned tm = rng.uniform(0, config.modules - 2);
+                    if (tm >= m)
+                        ++tm; // pick a different module
+                    const unsigned tp =
+                        rng.uniform(0, config.procsPerModule - 1);
+                    const unsigned ext = builders[m].externRef(
+                        strfmt("Gen{}", tm), strfmt("p{}", tp));
+                    pb.callExtern(ext);
+                }
+                pb.loadLocal(slotAcc).op(Op::ADD).storeLocal(slotAcc);
+
+                if (!live)
+                    pb.label(skip);
+            }
+            pb.loadLocal(slotAcc).ret();
+        }
+    }
+
+    std::vector<Module> out;
+    out.reserve(config.modules);
+    for (auto &b : builders)
+        out.push_back(b.build());
+    return out;
+}
+
+} // namespace fpc

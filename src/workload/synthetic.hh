@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Synthetic program generation.
+ *
+ * Builds multi-module programs whose *distributional* properties match
+ * what the paper reports for real Mesa code: roughly one call per ten
+ * executed instructions (§1), frames mostly below 80 bytes (§7.1), a
+ * skewed static call-frequency profile (so the one-byte EFC/LFC forms
+ * earn their keep, §5.1), and a LIFO-dominated but not strictly LIFO
+ * transfer pattern. Benches use these programs where the paper used
+ * its Mesa corpus — see the substitution table in DESIGN.md.
+ */
+
+#ifndef FPC_WORKLOAD_SYNTHETIC_HH
+#define FPC_WORKLOAD_SYNTHETIC_HH
+
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "program/module.hh"
+#include "workload/frame_dist.hh"
+
+namespace fpc
+{
+
+/** Shape of the generated program. */
+struct ProgramConfig
+{
+    unsigned modules = 4;
+    unsigned procsPerModule = 8;
+    /** Call sites emitted per procedure body. */
+    unsigned callSitesPerProc = 3;
+    /** Fraction of call sites that stay inside the module. */
+    double localCallFraction = 0.5;
+    /** Recursion fuel: each call passes depth-1; 0 returns. */
+    unsigned maxDepth = 8;
+    /** Fan-out degree: how many of the call sites actually execute
+     *  per activation (the rest are behind never-taken branches,
+     *  giving a skewed static/dynamic profile). */
+    unsigned liveCallsPerProc = 2;
+    /** Arithmetic/load/store filler per call site, tuning the
+     *  instructions-per-call ratio toward the paper's ~10. */
+    unsigned computeOpsPerCall = 5;
+    /** Extra frame words sampled per procedure. */
+    FrameSizeDist frameDist = FrameSizeDist::mesa();
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate the program. Module names are "Gen0".."GenN"; the entry
+ * point is Gen0.main(depth).
+ */
+std::vector<Module> generateProgram(const ProgramConfig &config);
+
+/** Name of the generated entry module/procedure. */
+std::string generatedEntryModule();
+std::string generatedEntryProc();
+
+} // namespace fpc
+
+#endif // FPC_WORKLOAD_SYNTHETIC_HH

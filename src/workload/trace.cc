@@ -1,0 +1,158 @@
+#include "workload/trace.hh"
+
+#include <algorithm>
+
+#include "asm/builder.hh"
+#include "common/logging.hh"
+#include "common/strfmt.hh"
+#include "program/loader.hh"
+
+namespace fpc
+{
+
+std::vector<TraceOp>
+generateTrace(const TraceConfig &config)
+{
+    Rng rng(config.seed);
+    std::vector<TraceOp> trace;
+    trace.reserve(config.length);
+
+    unsigned depth = 0;
+    TraceOp prev = TraceOp::Call;
+    for (std::size_t i = 0; i < config.length; ++i) {
+        if (config.switchFraction > 0 &&
+            rng.chance(config.switchFraction)) {
+            trace.push_back(TraceOp::Switch);
+            continue;
+        }
+        TraceOp op;
+        if (depth == 0) {
+            op = TraceOp::Call;
+        } else if (depth >= config.maxDepth) {
+            op = TraceOp::Return;
+        } else if (rng.chance(config.persistence)) {
+            op = prev == TraceOp::Switch ? TraceOp::Call : prev;
+        } else {
+            // Mean-reverting direction choice: depth stays local.
+            double p_call =
+                0.5 + config.depthPull *
+                          (static_cast<double>(config.meanDepth) -
+                           static_cast<double>(depth));
+            p_call = std::min(0.95, std::max(0.05, p_call));
+            op = rng.chance(p_call) ? TraceOp::Call : TraceOp::Return;
+        }
+        trace.push_back(op);
+        if (op == TraceOp::Call)
+            ++depth;
+        else
+            --depth;
+        prev = op;
+    }
+    return trace;
+}
+
+namespace
+{
+
+/** Build the resident module: procedures spanning the size classes. */
+Module
+traceModule(const FrameSizeDist &dist, unsigned procs,
+            std::uint64_t seed)
+{
+    Rng rng(seed);
+    ModuleBuilder b("T");
+    b.globals(1);
+    for (unsigned p = 0; p < procs; ++p) {
+        const unsigned payload = dist.sample(rng);
+        const unsigned extra = payload > frame::overheadWords + 1
+                                   ? payload - frame::overheadWords - 1
+                                   : 0;
+        auto &pb = b.proc(strfmt("p{}", p), 0, 1, extra);
+        pb.loadImm(0).ret(); // never interpreted in trace mode
+    }
+    return b.build();
+}
+
+} // namespace
+
+TraceRunner::TraceRunner(const MachineConfig &config,
+                         const FrameSizeDist &dist, unsigned coroutines,
+                         std::uint64_t seed)
+    : rng_(seed ^ 0xC0FFEE)
+{
+    const SystemLayout layout;
+    mem_ = std::make_unique<Memory>(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    constexpr unsigned numProcs = 8;
+    loader.add(traceModule(dist, numProcs, seed));
+    image_ = std::make_unique<LoadedImage>(
+        loader.load(*mem_, LinkPlan{}));
+    machine_ = std::make_unique<Machine>(*mem_, *image_, config);
+
+    for (unsigned p = 0; p < numProcs; ++p)
+        descriptors_.push_back(
+            image_->procDescriptor("T", strfmt("p{}", p)));
+
+    // The base activation of chain 0.
+    machine_->startContext(descriptors_[0]);
+
+    for (unsigned c = 1; c < std::max(1u, coroutines); ++c)
+        chains_.push_back(machine_->spawn("T", "p0"));
+    chains_.insert(chains_.begin(), nilContext); // slot for chain 0
+    chainDepth_.assign(chains_.size(), 0);
+}
+
+TraceRunner::~TraceRunner() = default;
+
+void
+TraceRunner::call(unsigned proc_ordinal)
+{
+    machine_->callDescriptor(
+        descriptors_[proc_ordinal % descriptors_.size()],
+        XferKind::ExtCall);
+    ++depth_;
+}
+
+void
+TraceRunner::ret()
+{
+    if (depth_ == 0)
+        return; // never return past the chain base
+    machine_->doReturn();
+    --depth_;
+}
+
+void
+TraceRunner::switchChain()
+{
+    if (chains_.size() < 2)
+        return;
+    chains_[currentChain_] = machine_->currentFrameContext();
+    chainDepth_[currentChain_] = depth_;
+    currentChain_ = (currentChain_ + 1) % chains_.size();
+    machine_->xferTo(chains_[currentChain_]);
+    depth_ = chainDepth_[currentChain_];
+}
+
+void
+TraceRunner::run(const std::vector<TraceOp> &trace)
+{
+    for (const TraceOp op : trace) {
+        switch (op) {
+          case TraceOp::Call:
+            call(static_cast<unsigned>(rng_.uniform(0, 7)));
+            break;
+          case TraceOp::Return:
+            if (depth_ == 0)
+                call(static_cast<unsigned>(rng_.uniform(0, 7)));
+            else
+                ret();
+            break;
+          case TraceOp::Switch:
+            switchChain();
+            break;
+        }
+    }
+}
+
+} // namespace fpc

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Trace-driven transfer workloads.
+ *
+ * For the bank-count and return-stack studies (Figure 3, §7.1) the
+ * interesting variable is the *pattern* of transfers, not the code
+ * between them. A trace is a sequence of Call / Return / Switch
+ * operations with a tunable "LIFO-ness": the paper's observation is
+ * that "long runs of calls nearly uninterrupted by returns, or vice
+ * versa, are quite rare", so the generator's persistence parameter
+ * controls exactly that.
+ *
+ * TraceRunner feeds a trace straight into the machine's transfer
+ * primitives against a small resident image, so a million transfers
+ * cost a million transfers, with no interpretation in between.
+ */
+
+#ifndef FPC_WORKLOAD_TRACE_HH
+#define FPC_WORKLOAD_TRACE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/random.hh"
+#include "machine/machine.hh"
+#include "workload/frame_dist.hh"
+
+namespace fpc
+{
+
+enum class TraceOp : std::uint8_t
+{
+    Call,
+    Return,
+    Switch ///< coroutine transfer to another process chain
+};
+
+/** Trace shape parameters. */
+struct TraceConfig
+{
+    std::size_t length = 100'000;
+    /**
+     * Probability that the next transfer repeats the previous
+     * direction (call after call, return after return). 0.5 is a
+     * random walk; Mesa-like traces sit near 0.2-0.35 (short
+     * excursions, so "long runs ... are quite rare").
+     */
+    double persistence = 0.3;
+    /**
+     * Depth locality: real call profiles oscillate around the depth
+     * of the current phase rather than drifting — most calls are to
+     * leaves that return promptly. The pull biases the direction
+     * toward meanDepth; 0 gives a pure (unrealistic) random walk.
+     */
+    double depthPull = 0.15;
+    unsigned meanDepth = 8;
+    /** Fraction of events that are coroutine switches. */
+    double switchFraction = 0.0;
+    unsigned maxDepth = 200;
+    std::uint64_t seed = 1;
+};
+
+/** Generate a depth-valid trace (never returns past depth 1). */
+std::vector<TraceOp> generateTrace(const TraceConfig &config);
+
+/**
+ * Executes traces against a machine using the public transfer
+ * primitives. Builds a one-module image with procedures spanning the
+ * frame-size distribution and a set of coroutine chains for Switch.
+ */
+class TraceRunner
+{
+  public:
+    TraceRunner(const MachineConfig &config,
+                const FrameSizeDist &dist = FrameSizeDist::mesa(),
+                unsigned coroutines = 4, std::uint64_t seed = 1);
+    ~TraceRunner();
+
+    /** Run the trace; invalid ops are skipped defensively. */
+    void run(const std::vector<TraceOp> &trace);
+
+    /** One call of a procedure with the given size-class ordinal. */
+    void call(unsigned proc_ordinal);
+    /** One return (no-op at the chain bottom). */
+    void ret();
+    /** Transfer to the next coroutine chain (round robin). */
+    void switchChain();
+
+    Machine &machine() { return *machine_; }
+    Memory &memory() { return *mem_; }
+    unsigned depth() const { return depth_; }
+    unsigned procCount() const { return descriptors_.size(); }
+
+  private:
+    std::unique_ptr<Memory> mem_;
+    std::unique_ptr<LoadedImage> image_;
+    std::unique_ptr<Machine> machine_;
+    std::vector<Word> descriptors_; ///< procs of varied frame sizes
+    std::vector<Word> chains_;      ///< coroutine base contexts
+    std::vector<unsigned> chainDepth_;
+    unsigned currentChain_ = 0;
+    unsigned depth_ = 0;
+    Rng rng_;
+};
+
+} // namespace fpc
+
+#endif // FPC_WORKLOAD_TRACE_HH

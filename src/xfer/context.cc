@@ -1,0 +1,112 @@
+#include "xfer/context.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/strfmt.hh"
+
+namespace fpc
+{
+
+namespace
+{
+constexpr unsigned tagBit = 15;
+} // namespace
+
+Word
+packFrameContext(Addr frame_ptr, const SystemLayout &layout)
+{
+    if (frame_ptr == nilAddr)
+        return nilContext;
+    const Addr block = frame_ptr - 1; // the header word
+    if (block < layout.frameBase || frame_ptr >= layout.frameEnd)
+        panic("frame pointer {} outside the frame region", frame_ptr);
+    if ((block - layout.frameBase) % 4 != 0)
+        panic("frame block {} is not quad-aligned", block);
+    const Addr quad = (block - layout.frameBase) / 4;
+    if (quad == 0)
+        panic("frame quad 0 is reserved for NIL");
+    return static_cast<Word>(quad); // tag bit 15 is 0
+}
+
+Word
+packProcDesc(unsigned gft_index, unsigned ev_low5)
+{
+    checkedField(gft_index, 10, "procDesc.env");
+    checkedField(ev_low5, 5, "procDesc.code");
+    return static_cast<Word>((1u << tagBit) | (gft_index << 5) | ev_low5);
+}
+
+Context
+unpackContext(Word ctx, const SystemLayout &layout)
+{
+    Context out;
+    if (ctx & (1u << tagBit)) {
+        out.tag = Context::Tag::Proc;
+        out.env = bits(ctx, 5, 10);
+        out.code = bits(ctx, 0, 5);
+    } else {
+        out.tag = Context::Tag::Frame;
+        if (ctx == nilContext) {
+            out.framePtr = nilAddr;
+        } else {
+            out.framePtr =
+                layout.frameBase + static_cast<Addr>(ctx) * 4 + 1;
+        }
+    }
+    return out;
+}
+
+std::string
+contextToString(Word ctx, const SystemLayout &layout)
+{
+    const Context c = unpackContext(ctx, layout);
+    if (c.tag == Context::Tag::Proc)
+        return strfmt("proc[env={} code={}]", c.env, c.code);
+    if (c.isNil())
+        return "NIL";
+    return strfmt("frame[{}]", c.framePtr);
+}
+
+Word
+packGftEntry(const GftEntry &entry, const SystemLayout &layout)
+{
+    if (entry.gfAddr < layout.globalBase || entry.gfAddr >= layout.globalEnd)
+        panic("global frame address {} outside the global region",
+              entry.gfAddr);
+    if (entry.gfAddr % 4 != 0)
+        panic("global frame {} is not quad-aligned", entry.gfAddr);
+    checkedField(entry.bias, 2, "gft.bias");
+    // Quad index within the 64K-word global space (14 bits suffice
+    // because the global region ends below 64K words).
+    const Addr quad = entry.gfAddr / 4;
+    checkedField(quad, 14, "gft.gfQuad");
+    return static_cast<Word>((quad << 2) | entry.bias);
+}
+
+GftEntry
+unpackGftEntry(Word raw, const SystemLayout &layout)
+{
+    (void)layout;
+    GftEntry e;
+    e.gfAddr = static_cast<Addr>(bits(raw, 2, 14)) * 4;
+    e.bias = bits(raw, 0, 2);
+    return e;
+}
+
+const char *
+xferKindName(XferKind kind)
+{
+    switch (kind) {
+      case XferKind::ExtCall: return "extCall";
+      case XferKind::LocalCall: return "localCall";
+      case XferKind::DirectCall: return "directCall";
+      case XferKind::FatCall: return "fatCall";
+      case XferKind::Return: return "return";
+      case XferKind::Coroutine: return "coroutine";
+      case XferKind::ProcSwitch: return "procSwitch";
+      case XferKind::Trap: return "trap";
+      default: return "?";
+    }
+}
+
+} // namespace fpc

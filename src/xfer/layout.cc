@@ -1,0 +1,58 @@
+#include "xfer/layout.hh"
+
+#include "common/logging.hh"
+
+namespace fpc
+{
+
+CodeByteAddr
+SystemLayout::codeSegBase(Word seg_num) const
+{
+    return static_cast<CodeByteAddr>(codeRegionBase) * wordBytes +
+           static_cast<CodeByteAddr>(seg_num) * codeGranuleBytes;
+}
+
+Word
+SystemLayout::codeSegNum(CodeByteAddr base) const
+{
+    const CodeByteAddr region = codeRegionBase * wordBytes;
+    if (base < region || (base - region) % codeGranuleBytes != 0)
+        panic("code base {} is not granule-aligned in the code region",
+              base);
+    const CodeByteAddr num = (base - region) / codeGranuleBytes;
+    if (num > 0xFFFF)
+        panic("code segment number {} overflows a word", num);
+    return static_cast<Word>(num);
+}
+
+bool
+SystemLayout::isFrameAddr(Addr addr) const
+{
+    return addr >= frameBase && addr < frameEnd;
+}
+
+void
+SystemLayout::validate() const
+{
+    if (avAddr + maxSizeClasses > gftAddr)
+        panic("layout: AV overlaps GFT");
+    if (gftAddr + gftEntries > globalBase)
+        panic("layout: GFT overlaps the global frame region");
+    if (globalEnd > 0x10000)
+        panic("layout: global frame region must stay below 64K words");
+    if (frameBase < globalEnd)
+        panic("layout: frame region overlaps the global region");
+    if ((frameEnd - frameBase) > (1u << 17))
+        panic("layout: frame region exceeds 15 bits of quads");
+    if (frameEnd > 0x10000)
+        panic("layout: data space must stay below 64K words so "
+              "pointers fit in a word");
+    if (frameBase % 4 != 0)
+        panic("layout: frame region must be quad-aligned");
+    if (codeRegionBase < frameEnd)
+        panic("layout: code region overlaps the frame region");
+    if (codeRegionBase >= memWords)
+        panic("layout: no room for code");
+}
+
+} // namespace fpc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The simulated machine's address-space layout (DESIGN.md §4).
+ *
+ * Everything the paper keeps in main storage gets a fixed region:
+ *
+ *   [avAddr, avAddr+32)            the allocation vector AV (§5.3)
+ *   [gftAddr, gftAddr+1024)        the global frame table GFT (§5.1)
+ *   [globalBase, globalEnd)        global frames + link vectors; kept
+ *                                  below 64K words so a global frame
+ *                                  address fits in one machine word
+ *   [frameBase, frameEnd)          the frame heap (§5.3); frames are
+ *                                  quad-aligned so a 15-bit quad index
+ *                                  addresses the whole region, which is
+ *                                  what lets a frame context pack into
+ *                                  a one-word Context with a tag bit
+ *   [codeBase, end of memory)      code segments; a code segment base
+ *                                  is named by a 16-bit segment number
+ *                                  (256-byte granules), the one-word
+ *                                  "code base" a global frame stores
+ */
+
+#ifndef FPC_XFER_LAYOUT_HH
+#define FPC_XFER_LAYOUT_HH
+
+#include "common/types.hh"
+
+namespace fpc
+{
+
+/** Fixed address-space layout shared by loader, heap and machine. */
+struct SystemLayout
+{
+    /** Total memory size in words. */
+    std::size_t memWords = 1u << 21;
+
+    /** Allocation vector base (one word per frame size class). */
+    Addr avAddr = 0x0010;
+    /** Maximum number of frame size classes. */
+    unsigned maxSizeClasses = 32;
+
+    /** Global frame table base; gftEntries one-word entries. */
+    Addr gftAddr = 0x0040;
+    unsigned gftEntries = 1024;
+
+    /** Global frame / link vector region (must stay below 64K words). */
+    Addr globalBase = 0x0440;
+    Addr globalEnd = 0x8000;
+
+    /**
+     * Frame heap region; (frameEnd - frameBase) <= 2^15 quads, and the
+     * whole data space (globals + frames) stays below 64K words so a
+     * pointer to any datum fits in one machine word (§7.4 needs
+     * pointers to locals to be ordinary word values).
+     */
+    Addr frameBase = 0x8000;
+    Addr frameEnd = 0x10000;
+
+    /** First word of the code region. */
+    Addr codeRegionBase = 0x10000;
+
+    /** Code segment alignment granule in bytes. */
+    unsigned codeGranuleBytes = 256;
+
+    /** Convert a code segment number to its base byte address. */
+    CodeByteAddr codeSegBase(Word seg_num) const;
+
+    /** Convert a code base byte address back to a segment number. */
+    Word codeSegNum(CodeByteAddr base) const;
+
+    /** True if addr lies in the frame heap region (§7.4 region test). */
+    bool isFrameAddr(Addr addr) const;
+
+    /** Validate internal consistency; panics on a bad layout. */
+    void validate() const;
+};
+
+} // namespace fpc
+
+#endif // FPC_XFER_LAYOUT_HH

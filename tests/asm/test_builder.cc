@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Assembler/builder tests: forward references, extern deduplication,
+ * bounds validation, and the produced IR.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.hh"
+#include "common/logging.hh"
+
+namespace fpc
+{
+namespace
+{
+
+TEST(Builder, ForwardLocalCallsResolve)
+{
+    ModuleBuilder b("M");
+    auto &a = b.proc("a", 0, 1);
+    a.callLocal("b"); // b not defined yet
+    a.ret();
+    auto &bb = b.proc("b", 0, 1);
+    bb.loadImm(1).ret();
+
+    const Module mod = b.build();
+    ASSERT_EQ(mod.procs[0].code.size(), 2u);
+    EXPECT_EQ(mod.procs[0].code[0].kind, AsmInst::Kind::LocalCall);
+    EXPECT_EQ(mod.procs[0].code[0].a, 1); // resolved to proc index 1
+}
+
+TEST(Builder, UnknownLocalCallIsFatal)
+{
+    setQuiet(true);
+    ModuleBuilder b("M");
+    b.proc("a", 0, 1).callLocal("ghost").ret();
+    EXPECT_THROW(b.build(), FatalError);
+    setQuiet(false);
+}
+
+TEST(Builder, ExternRefsDeduplicate)
+{
+    ModuleBuilder b("M");
+    const unsigned e1 = b.externRef("X", "f");
+    const unsigned e2 = b.externRef("X", "f");
+    const unsigned e3 = b.externRef("X", "g");
+    const unsigned e4 = b.externRef("X", "f", 1); // other instance
+    EXPECT_EQ(e1, e2);
+    EXPECT_NE(e1, e3);
+    EXPECT_NE(e1, e4);
+    b.proc("m", 0, 1).callExtern(e1).ret();
+    EXPECT_EQ(b.build().externs.size(), 3u);
+}
+
+TEST(Builder, LocalIndexBoundsChecked)
+{
+    setQuiet(true);
+    ModuleBuilder b("M");
+    auto &p = b.proc("p", 1, 2);
+    EXPECT_NO_THROW(p.loadLocal(1));
+    EXPECT_THROW(p.loadLocal(2), FatalError);
+    EXPECT_THROW(p.storeLocal(5), FatalError);
+    EXPECT_THROW(p.loadLocalAddr(2), FatalError);
+    setQuiet(false);
+}
+
+TEST(Builder, ExternIdBoundsChecked)
+{
+    setQuiet(true);
+    ModuleBuilder b("M");
+    auto &p = b.proc("p", 0, 1);
+    EXPECT_THROW(p.callExtern(0), FatalError); // none registered
+    EXPECT_THROW(p.loadDescriptor(3), FatalError);
+    setQuiet(false);
+}
+
+TEST(Builder, DuplicateProcNameRejected)
+{
+    setQuiet(true);
+    ModuleBuilder b("M");
+    b.proc("p", 0, 1).ret();
+    EXPECT_THROW(b.proc("p", 0, 1), FatalError);
+    setQuiet(false);
+}
+
+TEST(Builder, DoubleBuildRejected)
+{
+    setQuiet(true);
+    ModuleBuilder b("M");
+    b.proc("p", 0, 1).loadImm(0).ret();
+    b.build();
+    EXPECT_THROW(b.build(), FatalError);
+    setQuiet(false);
+}
+
+TEST(Builder, LabelsAreScopedPerProc)
+{
+    ModuleBuilder b("M");
+    auto &p1 = b.proc("p1", 0, 1);
+    auto l1 = p1.newLabel();
+    p1.jump(l1).label(l1).loadImm(0).ret();
+    auto &p2 = b.proc("p2", 0, 1);
+    auto l2 = p2.newLabel();
+    EXPECT_EQ(l2.id, 0u); // fresh counter per proc
+    p2.jump(l2).label(l2).loadImm(0).ret();
+    const Module mod = b.build();
+    EXPECT_EQ(mod.procs[0].numLabels, 1u);
+    EXPECT_EQ(mod.procs[1].numLabels, 1u);
+}
+
+TEST(Builder, GlobalsAndExtraWordsRecorded)
+{
+    ModuleBuilder b("M");
+    b.globals(3, {7, 8});
+    auto &p = b.proc("p", 1, 2, 10);
+    p.extraFrameWords(12);
+    p.loadImm(0).ret();
+    const Module mod = b.build();
+    EXPECT_EQ(mod.numGlobals, 3u);
+    EXPECT_EQ(mod.globalInit, (std::vector<Word>{7, 8}));
+    EXPECT_EQ(mod.procs[0].extraWords, 12u);
+    EXPECT_EQ(mod.procs[0].framePayloadWords(), 3u + 2 + 12);
+}
+
+TEST(Builder, ValidationCatchesBadModules)
+{
+    setQuiet(true);
+    // More args than vars.
+    ModuleBuilder b("M");
+    b.proc("p", 3, 2).loadImm(0).ret();
+    EXPECT_THROW(b.build(), FatalError);
+    setQuiet(false);
+}
+
+} // namespace
+} // namespace fpc

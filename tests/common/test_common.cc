@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the common substrate: formatting, bit fields,
+ * logging and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/strfmt.hh"
+
+namespace fpc
+{
+namespace
+{
+
+TEST(Strfmt, BasicSubstitution)
+{
+    EXPECT_EQ(strfmt("a={} b={}", 1, 2), "a=1 b=2");
+    EXPECT_EQ(strfmt("no placeholders"), "no placeholders");
+    EXPECT_EQ(strfmt("{}{}{}", "x", "y", "z"), "xyz");
+    EXPECT_EQ(strfmt("hex {} str {}", 255, std::string("s")),
+              "hex 255 str s");
+}
+
+TEST(Strfmt, SurplusPlaceholdersStayVerbatim)
+{
+    EXPECT_EQ(strfmt("a={} b={}", 1), "a=1 b={}");
+}
+
+TEST(Strfmt, SurplusArgumentsAreAppended)
+{
+    EXPECT_EQ(strfmt("a={}", 1, 2, 3), "a=1 2 3");
+}
+
+TEST(Bits, ExtractAndInsert)
+{
+    EXPECT_EQ(bits(0xABCD, 0, 4), 0xDu);
+    EXPECT_EQ(bits(0xABCD, 4, 4), 0xCu);
+    EXPECT_EQ(bits(0xABCD, 12, 4), 0xAu);
+    EXPECT_EQ(bits(0xFFFF, 0, 16), 0xFFFFu);
+
+    EXPECT_EQ(insertBits(0, 4, 4, 0xF), 0xF0u);
+    EXPECT_EQ(insertBits(0xFFFF, 8, 4, 0), 0xF0FFu);
+    // Field wider than value: excess masked.
+    EXPECT_EQ(insertBits(0, 0, 4, 0x1F), 0xFu);
+}
+
+TEST(Bits, FitsChecks)
+{
+    EXPECT_TRUE(fitsUnsigned(255, 8));
+    EXPECT_FALSE(fitsUnsigned(256, 8));
+    EXPECT_TRUE(fitsSigned(127, 8));
+    EXPECT_TRUE(fitsSigned(-128, 8));
+    EXPECT_FALSE(fitsSigned(128, 8));
+    EXPECT_FALSE(fitsSigned(-129, 8));
+    EXPECT_TRUE(fitsSigned(-524288, 20));
+    EXPECT_FALSE(fitsSigned(524288, 20));
+}
+
+TEST(Bits, CheckedFieldPanics)
+{
+    EXPECT_EQ(checkedField(1023, 10, "x"), 1023u);
+    EXPECT_THROW(checkedField(1024, 10, "x"), PanicError);
+}
+
+TEST(Logging, PanicAndFatalThrow)
+{
+    setQuiet(true);
+    EXPECT_THROW(panic("boom {}", 1), PanicError);
+    EXPECT_THROW(fatal("user {}", "error"), FatalError);
+    try {
+        fatal("value = {}", 42);
+    } catch (const FatalError &err) {
+        EXPECT_STREQ(err.what(), "value = 42");
+    }
+    setQuiet(false);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123), c(124);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(123);
+    for (int i = 0; i < 100; ++i)
+        differs |= a2.next() != c.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniform(3, 7);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u); // all values hit
+    EXPECT_EQ(rng.uniform(9, 9), 9u);
+    EXPECT_THROW(rng.uniform(2, 1), PanicError);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(6);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniformReal();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng rng(7);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng rng(8);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rng.weighted(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+    EXPECT_THROW(rng.weighted({0.0, 0.0}), PanicError);
+}
+
+TEST(Rng, GeometricBounded)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LE(rng.geometric(0.9, 5), 5u);
+    // p=0 never succeeds.
+    EXPECT_EQ(rng.geometric(0.0, 10), 0u);
+}
+
+} // namespace
+} // namespace fpc

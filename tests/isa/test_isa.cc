@@ -1,0 +1,221 @@
+/**
+ * @file
+ * ISA tests: opcode-table invariants, encode/decode round trips
+ * (property-style over every opcode and operand range), compact-form
+ * selection, and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "isa/decode.hh"
+#include "isa/disasm.hh"
+
+namespace fpc::isa
+{
+namespace
+{
+
+std::vector<std::uint8_t>
+validOpcodes()
+{
+    std::vector<std::uint8_t> out;
+    for (unsigned op = 0; op < 256; ++op)
+        if (opcodeValid(op))
+            out.push_back(static_cast<std::uint8_t>(op));
+    return out;
+}
+
+TEST(OpTable, NamesAreUniqueAndNonEmpty)
+{
+    std::set<std::string> names;
+    for (const std::uint8_t op : validOpcodes()) {
+        const OpInfo &info = opInfo(op);
+        ASSERT_NE(info.name, nullptr);
+        EXPECT_TRUE(names.insert(info.name).second)
+            << "duplicate mnemonic " << info.name;
+    }
+    EXPECT_GT(names.size(), 80u); // a rich one-byte-dominated set
+}
+
+TEST(OpTable, LengthsMatchOperandKind)
+{
+    for (const std::uint8_t op : validOpcodes()) {
+        const OpInfo &info = opInfo(op);
+        const unsigned len = instLength(op);
+        switch (info.kind) {
+          case OperandKind::None: EXPECT_EQ(len, 1u); break;
+          case OperandKind::UByte:
+          case OperandKind::SByte: EXPECT_EQ(len, 2u); break;
+          case OperandKind::UWord:
+          case OperandKind::SWord:
+          case OperandKind::Rel20: EXPECT_EQ(len, 3u); break;
+          case OperandKind::Code24: EXPECT_EQ(len, 4u); break;
+          case OperandKind::Desc40: EXPECT_EQ(len, 6u); break;
+          default: FAIL();
+        }
+    }
+}
+
+TEST(OpTable, CompactFamiliesEmbedOperands)
+{
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(opInfo(static_cast<std::uint8_t>(
+                             static_cast<int>(Op::LL0) + i))
+                      .embedded,
+                  i);
+        EXPECT_EQ(opInfo(static_cast<std::uint8_t>(
+                             static_cast<int>(Op::EFC0) + i))
+                      .embedded,
+                  i);
+    }
+    EXPECT_EQ(opInfo(Op::LIN1).embedded, 0xFFFF);
+    EXPECT_EQ(opInfo(Op::J2).embedded, 2);
+    EXPECT_EQ(opInfo(Op::J8).embedded, 8);
+}
+
+TEST(OpTable, IllegalOpcodesAreMarked)
+{
+    EXPECT_FALSE(opcodeValid(0x0F));
+    EXPECT_FALSE(opcodeValid(0xFF));
+    EXPECT_EQ(opInfo(std::uint8_t{0xFF}).cls, OpClass::Illegal);
+}
+
+/** Round-trip every opcode at several operand values. */
+TEST(EncodeDecode, RoundTripAllOpcodes)
+{
+    for (const std::uint8_t raw : validOpcodes()) {
+        const Op op = static_cast<Op>(raw);
+        const OpInfo &info = opInfo(raw);
+
+        std::vector<std::int32_t> operands;
+        switch (info.kind) {
+          case OperandKind::None: operands = {0}; break;
+          case OperandKind::UByte: operands = {0, 1, 127, 255}; break;
+          case OperandKind::SByte: operands = {-128, -1, 0, 127}; break;
+          case OperandKind::UWord: operands = {0, 300, 65535}; break;
+          case OperandKind::SWord:
+            operands = {-32768, -1, 0, 32767};
+            break;
+          case OperandKind::Code24:
+            operands = {0, 0x123456, 0xFFFFFF};
+            break;
+          case OperandKind::Rel20: {
+            // The four high bits must match the opcode's embedding.
+            const std::int32_t high = info.embedded;
+            std::int32_t base = high << 16;
+            if (base & 0x80000)
+                base |= ~0xFFFFF; // sign-extend
+            operands = {base, base + 1, base + 0xFFFF};
+            break;
+          }
+          case OperandKind::Desc40: operands = {0, 0xABCDEF}; break;
+          default: continue;
+        }
+
+        for (const std::int32_t operand : operands) {
+            std::vector<std::uint8_t> bytes;
+            const std::int32_t operand2 =
+                info.kind == OperandKind::Desc40 ? 0x1234 : 0;
+            encode(bytes, op, operand, operand2);
+            ASSERT_EQ(bytes.size(), instLength(raw));
+
+            const Inst inst = decodeAt(bytes, 0);
+            EXPECT_EQ(inst.op, op);
+            EXPECT_EQ(inst.cls, info.cls);
+            EXPECT_EQ(inst.length, bytes.size());
+            if (info.kind != OperandKind::None) {
+                EXPECT_EQ(inst.operand, operand)
+                    << info.name << " operand " << operand;
+            } else {
+                EXPECT_EQ(inst.operand, info.embedded);
+            }
+            if (info.kind == OperandKind::Desc40) {
+                EXPECT_EQ(inst.operand2, operand2);
+            }
+        }
+    }
+}
+
+TEST(EncodeDecode, OverflowingOperandsPanic)
+{
+    std::vector<std::uint8_t> bytes;
+    EXPECT_THROW(encode(bytes, Op::LLB, 256), PanicError);
+    EXPECT_THROW(encode(bytes, Op::JB, 200), PanicError);
+    EXPECT_THROW(encode(bytes, Op::JB, -200), PanicError);
+    EXPECT_THROW(encode(bytes, Op::DFC, 1 << 24), PanicError);
+    EXPECT_THROW(encode(bytes, Op::SDFC0, 1 << 16), PanicError);
+    // SDFC high bits must match the opcode.
+    EXPECT_THROW(encode(bytes, Op::SDFC0, -1), PanicError);
+    EXPECT_NO_THROW(encode(bytes, Op::SDFC15, -1));
+}
+
+TEST(EncodeDecode, Sdfc20BitSignedRange)
+{
+    // -1 encodes through SDFC15 (high bits 0xF).
+    std::vector<std::uint8_t> bytes;
+    encode(bytes, Op::SDFC15, -1);
+    EXPECT_EQ(decodeAt(bytes, 0).operand, -1);
+
+    bytes.clear();
+    encode(bytes, Op::SDFC8, -524288); // most negative
+    EXPECT_EQ(decodeAt(bytes, 0).operand, -524288);
+
+    bytes.clear();
+    encode(bytes, Op::SDFC7, 524287); // most positive
+    EXPECT_EQ(decodeAt(bytes, 0).operand, 524287);
+}
+
+TEST(CompactForms, ShortestOpcodeChosen)
+{
+    EXPECT_EQ(loadLocalOp(0), Op::LL0);
+    EXPECT_EQ(loadLocalOp(7), Op::LL7);
+    EXPECT_EQ(loadLocalOp(8), Op::LLB);
+    EXPECT_EQ(storeLocalOp(3), Op::SL3);
+    EXPECT_EQ(storeLocalOp(4), Op::SLB);
+    EXPECT_EQ(loadGlobalOp(2), Op::LG2);
+    EXPECT_EQ(loadGlobalOp(9), Op::LGB);
+    EXPECT_EQ(storeGlobalOp(1), Op::SG1);
+    EXPECT_EQ(storeGlobalOp(2), Op::SGB);
+    EXPECT_EQ(loadImmOp(0), Op::LI0);
+    EXPECT_EQ(loadImmOp(6), Op::LI6);
+    EXPECT_EQ(loadImmOp(7), Op::LIB);
+    EXPECT_EQ(loadImmOp(0xFFFF), Op::LIN1);
+    EXPECT_EQ(loadImmOp(256), Op::LIW);
+    EXPECT_EQ(extCallOp(5), Op::EFC5);
+    EXPECT_EQ(extCallOp(8), Op::EFCB);
+    EXPECT_EQ(localCallOp(0), Op::LFC0);
+    EXPECT_EQ(localCallOp(200), Op::LFCB);
+}
+
+TEST(Disasm, RendersOperands)
+{
+    std::vector<std::uint8_t> code;
+    encode(code, Op::LL3);
+    encode(code, Op::LLB, 12);
+    encode(code, Op::LIW, 999);
+    encode(code, Op::FCALL, 0x010203, 0x0405);
+    encode(code, Op::RET);
+
+    const auto lines = disassemble(code);
+    ASSERT_EQ(lines.size(), 5u);
+    EXPECT_EQ(lines[0].text, "LL3");
+    EXPECT_EQ(lines[1].text, "LLB 12");
+    EXPECT_EQ(lines[2].text, "LIW 999");
+    EXPECT_EQ(lines[3].text, "FCALL 66051 1029");
+    EXPECT_EQ(lines[4].text, "RET");
+    EXPECT_EQ(lines[4].offset, 1u + 2 + 3 + 6);
+}
+
+TEST(Disasm, DecodePastEndPanics)
+{
+    std::vector<std::uint8_t> code;
+    encode(code, Op::LIW, 999);
+    code.pop_back(); // truncate
+    EXPECT_THROW(disassemble(code), PanicError);
+}
+
+} // namespace
+} // namespace fpc::isa

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * MiniMesa local arrays: declaration, constant and dynamic indexing,
+ * decay to pointers, bounds diagnostics, and the §7.4 interaction
+ * (dynamic indexing takes the frame's address; constant indexing
+ * stays register-resident).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "lang/codegen.hh"
+#include "machine/machine.hh"
+#include "program/loader.hh"
+
+namespace fpc
+{
+namespace
+{
+
+Word
+runMain(const std::string &source, std::vector<Word> args = {},
+        Impl impl = Impl::Mesa, std::vector<Word> *output = nullptr,
+        const MachineStats **stats_out = nullptr)
+{
+    static std::unique_ptr<Machine> keep_alive;
+    const SystemLayout layout;
+    static Memory mem(SystemLayout().memWords);
+    mem = Memory(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    const auto modules = lang::compile(source);
+    for (const auto &m : modules)
+        loader.add(m);
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+    MachineConfig config;
+    config.impl = impl;
+    keep_alive = std::make_unique<Machine>(mem, image, config);
+    keep_alive->start(modules.front().name, "main", args);
+    const RunResult result = keep_alive->run();
+    EXPECT_EQ(result.reason, StopReason::TopReturn) << result.message;
+    if (output)
+        *output = keep_alive->output();
+    if (stats_out)
+        *stats_out = &keep_alive->stats();
+    return keep_alive->popValue();
+}
+
+TEST(Arrays, ConstantIndexing)
+{
+    const char *src = R"(
+        module M;
+        proc main() {
+            var a[4];
+            a[0] = 10; a[1] = 20; a[2] = 30; a[3] = a[0] + a[2];
+            return a[3];
+        }
+    )";
+    EXPECT_EQ(runMain(src), 40);
+    EXPECT_EQ(runMain(src, {}, Impl::Banked), 40);
+}
+
+TEST(Arrays, ConstantIndexingStaysInBanks)
+{
+    // Constant subscripts address frame slots directly: no pointer is
+    // formed, so the I4 frame keeps its bank (no §7.4 flagging).
+    const MachineStats *stats = nullptr;
+    runMain(R"(
+        module M;
+        proc main() {
+            var a[4];
+            a[1] = 7;
+            return a[1];
+        }
+    )",
+            {}, Impl::Banked, nullptr, &stats);
+    EXPECT_EQ(stats->flaggedFrames, 0u);
+    EXPECT_EQ(stats->localMemAccesses, 0u);
+}
+
+TEST(Arrays, DynamicIndexingFlagsTheFrame)
+{
+    const MachineStats *stats = nullptr;
+    const Word r = runMain(R"(
+        module M;
+        proc main(i) {
+            var a[4];
+            a[i] = 9;
+            return a[i] + a[1];
+        }
+    )",
+                           {1}, Impl::Banked, nullptr, &stats);
+    EXPECT_EQ(r, 18);
+    EXPECT_EQ(stats->flaggedFrames, 1u);
+}
+
+TEST(Arrays, DynamicFill)
+{
+    const char *src = R"(
+        module M;
+        proc main(n) {
+            var a[10];
+            var i, sum;
+            i = 0;
+            while (i < n) { a[i] = i * i; i = i + 1; }
+            i = 0;
+            while (i < n) { sum = sum + a[i]; i = i + 1; }
+            return sum;
+        }
+    )";
+    EXPECT_EQ(runMain(src, {10}), 285);
+    EXPECT_EQ(runMain(src, {10}, Impl::Banked), 285);
+}
+
+TEST(Arrays, DecayToPointerAcrossCalls)
+{
+    const char *src = R"(
+        module M;
+        proc sum(p, n) {
+            var i, acc;
+            i = 0;
+            while (i < n) { acc = acc + *(p + i); i = i + 1; }
+            return acc;
+        }
+        proc main() {
+            var a[3];
+            a[0] = 5; a[1] = 6; a[2] = 7;
+            return sum(a, 3);
+        }
+    )";
+    for (const Impl impl :
+         {Impl::Simple, Impl::Mesa, Impl::Ifu, Impl::Banked}) {
+        EXPECT_EQ(runMain(src, {}, impl), 18) << implName(impl);
+    }
+}
+
+TEST(Arrays, ZeroInitialized)
+{
+    // Recycled frames would otherwise leak prior activations' data.
+    const char *src = R"(
+        module M;
+        proc scribble() {
+            var junk[6];
+            var i;
+            i = 0;
+            while (i < 6) { junk[i] = 0x7777; i = i + 1; }
+            return 0;
+        }
+        proc probe() {
+            var a[6];
+            return a[0] + a[1] + a[2] + a[3] + a[4] + a[5];
+        }
+        proc main() {
+            scribble();
+            return probe(); -- reuses scribble's frame
+        }
+    )";
+    EXPECT_EQ(runMain(src), 0);
+}
+
+TEST(Arrays, CompileErrors)
+{
+    setQuiet(true);
+    // Out-of-bounds constant index.
+    EXPECT_THROW(lang::compile("module M; proc main() { var a[3]; "
+                               "return a[3]; }"),
+                 FatalError);
+    // Assigning to an array name.
+    EXPECT_THROW(lang::compile("module M; proc main() { var a[3]; "
+                               "a = 1; return 0; }"),
+                 FatalError);
+    // Indexing a scalar.
+    EXPECT_THROW(lang::compile("module M; proc main() { var x; "
+                               "return x[0]; }"),
+                 FatalError);
+    // Zero-length array.
+    EXPECT_THROW(lang::compile("module M; proc main() { var a[0]; "
+                               "return 0; }"),
+                 FatalError);
+    setQuiet(false);
+}
+
+TEST(Arrays, IndexExpressionAsStatement)
+{
+    // Backtracking parse: a[i] in expression position, not assignment.
+    const char *src = R"(
+        module M;
+        proc main() {
+            var a[2];
+            a[1] = 41;
+            a[1] + 1;      -- value dropped
+            return a[1] + 1;
+        }
+    )";
+    EXPECT_EQ(runMain(src), 42);
+}
+
+TEST(Arrays, CallResultsAsSubscripts)
+{
+    const char *src = R"(
+        module M;
+        proc pick() { return 2; }
+        proc main() {
+            var a[4];
+            a[pick()] = 33;
+            return a[pick() + 1 - 1];
+        }
+    )";
+    EXPECT_EQ(runMain(src), 33);
+    EXPECT_EQ(runMain(src, {}, Impl::Banked), 33);
+}
+
+} // namespace
+} // namespace fpc

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * MiniMesa compiler tests: source programs compiled, loaded and run
+ * on the simulated machine, checked for results and for semantic
+ * corners (short-circuit with calls, nested-call flattening per §5.2,
+ * pointers to locals per §7.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "lang/codegen.hh"
+#include "machine/machine.hh"
+#include "program/loader.hh"
+
+namespace fpc
+{
+namespace
+{
+
+/** Compile, load and run Mod.main(args); return the machine. */
+std::unique_ptr<Machine>
+runProgram(const std::string &source, std::vector<Word> args,
+           Impl impl = Impl::Mesa,
+           CallLowering lowering = CallLowering::Mesa,
+           Memory *out_mem = nullptr)
+{
+    static Memory mem(SystemLayout().memWords);
+    mem = Memory(SystemLayout().memWords); // fresh contents
+    Loader loader{SystemLayout(), SizeClasses::standard()};
+    const auto modules = lang::compile(source);
+    const std::string entry_module = modules.front().name;
+    for (auto &m : modules)
+        loader.add(m);
+    LinkPlan plan;
+    plan.lowering = lowering;
+    LoadedImage image = loader.load(mem, plan);
+
+    MachineConfig config;
+    config.impl = impl;
+    auto machine = std::make_unique<Machine>(mem, image, config);
+    machine->start(entry_module, "main", args);
+    const RunResult result = machine->run();
+    EXPECT_EQ(result.reason, StopReason::TopReturn) << result.message;
+    if (out_mem)
+        *out_mem = mem;
+    return machine;
+}
+
+Word
+runForValue(const std::string &source, std::vector<Word> args = {},
+            Impl impl = Impl::Mesa)
+{
+    auto machine = runProgram(source, std::move(args), impl);
+    EXPECT_EQ(machine->stackDepth(), 1u);
+    return machine->popValue();
+}
+
+TEST(Compiler, ArithmeticAndPrecedence)
+{
+    EXPECT_EQ(runForValue("module M; proc main() { return 2 + 3 * 4; }"),
+              14);
+    EXPECT_EQ(runForValue(
+                  "module M; proc main() { return (2 + 3) * 4; }"),
+              20);
+    EXPECT_EQ(runForValue(
+                  "module M; proc main() { return 10 % 3 + 7 / 2; }"),
+              1 + 3);
+    EXPECT_EQ(runForValue(
+                  "module M; proc main() { return 1 << 4 | 3; }"),
+              19);
+    EXPECT_EQ(
+        static_cast<SWord>(runForValue(
+            "module M; proc main() { return -5 + 2; }")),
+        -3);
+}
+
+TEST(Compiler, LocalsAndGlobals)
+{
+    const char *src = R"(
+        module M;
+        var total, count = 7;
+        proc main(n) {
+            var i;
+            i = count;      -- global read
+            total = i + n;  -- global write
+            return total;
+        }
+    )";
+    EXPECT_EQ(runForValue(src, {5}), 12);
+}
+
+TEST(Compiler, RecursionAndNestedCalls)
+{
+    const char *src = R"(
+        module M;
+        proc fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);  -- §5.2 flattening
+        }
+        proc main(n) { return fib(n); }
+    )";
+    EXPECT_EQ(runForValue(src, {15}), 610);
+}
+
+TEST(Compiler, NestedCallArguments)
+{
+    const char *src = R"(
+        module M;
+        proc add(a, b) { return a + b; }
+        proc twice(x) { return x * 2; }
+        proc main() {
+            return add(twice(3), add(twice(4), 1)); -- 6 + (8+1)
+        }
+    )";
+    EXPECT_EQ(runForValue(src), 15);
+}
+
+TEST(Compiler, ShortCircuitSkipsCalls)
+{
+    // The right-hand call must NOT run when the left side decides.
+    const char *src = R"(
+        module M;
+        var ran;
+        proc mark() { ran = ran + 1; return 1; }
+        proc main() {
+            var a;
+            a = 0 && mark();   -- mark must not run
+            a = 1 || mark();   -- mark must not run
+            a = 1 && mark();   -- runs
+            a = 0 || mark();   -- runs
+            return ran;
+        }
+    )";
+    EXPECT_EQ(runForValue(src), 2);
+}
+
+TEST(Compiler, ShortCircuitValues)
+{
+    const char *src = R"(
+        module M;
+        proc one() { return 1; }
+        proc zero() { return 0; }
+        proc main() {
+            return (one() && zero()) * 10 + (zero() || one());
+        }
+    )";
+    EXPECT_EQ(runForValue(src), 1);
+}
+
+TEST(Compiler, WhileLoops)
+{
+    const char *src = R"(
+        module M;
+        proc main(n) {
+            var i, acc;
+            i = 1;
+            while (i <= n) { acc = acc + i; i = i + 1; }
+            return acc;
+        }
+    )";
+    EXPECT_EQ(runForValue(src, {200}), 20100);
+}
+
+TEST(Compiler, IfElseChains)
+{
+    const char *src = R"(
+        module M;
+        proc classify(x) {
+            if (x < 10) { return 1; }
+            else if (x < 100) { return 2; }
+            else { return 3; }
+        }
+        proc main() {
+            return classify(5) * 100 + classify(50) * 10 +
+                   classify(500);
+        }
+    )";
+    EXPECT_EQ(runForValue(src), 123);
+}
+
+TEST(Compiler, CrossModuleCalls)
+{
+    const char *src = R"(
+        module Main;
+        proc main(n) { return Lib.square(n) + Lib.cube(2); }
+
+        module Lib;
+        proc square(x) { return x * x; }
+        proc cube(x) { return x * square(x); }
+    )";
+    EXPECT_EQ(runForValue(src, {6}), 36 + 8);
+}
+
+TEST(Compiler, PointersToLocals)
+{
+    // §7.4: @x makes a storage address; *p dereferences; *p = v stores.
+    const char *src = R"(
+        module M;
+        proc bump(p) { *p = *p + 1; return 0; }
+        proc main() {
+            var x;
+            x = 41;
+            bump(@x);
+            return x;
+        }
+    )";
+    EXPECT_EQ(runForValue(src), 42);
+    // The same must hold when register banks shadow frames.
+    EXPECT_EQ(runForValue(src, {}, Impl::Banked), 42);
+}
+
+TEST(Compiler, OutStatement)
+{
+    const char *src = R"(
+        module M;
+        proc main(n) {
+            var i;
+            i = 0;
+            while (i < n) { out i * i; i = i + 1; }
+            return n;
+        }
+    )";
+    auto machine = runProgram(src, {4});
+    EXPECT_EQ(machine->output(),
+              (std::vector<Word>{0, 1, 4, 9}));
+}
+
+TEST(Compiler, ErrorsAreReported)
+{
+    EXPECT_THROW(lang::compile("module M; proc main() { return x; }"),
+                 FatalError);
+    EXPECT_THROW(lang::compile("module M; proc main() { f(); }"),
+                 FatalError);
+    EXPECT_THROW(
+        lang::compile("module M; proc f(a) { return a; } "
+                      "proc main() { return f(1, 2); }"),
+        FatalError);
+    EXPECT_THROW(lang::compile("module M;"), FatalError);
+    EXPECT_THROW(lang::compile("module M; proc main() { return 99999; }"),
+                 FatalError);
+}
+
+TEST(Compiler, SameResultsOnAllImplementations)
+{
+    const char *src = R"(
+        module M;
+        proc ack(m, n) {
+            if (m == 0) { return n + 1; }
+            if (n == 0) { return ack(m - 1, 1); }
+            return ack(m - 1, ack(m, n - 1));
+        }
+        proc main() { return ack(2, 3); }
+    )";
+    const Word expected = 9;
+    EXPECT_EQ(runForValue(src, {}, Impl::Simple), expected);
+    EXPECT_EQ(runForValue(src, {}, Impl::Mesa), expected);
+    EXPECT_EQ(runForValue(src, {}, Impl::Ifu), expected);
+    EXPECT_EQ(runForValue(src, {}, Impl::Banked), expected);
+}
+
+} // namespace
+} // namespace fpc

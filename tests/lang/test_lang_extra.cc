@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Additional MiniMesa tests: lexer corners, constant folding and
+ * dead-branch elimination, pointer/workspace programs, yields with a
+ * scheduler, and code-size effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "lang/codegen.hh"
+#include "lang/lexer.hh"
+#include "lang/parser.hh"
+#include "machine/machine.hh"
+#include "program/loader.hh"
+
+namespace fpc
+{
+namespace
+{
+
+Word
+runMain(const std::string &source, std::vector<Word> args = {},
+        Impl impl = Impl::Mesa, std::vector<Word> *output = nullptr)
+{
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    const auto modules = lang::compile(source);
+    for (const auto &m : modules)
+        loader.add(m);
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+    MachineConfig config;
+    config.impl = impl;
+    Machine machine(mem, image, config);
+    machine.start(modules.front().name, "main", args);
+    const RunResult result = machine.run();
+    EXPECT_EQ(result.reason, StopReason::TopReturn) << result.message;
+    if (output)
+        *output = machine.output();
+    EXPECT_GE(machine.stackDepth(), 1u);
+    return machine.popValue();
+}
+
+CountT
+codeBytes(const std::string &source)
+{
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    for (const auto &m : lang::compile(source))
+        loader.add(m);
+    return loader.load(mem, LinkPlan{}).codeBytes();
+}
+
+TEST(Lexer, CommentsAndHexAndTokens)
+{
+    const auto toks = lang::tokenize(
+        "x = 0x1F; -- mesa comment\n"
+        "y = 10;   // c++ comment\n"
+        "a <= b >= c << d >> e != f == g && h || i");
+    EXPECT_EQ(toks[2].number, 0x1F);
+    unsigned comments = 0;
+    for (const auto &t : toks)
+        if (t.text.find("comment") != std::string::npos)
+            ++comments;
+    EXPECT_EQ(comments, 0u);
+    // Line numbers survive.
+    EXPECT_EQ(toks[0].line, 1u);
+    EXPECT_EQ(toks[4].line, 2u);
+}
+
+TEST(Lexer, OverflowingLiteralIsFatal)
+{
+    setQuiet(true);
+    EXPECT_THROW(lang::tokenize("65536"), FatalError);
+    EXPECT_THROW(lang::tokenize("x $ y"), FatalError);
+    setQuiet(false);
+    EXPECT_NO_THROW(lang::tokenize("65535"));
+}
+
+TEST(Folding, ConstantsFoldToLiterals)
+{
+    // Both forms must compute the same and the folded one be smaller.
+    const char *folded = R"(
+        module M;
+        proc main() { return (3 + 4) * (10 - 2) / 2; }
+    )";
+    EXPECT_EQ(runMain(folded), 28);
+    const char *dynamic = R"(
+        module M;
+        proc main() { var a, b; a = 3 + 4; b = 10 - 2;
+                      return a * b / 2; }
+    )";
+    EXPECT_EQ(runMain(dynamic), 28);
+    EXPECT_LT(codeBytes(folded), codeBytes(dynamic));
+}
+
+TEST(Folding, MatchesRuntimeSemantics)
+{
+    // Wrapping, signed division, shifts: folded == computed.
+    EXPECT_EQ(runMain("module M; proc main() { return 0xFFFF + 2; }"),
+              1);
+    EXPECT_EQ(
+        static_cast<SWord>(
+            runMain("module M; proc main() { return -17 / 5; }")),
+        -3);
+    EXPECT_EQ(runMain("module M; proc main() { return 1 << 16; }"), 0);
+    EXPECT_EQ(runMain("module M; proc main() { return !5 + !0; }"), 1);
+    EXPECT_EQ(runMain("module M; proc main() { return 3 < 4; }"), 1);
+}
+
+TEST(Folding, DivisionByZeroConstantStillTraps)
+{
+    setQuiet(true);
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    for (const auto &m :
+         lang::compile("module M; proc main() { return 1 / 0; }"))
+        loader.add(m);
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+    Machine machine(mem, image, MachineConfig{});
+    machine.start("M", "main");
+    EXPECT_EQ(machine.run().reason, StopReason::Error);
+    setQuiet(false);
+}
+
+TEST(Folding, DeadBranchesEliminated)
+{
+    const char *with_dead = R"(
+        module M;
+        proc big() { var a; a = 1; a = 2; a = 3; a = 4; return a; }
+        proc main() {
+            if (0) { big(); big(); big(); }
+            while (0) { big(); }
+            if (1) { return 7; } else { big(); }
+            return 0;
+        }
+    )";
+    EXPECT_EQ(runMain(with_dead), 7);
+    const char *without = R"(
+        module M;
+        proc big() { var a; a = 1; a = 2; a = 3; a = 4; return a; }
+        proc main() { return 7; }
+    )";
+    // main bodies should now be nearly the same size.
+    const CountT a = codeBytes(with_dead);
+    const CountT b = codeBytes(without);
+    EXPECT_LT(a - b, 8u);
+}
+
+TEST(Folding, ShortCircuitConstantsPreserveLaziness)
+{
+    // 0 && f() folds to 0 — and f must not run. 1 || f() likewise.
+    std::vector<Word> output;
+    const Word r = runMain(R"(
+        module M;
+        proc loud() { out 99; return 1; }
+        proc main() {
+            var a;
+            a = 0 && loud();
+            a = a + (1 || loud());
+            return a;
+        }
+    )",
+                           {}, Impl::Mesa, &output);
+    EXPECT_EQ(r, 1);
+    EXPECT_TRUE(output.empty());
+}
+
+TEST(Pointers, WorkspaceSortRunsOnAllEngines)
+{
+    const char *src = R"(
+        module M;
+        proc main() {
+            var a0, a1, a2, a3;
+            var base, i, j, key;
+            base = @a0;
+            *(base + 0) = 40; *(base + 1) = 10;
+            *(base + 2) = 30; *(base + 3) = 20;
+            i = 1;
+            while (i < 4) {
+                key = *(base + i);
+                j = i - 1;
+                while (j >= 0 && *(base + j) > key) {
+                    *(base + j + 1) = *(base + j);
+                    j = j - 1;
+                }
+                *(base + j + 1) = key;
+                i = i + 1;
+            }
+            out *(base + 0); out *(base + 1);
+            out *(base + 2); out *(base + 3);
+            return 0;
+        }
+    )";
+    for (const Impl impl :
+         {Impl::Simple, Impl::Mesa, Impl::Ifu, Impl::Banked}) {
+        std::vector<Word> output;
+        runMain(src, {}, impl, &output);
+        EXPECT_EQ(output, (std::vector<Word>{10, 20, 30, 40}))
+            << implName(impl);
+    }
+}
+
+TEST(Processes, MiniMesaYieldRoundRobin)
+{
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    const auto modules = lang::compile(R"(
+        module P;
+        proc worker(id, rounds) {
+            var i;
+            i = 0;
+            while (i < rounds) { out id; yield; i = i + 1; }
+            return id;
+        }
+    )");
+    for (const auto &m : modules)
+        loader.add(m);
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+
+    MachineConfig config;
+    config.impl = Impl::Banked;
+    Machine machine(mem, image, config);
+    std::vector<Word> queue = {
+        machine.spawn("P", "worker", {{2, 2}}),
+        machine.spawn("P", "worker", {{3, 2}}),
+    };
+    machine.setScheduler([&queue](Machine &m) {
+        queue.push_back(m.currentFrameContext());
+        const Word next = queue.front();
+        queue.erase(queue.begin());
+        return next;
+    });
+    machine.start("P", "worker", {{1, 2}});
+    ASSERT_EQ(machine.run().reason, StopReason::TopReturn);
+    EXPECT_EQ(machine.output(),
+              (std::vector<Word>{1, 2, 3, 1, 2, 3}));
+}
+
+TEST(Limits, ManyArgumentsWithinStackCapacity)
+{
+    const char *src = R"(
+        module M;
+        proc sum8(a, b, c, d, e, f, g, h) {
+            return a + b + c + d + e + f + g + h;
+        }
+        proc main() { return sum8(1, 2, 3, 4, 5, 6, 7, 8); }
+    )";
+    EXPECT_EQ(runMain(src), 36);
+    EXPECT_EQ(runMain(src, {}, Impl::Banked), 36);
+}
+
+TEST(Limits, DeepExpressionNesting)
+{
+    std::string expr = "1";
+    for (int i = 0; i < 8; ++i)
+        expr = "(" + expr + " + " + expr + ")";
+    EXPECT_EQ(runMain("module M; proc main() { return " + expr +
+                      "; }"),
+              256); // folds completely
+}
+
+TEST(EntryPoints, MultiModuleProgramsPickNamedModule)
+{
+    const auto modules = lang::compile(R"(
+        module Helper;
+        proc h() { return 5; }
+        module Main;
+        proc main() { return Helper.h() * 2; }
+    )");
+    EXPECT_EQ(modules.size(), 2u);
+    EXPECT_EQ(modules[1].name, "Main");
+}
+
+} // namespace
+} // namespace fpc

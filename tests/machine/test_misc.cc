@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Cross-cutting machine tests: external calls through biased GFT
+ * entries (modules with more than 32 entry points), resumable traps
+ * (the exception discipline built on XFER), mutual recursion across
+ * modules, latency-model sensitivity, and statistics plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "asm/builder.hh"
+#include "common/logging.hh"
+#include "common/strfmt.hh"
+#include "lang/codegen.hh"
+#include "machine/machine.hh"
+#include "program/loader.hh"
+
+namespace fpc
+{
+namespace
+{
+
+TEST(BiasCalls, ExternalCallToHighEntryPoint)
+{
+    // A module with 40 procedures: p35 is reachable only through the
+    // second GFT entry (bias 1). Call it externally end-to-end.
+    ModuleBuilder big("Big");
+    for (unsigned p = 0; p < 40; ++p) {
+        auto &proc = big.proc(strfmt("p{}", p), 1, 1);
+        proc.loadLocal(0).loadImm(static_cast<Word>(p % 7))
+            .op(isa::Op::ADD)
+            .ret();
+    }
+    ModuleBuilder client("Client");
+    const unsigned hi = client.externRef("Big", "p35");
+    const unsigned lo = client.externRef("Big", "p3");
+    auto &main = client.proc("main", 1, 1);
+    main.loadLocal(0).callExtern(hi); // + 35%7 = 0
+    main.callExtern(lo);              // + 3
+    main.ret();
+
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    loader.add(big.build());
+    loader.add(client.build());
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+
+    for (const Impl impl : {Impl::Mesa, Impl::Banked}) {
+        MachineConfig config;
+        config.impl = impl;
+        Machine machine(mem, image, config);
+        machine.start("Client", "main", std::array<Word, 1>{Word{10}});
+        ASSERT_EQ(machine.run().reason, StopReason::TopReturn)
+            << implName(impl);
+        EXPECT_EQ(machine.popValue(), 10 + 0 + 3) << implName(impl);
+    }
+}
+
+TEST(ResumableTraps, HandlerTransfersBackToFaultPoint)
+{
+    // The §3 model treats a trap as just another XFER; a handler can
+    // resume the faulting context through returnContext. BRK acts as
+    // a "system call": out 1; BRK; out 2; BRK; out 3.
+    ModuleBuilder b("M");
+    auto &main = b.proc("main", 0, 1);
+    main.loadImm(1).op(isa::Op::OUT);
+    main.op(isa::Op::BRK);
+    main.loadImm(2).op(isa::Op::OUT);
+    main.op(isa::Op::BRK);
+    main.loadImm(3).op(isa::Op::OUT);
+    main.loadImm(42).ret();
+
+    // A reusable handler: forever { drop the code; resume sender }.
+    auto &handler = b.proc("handler", 0, 1);
+    auto loop = handler.newLabel();
+    handler.label(loop);
+    handler.op(isa::Op::DROP); // the trap code
+    handler.op(isa::Op::LRC);  // who trapped?
+    handler.op(isa::Op::XF);   // resume them
+    handler.jump(loop);
+
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    loader.add(b.build());
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+
+    for (const Impl impl :
+         {Impl::Simple, Impl::Mesa, Impl::Ifu, Impl::Banked}) {
+        MachineConfig config;
+        config.impl = impl;
+        Machine machine(mem, image, config);
+        machine.setTrapContext(machine.spawn("M", "handler"));
+        machine.start("M", "main");
+        const RunResult result = machine.run();
+        ASSERT_EQ(result.reason, StopReason::TopReturn)
+            << implName(impl) << ": " << result.message;
+        EXPECT_EQ(machine.popValue(), 42);
+        EXPECT_EQ(machine.output(), (std::vector<Word>{1, 2, 3}))
+            << implName(impl);
+        EXPECT_EQ(machine.stats().xferCount[static_cast<unsigned>(
+                      XferKind::Trap)],
+                  2u);
+    }
+}
+
+TEST(MutualRecursion, AcrossModules)
+{
+    const auto modules = lang::compile(R"(
+        module Even;
+        proc isEven(n) {
+            if (n == 0) { return 1; }
+            return Odd.isOdd(n - 1);
+        }
+        module Odd;
+        proc isOdd(n) {
+            if (n == 0) { return 0; }
+            return Even.isEven(n - 1);
+        }
+        module Main;
+        proc main(n) {
+            return Even.isEven(n) * 10 + Odd.isOdd(n);
+        }
+    )");
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    for (const auto &m : modules)
+        loader.add(m);
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+    Machine machine(mem, image, MachineConfig{});
+    machine.start("Main", "main", std::array<Word, 1>{Word{101}});
+    ASSERT_EQ(machine.run().reason, StopReason::TopReturn);
+    EXPECT_EQ(machine.popValue(), 0 * 10 + 1);
+}
+
+TEST(LatencyModel, StorageLatencyHurtsI2MoreThanI4)
+{
+    const auto modules = lang::compile(R"(
+        module M;
+        proc leaf(x) { return x + 1; }
+        proc main(n) {
+            var i, acc;
+            i = 0;
+            while (i < n) { acc = leaf(acc); i = i + 1; }
+            return acc;
+        }
+    )");
+
+    auto cycles = [&](Impl impl, unsigned mem_cycles) {
+        const SystemLayout layout;
+        Memory mem(layout.memWords);
+        Loader loader{layout, SizeClasses::standard()};
+        for (const auto &m : modules)
+            loader.add(m);
+        LinkPlan plan;
+        plan.lowering = impl == Impl::Banked ? CallLowering::Direct
+                                             : CallLowering::Mesa;
+        const LoadedImage image = loader.load(mem, plan);
+        MachineConfig config;
+        config.impl = impl;
+        config.latency.memCycles = mem_cycles;
+        Machine machine(mem, image, config);
+        machine.start("M", "main", std::array<Word, 1>{Word{200}});
+        EXPECT_EQ(machine.run().reason, StopReason::TopReturn);
+        return machine.cycles();
+    };
+
+    const double i2_ratio =
+        static_cast<double>(cycles(Impl::Mesa, 8)) /
+        cycles(Impl::Mesa, 4);
+    const double i4_ratio =
+        static_cast<double>(cycles(Impl::Banked, 8)) /
+        cycles(Impl::Banked, 4);
+    // I2 keeps everything in storage: doubling storage latency nearly
+    // doubles its time. I4 barely notices.
+    EXPECT_GT(i2_ratio, 1.6);
+    EXPECT_LT(i4_ratio, 1.15);
+}
+
+TEST(Stats, OpcodeAndLengthHistograms)
+{
+    const auto modules =
+        lang::compile("module M; proc main() { var i; i = 0; "
+                      "while (i < 10) { i = i + 1; } return i; }");
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    for (const auto &m : modules)
+        loader.add(m);
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+    Machine machine(mem, image, MachineConfig{});
+    machine.start("M", "main");
+    machine.run();
+
+    const MachineStats &s = machine.stats();
+    CountT by_len = 0;
+    for (unsigned l = 1; l < s.instLenCount.size(); ++l)
+        by_len += s.instLenCount[l];
+    EXPECT_EQ(by_len, s.steps);
+
+    CountT by_op = 0;
+    for (unsigned op = 0; op < 256; ++op)
+        by_op += s.opCount[op];
+    EXPECT_EQ(by_op, s.steps);
+    // The loop increment ran 10 times: ADD count >= 10.
+    EXPECT_GE(s.opCount[static_cast<unsigned>(isa::Op::ADD)], 10u);
+}
+
+TEST(Stats, DumpsAreWellFormed)
+{
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    mem.read(0, AccessKind::Data);
+    mem.write(1, 2, AccessKind::Heap);
+    std::ostringstream os;
+    mem.dumpStats(os);
+    EXPECT_NE(os.str().find("data: reads=1"), std::string::npos);
+    EXPECT_NE(os.str().find("heap: reads=0 writes=1"),
+              std::string::npos);
+
+    FrameHeap heap(mem, layout, SizeClasses::standard());
+    heap.free(heap.alloc(0));
+    std::ostringstream hs;
+    heap.dumpStats(hs);
+    EXPECT_NE(hs.str().find("frameHeap"), std::string::npos);
+}
+
+TEST(Restart, MachineIsReusableAfterCompletion)
+{
+    const auto modules = lang::compile(
+        "module M; var g; proc main(n) { g = g + n; return g; }");
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    for (const auto &m : modules)
+        loader.add(m);
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+    Machine machine(mem, image, MachineConfig{});
+
+    machine.start("M", "main", std::array<Word, 1>{Word{5}});
+    ASSERT_EQ(machine.run().reason, StopReason::TopReturn);
+    EXPECT_EQ(machine.popValue(), 5);
+
+    machine.start("M", "main", std::array<Word, 1>{Word{7}});
+    ASSERT_EQ(machine.run().reason, StopReason::TopReturn);
+    EXPECT_EQ(machine.popValue(), 12); // globals persist across runs
+
+    machine.reset(); // full processor reset; memory persists
+    machine.start("M", "main", std::array<Word, 1>{Word{1}});
+    ASSERT_EQ(machine.run().reason, StopReason::TopReturn);
+    EXPECT_EQ(machine.popValue(), 13);
+}
+
+} // namespace
+} // namespace fpc

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Transfer-machinery tests: the IFU return stack (hits, spills,
+ * flushes), register-bank behaviour (renaming, overflow, underflow,
+ * diversion, §7.4 flagged frames), retained frames across returns,
+ * coroutine/process disciplines, and the exact reference counts the
+ * paper quotes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "machine/machine.hh"
+#include "workload/trace.hh"
+
+namespace fpc
+{
+namespace
+{
+
+MachineConfig
+banked(unsigned banks = 4, unsigned ret_depth = 8)
+{
+    MachineConfig config;
+    config.impl = Impl::Banked;
+    config.numBanks = banks;
+    config.returnStackDepth = ret_depth;
+    return config;
+}
+
+// ---------------------------------------------------------------------
+// Return stack
+// ---------------------------------------------------------------------
+
+TEST(ReturnStack, HitsOnLifoPattern)
+{
+    MachineConfig config;
+    config.impl = Impl::Ifu;
+    TraceRunner runner(config);
+    for (int i = 0; i < 100; ++i) {
+        runner.call(0);
+        runner.ret();
+    }
+    const MachineStats &s = runner.machine().stats();
+    EXPECT_EQ(s.returnStackHits, 100u);
+    EXPECT_EQ(s.returnStackMisses, 0u);
+    EXPECT_EQ(s.returnStackSpills, 0u);
+}
+
+TEST(ReturnStack, SpillsOldestOnOverflowAndStillReturns)
+{
+    MachineConfig config;
+    config.impl = Impl::Ifu;
+    config.returnStackDepth = 4;
+    TraceRunner runner(config);
+    // Descend 10 deep: 6 spills (the first 4 pushes fit).
+    for (int i = 0; i < 10; ++i)
+        runner.call(0);
+    EXPECT_EQ(runner.machine().stats().returnStackSpills, 6u);
+    EXPECT_EQ(runner.machine().returnStackDepth(), 4u);
+
+    // Unwind all 10: 4 hits then 6 general-path returns that follow
+    // the links the spills materialized.
+    for (int i = 0; i < 10; ++i)
+        runner.ret();
+    const MachineStats &s = runner.machine().stats();
+    EXPECT_EQ(s.returnStackHits, 4u);
+    EXPECT_EQ(s.returnStackMisses, 6u);
+    EXPECT_EQ(runner.depth(), 0u);
+}
+
+TEST(ReturnStack, CoroutineXferFlushesWholeStack)
+{
+    MachineConfig config;
+    config.impl = Impl::Ifu;
+    TraceRunner runner(config, FrameSizeDist::mesa(), 2);
+    runner.call(0);
+    runner.call(1);
+    EXPECT_EQ(runner.machine().returnStackDepth(), 2u);
+    runner.switchChain();
+    EXPECT_EQ(runner.machine().returnStackDepth(), 0u);
+    EXPECT_EQ(runner.machine().stats().returnStackFlushes, 1u);
+    EXPECT_EQ(runner.machine().stats().returnStackFlushedEntries, 2u);
+}
+
+TEST(ReturnStack, FlushedLinksSurviveRoundTrip)
+{
+    // Build a chain, flush it via a coroutine round trip, and verify
+    // the unwinding still works purely from storage.
+    MachineConfig config;
+    config.impl = Impl::Ifu;
+    TraceRunner runner(config, FrameSizeDist::mesa(), 2);
+    for (int i = 0; i < 5; ++i)
+        runner.call(i);
+    runner.switchChain(); // flush
+    runner.switchChain(); // second chain -> back is chain 0? (round robin of 2)
+    for (int i = 0; i < 5; ++i)
+        runner.ret();
+    EXPECT_EQ(runner.depth(), 0u);
+    EXPECT_EQ(runner.machine().stats().returnStackMisses, 5u);
+}
+
+// ---------------------------------------------------------------------
+// Register banks
+// ---------------------------------------------------------------------
+
+TEST(Banks, RenamePassesArgumentsForFree)
+{
+    TraceRunner runner(banked());
+    Machine &m = runner.machine();
+    m.pushValue(41);
+    m.pushValue(42);
+    const CountT refs_before = runner.memory().totalRefs();
+    m.callDescriptor(m.image().procDescriptor("T", "p1"),
+                     XferKind::DirectCall);
+    // The arguments appear as locals 0 and 1 of the new frame with no
+    // data movement into storage (only LV/GFT/EV table refs happened).
+    EXPECT_EQ(m.inspectVar(m.currentFrame(), 0), 41);
+    EXPECT_EQ(m.inspectVar(m.currentFrame(), 1), 42);
+    EXPECT_EQ(runner.memory().writes(AccessKind::Data), 0u);
+    (void)refs_before;
+}
+
+TEST(Banks, CurrentFrameHasBankAfterCallAndReturn)
+{
+    TraceRunner runner(banked());
+    Machine &m = runner.machine();
+    runner.call(0);
+    EXPECT_GE(m.currentLbank(), 0);
+    EXPECT_EQ(m.banks().owner(m.currentLbank()), m.currentFrame());
+    runner.ret();
+    EXPECT_GE(m.currentLbank(), 0);
+    EXPECT_EQ(m.banks().owner(m.currentLbank()), m.currentFrame());
+}
+
+TEST(Banks, OwnersAreDistinct)
+{
+    TraceRunner runner(banked(8));
+    TraceConfig tc;
+    tc.length = 5000;
+    tc.seed = 2;
+    runner.run(generateTrace(tc));
+
+    const BankFile &banks = runner.machine().banks();
+    std::set<Addr> owners;
+    for (unsigned b = 0; b < banks.numBanks(); ++b) {
+        if (banks.isFree(b))
+            continue;
+        EXPECT_TRUE(owners.insert(banks.owner(b)).second)
+            << "two banks shadow one frame";
+    }
+}
+
+TEST(Banks, OverflowWritesOldestBankOut)
+{
+    TraceRunner runner(banked(3)); // minimal: current + stack + 1
+    Machine &m = runner.machine();
+    runner.call(0);
+    // Write a recognizable local in this frame.
+    const Addr deep = m.currentFrame();
+    m.pushValue(0xBEEF);
+    m.callDescriptor(m.image().procDescriptor("T", "p1"),
+                     XferKind::DirectCall); // arg in bank
+    const Addr deeper = m.currentFrame();
+    EXPECT_EQ(m.inspectVar(deeper, 0), 0xBEEF);
+    // Keep calling until `deep`'s bank is evicted.
+    runner.call(2);
+    runner.call(3);
+    EXPECT_GT(m.stats().bankOverflows, 0u);
+    EXPECT_EQ(m.banks().bankOf(deep), -1);
+    // The eviction flushed the dirty words: storage shows them.
+    EXPECT_EQ(m.inspectVar(deeper, 0), 0xBEEF);
+}
+
+TEST(Banks, UnderflowReloadsOnReturn)
+{
+    TraceRunner runner(banked(3));
+    for (int i = 0; i < 6; ++i)
+        runner.call(i % 4);
+    const CountT loads_before = runner.machine().stats().bankLoadWords;
+    for (int i = 0; i < 6; ++i)
+        runner.ret();
+    const MachineStats &s = runner.machine().stats();
+    EXPECT_GT(s.bankUnderflows, 0u);
+    EXPECT_GT(s.bankLoadWords, loads_before);
+    EXPECT_EQ(runner.depth(), 0u);
+}
+
+TEST(Banks, CoroutineXferKeepsBanks)
+{
+    // A coroutine XFER is not a process switch: suspended frames may
+    // keep their banks (§6 only flushes the return stack).
+    TraceRunner runner(banked(4), FrameSizeDist::mesa(), 3);
+    Machine &m = runner.machine();
+    runner.call(0);
+    const Addr suspended = m.currentFrame();
+    runner.switchChain();
+    EXPECT_GE(m.banks().bankOf(suspended), 0);
+}
+
+TEST(Banks, ProcessSwitchFlushesAllBanks)
+{
+    // §7.1: "when life gets complicated because of a process switch
+    // ... all the banks are flushed into storage."
+    TraceRunner runner(banked(4), FrameSizeDist::mesa(), 2);
+    Machine &m = runner.machine();
+    runner.call(0);
+    runner.call(1);
+    const Word other = m.spawn("T", "p0");
+    m.setScheduler([other](Machine &) { return other; });
+    m.processSwitch();
+    // Only the stack bank and (possibly) the destination's freshly
+    // loaded bank remain.
+    unsigned owned = 0;
+    for (unsigned b = 0; b < m.banks().numBanks(); ++b)
+        if (!m.banks().isFree(b))
+            ++owned;
+    EXPECT_LE(owned, 2u);
+    EXPECT_GT(m.stats().bankFlushWords, 0u);
+}
+
+// ---------------------------------------------------------------------
+// §7.4: pointers into frames
+// ---------------------------------------------------------------------
+
+TEST(Pointers, DivertFindsBankResidentWords)
+{
+    TraceRunner runner(banked(4));
+    Machine &m = runner.machine();
+    m.pushValue(7);
+    m.callDescriptor(m.image().procDescriptor("T", "p2"),
+                     XferKind::DirectCall);
+    const Addr lf = m.currentFrame();
+    ASSERT_GE(m.banks().bankOf(lf), 0);
+
+    // A raw pointer read of the bank-resident local must divert to
+    // the bank (the storage copy is stale).
+    m.pushValue(static_cast<Word>(lf + frame::varsOffset));
+    // Execute an RD by hand through the public API: inspectVar routes
+    // through the bank, while raw memory shows the stale copy.
+    EXPECT_EQ(m.inspectVar(lf, 0), 7);
+    EXPECT_NE(m.memory().peek(lf + frame::varsOffset), 7);
+    m.popValue();
+}
+
+TEST(Pointers, RetainedFrameSurvivesReturnWithContents)
+{
+    for (const Impl impl : {Impl::Mesa, Impl::Banked}) {
+        MachineConfig config;
+        config.impl = impl;
+        TraceRunner runner(config);
+        Machine &m = runner.machine();
+
+        m.pushValue(55);
+        m.callDescriptor(m.image().procDescriptor("T", "p3"),
+                         XferKind::ExtCall);
+        const Addr kept = m.currentFrame();
+        m.setRetained(kept, true);
+        m.doReturn();
+
+        // The frame was not freed and still holds the argument.
+        EXPECT_TRUE(m.heap().isRetained(kept));
+        EXPECT_EQ(m.heap().stats().retainedSkips, 1u);
+        EXPECT_EQ(m.memory().peek(kept + frame::varsOffset), 55)
+            << implName(impl);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference counts the paper quotes (steady state)
+// ---------------------------------------------------------------------
+
+TEST(RefCounts, MesaExternalCallAndReturn)
+{
+    MachineConfig config;
+    config.impl = Impl::Mesa;
+    TraceRunner runner(config);
+    // Warm the free lists.
+    for (int i = 0; i < 4; ++i) {
+        runner.call(0);
+        runner.ret();
+    }
+    runner.machine().resetStats();
+
+    runner.call(0);
+    // Descriptor call: 3 table refs (GFT, gf[0], EV — the LV read is
+    // the EXTERNALCALL instruction's and does not occur on this
+    // trace-driven path) + 3 allocation refs (Fig 2) + 3 state saves
+    // (returnLink, globalFrame, caller PC). No arguments were passed.
+    const auto &call_refs = runner.machine().stats().xferRefs
+        [static_cast<unsigned>(XferKind::ExtCall)];
+    EXPECT_EQ(call_refs.mean(), 9.0);
+
+    runner.ret();
+    // RETURN: returnLink read + 4 free refs + gf[0] + saved PC + the
+    // destination's globalFrame word.
+    const auto &ret_refs = runner.machine().stats().xferRefs
+        [static_cast<unsigned>(XferKind::Return)];
+    EXPECT_EQ(ret_refs.mean(), 8.0);
+}
+
+TEST(RefCounts, BankedDirectCallIsZeroRefs)
+{
+    TraceRunner runner(banked());
+    // Warm up.
+    for (int i = 0; i < 4; ++i) {
+        runner.call(0);
+        runner.ret();
+    }
+    runner.machine().resetStats();
+    Machine &m = runner.machine();
+    const CountT refs0 = runner.memory().totalRefs();
+    const CountT table0 = runner.memory().reads(AccessKind::Table);
+    const CountT heap0 = runner.memory().reads(AccessKind::Heap);
+    const CountT state0 = runner.memory().writes(AccessKind::FrameState);
+
+    // callDescriptor still resolves tables; the zero-ref path needs
+    // the DFC entry, exercised via the interpreter in c1. Here we
+    // check the frame/bank halves: no Data/FrameState/Heap traffic.
+    m.pushValue(1);
+    m.callDescriptor(m.image().procDescriptor("T", "p0"),
+                     XferKind::ExtCall);
+    const CountT table_refs =
+        runner.memory().reads(AccessKind::Table) - table0;
+    EXPECT_EQ(runner.memory().totalRefs() - refs0, table_refs);
+    EXPECT_EQ(runner.memory().reads(AccessKind::Heap) - heap0, 0u);
+    EXPECT_EQ(runner.memory().writes(AccessKind::FrameState) - state0,
+              0u);
+
+    m.popValue(); // leave the stack clean
+    m.doReturn();
+}
+
+TEST(RefCounts, ReturnStackHitReturnFreesFrameOnly)
+{
+    MachineConfig config;
+    config.impl = Impl::Ifu;
+    TraceRunner runner(config);
+    for (int i = 0; i < 4; ++i) {
+        runner.call(0);
+        runner.ret();
+    }
+    runner.machine().resetStats();
+
+    runner.call(0);
+    runner.ret();
+    // I3 return with a stack hit: only the 4 free refs remain.
+    const auto &ret_refs = runner.machine().stats().xferRefs
+        [static_cast<unsigned>(XferKind::Return)];
+    EXPECT_EQ(ret_refs.mean(), 4.0);
+}
+
+} // namespace
+} // namespace fpc

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for simulated storage and the cache timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "memory/cache.hh"
+#include "memory/memory.hh"
+
+namespace fpc
+{
+namespace
+{
+
+TEST(Memory, ReadWriteAndAccounting)
+{
+    Memory mem(1024);
+    mem.write(10, 0xBEEF, AccessKind::Data);
+    EXPECT_EQ(mem.read(10, AccessKind::Data), 0xBEEF);
+    EXPECT_EQ(mem.reads(AccessKind::Data), 1u);
+    EXPECT_EQ(mem.writes(AccessKind::Data), 1u);
+    EXPECT_EQ(mem.totalRefs(), 2u);
+
+    mem.read(10, AccessKind::Table);
+    EXPECT_EQ(mem.reads(AccessKind::Table), 1u);
+    EXPECT_EQ(mem.totalRefs(), 3u);
+
+    mem.resetStats();
+    EXPECT_EQ(mem.totalRefs(), 0u);
+    EXPECT_EQ(mem.reads(AccessKind::Data), 0u);
+    // Contents survive a stats reset.
+    EXPECT_EQ(mem.peek(10), 0xBEEF);
+}
+
+TEST(Memory, PeekPokeUnaccounted)
+{
+    Memory mem(64);
+    mem.poke(5, 77);
+    EXPECT_EQ(mem.peek(5), 77);
+    EXPECT_EQ(mem.totalRefs(), 0u);
+}
+
+TEST(Memory, ByteOrderBigEndianWithinWord)
+{
+    Memory mem(64);
+    mem.poke(3, 0xAB12);
+    EXPECT_EQ(mem.peekByte(6), 0xAB); // high byte first
+    EXPECT_EQ(mem.peekByte(7), 0x12);
+
+    mem.pokeByte(6, 0xCD);
+    EXPECT_EQ(mem.peek(3), 0xCD12);
+    mem.pokeByte(7, 0x34);
+    EXPECT_EQ(mem.peek(3), 0xCD34);
+}
+
+TEST(Memory, CodeByteFetchCountsSeparately)
+{
+    Memory mem(64);
+    mem.poke(0, 0x1234);
+    EXPECT_EQ(mem.readByte(0), 0x12);
+    EXPECT_EQ(mem.readByte(1), 0x34);
+    EXPECT_EQ(mem.codeByteFetches(), 2u);
+    EXPECT_EQ(mem.totalRefs(), 0u); // code bytes are not data refs
+}
+
+TEST(Memory, OutOfRangeIsFatal)
+{
+    setQuiet(true);
+    Memory mem(16);
+    EXPECT_THROW(mem.read(16, AccessKind::Data), FatalError);
+    EXPECT_THROW(mem.write(100, 0, AccessKind::Data), FatalError);
+    EXPECT_THROW(Memory(0), PanicError);
+    setQuiet(false);
+}
+
+TEST(Cache, HitsAndMisses)
+{
+    LatencyModel lat;
+    Cache cache({4, 1, 4}, lat); // 4 sets, direct-mapped, 4-word lines
+    // First access: miss.
+    EXPECT_EQ(cache.access(0, false), lat.cacheHitCycles + lat.memCycles);
+    // Same line: hit.
+    EXPECT_EQ(cache.access(3, false), lat.cacheHitCycles);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+}
+
+TEST(Cache, ConflictEviction)
+{
+    LatencyModel lat;
+    Cache cache({4, 1, 4}, lat);
+    cache.access(0, false);  // set 0
+    cache.access(64, false); // also set 0 (64/4 = 16, 16 % 4 = 0)
+    cache.access(0, false);  // evicted: miss again
+    EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(Cache, AssociativityAvoidsConflict)
+{
+    LatencyModel lat;
+    Cache cache({4, 2, 4}, lat);
+    cache.access(0, false);
+    cache.access(64, false);
+    cache.access(0, false); // both fit in the 2-way set
+    cache.access(64, false);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(Cache, LruVictimChoice)
+{
+    LatencyModel lat;
+    Cache cache({1, 2, 1}, lat); // 2 lines total, 1-word lines
+    cache.access(0, false);
+    cache.access(1, false);
+    cache.access(0, false); // touch 0 again: 1 is now LRU
+    cache.access(2, false); // evicts 1
+    EXPECT_EQ(cache.access(0, false), lat.cacheHitCycles); // still in
+}
+
+TEST(Cache, DirtyWritebackCharged)
+{
+    LatencyModel lat;
+    Cache cache({1, 1, 1}, lat); // one line
+    cache.access(0, true);       // miss, dirty
+    const unsigned cycles = cache.access(1, false); // evicts dirty 0
+    EXPECT_EQ(cycles, lat.cacheHitCycles + 2 * lat.memCycles);
+    EXPECT_EQ(cache.writebacks(), 1u);
+    // Clean eviction costs only the fill.
+    const unsigned clean = cache.access(2, false);
+    EXPECT_EQ(clean, lat.cacheHitCycles + lat.memCycles);
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    LatencyModel lat;
+    Cache cache({4, 2, 4}, lat);
+    cache.access(0, true);
+    cache.reset();
+    EXPECT_EQ(cache.accesses(), 0u);
+    EXPECT_EQ(cache.access(0, false),
+              lat.cacheHitCycles + lat.memCycles); // cold again
+}
+
+TEST(Cache, BadGeometryRejected)
+{
+    setQuiet(true);
+    LatencyModel lat;
+    EXPECT_THROW(Cache({3, 1, 4}, lat), FatalError);  // non-pow2 sets
+    EXPECT_THROW(Cache({4, 1, 3}, lat), FatalError);  // non-pow2 line
+    EXPECT_THROW(Cache({0, 1, 4}, lat), PanicError);
+    setQuiet(false);
+}
+
+/** Property: a repeated scan of a working set that fits is all hits
+ *  after the first pass, regardless of geometry. */
+class CacheSweep
+    : public testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{};
+
+TEST_P(CacheSweep, FittingWorkingSetConverges)
+{
+    const auto [sets, ways] = GetParam();
+    LatencyModel lat;
+    Cache cache({sets, ways, 4}, lat);
+    const unsigned working_words = sets * ways * 4;
+    for (Addr a = 0; a < working_words; ++a)
+        cache.access(a, false);
+    const CountT misses_after_fill = cache.misses();
+    for (int pass = 0; pass < 3; ++pass)
+        for (Addr a = 0; a < working_words; ++a)
+            cache.access(a, false);
+    EXPECT_EQ(cache.misses(), misses_after_fill);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweep,
+    testing::Combine(testing::Values(4u, 16u, 64u),
+                     testing::Values(1u, 2u, 4u)));
+
+} // namespace
+} // namespace fpc

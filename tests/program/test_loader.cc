@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Loader/binder tests: image layout invariants, link-vector binding
+ * and frequency sorting, GFT bias allocation for >32-entry modules,
+ * the D2 multi-instance fallback, and the fat/direct prologues.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.hh"
+#include "common/logging.hh"
+#include "common/strfmt.hh"
+#include "program/loader.hh"
+#include "xfer/context.hh"
+
+namespace fpc
+{
+namespace
+{
+
+Module
+leafModule(const std::string &name = "Leaf")
+{
+    ModuleBuilder b(name);
+    b.globals(2, {11, 22});
+    auto &one = b.proc("one", 0, 1);
+    one.loadImm(1).ret();
+    auto &two = b.proc("two", 1, 1);
+    two.loadLocal(0).ret();
+    return b.build();
+}
+
+Module
+callerModule()
+{
+    ModuleBuilder b("Caller");
+    b.globals(1);
+    const unsigned one = b.externRef("Leaf", "one");
+    const unsigned two = b.externRef("Leaf", "two");
+    auto &main = b.proc("main", 0, 1);
+    // "two" used more often than "one": should win LV slot 0.
+    main.loadImm(1).callExtern(two);
+    main.op(isa::Op::DROP).loadImm(2).callExtern(two);
+    main.op(isa::Op::DROP).callExtern(one);
+    main.ret();
+    return b.build();
+}
+
+struct LoadRig
+{
+    SystemLayout layout;
+    Memory mem{SystemLayout().memWords};
+    LoadedImage image;
+
+    explicit LoadRig(const LinkPlan &plan = LinkPlan{},
+                     std::vector<Module> extra = {},
+                     unsigned leaf_instances = 1)
+    {
+        Loader loader{layout, SizeClasses::standard()};
+        loader.add(leafModule());
+        loader.add(callerModule());
+        for (auto &m : extra)
+            loader.add(std::move(m));
+        for (unsigned i = 1; i < leaf_instances; ++i)
+            loader.addInstance("Leaf");
+        image = loader.load(mem, plan);
+    }
+};
+
+TEST(Loader, EntryVectorPointsAtFsiBytes)
+{
+    LoadRig rig;
+    const PlacedModule &leaf = rig.image.module("Leaf");
+    for (unsigned p = 0; p < leaf.procs.size(); ++p) {
+        const Word ev =
+            rig.mem.peek(leaf.segBase / wordBytes + p);
+        EXPECT_EQ(ev, leaf.procs[p].evOffset);
+        // The byte at the EV offset is the procedure's fsi.
+        const unsigned fsi = rig.mem.peekByte(leaf.segBase + ev);
+        EXPECT_EQ(fsi, leaf.procs[p].fsi);
+    }
+}
+
+TEST(Loader, GlobalFrameHoldsCodeBaseAndInitials)
+{
+    LoadRig rig;
+    const PlacedModule &leaf = rig.image.module("Leaf");
+    const Addr gf = rig.image.gfAddr("Leaf");
+    EXPECT_EQ(gf % 4, 0u);
+    EXPECT_EQ(rig.layout.codeSegBase(rig.mem.peek(gf)), leaf.segBase);
+    EXPECT_EQ(rig.mem.peek(gf + 1), 11);
+    EXPECT_EQ(rig.mem.peek(gf + 2), 22);
+}
+
+TEST(Loader, GftEntriesResolveInstances)
+{
+    LoadRig rig;
+    const PlacedInstance &inst = rig.image.instance("Leaf");
+    const Word raw = rig.mem.peek(rig.layout.gftAddr + inst.gftBase);
+    const GftEntry entry = unpackGftEntry(raw, rig.layout);
+    EXPECT_EQ(entry.gfAddr, inst.gfAddr);
+    EXPECT_EQ(entry.bias, 0u);
+}
+
+TEST(Loader, LinkVectorBindsDescriptors)
+{
+    LoadRig rig;
+    const PlacedModule &caller = rig.image.module("Caller");
+    EXPECT_EQ(caller.lvCount, 2u);
+    const Addr gf = rig.image.gfAddr("Caller");
+    // Slot 0 = hottest extern = Leaf.two (2 static uses).
+    const Word slot0 = rig.mem.peek(gf - 1);
+    EXPECT_EQ(slot0, rig.image.procDescriptor("Leaf", "two"));
+    const Word slot1 = rig.mem.peek(gf - 2);
+    EXPECT_EQ(slot1, rig.image.procDescriptor("Leaf", "one"));
+}
+
+TEST(Loader, LvSortingCanBeDisabled)
+{
+    LinkPlan plan;
+    plan.sortLvByUse = false;
+    LoadRig rig(plan);
+    const Addr gf = rig.image.gfAddr("Caller");
+    // Declaration order: one first.
+    EXPECT_EQ(rig.mem.peek(gf - 1),
+              rig.image.procDescriptor("Leaf", "one"));
+}
+
+TEST(Loader, DirectPlanPlantsHeadersAndDropsLv)
+{
+    LinkPlan plan;
+    plan.lowering = CallLowering::Direct;
+    LoadRig rig(plan);
+
+    const PlacedModule &caller = rig.image.module("Caller");
+    EXPECT_EQ(caller.lvCount, 0u); // "two bytes of LV entry are saved"
+
+    // The callee prologue holds GF then fsi, then code (§6).
+    const PlacedModule &leaf = rig.image.module("Leaf");
+    const PlacedProc &pp = leaf.procs[0];
+    EXPECT_EQ(pp.prologueBytes, 4u);
+    const Addr gf = rig.image.gfAddr("Leaf");
+    const Word planted =
+        (rig.mem.peekByte(pp.prologueAddr) << 8) |
+        rig.mem.peekByte(pp.prologueAddr + 1);
+    EXPECT_EQ(planted, gf);
+    const Word fsi =
+        (rig.mem.peekByte(pp.prologueAddr + 2) << 8) |
+        rig.mem.peekByte(pp.prologueAddr + 3);
+    EXPECT_EQ(fsi, pp.fsi);
+    // The EV still points at a usable fsi byte (the header's low
+    // byte), so EXTERNALCALLs into a direct module keep working.
+    EXPECT_EQ(pp.evOffset,
+              pp.prologueAddr + 3 - leaf.segBase);
+}
+
+TEST(Loader, MultiInstanceFallsBackToMesa)
+{
+    setQuiet(true);
+    LinkPlan plan;
+    plan.lowering = CallLowering::Direct;
+    LoadRig rig(plan, {}, 2); // two Leaf instances -> D2
+    setQuiet(false);
+
+    // Leaf fell back to mesa linkage; Caller's calls to it use LV.
+    const PlacedModule &leaf = rig.image.module("Leaf");
+    EXPECT_EQ(leaf.lowering, CallLowering::Mesa);
+    EXPECT_EQ(leaf.procs[0].prologueBytes, 1u);
+    const PlacedModule &caller = rig.image.module("Caller");
+    EXPECT_EQ(caller.lvCount, 2u);
+
+    // Both instances share code but have distinct global frames.
+    const PlacedInstance &i0 = rig.image.instance("Leaf", 0);
+    const PlacedInstance &i1 = rig.image.instance("Leaf", 1);
+    EXPECT_NE(i0.gfAddr, i1.gfAddr);
+    EXPECT_EQ(rig.mem.peek(i0.gfAddr), rig.mem.peek(i1.gfAddr));
+    EXPECT_NE(i0.gftBase, i1.gftBase);
+}
+
+TEST(Loader, BiasExtendsModulesPast32Procs)
+{
+    ModuleBuilder b("Big");
+    for (unsigned p = 0; p < 40; ++p) {
+        auto &proc = b.proc(strfmt("p{}", p), 0, 1);
+        proc.loadImm(static_cast<Word>(p % 7)).ret();
+    }
+    SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    loader.add(b.build());
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+
+    const PlacedInstance &inst = image.instance("Big");
+    EXPECT_EQ(inst.gftCount, 2u); // ceil(40/32)
+
+    // Descriptor for p35 must use the second (bias 1) GFT entry.
+    const Word desc = image.procDescriptor("Big", "p35");
+    const Context ctx = unpackContext(desc, layout);
+    EXPECT_EQ(ctx.env, inst.gftBase + 1);
+    EXPECT_EQ(ctx.code, 35u % 32);
+    const GftEntry second =
+        unpackGftEntry(mem.peek(layout.gftAddr + inst.gftBase + 1),
+                       layout);
+    EXPECT_EQ(second.bias, 1u);
+    EXPECT_EQ(second.gfAddr, inst.gfAddr);
+}
+
+TEST(Loader, TooManyProcsRejected)
+{
+    setQuiet(true);
+    ModuleBuilder b("Huge");
+    for (unsigned p = 0; p < 129; ++p)
+        b.proc(strfmt("p{}", p), 0, 1).loadImm(0).ret();
+    EXPECT_THROW(b.build(), FatalError);
+    setQuiet(false);
+}
+
+TEST(Loader, UnresolvedExternIsFatal)
+{
+    setQuiet(true);
+    ModuleBuilder b("Lost");
+    const unsigned ext = b.externRef("Nowhere", "nothing");
+    b.proc("main", 0, 1).callExtern(ext).ret();
+    Memory mem(SystemLayout().memWords);
+    Loader loader{SystemLayout(), SizeClasses::standard()};
+    loader.add(b.build());
+    EXPECT_THROW(loader.load(mem, LinkPlan{}), FatalError);
+    setQuiet(false);
+}
+
+TEST(Loader, DuplicateModuleNameRejected)
+{
+    setQuiet(true);
+    Loader loader{SystemLayout(), SizeClasses::standard()};
+    loader.add(leafModule());
+    EXPECT_THROW(loader.add(leafModule()), FatalError);
+    EXPECT_THROW(loader.addInstance("Nope"), FatalError);
+    setQuiet(false);
+}
+
+TEST(Loader, CodeSegmentsAreGranuleAlignedAndDisjoint)
+{
+    LoadRig rig;
+    const auto &mods = rig.image.modules();
+    for (std::size_t i = 0; i < mods.size(); ++i) {
+        EXPECT_EQ(mods[i].segBase % rig.layout.codeGranuleBytes, 0u);
+        for (std::size_t j = i + 1; j < mods.size(); ++j) {
+            const bool disjoint =
+                mods[i].segBase + mods[i].segBytes <= mods[j].segBase ||
+                mods[j].segBase + mods[j].segBytes <= mods[i].segBase;
+            EXPECT_TRUE(disjoint);
+        }
+    }
+}
+
+TEST(Loader, PerTargetOverrideMixesLinkage)
+{
+    LinkPlan plan;
+    plan.lowering = CallLowering::Mesa;
+    plan.targetOverride["Leaf"] = CallLowering::Direct;
+    LoadRig rig(plan);
+    EXPECT_EQ(rig.image.module("Leaf").lowering, CallLowering::Direct);
+    EXPECT_EQ(rig.image.module("Caller").lowering, CallLowering::Mesa);
+    // Caller needs no LV slots: all its externs target Leaf.
+    EXPECT_EQ(rig.image.module("Caller").lvCount, 0u);
+}
+
+TEST(Loader, ImageAccessorsValidate)
+{
+    setQuiet(true);
+    LoadRig rig;
+    EXPECT_THROW(rig.image.module("Missing"), FatalError);
+    EXPECT_THROW(rig.image.instance("Leaf", 1), FatalError);
+    EXPECT_THROW(rig.image.procDescriptor("Leaf", "missing"),
+                 FatalError);
+    EXPECT_GT(rig.image.codeBytes(), 0u);
+    EXPECT_EQ(rig.image.gftEntriesUsed(), 2u);
+    setQuiet(false);
+}
+
+} // namespace
+} // namespace fpc

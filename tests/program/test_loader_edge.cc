@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Loader edge cases: wide link vectors (two-byte EFCB call sites),
+ * link-vector capacity, malformed modules, and data-cache timing
+ * transparency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.hh"
+#include "common/logging.hh"
+#include "common/strfmt.hh"
+#include "lang/codegen.hh"
+#include "machine/machine.hh"
+#include "program/loader.hh"
+
+namespace fpc
+{
+namespace
+{
+
+TEST(WideLv, TwoByteCallSitesWork)
+{
+    // 20 externs: indices 8.. use the two-byte EFCB form; all must
+    // execute correctly and sum distinctly.
+    ModuleBuilder lib("Lib");
+    for (unsigned p = 0; p < 20; ++p) {
+        auto &proc = lib.proc(strfmt("k{}", p), 0, 1);
+        proc.loadImm(static_cast<Word>(p)).ret();
+    }
+    ModuleBuilder client("Client");
+    auto &main = client.proc("main", 0, 2);
+    main.loadImm(0).storeLocal(0);
+    for (unsigned p = 0; p < 20; ++p) {
+        const unsigned ext = client.externRef("Lib", strfmt("k{}", p));
+        main.callExtern(ext);
+        main.loadLocal(0).op(isa::Op::ADD).storeLocal(0);
+    }
+    main.loadLocal(0).ret();
+
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    loader.add(lib.build());
+    loader.add(client.build());
+    LinkPlan plan;
+    plan.sortLvByUse = false; // keep indices 0..19 in order
+    const LoadedImage image = loader.load(mem, plan);
+    EXPECT_EQ(image.module("Client").lvCount, 20u);
+
+    Machine machine(mem, image, MachineConfig{});
+    machine.start("Client", "main");
+    ASSERT_EQ(machine.run().reason, StopReason::TopReturn);
+    EXPECT_EQ(machine.popValue(), 190); // 0+1+...+19
+
+    // The one-byte form covered only the first 8; EFCB did the rest.
+    const MachineStats &s = machine.stats();
+    EXPECT_EQ(s.opCount[static_cast<unsigned>(isa::Op::EFCB)], 12u);
+}
+
+TEST(WideLv, TooManySlotsIsFatal)
+{
+    setQuiet(true);
+    ModuleBuilder lib("Lib");
+    for (unsigned p = 0; p < 120; ++p)
+        lib.proc(strfmt("k{}", p), 0, 1).loadImm(0).ret();
+    ModuleBuilder lib2("Lib2");
+    for (unsigned p = 0; p < 120; ++p)
+        lib2.proc(strfmt("k{}", p), 0, 1).loadImm(0).ret();
+    ModuleBuilder lib3("Lib3");
+    for (unsigned p = 0; p < 120; ++p)
+        lib3.proc(strfmt("k{}", p), 0, 1).loadImm(0).ret();
+
+    ModuleBuilder client("Client");
+    auto &main = client.proc("main", 0, 1);
+    for (unsigned p = 0; p < 120; ++p) {
+        main.callExtern(client.externRef("Lib", strfmt("k{}", p)));
+        main.op(isa::Op::DROP);
+        main.callExtern(client.externRef("Lib2", strfmt("k{}", p)));
+        main.op(isa::Op::DROP);
+        main.callExtern(client.externRef("Lib3", strfmt("k{}", p)));
+        main.op(isa::Op::DROP);
+    }
+    main.loadImm(0).ret();
+
+    Memory mem(SystemLayout().memWords);
+    Loader loader{SystemLayout(), SizeClasses::standard()};
+    loader.add(lib.build());
+    loader.add(lib2.build());
+    loader.add(lib3.build());
+    loader.add(client.build());
+    EXPECT_THROW(loader.load(mem, LinkPlan{}), FatalError);
+    setQuiet(false);
+}
+
+TEST(Malformed, ModuleValidationErrors)
+{
+    setQuiet(true);
+    {
+        Module m;
+        m.name = "";
+        EXPECT_THROW(m.validate(), FatalError);
+    }
+    {
+        Module m;
+        m.name = "X";
+        EXPECT_THROW(m.validate(), FatalError); // no procedures
+    }
+    {
+        Module m;
+        m.name = "X";
+        m.numGlobals = 1;
+        m.globalInit = {1, 2};
+        ProcDef p;
+        p.name = "p";
+        p.numVars = 1;
+        m.procs.push_back(p);
+        EXPECT_THROW(m.validate(), FatalError); // extra initials
+    }
+    setQuiet(false);
+}
+
+TEST(DataCache, TimingOnlyNeverChangesResults)
+{
+    const auto modules = lang::compile(R"(
+        module M;
+        proc work(n) {
+            var i, acc;
+            i = 0;
+            while (i < n) { acc = acc * 3 + i; i = i + 1; }
+            return acc;
+        }
+        proc main(n) { return work(n) + work(n / 2); }
+    )");
+
+    Word plain_result = 0;
+    Tick plain_cycles = 0;
+    for (const bool use_cache : {false, true}) {
+        const SystemLayout layout;
+        Memory mem(layout.memWords);
+        Loader loader{layout, SizeClasses::standard()};
+        for (const auto &m : modules)
+            loader.add(m);
+        const LoadedImage image = loader.load(mem, LinkPlan{});
+        MachineConfig config;
+        config.useDataCache = use_cache;
+        Machine machine(mem, image, config);
+        machine.start("M", "main", std::array<Word, 1>{Word{60}});
+        ASSERT_EQ(machine.run().reason, StopReason::TopReturn);
+        if (!use_cache) {
+            plain_result = machine.popValue();
+            plain_cycles = machine.cycles();
+        } else {
+            EXPECT_EQ(machine.popValue(), plain_result);
+            // Hot locals: the cache should cut data latency.
+            EXPECT_LT(machine.cycles(), plain_cycles);
+            ASSERT_NE(machine.dataCache(), nullptr);
+            EXPECT_GT(machine.dataCache()->hitRate(), 0.9);
+        }
+    }
+}
+
+} // namespace
+} // namespace fpc

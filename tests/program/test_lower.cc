@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for procedure-body lowering: the grow-only jump fixpoint,
+ * compact jump forms, far-conditional inversion, and call-site policy
+ * interaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/disasm.hh"
+#include "program/lower.hh"
+
+namespace fpc
+{
+namespace
+{
+
+/** A fixed-size policy for isolated lowering tests. */
+class TestPolicy : public CallSitePolicy
+{
+  public:
+    unsigned extSize = 1;
+    unsigned localSize = 1;
+
+    unsigned
+    extCallSize(unsigned) const override
+    {
+        return extSize;
+    }
+
+    unsigned
+    localCallSize(unsigned) const override
+    {
+        return localSize;
+    }
+
+    void
+    encodeExtCall(std::vector<std::uint8_t> &out, unsigned id,
+                  CodeByteAddr) const override
+    {
+        isa::encode(out, isa::extCallOp(id),
+                    static_cast<std::int32_t>(id));
+    }
+
+    void
+    encodeLocalCall(std::vector<std::uint8_t> &out, unsigned id,
+                    CodeByteAddr) const override
+    {
+        isa::encode(out, isa::localCallOp(id),
+                    static_cast<std::int32_t>(id));
+    }
+
+    unsigned
+    loadDescLvIndex(unsigned id) const override
+    {
+        return id;
+    }
+};
+
+ProcDef
+makeProc(std::vector<AsmInst> code, unsigned labels)
+{
+    ProcDef def;
+    def.name = "t";
+    def.numVars = 4;
+    def.numLabels = labels;
+    def.code = std::move(code);
+    return def;
+}
+
+std::vector<std::uint8_t>
+lower(const ProcDef &def)
+{
+    TestPolicy policy;
+    const auto sizes = layoutBody(def, policy);
+    return encodeBody(def, policy, sizes, 0);
+}
+
+TEST(Lower, TinyForwardJumpUsesOneByteForm)
+{
+    using K = AsmInst::Kind;
+    // jump over one NOOP: displacement 2 -> J2.
+    const auto bytes = lower(makeProc(
+        {AsmInst::jump(K::Jump, 0), AsmInst::plain(isa::Op::NOOP),
+         AsmInst::label(0), AsmInst::plain(isa::Op::RET)},
+        1));
+    ASSERT_EQ(bytes.size(), 3u);
+    EXPECT_EQ(static_cast<isa::Op>(bytes[0]), isa::Op::J2);
+}
+
+TEST(Lower, MediumJumpUsesByteForm)
+{
+    using K = AsmInst::Kind;
+    std::vector<AsmInst> code = {AsmInst::jump(K::Jump, 0)};
+    for (int i = 0; i < 40; ++i)
+        code.push_back(AsmInst::plain(isa::Op::NOOP));
+    code.push_back(AsmInst::label(0));
+    code.push_back(AsmInst::plain(isa::Op::RET));
+    const auto bytes = lower(makeProc(std::move(code), 1));
+    EXPECT_EQ(static_cast<isa::Op>(bytes[0]), isa::Op::JB);
+    const auto inst = isa::decodeAt(bytes, 0);
+    EXPECT_EQ(inst.operand, 42); // 2 (JB) + 40 NOOPs
+}
+
+TEST(Lower, FarJumpGrowsToWordForm)
+{
+    using K = AsmInst::Kind;
+    std::vector<AsmInst> code = {AsmInst::jump(K::Jump, 0)};
+    for (int i = 0; i < 300; ++i)
+        code.push_back(AsmInst::plain(isa::Op::NOOP));
+    code.push_back(AsmInst::label(0));
+    code.push_back(AsmInst::plain(isa::Op::RET));
+    const auto bytes = lower(makeProc(std::move(code), 1));
+    EXPECT_EQ(static_cast<isa::Op>(bytes[0]), isa::Op::JW);
+    EXPECT_EQ(isa::decodeAt(bytes, 0).operand, 303);
+}
+
+TEST(Lower, BackwardJumpIsNegative)
+{
+    using K = AsmInst::Kind;
+    const auto bytes = lower(makeProc(
+        {AsmInst::label(0), AsmInst::plain(isa::Op::NOOP),
+         AsmInst::jump(K::Jump, 0)},
+        1));
+    EXPECT_EQ(static_cast<isa::Op>(bytes[1]), isa::Op::JB);
+    EXPECT_EQ(isa::decodeAt(bytes, 1).operand, -1);
+}
+
+TEST(Lower, FarConditionalInverts)
+{
+    using K = AsmInst::Kind;
+    std::vector<AsmInst> code = {AsmInst::jump(K::JumpZero, 0)};
+    for (int i = 0; i < 300; ++i)
+        code.push_back(AsmInst::plain(isa::Op::NOOP));
+    code.push_back(AsmInst::label(0));
+    code.push_back(AsmInst::plain(isa::Op::RET));
+    const auto bytes = lower(makeProc(std::move(code), 1));
+    // Inverted short conditional over a word jump.
+    EXPECT_EQ(static_cast<isa::Op>(bytes[0]), isa::Op::JNZB);
+    EXPECT_EQ(isa::decodeAt(bytes, 0).operand, 5);
+    EXPECT_EQ(static_cast<isa::Op>(bytes[2]), isa::Op::JW);
+    EXPECT_EQ(isa::decodeAt(bytes, 2).operand, 303); // 305 - 2
+}
+
+TEST(Lower, NearConditionalStaysShort)
+{
+    using K = AsmInst::Kind;
+    const auto bytes = lower(makeProc(
+        {AsmInst::jump(K::JumpNotZero, 0),
+         AsmInst::plain(isa::Op::NOOP), AsmInst::label(0),
+         AsmInst::plain(isa::Op::RET)},
+        1));
+    EXPECT_EQ(static_cast<isa::Op>(bytes[0]), isa::Op::JNZB);
+    EXPECT_EQ(isa::decodeAt(bytes, 0).operand, 3);
+}
+
+TEST(Lower, ChainedJumpsReachFixpoint)
+{
+    using K = AsmInst::Kind;
+    // Two interleaved jumps whose sizes depend on each other.
+    std::vector<AsmInst> code;
+    code.push_back(AsmInst::jump(K::Jump, 0)); // far forward
+    for (int i = 0; i < 120; ++i)
+        code.push_back(AsmInst::plain(isa::Op::NOOP));
+    code.push_back(AsmInst::jump(K::Jump, 1)); // near forward
+    code.push_back(AsmInst::label(1));
+    for (int i = 0; i < 10; ++i)
+        code.push_back(AsmInst::plain(isa::Op::NOOP));
+    code.push_back(AsmInst::label(0));
+    code.push_back(AsmInst::plain(isa::Op::RET));
+    const auto bytes = lower(makeProc(std::move(code), 2));
+    // Decode everything: offsets must land on instruction starts.
+    const auto lines = isa::disassemble(bytes);
+    EXPECT_EQ(lines.back().text, "RET");
+}
+
+TEST(Lower, UnboundLabelIsFatal)
+{
+    using K = AsmInst::Kind;
+    setQuiet(true);
+    EXPECT_THROW(
+        lower(makeProc({AsmInst::jump(K::Jump, 0)}, 1)),
+        FatalError);
+    setQuiet(false);
+}
+
+TEST(Lower, CallSizesComeFromPolicy)
+{
+    TestPolicy policy;
+    policy.extSize = 4;
+    ProcDef def = makeProc({AsmInst::extCall(0)}, 0);
+    const auto sizes = layoutBody(def, policy);
+    EXPECT_EQ(bodySize(sizes), 4u);
+}
+
+TEST(Lower, LoadDescEncodesLvIndex)
+{
+    const auto bytes = lower(makeProc({AsmInst::loadDesc(9)}, 0));
+    ASSERT_EQ(bytes.size(), 2u);
+    EXPECT_EQ(static_cast<isa::Op>(bytes[0]), isa::Op::LPD);
+    EXPECT_EQ(bytes[1], 9);
+}
+
+TEST(Lower, LabelsOccupyNoSpace)
+{
+    const auto bytes = lower(makeProc(
+        {AsmInst::label(0), AsmInst::label(1),
+         AsmInst::plain(isa::Op::RET)},
+        2));
+    EXPECT_EQ(bytes.size(), 1u);
+}
+
+} // namespace
+} // namespace fpc

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Code-segment relocation tests (§5.1 T2 vs D1's D3): a Mesa-linked
+ * module moves with one word updated per instance — even with a
+ * coroutine suspended inside it — while direct linkage refuses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/builder.hh"
+#include "common/logging.hh"
+#include "lang/codegen.hh"
+#include "machine/machine.hh"
+#include "program/relocate.hh"
+
+namespace fpc
+{
+namespace
+{
+
+std::vector<Module>
+libProgram()
+{
+    return lang::compile(R"(
+        module Lib;
+        var calls;
+        proc triple(x) { calls = calls + 1; return x * 3; }
+
+        module Main;
+        proc main(n) { return Lib.triple(n) + Lib.triple(1); }
+    )");
+}
+
+struct RelocRig
+{
+    SystemLayout layout;
+    Memory mem{SystemLayout().memWords};
+    LoadedImage image;
+
+    explicit RelocRig(CallLowering lowering = CallLowering::Mesa)
+    {
+        Loader loader{layout, SizeClasses::standard()};
+        for (const auto &m : libProgram())
+            loader.add(m);
+        LinkPlan plan;
+        plan.lowering = lowering;
+        image = loader.load(mem, plan);
+    }
+
+    Word
+    run(Word arg)
+    {
+        Machine machine(mem, image, MachineConfig{});
+        machine.start("Main", "main", std::array<Word, 1>{arg});
+        EXPECT_EQ(machine.run().reason, StopReason::TopReturn);
+        return machine.popValue();
+    }
+};
+
+TEST(Relocate, MesaModuleMovesAndKeepsWorking)
+{
+    RelocRig rig;
+    EXPECT_EQ(rig.run(10), 33);
+
+    const CodeByteAddr old_base = rig.image.module("Lib").segBase;
+    const CodeByteAddr new_base =
+        imageCodeEnd(rig.image) + 4 * rig.layout.codeGranuleBytes;
+    const unsigned moved =
+        relocateModule(rig.mem, rig.image, "Lib", new_base);
+    EXPECT_GT(moved, 0u);
+    EXPECT_EQ(rig.image.module("Lib").segBase, new_base);
+    EXPECT_NE(old_base, new_base);
+
+    // Same program, callers untouched: only gf[0] changed.
+    EXPECT_EQ(rig.run(10), 33);
+    EXPECT_EQ(rig.layout.codeSegBase(
+                  rig.mem.peek(rig.image.gfAddr("Lib"))),
+              new_base);
+}
+
+TEST(Relocate, SuspendedActivationSurvivesTheMove)
+{
+    // A coroutine suspended *inside* the moved module must resume at
+    // the right instruction: its saved PC is code-base-relative.
+    ModuleBuilder b("Gen");
+    auto &gen = b.proc("gen", 1, 2);
+    auto loop = gen.newLabel();
+    gen.loadImm(0).storeLocal(1);
+    gen.label(loop);
+    gen.loadLocal(1).loadLocal(1).op(isa::Op::MUL); // i*i
+    gen.op(isa::Op::LRC).op(isa::Op::XF);           // hand it back
+    gen.loadLocal(1).loadImm(1).op(isa::Op::ADD).storeLocal(1);
+    gen.jump(loop);
+
+    ModuleBuilder m("Driver");
+    auto &drive = m.proc("drive", 1, 2);
+    drive.loadLocal(0).op(isa::Op::XF); // resume generator
+    drive.ret();                        // return the yielded value
+
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    loader.add(b.build());
+    loader.add(m.build());
+    LoadedImage image = loader.load(mem, LinkPlan{});
+
+    Machine machine(mem, image, MachineConfig{});
+    const Word gen_ctx = machine.spawn("Gen", "gen", {{0}});
+
+    auto next = [&]() {
+        machine.start("Driver", "drive",
+                      std::array<Word, 1>{gen_ctx});
+        EXPECT_EQ(machine.run().reason, StopReason::TopReturn);
+        return machine.popValue();
+    };
+
+    EXPECT_EQ(next(), 0); // 0*0
+    EXPECT_EQ(next(), 1); // 1*1
+
+    // Move Gen's code while its activation sleeps inside it.
+    relocateModule(mem, image, "Gen",
+                   imageCodeEnd(image) + layout.codeGranuleBytes);
+
+    EXPECT_EQ(next(), 4); // resumes mid-loop at the new address
+    EXPECT_EQ(next(), 9);
+}
+
+TEST(Relocate, DirectLinkageRefusesD3)
+{
+    setQuiet(true);
+    RelocRig rig(CallLowering::Direct);
+    EXPECT_THROW(relocateModule(rig.mem, rig.image, "Lib",
+                                imageCodeEnd(rig.image)),
+                 FatalError);
+    setQuiet(false);
+}
+
+TEST(Relocate, ValidatesTargets)
+{
+    setQuiet(true);
+    RelocRig rig;
+    EXPECT_THROW(
+        relocateModule(rig.mem, rig.image, "Nope", 0x40000),
+        FatalError);
+    // Misaligned.
+    EXPECT_THROW(relocateModule(rig.mem, rig.image, "Lib",
+                                imageCodeEnd(rig.image) + 1),
+                 FatalError);
+    // Overlapping Main's segment.
+    EXPECT_THROW(relocateModule(rig.mem, rig.image, "Lib",
+                                rig.image.module("Main").segBase),
+                 FatalError);
+    setQuiet(false);
+}
+
+} // namespace
+} // namespace fpc

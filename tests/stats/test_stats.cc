@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "stats/stats.hh"
+#include "stats/table.hh"
+
+namespace fpc::stats
+{
+namespace
+{
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 4;
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, Moments)
+{
+    Distribution d;
+    EXPECT_EQ(d.mean(), 0.0);
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_NEAR(d.stddev(), 2.0, 1e-9);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(Distribution, WeightedSamples)
+{
+    Distribution d;
+    d.sample(10.0, 3);
+    d.sample(20.0, 1);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 12.5);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(2.0, 4); // buckets [0,2) [2,4) [4,6) [6,8)
+    for (double v : {0.0, 1.9, 2.0, 5.0, 7.9, 8.0, 100.0, -1.0})
+        h.sample(v);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflow(), 3u);
+    EXPECT_EQ(h.count(), 8u);
+}
+
+TEST(Histogram, FractionAtOrBelow)
+{
+    Histogram h(1.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(i + 0.5);
+    EXPECT_NEAR(h.fractionAtOrBelow(4.0), 0.4, 1e-9);
+    EXPECT_NEAR(h.fractionAtOrBelow(100.0), 1.0, 1e-9);
+}
+
+TEST(Histogram, BadShapePanics)
+{
+    EXPECT_THROW(Histogram(0.0, 4), PanicError);
+    EXPECT_THROW(Histogram(1.0, 0), PanicError);
+}
+
+TEST(StatGroup, RegisterFindAndDump)
+{
+    StatGroup group("test");
+    Counter &c = group.counter("events", "number of events");
+    Distribution &d = group.distribution("latency");
+    Histogram &h = group.histogram("sizes", 4.0, 8);
+
+    ++c;
+    d.sample(3.0);
+    h.sample(5.0);
+
+    EXPECT_EQ(group.findCounter("events").value(), 1u);
+    EXPECT_EQ(group.findDistribution("latency").count(), 1u);
+    EXPECT_EQ(group.findHistogram("sizes").count(), 1u);
+    EXPECT_TRUE(group.hasCounter("events"));
+    EXPECT_FALSE(group.hasCounter("latency")); // wrong type
+    EXPECT_THROW(group.findCounter("nope"), PanicError);
+    EXPECT_THROW(group.counter("events"), PanicError); // duplicate
+
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("events = 1"), std::string::npos);
+    EXPECT_NE(os.str().find("number of events"), std::string::npos);
+
+    group.resetAll();
+    EXPECT_EQ(group.findCounter("events").value(), 0u);
+}
+
+TEST(Table, AlignmentAndArity)
+{
+    Table t({"a", "bb"});
+    t.row(1, "x");
+    t.row("long-cell", 22);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| long-cell | 22 |"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+    EXPECT_THROW(Table({}), PanicError);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(2.0, 0), "2");
+    EXPECT_EQ(percent(0.9512), "95.1%");
+    EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace fpc::stats

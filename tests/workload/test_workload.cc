@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Workload generator tests: distribution calibration, synthetic
+ * program executability on all engines, and trace-driven transfer
+ * validity (including coroutine switching under register banks).
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "program/loader.hh"
+#include "workload/frame_dist.hh"
+#include "workload/synthetic.hh"
+#include "workload/trace.hh"
+
+namespace fpc
+{
+namespace
+{
+
+TEST(FrameDist, MesaShapeMatchesPaper)
+{
+    // §7.1: 95% of frames below 80 bytes = 40 words.
+    const FrameSizeDist dist = FrameSizeDist::mesa();
+    EXPECT_NEAR(dist.fractionAtOrBelow(40), 0.95, 0.02);
+
+    Rng rng(7);
+    unsigned below = 0;
+    const unsigned n = 20000;
+    for (unsigned i = 0; i < n; ++i)
+        if (dist.sample(rng) <= 40)
+            ++below;
+    EXPECT_NEAR(static_cast<double>(below) / n, 0.95, 0.02);
+}
+
+TEST(FrameDist, FixedIsFixed)
+{
+    const FrameSizeDist dist = FrameSizeDist::fixed(17);
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(dist.sample(rng), 17u);
+}
+
+TEST(TraceGen, DepthNeverUnderflows)
+{
+    TraceConfig config;
+    config.length = 50'000;
+    config.persistence = 0.5;
+    const auto trace = generateTrace(config);
+    ASSERT_EQ(trace.size(), config.length);
+    int depth = 0;
+    for (const TraceOp op : trace) {
+        if (op == TraceOp::Call)
+            ++depth;
+        else if (op == TraceOp::Return)
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+}
+
+TEST(TraceGen, PersistenceShapesRunLengths)
+{
+    // Higher persistence => longer same-direction runs.
+    auto mean_run = [](double persistence) {
+        TraceConfig config;
+        config.length = 50'000;
+        config.persistence = persistence;
+        config.seed = 3;
+        const auto trace = generateTrace(config);
+        unsigned runs = 1;
+        for (std::size_t i = 1; i < trace.size(); ++i)
+            if (trace[i] != trace[i - 1])
+                ++runs;
+        return static_cast<double>(trace.size()) / runs;
+    };
+    EXPECT_LT(mean_run(0.2), mean_run(0.8));
+}
+
+class TraceOnEngines : public testing::TestWithParam<Impl>
+{};
+
+TEST_P(TraceOnEngines, RunsCleanAndBalanced)
+{
+    MachineConfig config;
+    config.impl = GetParam();
+    TraceRunner runner(config);
+
+    TraceConfig tc;
+    tc.length = 20'000;
+    tc.persistence = 0.35;
+    runner.run(generateTrace(tc));
+
+    const MachineStats &stats = runner.machine().stats();
+    EXPECT_GT(stats.calls(), 5'000u);
+    EXPECT_GT(stats.returns(), 5'000u);
+
+    // Frame conservation: frames handed to the program minus frames
+    // given back equals the live chain (current depth + its base +
+    // the three spawned coroutine bases). The banked engine's free-
+    // frame stack was pre-filled from the heap, which shifts the heap
+    // count by exactly that prefill.
+    const auto &hs = runner.machine().heap().stats();
+    const CountT live = runner.depth() + 1 + 3;
+    const CountT prefill =
+        GetParam() == Impl::Banked
+            ? runner.machine().config().fastFrameStackDepth
+            : 0;
+    EXPECT_EQ(hs.allocs + stats.fastFrameAllocs,
+              hs.frees + stats.fastFrameFrees + live + prefill)
+        << "frame leak";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, TraceOnEngines,
+                         testing::Values(Impl::Simple, Impl::Mesa,
+                                         Impl::Ifu, Impl::Banked),
+                         [](const auto &info) {
+                             std::string n = implName(info.param);
+                             for (auto &c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(TraceRunner, CoroutineSwitchesWork)
+{
+    MachineConfig config;
+    config.impl = Impl::Banked;
+    TraceRunner runner(config, FrameSizeDist::mesa(), 4);
+
+    TraceConfig tc;
+    tc.length = 10'000;
+    tc.switchFraction = 0.05;
+    tc.seed = 11;
+    runner.run(generateTrace(tc));
+
+    const MachineStats &stats = runner.machine().stats();
+    EXPECT_GT(stats.xferCount[static_cast<unsigned>(
+                  XferKind::Coroutine)],
+              100u);
+    // Switches flush the return stack (unusual transfers, §6).
+    EXPECT_GT(stats.returnStackFlushes, 0u);
+}
+
+TEST(Synthetic, GeneratedProgramRunsOnAllEngines)
+{
+    ProgramConfig pc;
+    pc.modules = 3;
+    pc.procsPerModule = 6;
+    pc.maxDepth = 6;
+    pc.seed = 42;
+    const auto modules = generateProgram(pc);
+
+    Word expected = 0;
+    bool first = true;
+    for (const Impl impl :
+         {Impl::Simple, Impl::Mesa, Impl::Ifu, Impl::Banked}) {
+        Memory mem(SystemLayout().memWords);
+        Loader loader{SystemLayout(), SizeClasses::standard()};
+        for (const auto &m : modules)
+            loader.add(m);
+        LinkPlan plan;
+        plan.lowering = impl == Impl::Simple ? CallLowering::Fat
+                        : impl == Impl::Mesa ? CallLowering::Mesa
+                                             : CallLowering::Direct;
+        const LoadedImage image = loader.load(mem, plan);
+        MachineConfig config;
+        config.impl = impl;
+        Machine machine(mem, image, config);
+        machine.start(generatedEntryModule(), generatedEntryProc(),
+                      std::array<Word, 1>{static_cast<Word>(pc.maxDepth)});
+        const RunResult result = machine.run();
+        ASSERT_EQ(result.reason, StopReason::TopReturn)
+            << implName(impl) << ": " << result.message;
+        ASSERT_EQ(machine.stackDepth(), 1u);
+        const Word value = machine.popValue();
+        if (first) {
+            expected = value;
+            first = false;
+        } else {
+            // The encodings differ; the computation must not.
+            EXPECT_EQ(value, expected) << implName(impl);
+        }
+        // Call density: the paper's motivation is ~1 call per 10
+        // executed instructions; the generator should land near that.
+        const MachineStats &stats = machine.stats();
+        const double instr_per_call =
+            static_cast<double>(stats.steps) / stats.calls();
+        EXPECT_GT(instr_per_call, 4.0);
+        EXPECT_LT(instr_per_call, 30.0);
+    }
+}
+
+TEST(Synthetic, DeadSitesContributeStaticallyOnly)
+{
+    ProgramConfig pc;
+    pc.modules = 2;
+    pc.procsPerModule = 4;
+    pc.callSitesPerProc = 4;
+    pc.liveCallsPerProc = 1;
+    pc.maxDepth = 3;
+    const auto modules = generateProgram(pc);
+
+    // Static sites: 4 per proc; dynamic: 1 per activation.
+    Memory mem(SystemLayout().memWords);
+    Loader loader{SystemLayout(), SizeClasses::standard()};
+    for (const auto &m : modules)
+        loader.add(m);
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+    CountT static_sites = 0;
+    for (const auto &pm : image.modules())
+        static_sites += pm.callSites;
+    EXPECT_EQ(static_sites, 2u * 4u * 4u);
+
+    Machine machine(mem, image, MachineConfig{});
+    machine.start(generatedEntryModule(), generatedEntryProc(),
+                  std::array<Word, 1>{Word{3}});
+    ASSERT_EQ(machine.run().reason, StopReason::TopReturn);
+    // liveCalls=1 => the dynamic call tree is a path: the entry call
+    // plus one call per remaining depth level.
+    EXPECT_EQ(machine.stats().calls(), 1u + 3u);
+}
+
+} // namespace
+} // namespace fpc

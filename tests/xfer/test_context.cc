@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the control-transfer model's data types: one-word context
+ * packing (§4/§5.1), GFT entries with bias, frame layout constants,
+ * and the address-space layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "xfer/context.hh"
+#include "xfer/layout.hh"
+
+namespace fpc
+{
+namespace
+{
+
+TEST(Layout, DefaultValidates)
+{
+    SystemLayout layout;
+    EXPECT_NO_THROW(layout.validate());
+}
+
+TEST(Layout, CodeSegmentRoundTrip)
+{
+    const SystemLayout layout;
+    for (const Word seg : {Word{0}, Word{1}, Word{100}, Word{65535}}) {
+        const CodeByteAddr base = layout.codeSegBase(seg);
+        EXPECT_EQ(base % layout.codeGranuleBytes, 0u);
+        EXPECT_EQ(layout.codeSegNum(base), seg);
+    }
+    // Unaligned or out-of-region bases are rejected.
+    EXPECT_THROW(layout.codeSegNum(layout.codeSegBase(1) + 1),
+                 PanicError);
+    EXPECT_THROW(layout.codeSegNum(0), PanicError);
+}
+
+TEST(Layout, FrameRegionTest)
+{
+    const SystemLayout layout;
+    EXPECT_FALSE(layout.isFrameAddr(layout.frameBase - 1));
+    EXPECT_TRUE(layout.isFrameAddr(layout.frameBase));
+    EXPECT_TRUE(layout.isFrameAddr(layout.frameEnd - 1));
+    EXPECT_FALSE(layout.isFrameAddr(layout.frameEnd));
+}
+
+TEST(Layout, BrokenLayoutsPanic)
+{
+    SystemLayout layout;
+    layout.globalEnd = 0x20000; // above the 64K-word pointer limit
+    EXPECT_THROW(layout.validate(), PanicError);
+
+    SystemLayout l2;
+    l2.frameBase = l2.globalEnd - 4; // overlap
+    EXPECT_THROW(l2.validate(), PanicError);
+
+    SystemLayout l3;
+    l3.frameBase += 2; // not quad aligned
+    EXPECT_THROW(l3.validate(), PanicError);
+}
+
+TEST(Context, NilIsZeroAndRoundTrips)
+{
+    const SystemLayout layout;
+    EXPECT_EQ(packFrameContext(nilAddr, layout), nilContext);
+    const Context c = unpackContext(nilContext, layout);
+    EXPECT_EQ(c.tag, Context::Tag::Frame);
+    EXPECT_TRUE(c.isNil());
+    EXPECT_EQ(contextToString(nilContext, layout), "NIL");
+}
+
+TEST(Context, FramePointerRoundTripsAcrossRegion)
+{
+    const SystemLayout layout;
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        // A frame pointer is one past a quad-aligned header, never
+        // quad 0 (reserved for NIL).
+        const Addr quads =
+            (layout.frameEnd - layout.frameBase) / 4 - 1;
+        const Addr quad = 1 + rng.uniform(0, quads - 1);
+        const Addr lf = layout.frameBase + quad * 4 + 1;
+        const Word ctx = packFrameContext(lf, layout);
+        EXPECT_EQ(ctx & 0x8000, 0u) << "frame tag bit must be clear";
+        const Context c = unpackContext(ctx, layout);
+        ASSERT_EQ(c.tag, Context::Tag::Frame);
+        EXPECT_EQ(c.framePtr, lf);
+    }
+}
+
+TEST(Context, FramePackingRejectsBadPointers)
+{
+    const SystemLayout layout;
+    // Outside the region.
+    EXPECT_THROW(packFrameContext(layout.frameBase - 3, layout),
+                 PanicError);
+    // Misaligned (header would not be quad-aligned).
+    EXPECT_THROW(packFrameContext(layout.frameBase + 2, layout),
+                 PanicError);
+    // Quad 0 is NIL's.
+    EXPECT_THROW(packFrameContext(layout.frameBase + 1, layout),
+                 PanicError);
+}
+
+TEST(Context, ProcDescriptorPacksTenPlusFive)
+{
+    const SystemLayout layout;
+    for (unsigned env : {0u, 1u, 513u, 1023u}) {
+        for (unsigned code : {0u, 7u, 31u}) {
+            const Word desc = packProcDesc(env, code);
+            EXPECT_TRUE(desc & 0x8000) << "proc tag bit";
+            const Context c = unpackContext(desc, layout);
+            ASSERT_EQ(c.tag, Context::Tag::Proc);
+            EXPECT_EQ(c.env, env);
+            EXPECT_EQ(c.code, code);
+        }
+    }
+    EXPECT_THROW(packProcDesc(1024, 0), PanicError);
+    EXPECT_THROW(packProcDesc(0, 32), PanicError);
+}
+
+TEST(Context, DescriptorStringForm)
+{
+    const SystemLayout layout;
+    EXPECT_EQ(contextToString(packProcDesc(7, 3), layout),
+              "proc[env=7 code=3]");
+}
+
+TEST(GftEntry, PackUnpackWithBias)
+{
+    const SystemLayout layout;
+    for (const Addr gf :
+         {layout.globalBase, layout.globalBase + 4,
+          (layout.globalEnd - 4) & ~Addr{3}}) {
+        for (unsigned bias = 0; bias < 4; ++bias) {
+            const Word raw = packGftEntry({gf, bias}, layout);
+            const GftEntry entry = unpackGftEntry(raw, layout);
+            EXPECT_EQ(entry.gfAddr, gf);
+            EXPECT_EQ(entry.bias, bias);
+        }
+    }
+}
+
+TEST(GftEntry, RejectsBadEntries)
+{
+    const SystemLayout layout;
+    EXPECT_THROW(packGftEntry({layout.globalBase + 2, 0}, layout),
+                 PanicError); // misaligned
+    EXPECT_THROW(packGftEntry({layout.globalEnd, 0}, layout),
+                 PanicError); // out of region
+    EXPECT_THROW(packGftEntry({layout.globalBase, 4}, layout),
+                 PanicError); // bias too big
+}
+
+TEST(FrameLayout, PaperFieldOrder)
+{
+    // §4: return link, environment, PC, then variables; header in
+    // front carrying fsi + flags.
+    EXPECT_EQ(frame::headerOffset, -1);
+    EXPECT_EQ(frame::returnLinkOffset, 0u);
+    EXPECT_EQ(frame::globalFrameOffset, 1u);
+    EXPECT_EQ(frame::savedPcOffset, 2u);
+    EXPECT_EQ(frame::varsOffset, 3u);
+    EXPECT_EQ(frame::overheadWords, 3u);
+    EXPECT_EQ(frame::fsiMask, 0x1F);
+    EXPECT_EQ(frame::retainedFlag & frame::fsiMask, 0);
+    EXPECT_EQ(frame::flaggedFlag & frame::retainedFlag, 0);
+}
+
+TEST(XferKinds, NamesDistinct)
+{
+    std::set<std::string> names;
+    for (unsigned k = 0; k < static_cast<unsigned>(XferKind::NumKinds);
+         ++k) {
+        EXPECT_TRUE(
+            names.insert(xferKindName(static_cast<XferKind>(k))).second);
+    }
+}
+
+} // namespace
+} // namespace fpc

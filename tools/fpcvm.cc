@@ -1,0 +1,249 @@
+/**
+ * @file
+ * fpcvm — the FPC virtual machine driver.
+ *
+ * Compiles a MiniMesa source file and runs it on the simulated
+ * processor:
+ *
+ *   fpcvm prog.mm                          # I2/Mesa defaults
+ *   fpcvm --impl=banked --linkage=direct --short-calls prog.mm 20 5
+ *   fpcvm --stats --disasm prog.mm
+ *
+ * Positional arguments after the file are passed to <entry>(...) as
+ * 16-bit integers; the entry point is Main.main or, if there is no
+ * module named Main, the first module's "main".
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/disasm.hh"
+#include "lang/codegen.hh"
+#include "machine/machine.hh"
+#include "program/loader.hh"
+#include "stats/table.hh"
+
+using namespace fpc;
+
+namespace
+{
+
+struct Options
+{
+    std::string file;
+    std::vector<Word> args;
+    Impl impl = Impl::Mesa;
+    CallLowering lowering = CallLowering::Mesa;
+    bool shortCalls = false;
+    bool stats = false;
+    bool disasm = false;
+    unsigned banks = 4;
+    std::string entryModule;
+    std::string entryProc = "main";
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " [options] <file.mm> [int args...]\n"
+           "  --impl=simple|mesa|ifu|banked   machine (default mesa)\n"
+           "  --linkage=fat|mesa|direct       binding (default mesa)\n"
+           "  --short-calls                   use SHORTDIRECTCALL\n"
+           "  --banks=N                       register banks (I4)\n"
+           "  --entry=Mod.proc                entry point\n"
+           "  --stats                         dump machine statistics\n"
+           "  --disasm                        dump the loaded code\n";
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const std::string &prefix) {
+            return arg.substr(prefix.size());
+        };
+        if (arg.rfind("--impl=", 0) == 0) {
+            const std::string v = value("--impl=");
+            if (v == "simple")
+                opt.impl = Impl::Simple;
+            else if (v == "mesa")
+                opt.impl = Impl::Mesa;
+            else if (v == "ifu")
+                opt.impl = Impl::Ifu;
+            else if (v == "banked")
+                opt.impl = Impl::Banked;
+            else
+                usage(argv[0]);
+        } else if (arg.rfind("--linkage=", 0) == 0) {
+            const std::string v = value("--linkage=");
+            if (v == "fat")
+                opt.lowering = CallLowering::Fat;
+            else if (v == "mesa")
+                opt.lowering = CallLowering::Mesa;
+            else if (v == "direct")
+                opt.lowering = CallLowering::Direct;
+            else
+                usage(argv[0]);
+        } else if (arg == "--short-calls") {
+            opt.shortCalls = true;
+        } else if (arg.rfind("--banks=", 0) == 0) {
+            opt.banks = std::stoul(value("--banks="));
+        } else if (arg.rfind("--entry=", 0) == 0) {
+            const std::string v = value("--entry=");
+            const auto dot = v.find('.');
+            if (dot == std::string::npos)
+                usage(argv[0]);
+            opt.entryModule = v.substr(0, dot);
+            opt.entryProc = v.substr(dot + 1);
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg == "--disasm") {
+            opt.disasm = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            usage(argv[0]);
+        } else if (opt.file.empty()) {
+            opt.file = arg;
+        } else {
+            opt.args.push_back(
+                static_cast<Word>(std::stol(arg) & 0xFFFF));
+        }
+    }
+    if (opt.file.empty())
+        usage(argv[0]);
+    return opt;
+}
+
+void
+dumpDisassembly(const LoadedImage &image, Memory &mem)
+{
+    for (const PlacedModule &pm : image.modules()) {
+        std::cout << "module " << pm.src->name << "  (code "
+                  << pm.segBytes << " bytes, "
+                  << callLoweringName(pm.lowering) << " linkage, "
+                  << pm.lvCount << " LV slots)\n";
+        for (unsigned p = 0; p < pm.procs.size(); ++p) {
+            const PlacedProc &pp = pm.procs[p];
+            std::cout << "  proc " << pm.src->procs[p].name
+                      << "  (fsi " << pp.fsi << ", frame "
+                      << image.classes().classWords(pp.fsi)
+                      << " words)\n";
+            std::vector<std::uint8_t> bytes;
+            for (unsigned i = 0; i < pp.bodyBytes; ++i)
+                bytes.push_back(mem.peekByte(pp.prologueAddr +
+                                             pp.prologueBytes + i));
+            for (const auto &line : isa::disassemble(bytes))
+                std::cout << "    " << line.offset << ":\t"
+                          << line.text << "\n";
+        }
+    }
+}
+
+void
+dumpStats(const Machine &machine, const Memory &mem)
+{
+    const MachineStats &s = machine.stats();
+    std::cout << "\n--- statistics ---\n"
+              << "instructions: " << s.steps
+              << "   cycles: " << s.cycles
+              << "   storage refs: " << mem.totalRefs() << "\n";
+
+    stats::Table table({"transfer", "count", "fast", "mean refs",
+                        "mean cycles"});
+    for (unsigned k = 0; k < MachineStats::numXferKinds; ++k) {
+        if (s.xferCount[k] == 0)
+            continue;
+        table.row(xferKindName(static_cast<XferKind>(k)),
+                  s.xferCount[k], s.xferFast[k],
+                  stats::fixed(s.xferRefs[k].mean(), 2),
+                  stats::fixed(s.xferCycles[k].mean(), 1));
+    }
+    table.print(std::cout);
+    std::cout << "jump-speed calls+returns: "
+              << stats::percent(s.fastCallReturnRate()) << "\n";
+    if (machine.config().impl == Impl::Banked) {
+        std::cout << "bank overflows: " << s.bankOverflows
+                  << "   underflows: " << s.bankUnderflows
+                  << "   fast frame allocs: " << s.fastFrameAllocs
+                  << "/" << s.fastFrameAllocs + s.slowFrameAllocs
+                  << "\n";
+    }
+    if (machine.config().impl == Impl::Ifu ||
+        machine.config().impl == Impl::Banked) {
+        std::cout << "return stack hits: " << s.returnStackHits
+                  << "   misses: " << s.returnStackMisses
+                  << "   spills: " << s.returnStackSpills << "\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    const Options opt = parseArgs(argc, argv);
+
+    std::ifstream in(opt.file);
+    if (!in) {
+        std::cerr << "fpcvm: cannot open " << opt.file << "\n";
+        return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    const auto modules = lang::compile(buffer.str());
+    std::string entry = opt.entryModule;
+    if (entry.empty()) {
+        entry = modules.front().name;
+        for (const auto &m : modules)
+            if (m.name == "Main")
+                entry = "Main";
+    }
+
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    for (const auto &m : modules)
+        loader.add(m);
+    LinkPlan plan;
+    plan.lowering = opt.lowering;
+    plan.shortCalls = opt.shortCalls;
+    const LoadedImage image = loader.load(mem, plan);
+
+    if (opt.disasm)
+        dumpDisassembly(image, mem);
+
+    MachineConfig config;
+    config.impl = opt.impl;
+    config.numBanks = opt.banks;
+    Machine machine(mem, image, config);
+    machine.start(entry, opt.entryProc, opt.args);
+    const RunResult result = machine.run();
+
+    for (const Word v : machine.output())
+        std::cout << static_cast<SWord>(v) << "\n";
+
+    if (result.reason == StopReason::TopReturn) {
+        std::cout << "=> "
+                  << static_cast<SWord>(machine.popValue()) << "\n";
+    } else if (result.reason != StopReason::Halted) {
+        std::cerr << "fpcvm: " << stopReasonName(result.reason) << ": "
+                  << result.message << "\n";
+        return 1;
+    }
+
+    if (opt.stats)
+        dumpStats(machine, mem);
+    return 0;
+} catch (const std::exception &err) {
+    std::cerr << "fpcvm: " << err.what() << "\n";
+    return 1;
+}
