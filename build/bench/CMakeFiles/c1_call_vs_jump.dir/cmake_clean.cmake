@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c1_call_vs_jump.dir/c1_call_vs_jump.cc.o"
+  "CMakeFiles/c1_call_vs_jump.dir/c1_call_vs_jump.cc.o.d"
+  "c1_call_vs_jump"
+  "c1_call_vs_jump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c1_call_vs_jump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

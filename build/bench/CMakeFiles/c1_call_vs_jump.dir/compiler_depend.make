@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for c1_call_vs_jump.
+# This may be replaced when dependencies are built.

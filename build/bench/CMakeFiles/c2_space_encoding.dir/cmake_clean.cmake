@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2_space_encoding.dir/c2_space_encoding.cc.o"
+  "CMakeFiles/c2_space_encoding.dir/c2_space_encoding.cc.o.d"
+  "c2_space_encoding"
+  "c2_space_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2_space_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for c2_space_encoding.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c3_directcall_space.dir/c3_directcall_space.cc.o"
+  "CMakeFiles/c3_directcall_space.dir/c3_directcall_space.cc.o.d"
+  "c3_directcall_space"
+  "c3_directcall_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c3_directcall_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for c3_directcall_space.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4_frame_alloc_speed.dir/c4_frame_alloc_speed.cc.o"
+  "CMakeFiles/c4_frame_alloc_speed.dir/c4_frame_alloc_speed.cc.o.d"
+  "c4_frame_alloc_speed"
+  "c4_frame_alloc_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4_frame_alloc_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

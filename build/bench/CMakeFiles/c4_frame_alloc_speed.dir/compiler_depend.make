@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for c4_frame_alloc_speed.
+# This may be replaced when dependencies are built.

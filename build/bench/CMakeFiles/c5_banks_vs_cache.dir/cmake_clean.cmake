@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c5_banks_vs_cache.dir/c5_banks_vs_cache.cc.o"
+  "CMakeFiles/c5_banks_vs_cache.dir/c5_banks_vs_cache.cc.o.d"
+  "c5_banks_vs_cache"
+  "c5_banks_vs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c5_banks_vs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for c5_banks_vs_cache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c6_code_density.dir/c6_code_density.cc.o"
+  "CMakeFiles/c6_code_density.dir/c6_code_density.cc.o.d"
+  "c6_code_density"
+  "c6_code_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c6_code_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for c6_code_density.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for c6_code_density.
+# This may be replaced when dependencies are built.

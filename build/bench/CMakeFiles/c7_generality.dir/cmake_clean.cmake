@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c7_generality.dir/c7_generality.cc.o"
+  "CMakeFiles/c7_generality.dir/c7_generality.cc.o.d"
+  "c7_generality"
+  "c7_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c7_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for c7_generality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_indirection.dir/fig1_indirection.cc.o"
+  "CMakeFiles/fig1_indirection.dir/fig1_indirection.cc.o.d"
+  "fig1_indirection"
+  "fig1_indirection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_indirection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_frame_heap.dir/fig2_frame_heap.cc.o"
+  "CMakeFiles/fig2_frame_heap.dir/fig2_frame_heap.cc.o.d"
+  "fig2_frame_heap"
+  "fig2_frame_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_frame_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_register_banks.dir/fig3_register_banks.cc.o"
+  "CMakeFiles/fig3_register_banks.dir/fig3_register_banks.cc.o.d"
+  "fig3_register_banks"
+  "fig3_register_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_register_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

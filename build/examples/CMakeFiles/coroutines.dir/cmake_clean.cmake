@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coroutines.dir/coroutines.cpp.o"
+  "CMakeFiles/coroutines.dir/coroutines.cpp.o.d"
+  "coroutines"
+  "coroutines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coroutines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

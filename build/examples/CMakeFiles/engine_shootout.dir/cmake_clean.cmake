@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_shootout.dir/engine_shootout.cpp.o"
+  "CMakeFiles/engine_shootout.dir/engine_shootout.cpp.o.d"
+  "engine_shootout"
+  "engine_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

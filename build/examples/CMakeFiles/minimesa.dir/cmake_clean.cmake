@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimesa.dir/minimesa.cpp.o"
+  "CMakeFiles/minimesa.dir/minimesa.cpp.o.d"
+  "minimesa"
+  "minimesa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimesa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("memory")
+subdirs("isa")
+subdirs("xfer")
+subdirs("frames")
+subdirs("program")
+subdirs("machine")
+subdirs("asm")
+subdirs("lang")
+subdirs("workload")

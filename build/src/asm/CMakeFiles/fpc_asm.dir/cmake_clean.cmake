@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpc_asm.dir/builder.cc.o"
+  "CMakeFiles/fpc_asm.dir/builder.cc.o.d"
+  "libfpc_asm.a"
+  "libfpc_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpc_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

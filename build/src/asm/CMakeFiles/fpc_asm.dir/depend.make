@@ -1,0 +1,2 @@
+# Empty dependencies file for fpc_asm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpc_common.dir/logging.cc.o"
+  "CMakeFiles/fpc_common.dir/logging.cc.o.d"
+  "CMakeFiles/fpc_common.dir/random.cc.o"
+  "CMakeFiles/fpc_common.dir/random.cc.o.d"
+  "libfpc_common.a"
+  "libfpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpc_frames.dir/frame_heap.cc.o"
+  "CMakeFiles/fpc_frames.dir/frame_heap.cc.o.d"
+  "CMakeFiles/fpc_frames.dir/size_classes.cc.o"
+  "CMakeFiles/fpc_frames.dir/size_classes.cc.o.d"
+  "libfpc_frames.a"
+  "libfpc_frames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpc_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

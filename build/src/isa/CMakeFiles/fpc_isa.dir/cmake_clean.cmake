@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpc_isa.dir/decode.cc.o"
+  "CMakeFiles/fpc_isa.dir/decode.cc.o.d"
+  "CMakeFiles/fpc_isa.dir/disasm.cc.o"
+  "CMakeFiles/fpc_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/fpc_isa.dir/opcodes.cc.o"
+  "CMakeFiles/fpc_isa.dir/opcodes.cc.o.d"
+  "libfpc_isa.a"
+  "libfpc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpc_lang.dir/codegen.cc.o"
+  "CMakeFiles/fpc_lang.dir/codegen.cc.o.d"
+  "CMakeFiles/fpc_lang.dir/lexer.cc.o"
+  "CMakeFiles/fpc_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/fpc_lang.dir/parser.cc.o"
+  "CMakeFiles/fpc_lang.dir/parser.cc.o.d"
+  "libfpc_lang.a"
+  "libfpc_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpc_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpc_machine.dir/banks.cc.o"
+  "CMakeFiles/fpc_machine.dir/banks.cc.o.d"
+  "CMakeFiles/fpc_machine.dir/machine.cc.o"
+  "CMakeFiles/fpc_machine.dir/machine.cc.o.d"
+  "CMakeFiles/fpc_machine.dir/transfers.cc.o"
+  "CMakeFiles/fpc_machine.dir/transfers.cc.o.d"
+  "libfpc_machine.a"
+  "libfpc_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpc_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

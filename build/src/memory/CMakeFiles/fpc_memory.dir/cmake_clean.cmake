@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpc_memory.dir/cache.cc.o"
+  "CMakeFiles/fpc_memory.dir/cache.cc.o.d"
+  "CMakeFiles/fpc_memory.dir/memory.cc.o"
+  "CMakeFiles/fpc_memory.dir/memory.cc.o.d"
+  "libfpc_memory.a"
+  "libfpc_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpc_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

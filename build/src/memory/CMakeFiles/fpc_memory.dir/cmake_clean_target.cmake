@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfpc_memory.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fpc_memory.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/loader.cc" "src/program/CMakeFiles/fpc_program.dir/loader.cc.o" "gcc" "src/program/CMakeFiles/fpc_program.dir/loader.cc.o.d"
+  "/root/repo/src/program/lower.cc" "src/program/CMakeFiles/fpc_program.dir/lower.cc.o" "gcc" "src/program/CMakeFiles/fpc_program.dir/lower.cc.o.d"
+  "/root/repo/src/program/module.cc" "src/program/CMakeFiles/fpc_program.dir/module.cc.o" "gcc" "src/program/CMakeFiles/fpc_program.dir/module.cc.o.d"
+  "/root/repo/src/program/relocate.cc" "src/program/CMakeFiles/fpc_program.dir/relocate.cc.o" "gcc" "src/program/CMakeFiles/fpc_program.dir/relocate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/fpc_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fpc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/xfer/CMakeFiles/fpc_xfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/frames/CMakeFiles/fpc_frames.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fpc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

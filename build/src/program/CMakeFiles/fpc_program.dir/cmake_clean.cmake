@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpc_program.dir/loader.cc.o"
+  "CMakeFiles/fpc_program.dir/loader.cc.o.d"
+  "CMakeFiles/fpc_program.dir/lower.cc.o"
+  "CMakeFiles/fpc_program.dir/lower.cc.o.d"
+  "CMakeFiles/fpc_program.dir/module.cc.o"
+  "CMakeFiles/fpc_program.dir/module.cc.o.d"
+  "CMakeFiles/fpc_program.dir/relocate.cc.o"
+  "CMakeFiles/fpc_program.dir/relocate.cc.o.d"
+  "libfpc_program.a"
+  "libfpc_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpc_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

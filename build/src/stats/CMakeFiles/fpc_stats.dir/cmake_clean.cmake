@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpc_stats.dir/stats.cc.o"
+  "CMakeFiles/fpc_stats.dir/stats.cc.o.d"
+  "CMakeFiles/fpc_stats.dir/table.cc.o"
+  "CMakeFiles/fpc_stats.dir/table.cc.o.d"
+  "libfpc_stats.a"
+  "libfpc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpc_workload.dir/frame_dist.cc.o"
+  "CMakeFiles/fpc_workload.dir/frame_dist.cc.o.d"
+  "CMakeFiles/fpc_workload.dir/synthetic.cc.o"
+  "CMakeFiles/fpc_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/fpc_workload.dir/trace.cc.o"
+  "CMakeFiles/fpc_workload.dir/trace.cc.o.d"
+  "libfpc_workload.a"
+  "libfpc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xfer/context.cc" "src/xfer/CMakeFiles/fpc_xfer.dir/context.cc.o" "gcc" "src/xfer/CMakeFiles/fpc_xfer.dir/context.cc.o.d"
+  "/root/repo/src/xfer/layout.cc" "src/xfer/CMakeFiles/fpc_xfer.dir/layout.cc.o" "gcc" "src/xfer/CMakeFiles/fpc_xfer.dir/layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/fpc_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fpc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

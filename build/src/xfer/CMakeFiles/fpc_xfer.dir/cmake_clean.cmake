@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpc_xfer.dir/context.cc.o"
+  "CMakeFiles/fpc_xfer.dir/context.cc.o.d"
+  "CMakeFiles/fpc_xfer.dir/layout.cc.o"
+  "CMakeFiles/fpc_xfer.dir/layout.cc.o.d"
+  "libfpc_xfer.a"
+  "libfpc_xfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpc_xfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

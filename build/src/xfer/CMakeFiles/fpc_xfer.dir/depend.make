@@ -1,0 +1,2 @@
+# Empty dependencies file for fpc_xfer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asm.dir/asm/test_builder.cc.o"
+  "CMakeFiles/test_asm.dir/asm/test_builder.cc.o.d"
+  "test_asm"
+  "test_asm.pdb"
+  "test_asm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frames.dir/frames/test_frame_heap.cc.o"
+  "CMakeFiles/test_frames.dir/frames/test_frame_heap.cc.o.d"
+  "test_frames"
+  "test_frames.pdb"
+  "test_frames[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_equivalence.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_equivalence.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_interfaces.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_interfaces.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_state_equivalence.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_state_equivalence.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

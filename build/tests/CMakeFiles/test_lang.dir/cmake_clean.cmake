@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lang.dir/lang/test_arrays.cc.o"
+  "CMakeFiles/test_lang.dir/lang/test_arrays.cc.o.d"
+  "CMakeFiles/test_lang.dir/lang/test_compiler.cc.o"
+  "CMakeFiles/test_lang.dir/lang/test_compiler.cc.o.d"
+  "CMakeFiles/test_lang.dir/lang/test_lang_extra.cc.o"
+  "CMakeFiles/test_lang.dir/lang/test_lang_extra.cc.o.d"
+  "test_lang"
+  "test_lang.pdb"
+  "test_lang[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

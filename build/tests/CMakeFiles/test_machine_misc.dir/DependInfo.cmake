@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/machine/test_misc.cc" "tests/CMakeFiles/test_machine_misc.dir/machine/test_misc.cc.o" "gcc" "tests/CMakeFiles/test_machine_misc.dir/machine/test_misc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/fpc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/fpc_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fpc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/xfer/CMakeFiles/fpc_xfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/frames/CMakeFiles/fpc_frames.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/fpc_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/fpc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/fpc_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/fpc_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

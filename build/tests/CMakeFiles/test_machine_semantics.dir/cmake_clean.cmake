@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_semantics.dir/machine/test_semantics.cc.o"
+  "CMakeFiles/test_machine_semantics.dir/machine/test_semantics.cc.o.d"
+  "test_machine_semantics"
+  "test_machine_semantics.pdb"
+  "test_machine_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_transfers.dir/machine/test_transfers.cc.o"
+  "CMakeFiles/test_machine_transfers.dir/machine/test_transfers.cc.o.d"
+  "test_machine_transfers"
+  "test_machine_transfers.pdb"
+  "test_machine_transfers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

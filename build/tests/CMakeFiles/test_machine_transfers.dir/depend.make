@@ -1,0 +1,2 @@
+# Empty dependencies file for test_machine_transfers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory.dir/memory/test_memory.cc.o"
+  "CMakeFiles/test_memory.dir/memory/test_memory.cc.o.d"
+  "test_memory"
+  "test_memory.pdb"
+  "test_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

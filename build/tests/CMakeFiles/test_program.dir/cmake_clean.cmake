@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_program.dir/program/test_loader.cc.o"
+  "CMakeFiles/test_program.dir/program/test_loader.cc.o.d"
+  "CMakeFiles/test_program.dir/program/test_loader_edge.cc.o"
+  "CMakeFiles/test_program.dir/program/test_loader_edge.cc.o.d"
+  "CMakeFiles/test_program.dir/program/test_lower.cc.o"
+  "CMakeFiles/test_program.dir/program/test_lower.cc.o.d"
+  "CMakeFiles/test_program.dir/program/test_relocate.cc.o"
+  "CMakeFiles/test_program.dir/program/test_relocate.cc.o.d"
+  "test_program"
+  "test_program.pdb"
+  "test_program[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xfer.dir/xfer/test_context.cc.o"
+  "CMakeFiles/test_xfer.dir/xfer/test_context.cc.o.d"
+  "test_xfer"
+  "test_xfer.pdb"
+  "test_xfer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpcvm.dir/fpcvm.cc.o"
+  "CMakeFiles/fpcvm.dir/fpcvm.cc.o.d"
+  "fpcvm"
+  "fpcvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpcvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

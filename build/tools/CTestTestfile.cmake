@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(fpcvm_primes "/root/repo/build/tools/fpcvm" "/root/repo/examples/programs/primes.mm" "20")
+set_tests_properties(fpcvm_primes PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fpcvm_sort_banked "/root/repo/build/tools/fpcvm" "--impl=banked" "--linkage=direct" "--short-calls" "--stats" "/root/repo/examples/programs/sort.mm" "8")
+set_tests_properties(fpcvm_sort_banked PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fpcvm_disasm "/root/repo/build/tools/fpcvm" "--disasm" "/root/repo/examples/programs/primes.mm" "10")
+set_tests_properties(fpcvm_disasm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(fpcvm_queens "/root/repo/build/tools/fpcvm" "--impl=banked" "--linkage=direct" "/root/repo/examples/programs/queens.mm" "6")
+set_tests_properties(fpcvm_queens PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
