@@ -54,11 +54,15 @@ workloads()
 }
 
 void
-printFastRates()
+printFastRates(std::uint64_t timeslice)
 {
     std::cout
         << "Fraction of calls+returns executed at unconditional-jump "
-           "cost (zero storage references, no redirect):\n\n";
+           "cost (zero storage references, no redirect)";
+    if (timeslice)
+        std::cout << ", preempting every " << timeslice
+                  << " instructions";
+    std::cout << ":\n\n";
     stats::Table table({"workload", "impl", "banks", "fast call+ret",
                         "mean cycles/call", "mean cycles/jump-equiv",
                         "cycles total"});
@@ -77,7 +81,15 @@ printFastRates()
             MachineConfig config = configFor(row.combo);
             if (row.banks)
                 config.numBanks = row.banks;
+            config.timesliceSteps = timeslice;
             Rig rig(w.modules, planFor(row.combo), config);
+            if (timeslice) {
+                // Self-switch: each expired slice still runs the full
+                // ProcSwitch XFER (return-stack flush, bank writeback).
+                rig.machine->setScheduler([](Machine &m) {
+                    return m.currentFrameContext();
+                });
+            }
             runSteadyState(rig, w.module, w.proc, w.args);
 
             const MachineStats &s = rig.machine->stats();
@@ -126,10 +138,26 @@ BENCHMARK(BM_PrimesEndToEnd)->DenseRange(0, 3);
 
 int
 main(int argc, char **argv)
-{
-    printFastRates();
+try {
+    // Strip --timeslice=N before handing argv to google-benchmark.
+    std::uint64_t timeslice = 0;
+    int argc_out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--timeslice=", 0) == 0)
+            timeslice = std::stoull(arg.substr(12));
+        else
+            argv[argc_out++] = argv[i];
+    }
+    argc = argc_out;
+
+    printFastRates(timeslice);
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;
+} catch (const std::exception &err) {
+    std::cerr << "c1_call_vs_jump: bad flag value (" << err.what()
+              << "); expected --timeslice=N\n";
+    return 2;
 }

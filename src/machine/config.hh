@@ -58,6 +58,15 @@ struct MachineConfig
     bool useDataCache = false;
     CacheConfig cacheConfig;
 
+    /** Preemptive timeslice: after this many executed instructions the
+     *  machine performs a genuine ProcSwitch XFER through the installed
+     *  scheduler hook (§3's process switch, driven by a timer trap
+     *  instead of a YIELD). The switch is deferred to the next
+     *  instruction boundary where the evaluation stack is empty — the
+     *  Mesa rule for interruptible points — so the argument record of
+     *  an in-flight expression is never torn. 0 disables preemption. */
+    std::uint64_t timesliceSteps = 0;
+
     /** Interpreter step budget for run(). */
     std::uint64_t maxSteps = 200'000'000;
 };

@@ -85,6 +85,42 @@ MachineStats::fastCallReturnRate() const
     return static_cast<double>(fast) / total;
 }
 
+void
+MachineStats::merge(const MachineStats &other)
+{
+    steps += other.steps;
+    cycles += other.cycles;
+    for (unsigned k = 0; k < numXferKinds; ++k) {
+        xferCount[k] += other.xferCount[k];
+        xferFast[k] += other.xferFast[k];
+        xferRefs[k].merge(other.xferRefs[k]);
+        xferCycles[k].merge(other.xferCycles[k]);
+    }
+    returnStackHits += other.returnStackHits;
+    returnStackMisses += other.returnStackMisses;
+    returnStackFlushes += other.returnStackFlushes;
+    returnStackFlushedEntries += other.returnStackFlushedEntries;
+    returnStackSpills += other.returnStackSpills;
+    bankOverflows += other.bankOverflows;
+    bankUnderflows += other.bankUnderflows;
+    bankFlushWords += other.bankFlushWords;
+    bankLoadWords += other.bankLoadWords;
+    bankDiverts += other.bankDiverts;
+    flaggedFrames += other.flaggedFrames;
+    fastFrameAllocs += other.fastFrameAllocs;
+    slowFrameAllocs += other.slowFrameAllocs;
+    fastFrameFrees += other.fastFrameFrees;
+    slowFrameFrees += other.slowFrameFrees;
+    localBankAccesses += other.localBankAccesses;
+    localMemAccesses += other.localMemAccesses;
+    globalAccesses += other.globalAccesses;
+    preemptions += other.preemptions;
+    for (unsigned i = 0; i < opCount.size(); ++i)
+        opCount[i] += other.opCount[i];
+    for (unsigned i = 0; i < instLenCount.size(); ++i)
+        instLenCount[i] += other.instLenCount[i];
+}
+
 Machine::Machine(Memory &memory, const LoadedImage &image,
                  const MachineConfig &config)
     : mem_(memory), image_(image), config_(config),
@@ -123,6 +159,9 @@ Machine::reset()
     curFrameFsiValid_ = false;
     curFrameRetainedHint_ = false;
     fastFrames_.clear();
+    sliceLeft_ = config_.timesliceSteps;
+    switchPending_ = false;
+    preempting_ = false;
     stop_ = StopReason::Halted;
     result_ = RunResult();
 
@@ -446,6 +485,31 @@ Machine::step()
         ++stats_.instLenCount[inst.length];
 
     execute(inst);
+    maybePreempt();
+}
+
+void
+Machine::maybePreempt()
+{
+    if (config_.timesliceSteps == 0 || !scheduler_ ||
+        stop_ != StopReason::Running)
+        return;
+    if (sliceLeft_ > 1) {
+        --sliceLeft_;
+    } else {
+        switchPending_ = true;
+        sliceLeft_ = config_.timesliceSteps;
+    }
+    // The switch waits for an interruptible point: instruction
+    // boundary, empty evaluation stack, a live frame. (§3: the timer
+    // trap is just another XFER; Mesa requires the stack empty.)
+    if (!switchPending_ || sp_ != 0 || lf_ == nilAddr)
+        return;
+    switchPending_ = false;
+    ++stats_.preemptions;
+    preempting_ = true;
+    processSwitch();
+    preempting_ = false;
 }
 
 // ---------------------------------------------------------------------

@@ -105,6 +105,10 @@ struct MachineStats
     CountT localMemAccesses = 0;
     CountT globalAccesses = 0;
 
+    /** Timeslice-driven (involuntary) process switches, a subset of
+     *  the ProcSwitch transfer count. */
+    CountT preemptions = 0;
+
     std::array<CountT, 256> opCount{};
     std::array<CountT, 7> instLenCount{}; ///< index = bytes 1..6
 
@@ -113,6 +117,10 @@ struct MachineStats
     CountT totalXfers() const;
     double bankEventRate() const; ///< (over+underflows) / transfers
     double fastCallReturnRate() const;
+
+    /** Fold another machine's counters in (multi-worker runtimes
+     *  merge per-worker stats at join). */
+    void merge(const MachineStats &other);
 };
 
 /** The processor. */
@@ -153,9 +161,20 @@ class Machine
                const std::string &proc_name,
                std::span<const Word> args = {});
 
-    /** YIELD asks this hook for the next context to run. */
+    /** YIELD (and the timeslice trap) asks this hook for the next
+     *  context to run. */
     using Scheduler = std::function<Word(Machine &)>;
     void setScheduler(Scheduler scheduler);
+
+    /** Resume a suspended context as a process dispatch: clears the
+     *  stop state and XFERs to ctx on the ProcSwitch path (return
+     *  stack flushed, banks written back), exactly as if a scheduler
+     *  had picked it. */
+    void resumeProcess(Word ctx);
+
+    /** True while the scheduler hook is being invoked from the
+     *  timeslice trap rather than a voluntary YIELD. */
+    bool preemptionInProgress() const { return preempting_; }
 
     /** Context that receives trap transfers (BRK, zero divide). */
     void setTrapContext(Word ctx) { trapCtx_ = ctx; }
@@ -296,6 +315,7 @@ class Machine
 
     // -- interpreter ---------------------------------------------------
     void execute(const isa::Inst &inst);
+    void maybePreempt();
     void execArith(isa::Op op);
     void execCompare(isa::Op op);
     void stopWith(StopReason reason, std::string message);
@@ -354,6 +374,11 @@ class Machine
 
     Scheduler scheduler_;
     Word trapCtx_ = nilContext;
+
+    // timeslice preemption
+    std::uint64_t sliceLeft_ = 0;
+    bool switchPending_ = false;
+    bool preempting_ = false;
 
     RunResult result_;
     StopReason stop_ = StopReason::Halted;

@@ -608,6 +608,22 @@ Machine::processSwitch()
 }
 
 void
+Machine::resumeProcess(Word ctx)
+{
+    // A scheduler dispatch outside the interpreter loop: same XFER,
+    // same fallback path as a YIELD-driven switch (§7.1: "a process
+    // switch causes all the banks to be flushed").
+    stop_ = StopReason::Running;
+    result_ = RunResult();
+    XferProbe probe(*this, XferKind::ProcSwitch);
+    if (ifuEnabled())
+        flushReturnStack();
+    if (banked())
+        flushAllBanks();
+    dispatchContext(ctx, XferKind::ProcSwitch, false);
+}
+
+void
 Machine::trap(Word code, const std::string &message)
 {
     if (trapCtx_ == nilContext) {

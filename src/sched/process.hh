@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A Process: a schedulable activation of the transfer model (§3).
+ *
+ * The paper's model already contains everything a process needs — a
+ * process *is* a context plus the frames reachable from it, and a
+ * process switch is just an XFER whose destination belongs to another
+ * process. This header adds the bookkeeping a scheduler keeps *about*
+ * a context: identity, priority, run state, and accounting. The
+ * machine itself never sees a Process; it sees only context words.
+ */
+
+#ifndef FPC_SCHED_PROCESS_HH
+#define FPC_SCHED_PROCESS_HH
+
+#include <optional>
+#include <string>
+
+#include "common/types.hh"
+#include "xfer/context.hh"
+
+namespace fpc::sched
+{
+
+/** Where a process stands with the scheduler. */
+enum class ProcState
+{
+    Ready,   ///< on the ready queue, dispatchable
+    Running, ///< currently owns the machine
+    Blocked, ///< waiting for a signal() on its event
+    Done     ///< returned from its root frame (or halted/errored)
+};
+
+const char *procStateName(ProcState state);
+
+/**
+ * One schedulable process. `context` is the suspended activation —
+ * while the process is off the machine it is always a frame context;
+ * the scheduler refreshes it at every switch. `rootFrame` is the
+ * frame spawn() created, kept retained (§4) for the process's
+ * lifetime so the root activation record is pinned until the
+ * scheduler itself reclaims it.
+ */
+struct Process
+{
+    unsigned pid = 0;
+    std::string name;            ///< "Module.proc", for diagnostics
+    Word context = nilContext;   ///< where an XFER resumes it
+    Addr rootFrame = nilAddr;    ///< retained root activation record
+    unsigned priority = 0;       ///< higher runs first (Priority policy)
+    ProcState state = ProcState::Ready;
+    Word blockedOn = 0;          ///< event word, valid when Blocked
+
+    // accounting
+    CountT dispatches = 0;       ///< times switched onto the machine
+    CountT preemptions = 0;      ///< involuntary switches off it
+    CountT yields = 0;           ///< voluntary switches off it
+    std::uint64_t stepsRun = 0;  ///< instructions executed (attributed)
+    std::optional<Word> result;  ///< top-level return value, when Done
+};
+
+} // namespace fpc::sched
+
+#endif // FPC_SCHED_PROCESS_HH

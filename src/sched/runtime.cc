@@ -1,0 +1,141 @@
+#include "sched/runtime.hh"
+
+#include <exception>
+#include <thread>
+
+#include "common/logging.hh"
+#include "frames/size_classes.hh"
+
+namespace fpc::sched
+{
+
+Runtime::Runtime(RuntimeConfig config) : config_(std::move(config))
+{
+    if (config_.workers == 0)
+        config_.workers = 1;
+}
+
+unsigned
+Runtime::submit(Job job)
+{
+    if (ran_)
+        panic("Runtime::submit after run()");
+    if (!job.modules || job.modules->empty())
+        panic("Runtime::submit: job has no modules");
+    const auto id = static_cast<unsigned>(jobs_.size());
+    jobs_.push_back(std::move(job));
+    return id;
+}
+
+JobResult
+Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
+                    MachineStats &acc)
+{
+    JobResult out;
+    out.id = id;
+    out.worker = worker_id;
+
+    // Each job gets a pristine simulated machine: its own memory,
+    // image and processor. Workers therefore share nothing but the
+    // job queue, and scale with host cores.
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    for (const Module &m : *job.modules)
+        loader.add(m);
+    const LoadedImage image = loader.load(mem, config_.plan);
+
+    Machine machine(mem, image, config_.machine);
+    if (config_.machine.timesliceSteps > 0) {
+        // A single-process workload still takes the full ProcSwitch
+        // XFER on every timeslice: the scheduler hook hands back the
+        // current context and the engine pays the fallback.
+        machine.setScheduler(
+            [](Machine &m) { return m.currentFrameContext(); });
+    }
+
+    machine.start(job.module, job.proc, job.args);
+    const RunResult result = machine.run();
+
+    out.reason = result.reason;
+    out.steps = machine.stats().steps;
+    out.cycles = machine.stats().cycles;
+    if (result.reason == StopReason::TopReturn) {
+        out.ok = true;
+        out.value = machine.popValue();
+    } else if (result.reason == StopReason::Halted) {
+        out.ok = true;
+    } else {
+        out.error = result.message;
+    }
+    acc.merge(machine.stats());
+    return out;
+}
+
+void
+Runtime::workerMain(unsigned worker_id)
+{
+    MachineStats acc;
+    stats::StatGroup local("fpc_runtime");
+    auto &jobs_completed =
+        local.counter("jobs_completed", "jobs that finished ok");
+    auto &jobs_failed =
+        local.counter("jobs_failed", "jobs that stopped on an error");
+    auto &job_steps =
+        local.distribution("job_steps", "instructions per job");
+    auto &job_cycles =
+        local.distribution("job_cycles", "simulated cycles per job");
+
+    while (true) {
+        const std::size_t i =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs_.size())
+            break;
+        JobResult r;
+        try {
+            r = executeJob(jobs_[i], static_cast<unsigned>(i),
+                           worker_id, acc);
+        } catch (const std::exception &err) {
+            r.id = static_cast<unsigned>(i);
+            r.worker = worker_id;
+            r.ok = false;
+            r.reason = StopReason::Error;
+            r.error = err.what();
+        }
+        if (r.ok)
+            ++jobs_completed;
+        else
+            ++jobs_failed;
+        job_steps.sample(static_cast<double>(r.steps));
+        job_cycles.sample(static_cast<double>(r.cycles));
+        results_[i] = std::move(r); // distinct slot per job: no lock
+    }
+
+    // Per-worker stats fold into the runtime's registries at join.
+    std::lock_guard<std::mutex> lock(mergeMutex_);
+    merged_.merge(acc);
+    group_.mergeFrom(local);
+}
+
+std::vector<JobResult>
+Runtime::run()
+{
+    if (ran_)
+        panic("Runtime::run called twice");
+    ran_ = true;
+    results_.resize(jobs_.size());
+
+    const unsigned n =
+        std::min<unsigned>(config_.workers,
+                           std::max<std::size_t>(1, jobs_.size()));
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned w = 0; w < n; ++w)
+        pool.emplace_back([this, w] { workerMain(w); });
+    for (std::thread &t : pool)
+        t.join();
+
+    return results_;
+}
+
+} // namespace fpc::sched

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Layer 2 of the runtime: a pool of OS worker threads, each running
+ * an independent Machine, pulling jobs from a shared queue.
+ *
+ * The simulated processor is single-threaded by construction (one
+ * Memory, one register file), so throughput comes from running many
+ * of them: each worker owns a private Memory/LoadedImage/Machine per
+ * job, executes it to completion, and folds its MachineStats and a
+ * per-worker stat registry into the runtime's merged view at join.
+ * Jobs are compiled MiniMesa programs (or generated synthetic ones);
+ * with MachineConfig::timesliceSteps set, every worker also exercises
+ * the in-VM preemption path, so the throughput numbers include the
+ * process-switch overhead the paper's §7.1 fallback prescribes.
+ */
+
+#ifndef FPC_SCHED_RUNTIME_HH
+#define FPC_SCHED_RUNTIME_HH
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "program/loader.hh"
+#include "program/module.hh"
+#include "stats/stats.hh"
+
+namespace fpc::sched
+{
+
+/** One unit of work: run modules' Mod.proc(args) to completion. The
+ *  module list is shared — many jobs typically run one program. */
+struct Job
+{
+    std::shared_ptr<const std::vector<Module>> modules;
+    std::string module;
+    std::string proc;
+    std::vector<Word> args;
+};
+
+/** What became of one job. */
+struct JobResult
+{
+    unsigned id = 0;
+    unsigned worker = 0;
+    bool ok = false;
+    StopReason reason = StopReason::Running;
+    Word value = 0;       ///< top-level return value, when ok
+    std::string error;    ///< failure message, when !ok
+    std::uint64_t steps = 0;
+    Tick cycles = 0;
+};
+
+struct RuntimeConfig
+{
+    unsigned workers = 1;
+    MachineConfig machine;
+    LinkPlan plan;
+};
+
+/**
+ * The multi-worker runtime. submit() jobs, then run() once; results
+ * come back in job order, and the merged statistics describe all
+ * workers together.
+ */
+class Runtime
+{
+  public:
+    explicit Runtime(RuntimeConfig config);
+
+    /** Enqueue a job; returns its id (results index). */
+    unsigned submit(Job job);
+
+    /** Run every submitted job across the worker pool; blocks until
+     *  all are done. May be called once per Runtime. */
+    std::vector<JobResult> run();
+
+    unsigned workers() const { return config_.workers; }
+
+    /** Per-worker machine counters summed at join (valid after
+     *  run()). */
+    const MachineStats &machineStats() const { return merged_; }
+
+    /** The merged "fpc_runtime" stat registry: job counts, per-job
+     *  step/cycle distributions (valid after run()). */
+    const stats::StatGroup &stats() const { return group_; }
+
+  private:
+    void workerMain(unsigned worker_id);
+    JobResult executeJob(const Job &job, unsigned id,
+                         unsigned worker_id, MachineStats &acc);
+
+    RuntimeConfig config_;
+    std::vector<Job> jobs_;
+    std::vector<JobResult> results_;
+    std::atomic<std::size_t> next_{0};
+    std::mutex mergeMutex_;
+    MachineStats merged_;
+    stats::StatGroup group_{"fpc_runtime"};
+    bool ran_ = false;
+};
+
+} // namespace fpc::sched
+
+#endif // FPC_SCHED_RUNTIME_HH

@@ -1,0 +1,217 @@
+#include "sched/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fpc::sched
+{
+
+const char *
+procStateName(ProcState state)
+{
+    switch (state) {
+      case ProcState::Ready: return "ready";
+      case ProcState::Running: return "running";
+      case ProcState::Blocked: return "blocked";
+      case ProcState::Done: return "done";
+      default: return "?";
+    }
+}
+
+const char *
+policyName(Policy policy)
+{
+    switch (policy) {
+      case Policy::RoundRobin: return "round-robin";
+      case Policy::Priority: return "priority";
+      default: return "?";
+    }
+}
+
+Scheduler::Scheduler(Machine &machine, Policy policy)
+    : machine_(machine), policy_(policy)
+{
+    machine_.setScheduler([this](Machine &m) { return onSwitch(m); });
+}
+
+Scheduler::~Scheduler()
+{
+    machine_.setScheduler({});
+}
+
+unsigned
+Scheduler::spawn(const std::string &module, const std::string &proc,
+                 std::span<const Word> args, unsigned priority)
+{
+    Process p;
+    p.pid = static_cast<unsigned>(procs_.size());
+    p.name = module + "." + proc;
+    p.context = machine_.spawn(module, proc, args);
+    p.rootFrame =
+        unpackContext(p.context, machine_.image().layout()).framePtr;
+    p.priority = priority;
+    p.state = ProcState::Ready;
+    // §4: the root activation record is a retained frame — it must
+    // survive anything the process does until the scheduler reclaims
+    // it, even a return that would normally free it.
+    machine_.setRetained(p.rootFrame, true);
+    ready_.push_back(p.pid);
+    procs_.push_back(std::move(p));
+    return procs_.back().pid;
+}
+
+void
+Scheduler::block(unsigned pid, Word event)
+{
+    Process &p = procs_.at(pid);
+    if (p.state != ProcState::Ready)
+        panic("block: process {} ({}) is {}, not ready", pid, p.name,
+              procStateName(p.state));
+    ready_.erase(std::find(ready_.begin(), ready_.end(), pid));
+    p.state = ProcState::Blocked;
+    p.blockedOn = event;
+}
+
+unsigned
+Scheduler::signal(Word event)
+{
+    unsigned woken = 0;
+    for (Process &p : procs_) {
+        if (p.state == ProcState::Blocked && p.blockedOn == event) {
+            p.state = ProcState::Ready;
+            p.blockedOn = 0;
+            ready_.push_back(p.pid);
+            ++woken;
+        }
+    }
+    return woken;
+}
+
+int
+Scheduler::pickNext()
+{
+    if (ready_.empty())
+        return -1;
+    auto best = ready_.begin();
+    if (policy_ == Policy::Priority) {
+        for (auto it = ready_.begin(); it != ready_.end(); ++it)
+            if (procs_[*it].priority > procs_[*best].priority)
+                best = it;
+    }
+    const int idx = static_cast<int>(*best);
+    ready_.erase(best);
+    return idx;
+}
+
+Word
+Scheduler::onSwitch(Machine &m)
+{
+    if (current_ >= 0) {
+        Process &cur = procs_[static_cast<unsigned>(current_)];
+        cur.stepsRun += m.stats().steps - stepMark_;
+        stepMark_ = m.stats().steps;
+        cur.context = m.currentFrameContext();
+        cur.state = ProcState::Ready;
+        ready_.push_back(cur.pid);
+        if (m.preemptionInProgress()) {
+            ++cur.preemptions;
+            ++stats_.preemptions;
+        } else {
+            ++cur.yields;
+            ++stats_.yields;
+        }
+    }
+    const int idx = pickNext();
+    if (idx < 0)
+        panic("scheduler: no ready process at a switch point");
+    Process &next = procs_[static_cast<unsigned>(idx)];
+    next.state = ProcState::Running;
+    ++next.dispatches;
+    ++stats_.dispatches;
+    current_ = idx;
+    return next.context;
+}
+
+RunResult
+Scheduler::runAll()
+{
+    RunResult last;
+    last.reason = StopReason::Halted;
+    last.message = "scheduler idle";
+
+    while (true) {
+        const int idx = pickNext();
+        if (idx < 0)
+            break;
+        Process &p = procs_[static_cast<unsigned>(idx)];
+        p.state = ProcState::Running;
+        ++p.dispatches;
+        ++stats_.dispatches;
+        current_ = idx;
+        stepMark_ = machine_.stats().steps;
+
+        machine_.resumeProcess(p.context);
+        last = machine_.run();
+
+        // In-run switches may have moved the machine to a different
+        // process; the one that stopped is current_.
+        Process &fin = procs_[static_cast<unsigned>(current_)];
+        fin.stepsRun += machine_.stats().steps - stepMark_;
+        current_ = -1;
+
+        if (last.reason == StopReason::TopReturn) {
+            fin.result = machine_.popValue();
+            complete(fin, true);
+        } else if (last.reason == StopReason::Halted) {
+            // HALT stops the machine without unwinding, so the frame
+            // tree below the halted context stays allocated; only the
+            // bookkeeping is closed out.
+            complete(fin, false);
+        } else {
+            complete(fin, false);
+            return last; // error / step limit: propagate to the caller
+        }
+    }
+    return last;
+}
+
+void
+Scheduler::complete(Process &proc, bool release_root)
+{
+    proc.state = ProcState::Done;
+    ++stats_.completions;
+    if (release_root && proc.rootFrame != nilAddr) {
+        // The root returned (its release was skipped because the
+        // frame is retained); now the scheduler lets go of it.
+        machine_.setRetained(proc.rootFrame, false);
+        machine_.heap().release(proc.rootFrame);
+        proc.rootFrame = nilAddr;
+    }
+}
+
+const Process &
+Scheduler::process(unsigned pid) const
+{
+    return procs_.at(pid);
+}
+
+std::size_t
+Scheduler::blockedCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(procs_.begin(), procs_.end(), [](const Process &p) {
+            return p.state == ProcState::Blocked;
+        }));
+}
+
+std::size_t
+Scheduler::liveCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(procs_.begin(), procs_.end(), [](const Process &p) {
+            return p.state != ProcState::Done;
+        }));
+}
+
+} // namespace fpc::sched

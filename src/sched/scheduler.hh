@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Layer 1 of the runtime: an in-VM preemptive scheduler built *on*
+ * XFER, not beside it.
+ *
+ * The scheduler owns a set of Processes (suspended activations made
+ * with Machine::spawn) and multiplexes one Machine among them. Every
+ * switch — voluntary (YIELD) or involuntary (the timeslice trap,
+ * MachineConfig::timesliceSteps) — is a genuine ProcSwitch XFER
+ * through whichever engine the machine embodies, taking the fallback
+ * path the paper prescribes for unusual transfers: I3 flushes the IFU
+ * return stack, I4 additionally writes every register bank back to
+ * its frame (§7.1). A preempted run is therefore state-equivalent to
+ * an unpreempted one; only the cost differs, and the stats show it.
+ */
+
+#ifndef FPC_SCHED_SCHEDULER_HH
+#define FPC_SCHED_SCHEDULER_HH
+
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "sched/process.hh"
+
+namespace fpc::sched
+{
+
+/** How the ready queue is ordered. */
+enum class Policy
+{
+    RoundRobin, ///< FIFO; every ready process gets its turn
+    Priority    ///< highest priority first, FIFO among equals
+};
+
+const char *policyName(Policy policy);
+
+/** Scheduler-level event counts (machine-level costs are in
+ *  MachineStats; these count decisions, not cycles). */
+struct SchedStats
+{
+    CountT dispatches = 0;  ///< processes switched onto the machine
+    CountT preemptions = 0; ///< timeslice-driven switches
+    CountT yields = 0;      ///< YIELD-driven switches
+    CountT completions = 0; ///< processes that reached Done
+};
+
+/**
+ * The scheduler. Construction installs it as the machine's scheduler
+ * hook; destruction removes it. Typical use:
+ *
+ *     MachineConfig config;
+ *     config.timesliceSteps = 1000;          // preemption on
+ *     Machine machine(mem, image, config);
+ *     sched::Scheduler sched(machine);
+ *     sched.spawn("Workers", "worker", {{1}});
+ *     sched.spawn("Workers", "worker", {{2}});
+ *     RunResult last = sched.runAll();
+ *
+ * runAll() returns when no process is ready: all Done, or the rest
+ * Blocked (signal() and call runAll() again), or on the first
+ * machine error, which is propagated.
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(Machine &machine,
+                       Policy policy = Policy::RoundRobin);
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Create a suspended process from Mod.proc(args). */
+    unsigned spawn(const std::string &module, const std::string &proc,
+                   std::span<const Word> args = {},
+                   unsigned priority = 0);
+
+    /** Move a Ready process to the blocked queue until signal(event).
+     *  The Running process cannot be blocked from outside. */
+    void block(unsigned pid, Word event);
+
+    /** Wake every process blocked on event; returns how many. */
+    unsigned signal(Word event);
+
+    /** Run until no process is ready. Returns the last RunResult (the
+     *  first error, if one occurred). */
+    RunResult runAll();
+
+    const Process &process(unsigned pid) const;
+    std::size_t processCount() const { return procs_.size(); }
+    std::size_t readyCount() const { return ready_.size(); }
+    std::size_t blockedCount() const;
+    /** Processes not yet Done. */
+    std::size_t liveCount() const;
+
+    const SchedStats &stats() const { return stats_; }
+    Policy policy() const { return policy_; }
+    Machine &machine() { return machine_; }
+
+  private:
+    /** The machine's scheduler hook: requeue the current process,
+     *  pick the next, hand back its context. */
+    Word onSwitch(Machine &m);
+    /** Pop the next pid to run, honoring the policy; -1 if none. */
+    int pickNext();
+    void complete(Process &proc, bool release_root);
+
+    Machine &machine_;
+    Policy policy_;
+    std::vector<Process> procs_;
+    std::deque<unsigned> ready_;
+    int current_ = -1; ///< index into procs_, -1 when none
+    /** Machine step count at the last dispatch, for attributing
+     *  executed instructions to processes. */
+    std::uint64_t stepMark_ = 0;
+    SchedStats stats_;
+};
+
+} // namespace fpc::sched
+
+#endif // FPC_SCHED_SCHEDULER_HH

@@ -23,6 +23,18 @@ Distribution::reset()
     *this = Distribution();
 }
 
+void
+Distribution::merge(const Distribution &other)
+{
+    if (other.count_ == 0)
+        return;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sumSq_ += other.sumSq_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
 double
 Distribution::variance() const
 {
@@ -62,6 +74,20 @@ Histogram::reset()
     std::fill(counts_.begin(), counts_.end(), 0);
     overflow_ = 0;
     dist_.reset();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (bucketWidth_ != other.bucketWidth_ ||
+        counts_.size() != other.counts_.size())
+        panic("Histogram::merge: shape mismatch ({} x {} vs {} x {})",
+              bucketWidth_, counts_.size(), other.bucketWidth_,
+              other.counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    overflow_ += other.overflow_;
+    dist_.merge(other.dist_);
 }
 
 double
@@ -159,6 +185,36 @@ StatGroup::resetAll()
             e.dist->reset();
         if (e.hist)
             e.hist->reset();
+    }
+}
+
+void
+StatGroup::mergeFrom(const StatGroup &other)
+{
+    for (const auto &name : other.order_) {
+        const Entry &src = other.entries_.at(name);
+        auto it = entries_.find(name);
+        if (it == entries_.end()) {
+            Entry &dst = newEntry(name, src.desc);
+            if (src.counter)
+                dst.counter = std::make_unique<Counter>(*src.counter);
+            else if (src.dist)
+                dst.dist = std::make_unique<Distribution>(*src.dist);
+            else if (src.hist)
+                dst.hist = std::make_unique<Histogram>(*src.hist);
+            continue;
+        }
+        Entry &dst = it->second;
+        if (src.counter && dst.counter)
+            dst.counter->merge(*src.counter);
+        else if (src.dist && dst.dist)
+            dst.dist->merge(*src.dist);
+        else if (src.hist && dst.hist)
+            dst.hist->merge(*src.hist);
+        else
+            panic("StatGroup::mergeFrom: stat '{}' has mismatched "
+                  "types between '{}' and '{}'",
+                  name, name_, other.name_);
     }
 }
 

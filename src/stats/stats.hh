@@ -33,6 +33,9 @@ class Counter
     Counter &operator+=(CountT n) { value_ += n; return *this; }
     void reset() { value_ = 0; }
 
+    /** Fold another counter in (multi-worker stat merging). */
+    void merge(const Counter &other) { value_ += other.value_; }
+
     CountT value() const { return value_; }
 
   private:
@@ -45,6 +48,9 @@ class Distribution
   public:
     void sample(double val, CountT count = 1);
     void reset();
+
+    /** Fold another distribution in; exact for count/sum/moments. */
+    void merge(const Distribution &other);
 
     CountT count() const { return count_; }
     double total() const { return sum_; }
@@ -70,6 +76,9 @@ class Histogram
 
     void sample(double val, CountT count = 1);
     void reset();
+
+    /** Fold another histogram in; the shapes must match. */
+    void merge(const Histogram &other);
 
     CountT count() const { return dist_.count(); }
     double mean() const { return dist_.mean(); }
@@ -117,6 +126,11 @@ class StatGroup
 
     void resetAll();
     void dump(std::ostream &os) const;
+
+    /** Fold another group's stats into this one. Entries are matched
+     *  by name; entries this group lacks are created. Used to merge
+     *  per-worker registries into one at Runtime join. */
+    void mergeFrom(const StatGroup &other);
 
   private:
     struct Entry

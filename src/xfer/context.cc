@@ -56,6 +56,13 @@ unpackContext(Word ctx, const SystemLayout &layout)
     return out;
 }
 
+bool
+isFrameContext(Word ctx, const SystemLayout &layout)
+{
+    const Context c = unpackContext(ctx, layout);
+    return c.tag == Context::Tag::Frame && !c.isNil();
+}
+
 std::string
 contextToString(Word ctx, const SystemLayout &layout)
 {

@@ -66,6 +66,10 @@ Word packProcDesc(unsigned gft_index, unsigned ev_low5);
 /** Decode a context word. */
 Context unpackContext(Word ctx, const SystemLayout &layout);
 
+/** True when ctx is a non-NIL frame context (a suspended activation a
+ *  scheduler may dispatch, as opposed to a procedure descriptor). */
+bool isFrameContext(Word ctx, const SystemLayout &layout);
+
 /** Render a context word for diagnostics. */
 std::string contextToString(Word ctx, const SystemLayout &layout);
 

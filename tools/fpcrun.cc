@@ -1,0 +1,256 @@
+/**
+ * @file
+ * fpcrun — the FPC batch driver: many jobs, many workers.
+ *
+ * Where fpcvm runs one program and exits, fpcrun feeds a pool of OS
+ * worker threads (each owning an independent simulated Machine) from
+ * a shared job queue and reports throughput plus the merged machine
+ * statistics:
+ *
+ *   fpcrun --workers=4 --jobs=64 prog.mm 200       # 64 runs of prog
+ *   fpcrun --workers=8 --jobs=32 --impl=banked --linkage=direct \
+ *          --timeslice=1000 --stats prog.mm
+ *   fpcrun --workers=4 --jobs=16 --synthetic --depth=9
+ *
+ * With --synthetic, each job runs a generated multi-module program
+ * (seeded per job, so the pool sees varied call graphs) instead of a
+ * compiled file. With --timeslice=N, every worker's machine preempts
+ * its program every N instructions through the full ProcSwitch XFER
+ * path, so throughput includes the paper's §7.1 fallback costs.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "lang/codegen.hh"
+#include "sched/runtime.hh"
+#include "stats/table.hh"
+#include "workload/synthetic.hh"
+
+using namespace fpc;
+
+namespace
+{
+
+struct Options
+{
+    std::string file;
+    std::vector<Word> args;
+    unsigned workers = 4;
+    unsigned jobs = 16;
+    Impl impl = Impl::Mesa;
+    CallLowering lowering = CallLowering::Mesa;
+    bool shortCalls = false;
+    bool stats = false;
+    bool synthetic = false;
+    unsigned depth = 8; ///< synthetic entry argument
+    std::uint64_t timeslice = 0;
+    unsigned banks = 4;
+    std::string entryModule;
+    std::string entryProc = "main";
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " [options] <file.mm> [int args...]\n"
+           "       " << argv0 << " [options] --synthetic\n"
+           "  --workers=N                     worker threads (default 4)\n"
+           "  --jobs=M                        jobs to run (default 16)\n"
+           "  --impl=simple|mesa|ifu|banked   machine (default mesa)\n"
+           "  --linkage=fat|mesa|direct       binding (default mesa)\n"
+           "  --short-calls                   use SHORTDIRECTCALL\n"
+           "  --banks=N                       register banks (I4)\n"
+           "  --timeslice=N                   preempt every N instructions\n"
+           "  --synthetic                     generate one program per job\n"
+           "  --depth=N                       synthetic recursion depth\n"
+           "  --entry=Mod.proc                entry point\n"
+           "  --stats                         dump merged statistics\n";
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const std::string &prefix) {
+            return arg.substr(prefix.size());
+        };
+        if (arg.rfind("--workers=", 0) == 0) {
+            opt.workers = std::stoul(value("--workers="));
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            opt.jobs = std::stoul(value("--jobs="));
+        } else if (arg.rfind("--impl=", 0) == 0) {
+            const std::string v = value("--impl=");
+            if (v == "simple")
+                opt.impl = Impl::Simple;
+            else if (v == "mesa")
+                opt.impl = Impl::Mesa;
+            else if (v == "ifu")
+                opt.impl = Impl::Ifu;
+            else if (v == "banked")
+                opt.impl = Impl::Banked;
+            else
+                usage(argv[0]);
+        } else if (arg.rfind("--linkage=", 0) == 0) {
+            const std::string v = value("--linkage=");
+            if (v == "fat")
+                opt.lowering = CallLowering::Fat;
+            else if (v == "mesa")
+                opt.lowering = CallLowering::Mesa;
+            else if (v == "direct")
+                opt.lowering = CallLowering::Direct;
+            else
+                usage(argv[0]);
+        } else if (arg == "--short-calls") {
+            opt.shortCalls = true;
+        } else if (arg.rfind("--banks=", 0) == 0) {
+            opt.banks = std::stoul(value("--banks="));
+        } else if (arg.rfind("--timeslice=", 0) == 0) {
+            opt.timeslice = std::stoull(value("--timeslice="));
+        } else if (arg == "--synthetic") {
+            opt.synthetic = true;
+        } else if (arg.rfind("--depth=", 0) == 0) {
+            opt.depth = std::stoul(value("--depth="));
+        } else if (arg.rfind("--entry=", 0) == 0) {
+            const std::string v = value("--entry=");
+            const auto dot = v.find('.');
+            if (dot == std::string::npos)
+                usage(argv[0]);
+            opt.entryModule = v.substr(0, dot);
+            opt.entryProc = v.substr(dot + 1);
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            usage(argv[0]);
+        } else if (opt.file.empty()) {
+            opt.file = arg;
+        } else {
+            opt.args.push_back(
+                static_cast<Word>(std::stol(arg) & 0xFFFF));
+        }
+    }
+    if (opt.file.empty() && !opt.synthetic)
+        usage(argv[0]);
+    return opt;
+}
+
+void
+dumpMergedStats(const sched::Runtime &runtime)
+{
+    const MachineStats &s = runtime.machineStats();
+    std::cout << "\n--- merged statistics (" << runtime.workers()
+              << " workers) ---\n"
+              << "instructions: " << s.steps
+              << "   simulated cycles: " << s.cycles << "\n";
+
+    stats::Table table({"transfer", "count", "fast", "mean refs",
+                        "mean cycles"});
+    for (unsigned k = 0; k < MachineStats::numXferKinds; ++k) {
+        if (s.xferCount[k] == 0)
+            continue;
+        table.row(xferKindName(static_cast<XferKind>(k)),
+                  s.xferCount[k], s.xferFast[k],
+                  stats::fixed(s.xferRefs[k].mean(), 2),
+                  stats::fixed(s.xferCycles[k].mean(), 1));
+    }
+    table.print(std::cout);
+    std::cout << "jump-speed calls+returns: "
+              << stats::percent(s.fastCallReturnRate()) << "\n";
+    if (s.preemptions > 0)
+        std::cout << "preemptions: " << s.preemptions << "\n";
+    runtime.stats().dump(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    const Options opt = parseArgs(argc, argv);
+
+    sched::RuntimeConfig rc;
+    rc.workers = opt.workers;
+    rc.machine.impl = opt.impl;
+    rc.machine.numBanks = opt.banks;
+    rc.machine.timesliceSteps = opt.timeslice;
+    rc.plan.lowering = opt.lowering;
+    rc.plan.shortCalls = opt.shortCalls;
+    sched::Runtime runtime(rc);
+
+    if (opt.synthetic) {
+        for (unsigned j = 0; j < opt.jobs; ++j) {
+            ProgramConfig pc;
+            pc.seed = j + 1;
+            auto modules =
+                std::make_shared<const std::vector<Module>>(
+                    generateProgram(pc));
+            runtime.submit({modules, generatedEntryModule(),
+                            generatedEntryProc(),
+                            {static_cast<Word>(opt.depth)}});
+        }
+    } else {
+        std::ifstream in(opt.file);
+        if (!in) {
+            std::cerr << "fpcrun: cannot open " << opt.file << "\n";
+            return 1;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        auto modules = std::make_shared<const std::vector<Module>>(
+            lang::compile(buffer.str()));
+
+        std::string entry = opt.entryModule;
+        if (entry.empty()) {
+            entry = modules->front().name;
+            for (const auto &m : *modules)
+                if (m.name == "Main")
+                    entry = "Main";
+        }
+        for (unsigned j = 0; j < opt.jobs; ++j)
+            runtime.submit({modules, entry, opt.entryProc, opt.args});
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<sched::JobResult> results = runtime.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    unsigned ok = 0, failed = 0;
+    for (const sched::JobResult &r : results) {
+        if (r.ok) {
+            ++ok;
+        } else {
+            ++failed;
+            std::cerr << "fpcrun: job " << r.id << " failed ("
+                      << stopReasonName(r.reason) << "): " << r.error
+                      << "\n";
+        }
+    }
+
+    std::cout << ok << "/" << results.size() << " jobs ok, "
+              << runtime.workers() << " workers, " << stats::fixed(secs, 3)
+              << " s wall, "
+              << stats::fixed(results.size() / std::max(secs, 1e-9), 1)
+              << " jobs/s\n";
+    if (!results.empty() && results.front().ok && !opt.synthetic)
+        std::cout << "=> " << static_cast<SWord>(results.front().value)
+                  << "\n";
+
+    if (opt.stats)
+        dumpMergedStats(runtime);
+    return failed == 0 ? 0 : 1;
+} catch (const std::exception &err) {
+    std::cerr << "fpcrun: " << err.what() << "\n";
+    return 1;
+}

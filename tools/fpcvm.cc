@@ -42,6 +42,7 @@ struct Options
     bool stats = false;
     bool disasm = false;
     unsigned banks = 4;
+    std::uint64_t timeslice = 0;
     std::string entryModule;
     std::string entryProc = "main";
 };
@@ -56,6 +57,8 @@ usage(const char *argv0)
            "  --linkage=fat|mesa|direct       binding (default mesa)\n"
            "  --short-calls                   use SHORTDIRECTCALL\n"
            "  --banks=N                       register banks (I4)\n"
+           "  --timeslice=N                   preempt every N "
+           "instructions\n"
            "  --entry=Mod.proc                entry point\n"
            "  --stats                         dump machine statistics\n"
            "  --disasm                        dump the loaded code\n";
@@ -97,6 +100,8 @@ parseArgs(int argc, char **argv)
             opt.shortCalls = true;
         } else if (arg.rfind("--banks=", 0) == 0) {
             opt.banks = std::stoul(value("--banks="));
+        } else if (arg.rfind("--timeslice=", 0) == 0) {
+            opt.timeslice = std::stoull(value("--timeslice="));
         } else if (arg.rfind("--entry=", 0) == 0) {
             const std::string v = value("--entry=");
             const auto dot = v.find('.');
@@ -182,6 +187,11 @@ dumpStats(const Machine &machine, const Memory &mem)
                   << "   misses: " << s.returnStackMisses
                   << "   spills: " << s.returnStackSpills << "\n";
     }
+    if (machine.config().timesliceSteps > 0) {
+        std::cout << "timeslice: " << machine.config().timesliceSteps
+                  << " instructions   preemptions: " << s.preemptions
+                  << "\n";
+    }
 }
 
 } // namespace
@@ -224,7 +234,14 @@ try {
     MachineConfig config;
     config.impl = opt.impl;
     config.numBanks = opt.banks;
+    config.timesliceSteps = opt.timeslice;
     Machine machine(mem, image, config);
+    if (opt.timeslice > 0) {
+        // Single program, so every expired slice switches the process
+        // to itself — still a full ProcSwitch XFER through the engine.
+        machine.setScheduler(
+            [](Machine &m) { return m.currentFrameContext(); });
+    }
     machine.start(entry, opt.entryProc, opt.args);
     const RunResult result = machine.run();
 
