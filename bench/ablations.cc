@@ -25,7 +25,7 @@ namespace
 {
 
 void
-ablateDirtyFlush()
+ablateDirtyFlush(JsonReport &json)
 {
     std::cout << "A1 — bank flushing: dirty words only vs whole "
                  "bank:\n\n";
@@ -46,10 +46,11 @@ ablateDirtyFlush()
                   s.bankFlushWords, s.bankOverflows, s.cycles);
     }
     table.print(std::cout);
+    json.table("a1_dirty_flush", table);
 }
 
 void
-ablateReturnStackDepth()
+ablateReturnStackDepth(JsonReport &json)
 {
     std::cout << "\nA2 — IFU return-stack depth (deep recursion, "
                  "fib(16)):\n\n";
@@ -70,12 +71,13 @@ ablateReturnStackDepth()
                   stats::percent(s.fastCallReturnRate()), s.cycles);
     }
     table.print(std::cout);
+    json.table("a2_return_stack_depth", table);
     std::cout << "\n(The paper's \"small stack\" is enough: depth 8 "
                  "already captures nearly all returns.)\n";
 }
 
 void
-ablateLvSorting()
+ablateLvSorting(JsonReport &json)
 {
     std::cout << "\nA3 — link-vector ordering: one-byte call-site "
                  "share with and without frequency sorting:\n\n";
@@ -121,10 +123,11 @@ ablateLvSorting()
                   rig.image.codeBytes());
     }
     table.print(std::cout);
+    json.table("a3_lv_sorting", table);
 }
 
 void
-ablateFastFrameSize()
+ablateFastFrameSize(JsonReport &json)
 {
     std::cout << "\nA4 — the standard fast-frame size (§7.1 chose 80 "
                  "bytes = 40 words):\n\n";
@@ -148,6 +151,7 @@ ablateFastFrameSize()
                   hs.blockWords, s.cycles);
     }
     table.print(std::cout);
+    json.table("a4_fast_frame_size", table);
     std::cout << "\n(Small standards miss the frame-size tail; large "
                  "ones waste heap — 40 words covers ~95% as the paper "
                  "argued.)\n";
@@ -172,10 +176,12 @@ BENCHMARK(BM_FibBanked)->Arg(0)->Arg(1);
 int
 main(int argc, char **argv)
 {
-    ablateDirtyFlush();
-    ablateReturnStackDepth();
-    ablateLvSorting();
-    ablateFastFrameSize();
+    JsonReport json(argc, argv, "ablations");
+    ablateDirtyFlush(json);
+    ablateReturnStackDepth(json);
+    ablateLvSorting(json);
+    ablateFastFrameSize(json);
+    json.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -8,13 +8,16 @@
 #ifndef FPC_BENCH_BENCH_UTIL_HH
 #define FPC_BENCH_BENCH_UTIL_HH
 
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "lang/codegen.hh"
 #include "machine/machine.hh"
+#include "obs/json.hh"
 #include "program/loader.hh"
 #include "stats/table.hh"
 #include "workload/synthetic.hh"
@@ -148,6 +151,110 @@ configFor(const EngineCombo &combo)
     config.impl = combo.impl;
     return config;
 }
+
+/**
+ * The shared bench --json=<path> emitter ("fpc-bench-v1"): every bench
+ * constructs one before benchmark::Initialize (which rejects unknown
+ * flags), registers its paper-shape tables and headline metrics, and
+ * calls write() before handing over to google-benchmark. Without
+ * --json= it is inert.
+ */
+class JsonReport
+{
+  public:
+    /** Strips --json=<path> out of argv so google-benchmark never
+     *  sees it. */
+    JsonReport(int &argc, char **argv, std::string bench_name)
+        : bench_(std::move(bench_name))
+    {
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--json=", 0) == 0)
+                path_ = arg.substr(7);
+            else
+                argv[out++] = argv[i];
+        }
+        argc = out;
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Record a printed stats::Table under a stable key. */
+    void
+    table(const std::string &key, const stats::Table &t)
+    {
+        if (!enabled())
+            return;
+        tables_.emplace_back(key, t);
+    }
+
+    void
+    metric(const std::string &key, double v)
+    {
+        if (enabled())
+            metrics_[key] = v;
+    }
+
+    void
+    note(const std::string &key, const std::string &text)
+    {
+        if (enabled())
+            notes_[key] = text;
+    }
+
+    /** Write the document; aborts the bench if the path is bad. */
+    void
+    write() const
+    {
+        if (!enabled())
+            return;
+        std::ofstream out(path_);
+        if (!out) {
+            std::cerr << bench_ << ": cannot write " << path_ << "\n";
+            std::abort();
+        }
+        obs::JsonWriter w(out);
+        w.beginObject();
+        w.kv("schema", "fpc-bench-v1");
+        w.kv("bench", bench_);
+        w.key("tables").beginObject();
+        for (const auto &[key, t] : tables_) {
+            w.key(key).beginObject();
+            w.key("headers").beginArray();
+            for (const std::string &h : t.headers())
+                w.value(h);
+            w.endArray();
+            w.key("rows").beginArray();
+            for (const auto &row : t.cells()) {
+                w.beginArray();
+                for (const std::string &cell : row)
+                    w.value(cell);
+                w.endArray();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endObject();
+        w.key("metrics").beginObject();
+        for (const auto &[key, v] : metrics_)
+            w.kv(key, v);
+        w.endObject();
+        w.key("notes").beginObject();
+        for (const auto &[key, text] : notes_)
+            w.kv(key, text);
+        w.endObject();
+        w.endObject();
+        out << "\n";
+    }
+
+  private:
+    std::string bench_;
+    std::string path_;
+    std::vector<std::pair<std::string, stats::Table>> tables_;
+    std::map<std::string, double> metrics_;
+    std::map<std::string, std::string> notes_;
+};
 
 } // namespace fpc::bench
 

@@ -54,7 +54,7 @@ workloads()
 }
 
 void
-printFastRates(std::uint64_t timeslice)
+printFastRates(std::uint64_t timeslice, JsonReport &json)
 {
     std::cout
         << "Fraction of calls+returns executed at unconditional-jump "
@@ -117,6 +117,7 @@ printFastRates(std::uint64_t timeslice)
         }
     }
     table.print(std::cout);
+    json.table("fast_rates", table);
     std::cout << "\nPaper shape: I2 is never jump-fast; I4 reaches "
                  ">=95% on loop-and-helper code with 4 banks and on "
                  "recursion with ~8 (the paper's \"4-8 banks\" "
@@ -139,6 +140,7 @@ BENCHMARK(BM_PrimesEndToEnd)->DenseRange(0, 3);
 int
 main(int argc, char **argv)
 try {
+    JsonReport json(argc, argv, "c1_call_vs_jump");
     // Strip --timeslice=N before handing argv to google-benchmark.
     std::uint64_t timeslice = 0;
     int argc_out = 1;
@@ -151,7 +153,8 @@ try {
     }
     argc = argc_out;
 
-    printFastRates(timeslice);
+    printFastRates(timeslice, json);
+    json.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

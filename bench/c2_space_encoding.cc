@@ -26,7 +26,7 @@ namespace
 {
 
 void
-printT1Arithmetic()
+printT1Arithmetic(JsonReport &json)
 {
     std::cout << "T1 — bits to reference one external procedure, "
                  "inline address (nf) vs table index (ni+f):\n\n";
@@ -49,12 +49,13 @@ printT1Arithmetic()
                       static_cast<double>(saved) / inline_bits));
     }
     table.print(std::cout);
+    json.table("t1_arithmetic", table);
     std::cout << "\n(The paper's example is the n=3 row: 96 - 62 = 34 "
                  "bits saved, about one-third.)\n";
 }
 
 void
-printImageSizes()
+printImageSizes(JsonReport &json)
 {
     ProgramConfig pc;
     pc.modules = 8;
@@ -108,6 +109,7 @@ printImageSizes()
                   image.codeBytes() + 2 * image.lvWords());
     }
     table.print(std::cout);
+    json.table("image_sizes", table);
 }
 
 void
@@ -138,8 +140,10 @@ BENCHMARK(BM_LoadImage)
 int
 main(int argc, char **argv)
 {
-    printT1Arithmetic();
-    printImageSizes();
+    JsonReport json(argc, argv, "c2_space_encoding");
+    printT1Arithmetic(json);
+    printImageSizes(json);
+    json.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

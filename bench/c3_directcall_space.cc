@@ -26,7 +26,7 @@ namespace
 {
 
 void
-printAnalytic()
+printAnalytic(JsonReport &json)
 {
     std::cout << "D1 — bytes to call procedure p, k sites in one "
                  "module (call sites + LV entry):\n\n";
@@ -45,6 +45,7 @@ printAnalytic()
                   (sdfc >= mesa ? "+" : "") + rel(sdfc));
     }
     table.print(std::cout);
+    json.table("analytic", table);
     std::cout << "\n(The paper's quotes are the k=1 DFC row, +33% ~ "
                  "\"30% more\", the k=1 SDFC row, equal space, and "
                  "the k=2 SDFC row, 6 bytes vs 4 = +50%.)\n";
@@ -70,7 +71,7 @@ kCallProgram(unsigned k)
 }
 
 void
-printEmpirical()
+printEmpirical(JsonReport &json)
 {
     std::cout << "\nMeasured caller-side bytes (call sites + LV) from "
                  "real loaded images:\n\n";
@@ -103,6 +104,7 @@ printEmpirical()
         table.addRow(row);
     }
     table.print(std::cout);
+    json.table("empirical", table);
 }
 
 void
@@ -128,8 +130,10 @@ BENCHMARK(BM_BindKCalls)->Arg(0)->Arg(1);
 int
 main(int argc, char **argv)
 {
-    printAnalytic();
-    printEmpirical();
+    JsonReport json(argc, argv, "c3_directcall_space");
+    printAnalytic(json);
+    printEmpirical(json);
+    json.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -60,7 +60,7 @@ measure(const char *name, const FrameSizeDist &dist, unsigned depth,
 }
 
 void
-printAllocSpeed()
+printAllocSpeed(JsonReport &json)
 {
     std::cout
         << "Frame allocation through the processor's free-frame stack "
@@ -78,6 +78,7 @@ printAllocSpeed()
     // All-small frames are served almost perfectly.
     measure("all 12-word frames", FrameSizeDist::fixed(12), 16, table);
     table.print(std::cout);
+    json.table("alloc_speed", table);
     std::cout
         << "\nThe mesa rows should show roughly the paper's 95% "
            "fast-path fraction (the distribution puts 95% of frames "
@@ -104,7 +105,9 @@ BENCHMARK(BM_AllocViaStack);
 int
 main(int argc, char **argv)
 {
-    printAllocSpeed();
+    JsonReport json(argc, argv, "c4_frame_alloc_speed");
+    printAllocSpeed(json);
+    json.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

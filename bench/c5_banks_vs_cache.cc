@@ -26,7 +26,7 @@ namespace
 {
 
 void
-printComparison()
+printComparison(JsonReport &json)
 {
     std::cout << "Local-variable traffic: register banks vs a data "
                  "cache (paper §7.3):\n\n";
@@ -76,6 +76,7 @@ printComparison()
                   s.cycles);
     }
     table.print(std::cout);
+    json.table("banks_vs_cache", table);
     std::cout
         << "\nPaper shape: locals are half or more of data "
            "references; banks remove nearly all of them from the "
@@ -112,7 +113,9 @@ BENCHMARK(BM_LocalAccess)
 int
 main(int argc, char **argv)
 {
-    printComparison();
+    JsonReport json(argc, argv, "c5_banks_vs_cache");
+    printComparison(json);
+    json.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -75,7 +75,7 @@ staticHistogram(const Rig &rig, Memory &mem)
 }
 
 void
-printDensity()
+printDensity(JsonReport &json)
 {
     std::cout << "Instruction-length distribution and call density "
                  "(paper: ~2/3 single-byte; ~1 call per 10 executed "
@@ -130,6 +130,7 @@ printDensity()
                   stats::fixed(per_call, 1));
     }
     table.print(std::cout);
+    json.table("code_density", table);
 }
 
 void
@@ -146,7 +147,9 @@ BENCHMARK(BM_Disassemble);
 int
 main(int argc, char **argv)
 {
-    printDensity();
+    JsonReport json(argc, argv, "c6_code_density");
+    printDensity(json);
+    json.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -89,7 +89,7 @@ meanRefs(const MachineStats &stats, XferKind kind)
 }
 
 void
-printGenerality()
+printGenerality(JsonReport &json)
 {
     std::cout << "Every discipline on every engine, through one XFER "
                  "substrate:\n\n";
@@ -196,6 +196,7 @@ printGenerality()
         }
     }
     table.print(std::cout);
+    json.table("generality", table);
     std::cout << "\nF2/F3 in action: frames are explicit objects; the "
                  "destination context chooses the discipline; unusual "
                  "transfers pay the fallback, plain calls do not.\n";
@@ -221,7 +222,9 @@ BENCHMARK(BM_CoroutinePingPong)->DenseRange(0, 3);
 int
 main(int argc, char **argv)
 {
-    printGenerality();
+    JsonReport json(argc, argv, "c7_generality");
+    printGenerality(json);
+    json.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

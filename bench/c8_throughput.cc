@@ -83,7 +83,8 @@ runBatch(const sched::RuntimeConfig &rc,
 
 void
 printThroughput(const std::vector<unsigned> &worker_counts,
-                unsigned jobs, std::uint64_t timeslice)
+                unsigned jobs, std::uint64_t timeslice,
+                JsonReport &json)
 {
     std::cout << "Jobs/sec vs worker threads (" << jobs
               << " jobs of primes(1200), I4/direct, timeslice "
@@ -116,13 +117,14 @@ printThroughput(const std::vector<unsigned> &worker_counts,
                   merged.preemptions);
     }
     table.print(std::cout);
+    json.table("throughput", table);
     std::cout << "\nWorkers share nothing but the job queue, so "
                  "speedup tracks host cores (this is wall-clock "
                  "scaling, not simulated cycles).\n";
 }
 
 void
-printFastUnderPreemption(std::uint64_t timeslice)
+printFastUnderPreemption(std::uint64_t timeslice, JsonReport &json)
 {
     std::cout << "\nCall-at-jump-cost rate with and without "
                  "preemptive timeslicing (4 workers x 8 jobs, merged "
@@ -187,6 +189,8 @@ printFastUnderPreemption(std::uint64_t timeslice)
         }
     }
     table.print(std::cout);
+    json.table("fast_under_preemption", table);
+    json.metric("worst_sliced_fast_rate", worstSurvivor);
     std::cout << "\nHeadline check: worst sliced rate among rows "
                  "that were >=95% unsliced: "
               << stats::percent(worstSurvivor)
@@ -227,6 +231,7 @@ BENCHMARK(BM_BatchThroughput)
 int
 main(int argc, char **argv)
 try {
+    JsonReport json(argc, argv, "c8_throughput");
     std::vector<unsigned> workers = {1, 2, 4, 8};
     // Strip our flags before google-benchmark sees argv.
     int argc_out = 1;
@@ -254,8 +259,9 @@ try {
     }
     argc = argc_out;
 
-    printThroughput(workers, gJobs, gTimeslice);
-    printFastUnderPreemption(gTimeslice);
+    printThroughput(workers, gJobs, gTimeslice, json);
+    printFastUnderPreemption(gTimeslice, json);
+    json.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -48,7 +48,7 @@ twoModules()
 }
 
 void
-printIndirectionChain()
+printIndirectionChain(JsonReport &json)
 {
     Rig rig(twoModules(), LinkPlan{}, MachineConfig{});
     const SystemLayout &layout = rig.image.layout();
@@ -85,11 +85,12 @@ printIndirectionChain()
     chain.row("-", "code", code_base + ev_offset,
               "fsi byte, then the first instruction", fsi);
     chain.print(std::cout);
+    json.table("indirection_chain", chain);
 }
 
 /** Measure per-kind storage references by running real programs. */
 void
-printTransferCosts()
+printTransferCosts(JsonReport &json)
 {
     std::cout << "\nStorage references per transfer, by call variety "
                  "and implementation:\n\n";
@@ -118,6 +119,7 @@ printTransferCosts()
         row(XferKind::Return, "-");
     }
     table.print(std::cout);
+    json.table("transfer_costs", table);
     std::cout << "\nPaper shape: EXTERNALCALL pays the most "
                  "references, LOCALCALL fewer, DIRECTCALL/FCALL the "
                  "fewest; I4 drives call+return references to zero.\n";
@@ -148,8 +150,10 @@ BENCHMARK(BM_ExternalCallReturn)
 int
 main(int argc, char **argv)
 {
-    printIndirectionChain();
-    printTransferCosts();
+    JsonReport json(argc, argv, "fig1_indirection");
+    printIndirectionChain(json);
+    printTransferCosts(json);
+    json.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -30,7 +30,7 @@ namespace
 {
 
 void
-printSizeClasses()
+printSizeClasses(JsonReport &json)
 {
     const SizeClasses classes = SizeClasses::standard();
     std::cout << "The allocation vector's size classes (\"about 20% "
@@ -48,6 +48,7 @@ printSizeClasses()
                   fsi ? stats::fixed(step, 0) + "%" : "-");
     }
     table.print(std::cout);
+    json.table("size_classes", table);
 }
 
 /** Exercise the heap with a Mesa-like size mix and measure. */
@@ -104,7 +105,7 @@ measureHeap(double growth, unsigned num_classes, stats::Table &table,
 }
 
 void
-printHeapBehaviour()
+printHeapBehaviour(JsonReport &json)
 {
     std::cout << "\nHeap behaviour under a Mesa-like frame-size mix "
                  "(paper: 3 refs/alloc, 4 refs/free, ~10% "
@@ -118,6 +119,7 @@ printHeapBehaviour()
     measureHeap(1.35, 13, table, false);
     measureHeap(1.5, 10, table, false);
     table.print(std::cout);
+    json.table("heap_behaviour", table);
     std::cout
         << "\nNote (EXPERIMENTS.md): finer classes (growth 1.1) "
            "reduce fragmentation but need more classes; coarser ones "
@@ -147,8 +149,10 @@ BENCHMARK(BM_AllocFree)->Arg(0)->Arg(5)->Arg(12);
 int
 main(int argc, char **argv)
 {
-    printSizeClasses();
-    printHeapBehaviour();
+    JsonReport json(argc, argv, "fig2_frame_heap");
+    printSizeClasses(json);
+    printHeapBehaviour(json);
+    json.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -27,7 +27,7 @@ namespace
 
 /** Part A: the figure's sequence, bank state after each step. */
 void
-replayFigure3()
+replayFigure3(JsonReport &json)
 {
     MachineConfig config;
     config.impl = Impl::Banked;
@@ -94,6 +94,7 @@ replayFigure3()
                  "sequence (S = the evaluation-stack bank, L=Fx = "
                  "shadowing frame x, * = current frame's bank):\n\n";
     table.print(std::cout);
+    json.table("figure3_replay", table);
     std::cout << "\nNote how a call renames S into the callee's L "
                  "bank (free argument passing, §7.2) and how the "
                  "banks are not used in last-in first-out order.\n";
@@ -101,7 +102,7 @@ replayFigure3()
 
 /** Part B: bank-count sweep vs trace LIFO-ness. */
 void
-sweepBanks()
+sweepBanks(JsonReport &json)
 {
     std::cout << "\nBank overflow+underflow rate per XFER "
                  "(paper: <5% at 4 banks; [4]: <1% at 4-8):\n\n";
@@ -135,6 +136,7 @@ sweepBanks()
         table.addRow(row);
     }
     table.print(std::cout);
+    json.table("bank_sweep", table);
 }
 
 void
@@ -163,8 +165,10 @@ BENCHMARK(BM_TraceBanked)->Arg(2)->Arg(4)->Arg(8);
 int
 main(int argc, char **argv)
 {
-    replayFigure3();
-    sweepBanks();
+    JsonReport json(argc, argv, "fig3_register_banks");
+    replayFigure3(json);
+    sweepBanks(json);
+    json.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -123,6 +123,38 @@ struct MachineStats
     void merge(const MachineStats &other);
 };
 
+/**
+ * One observed transfer, as delivered to an attached XferObserver
+ * (the fpc_obs tracer and profiler implement the interface): which
+ * XFER discipline ran, between which contexts, and what it cost.
+ * Delivered after the transfer completes.
+ */
+struct XferRecord
+{
+    XferKind kind = XferKind::ExtCall;
+    Word srcCtx = nilContext;  ///< source frame context (nil at start)
+    Word dstCtx = nilContext;  ///< destination frame context
+    Addr frame = nilAddr;      ///< destination local frame pointer
+    CodeByteAddr pc = 0;       ///< destination PC (entry or resume)
+    Tick start = 0;            ///< cycle count when the transfer began
+    Tick end = 0;              ///< cycle count when it completed
+    CountT refs = 0;           ///< storage references it consumed
+    std::uint64_t step = 0;    ///< instructions executed so far
+};
+
+/**
+ * Observation hook for transfers; attach with Machine::setObserver.
+ * With no observer attached the machine pays one pointer null-check
+ * per transfer, and no simulated cycles are charged either way, so
+ * the cost model is identical with observation on or off.
+ */
+class XferObserver
+{
+  public:
+    virtual ~XferObserver() = default;
+    virtual void onXfer(const XferRecord &record) = 0;
+};
+
 /** The processor. */
 class Machine
 {
@@ -178,6 +210,14 @@ class Machine
 
     /** Context that receives trap transfers (BRK, zero divide). */
     void setTrapContext(Word ctx) { trapCtx_ = ctx; }
+    /** @} */
+
+    /** @name Observation hooks (tracing/profiling, see src/obs/). @{ */
+
+    /** Attach a transfer observer; null detaches. The observer must
+     *  outlive the machine or be detached before it dies. */
+    void setObserver(XferObserver *observer) { observer_ = observer; }
+    XferObserver *observer() const { return observer_; }
     /** @} */
 
     /** @name Transfer primitives (also for trace-driven use). @{ */
@@ -374,6 +414,7 @@ class Machine
 
     Scheduler scheduler_;
     Word trapCtx_ = nilContext;
+    XferObserver *observer_ = nullptr;
 
     // timeslice preemption
     std::uint64_t sliceLeft_ = 0;

@@ -36,12 +36,15 @@ struct Machine::XferProbe
     XferKind kind;
     CountT refs0;
     Tick cycles0;
+    Word srcCtx = nilContext;
 
     XferProbe(Machine &machine, XferKind k)
         : m(machine), kind(k), refs0(machine.mem_.totalRefs()),
           cycles0(machine.stats_.cycles)
     {
         m.xferRedirected_ = false;
+        if (m.observer_ != nullptr)
+            srcCtx = m.currentFrameContext();
     }
 
     ~XferProbe()
@@ -55,6 +58,19 @@ struct Machine::XferProbe
             static_cast<double>(cycles));
         if (refs == 0 && !m.xferRedirected_)
             ++s.xferFast[kindIndex(kind)];
+        if (m.observer_ != nullptr) {
+            XferRecord rec;
+            rec.kind = kind;
+            rec.srcCtx = srcCtx;
+            rec.dstCtx = m.currentFrameContext();
+            rec.frame = m.lf_;
+            rec.pc = m.pcAbs_;
+            rec.start = cycles0;
+            rec.end = m.stats_.cycles;
+            rec.refs = refs;
+            rec.step = m.stats_.steps;
+            m.observer_->onXfer(rec);
+        }
     }
 };
 

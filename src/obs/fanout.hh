@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Multiplexes the Machine's single observer slot: a Machine holds one
+ * XferObserver pointer, so attach a Fanout when both the tracer and
+ * the profiler want the same run.
+ */
+
+#ifndef FPC_OBS_FANOUT_HH
+#define FPC_OBS_FANOUT_HH
+
+#include <vector>
+
+#include "machine/machine.hh"
+
+namespace fpc::obs
+{
+
+class Fanout : public XferObserver
+{
+  public:
+    void
+    add(XferObserver *observer)
+    {
+        if (observer != nullptr)
+            observers_.push_back(observer);
+    }
+
+    bool empty() const { return observers_.empty(); }
+
+    void
+    onXfer(const XferRecord &record) override
+    {
+        for (XferObserver *obs : observers_)
+            obs->onXfer(record);
+    }
+
+  private:
+    std::vector<XferObserver *> observers_;
+};
+
+} // namespace fpc::obs
+
+#endif // FPC_OBS_FANOUT_HH

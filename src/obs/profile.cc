@@ -1,0 +1,206 @@
+#include "obs/profile.hh"
+
+#include <algorithm>
+
+namespace fpc::obs
+{
+
+const std::string idleProcName = "(idle)";
+
+namespace
+{
+
+bool
+callLike(XferKind kind)
+{
+    return kind == XferKind::ExtCall || kind == XferKind::LocalCall ||
+           kind == XferKind::DirectCall || kind == XferKind::FatCall;
+}
+
+} // namespace
+
+ProcMap::ProcMap(const LoadedImage &image)
+{
+    for (const PlacedModule &pm : image.modules()) {
+        for (unsigned p = 0; p < pm.procs.size(); ++p) {
+            const PlacedProc &pp = pm.procs[p];
+            Range range;
+            range.end =
+                pp.prologueAddr + pp.prologueBytes + pp.bodyBytes;
+            range.name = pm.src->name + "." + pm.src->procs[p].name;
+            ranges_[pp.prologueAddr] = std::move(range);
+        }
+    }
+}
+
+const std::string *
+ProcMap::find(CodeByteAddr pc) const
+{
+    auto it = ranges_.upper_bound(pc);
+    if (it == ranges_.begin())
+        return nullptr;
+    --it;
+    if (pc >= it->first && pc < it->second.end)
+        return &it->second.name;
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// ProfileData
+// ---------------------------------------------------------------------
+
+void
+ProfileData::merge(const ProfileData &other)
+{
+    for (const auto &[name, p] : other.procs) {
+        ProcProfile &dst = procs[name];
+        dst.calls += p.calls;
+        dst.resumes += p.resumes;
+        dst.inclusive += p.inclusive;
+        dst.exclusive += p.exclusive;
+    }
+    for (const auto &[stack, cycles] : other.folded)
+        folded[stack] += cycles;
+    total += other.total;
+}
+
+Tick
+ProfileData::exclusiveTotal() const
+{
+    Tick sum = 0;
+    for (const auto &[name, p] : procs)
+        sum += p.exclusive;
+    return sum;
+}
+
+stats::Table
+ProfileData::topTable(std::size_t top_n) const
+{
+    std::vector<std::pair<std::string, ProcProfile>> rows(
+        procs.begin(), procs.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second.exclusive != b.second.exclusive)
+                      return a.second.exclusive > b.second.exclusive;
+                  return a.first < b.first;
+              });
+    if (rows.size() > top_n)
+        rows.resize(top_n);
+
+    stats::Table table({"procedure", "calls", "resumes", "excl cycles",
+                        "excl %", "incl cycles"});
+    for (const auto &[name, p] : rows) {
+        table.row(name, p.calls, p.resumes, p.exclusive,
+                  stats::percent(total ? static_cast<double>(p.exclusive) /
+                                             static_cast<double>(total)
+                                       : 0.0),
+                  p.inclusive);
+    }
+    return table;
+}
+
+void
+ProfileData::writeFolded(std::ostream &os) const
+{
+    for (const auto &[stack, cycles] : folded)
+        os << stack << " " << cycles << "\n";
+}
+
+// ---------------------------------------------------------------------
+// Profiler
+// ---------------------------------------------------------------------
+
+std::string
+Profiler::nameAt(CodeByteAddr pc) const
+{
+    if (const std::string *name = map_.find(pc))
+        return *name;
+    return "pc_" + std::to_string(pc);
+}
+
+std::string
+Profiler::foldedKey() const
+{
+    if (stack_.empty())
+        return idleProcName;
+    std::string key;
+    for (const Open &open : stack_) {
+        if (!key.empty())
+            key += ";";
+        key += open.name;
+    }
+    return key;
+}
+
+void
+Profiler::attribute(Tick now)
+{
+    if (now <= lastTick_)
+        return;
+    const Tick delta = now - lastTick_;
+    const std::string &top =
+        stack_.empty() ? idleProcName : stack_.back().name;
+    data_.procs[top].exclusive += delta;
+    data_.folded[foldedKey()] += delta;
+    lastTick_ = now;
+}
+
+void
+Profiler::closeAll(Tick now)
+{
+    while (!stack_.empty()) {
+        const Open open = stack_.back();
+        stack_.pop_back();
+        data_.procs[open.name].inclusive += now - open.entered;
+    }
+}
+
+void
+Profiler::onXfer(const XferRecord &record)
+{
+    // The transfer's own cost [start, end) is charged to the source
+    // procedure: attribute everything up to the completed transfer
+    // before touching the shadow stack.
+    attribute(record.end);
+
+    if (callLike(record.kind)) {
+        stack_.push_back({nameAt(record.pc), record.end});
+        ++data_.procs[stack_.back().name].calls;
+        return;
+    }
+    if (record.kind == XferKind::Return) {
+        if (!stack_.empty()) {
+            const Open open = stack_.back();
+            stack_.pop_back();
+            data_.procs[open.name].inclusive +=
+                record.end - open.entered;
+        }
+        return;
+    }
+
+    // Switch / ProcSwitch / Trap: LIFO order is broken. Flush
+    // attribution the way I3 flushes its return stack: close every
+    // open activation, then re-root at the destination.
+    closeAll(record.end);
+    if (record.dstCtx != nilContext || record.frame != nilAddr) {
+        stack_.push_back({nameAt(record.pc), record.end});
+        ++data_.procs[stack_.back().name].resumes;
+    }
+}
+
+ProfileData
+Profiler::finish(Tick end_cycles)
+{
+    attribute(end_cycles);
+    // lastTick_ is now the last attributed cycle: exactly the total
+    // charged, even if the caller's end_cycles ran behind an observed
+    // transfer — keeps the exclusive-sum invariant exact.
+    closeAll(lastTick_);
+    data_.total += lastTick_;
+    ProfileData out = std::move(data_);
+    data_ = ProfileData();
+    lastTick_ = 0;
+    return out;
+}
+
+} // namespace fpc::obs

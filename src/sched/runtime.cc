@@ -1,10 +1,12 @@
 #include "sched/runtime.hh"
 
 #include <exception>
+#include <optional>
 #include <thread>
 
 #include "common/logging.hh"
 #include "frames/size_classes.hh"
+#include "obs/fanout.hh"
 
 namespace fpc::sched
 {
@@ -29,7 +31,8 @@ Runtime::submit(Job job)
 
 JobResult
 Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
-                    MachineStats &acc)
+                    MachineStats &acc, obs::Tracer *tracer,
+                    obs::ProfileData *profile_acc)
 {
     JobResult out;
     out.id = id;
@@ -46,6 +49,26 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
     const LoadedImage image = loader.load(mem, config_.plan);
 
     Machine machine(mem, image, config_.machine);
+
+    // Observers are per-job: the ProcMap indexes this job's image, and
+    // the tracer interns names at record time, so nothing here has to
+    // outlive the job.
+    obs::ProcMap procMap;
+    obs::Fanout fanout;
+    std::optional<obs::Profiler> profiler;
+    if (tracer != nullptr || profile_acc != nullptr)
+        procMap = obs::ProcMap(image);
+    if (tracer != nullptr) {
+        tracer->setProcMap(&procMap);
+        fanout.add(tracer);
+    }
+    if (profile_acc != nullptr) {
+        profiler.emplace(image);
+        fanout.add(&*profiler);
+    }
+    if (!fanout.empty())
+        machine.setObserver(&fanout);
+
     if (config_.machine.timesliceSteps > 0) {
         // A single-process workload still takes the full ProcSwitch
         // XFER on every timeslice: the scheduler hook hands back the
@@ -69,6 +92,16 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
         out.error = result.message;
     }
     acc.merge(machine.stats());
+
+    if (tracer != nullptr) {
+        // Lay consecutive jobs out consecutively on this worker's
+        // track; the ProcMap dies with this job.
+        tracer->setBase(tracer->base() + machine.stats().cycles);
+        tracer->setProcMap(nullptr);
+    }
+    if (profiler)
+        profile_acc->merge(profiler->finish(machine.stats().cycles));
+
     return out;
 }
 
@@ -86,15 +119,33 @@ Runtime::workerMain(unsigned worker_id)
     auto &job_cycles =
         local.distribution("job_cycles", "simulated cycles per job");
 
+    obs::Tracer *tracer =
+        config_.trace ? tracers_[worker_id].get() : nullptr;
+    obs::ProfileData profile_acc;
+    obs::ProfileData *profile_ptr =
+        config_.profile ? &profile_acc : nullptr;
+
+    // The dynamic queue is fast but nondeterministic: which worker
+    // claims which job depends on thread timing. With tracing on we
+    // want reproducible tracks, so jobs stride statically instead
+    // (job i runs on worker i mod n).
+    const std::size_t stride = tracers_.size();
+    std::size_t strided = worker_id;
+
     while (true) {
-        const std::size_t i =
-            next_.fetch_add(1, std::memory_order_relaxed);
+        std::size_t i;
+        if (config_.trace) {
+            i = strided;
+            strided += stride;
+        } else {
+            i = next_.fetch_add(1, std::memory_order_relaxed);
+        }
         if (i >= jobs_.size())
             break;
         JobResult r;
         try {
             r = executeJob(jobs_[i], static_cast<unsigned>(i),
-                           worker_id, acc);
+                           worker_id, acc, tracer, profile_ptr);
         } catch (const std::exception &err) {
             r.id = static_cast<unsigned>(i);
             r.worker = worker_id;
@@ -115,6 +166,8 @@ Runtime::workerMain(unsigned worker_id)
     std::lock_guard<std::mutex> lock(mergeMutex_);
     merged_.merge(acc);
     group_.mergeFrom(local);
+    if (profile_ptr != nullptr)
+        profile_.merge(profile_acc);
 }
 
 std::vector<JobResult>
@@ -128,6 +181,13 @@ Runtime::run()
     const unsigned n =
         std::min<unsigned>(config_.workers,
                            std::max<std::size_t>(1, jobs_.size()));
+    if (config_.trace) {
+        tracers_.reserve(n);
+        for (unsigned w = 0; w < n; ++w) {
+            tracers_.push_back(
+                std::make_unique<obs::Tracer>(config_.traceCapacity));
+        }
+    }
     std::vector<std::thread> pool;
     pool.reserve(n);
     for (unsigned w = 0; w < n; ++w)
@@ -136,6 +196,16 @@ Runtime::run()
         t.join();
 
     return results_;
+}
+
+void
+Runtime::writeTrace(std::ostream &os) const
+{
+    std::vector<const obs::Tracer *> tracks;
+    tracks.reserve(tracers_.size());
+    for (const auto &t : tracers_)
+        tracks.push_back(t.get());
+    obs::writeChromeTrace(os, tracks);
 }
 
 } // namespace fpc::sched

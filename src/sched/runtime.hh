@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "machine/machine.hh"
+#include "obs/profile.hh"
+#include "obs/trace.hh"
 #include "program/loader.hh"
 #include "program/module.hh"
 #include "stats/stats.hh"
@@ -59,6 +61,14 @@ struct RuntimeConfig
     unsigned workers = 1;
     MachineConfig machine;
     LinkPlan plan;
+
+    /** Record per-worker XFER traces (see obs::Tracer). Forces the
+     *  static job-to-worker assignment so traces are reproducible. */
+    bool trace = false;
+    std::size_t traceCapacity = obs::Tracer::defaultCapacity;
+
+    /** Attribute cycles to procedures (merged across all jobs). */
+    bool profile = false;
 };
 
 /**
@@ -88,10 +98,20 @@ class Runtime
      *  step/cycle distributions (valid after run()). */
     const stats::StatGroup &stats() const { return group_; }
 
+    /** Merged per-procedure profile (valid after run() when
+     *  RuntimeConfig::profile was set). */
+    const obs::ProfileData &profile() const { return profile_; }
+
+    /** Write the multi-worker Chrome trace — one track per worker
+     *  (valid after run() when RuntimeConfig::trace was set). */
+    void writeTrace(std::ostream &os) const;
+
   private:
     void workerMain(unsigned worker_id);
     JobResult executeJob(const Job &job, unsigned id,
-                         unsigned worker_id, MachineStats &acc);
+                         unsigned worker_id, MachineStats &acc,
+                         obs::Tracer *tracer,
+                         obs::ProfileData *profile_acc);
 
     RuntimeConfig config_;
     std::vector<Job> jobs_;
@@ -100,6 +120,8 @@ class Runtime
     std::mutex mergeMutex_;
     MachineStats merged_;
     stats::StatGroup group_{"fpc_runtime"};
+    obs::ProfileData profile_;
+    std::vector<std::unique_ptr<obs::Tracer>> tracers_;
     bool ran_ = false;
 };
 

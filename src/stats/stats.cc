@@ -219,6 +219,16 @@ StatGroup::mergeFrom(const StatGroup &other)
 }
 
 void
+StatGroup::visit(const Visitor &visitor) const
+{
+    for (const auto &name : order_) {
+        const Entry &e = entries_.at(name);
+        visitor(name, e.desc, e.counter.get(), e.dist.get(),
+                e.hist.get());
+    }
+}
+
+void
 StatGroup::dump(std::ostream &os) const
 {
     os << "---- " << name_ << " ----\n";

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
@@ -77,7 +78,8 @@ class Histogram
     void sample(double val, CountT count = 1);
     void reset();
 
-    /** Fold another histogram in; the shapes must match. */
+    /** Fold another histogram in; panics if the bucket shapes
+     *  (width and count) do not match. */
     void merge(const Histogram &other);
 
     CountT count() const { return dist_.count(); }
@@ -126,6 +128,15 @@ class StatGroup
 
     void resetAll();
     void dump(std::ostream &os) const;
+
+    /** Visit every stat in registration order. Exactly one of the
+     *  three stat pointers is non-null per call (the JSON exporter
+     *  and other generic consumers iterate through this). */
+    using Visitor = std::function<void(
+        const std::string &name, const std::string &desc,
+        const Counter *counter, const Distribution *dist,
+        const Histogram *hist)>;
+    void visit(const Visitor &visitor) const;
 
     /** Fold another group's stats into this one. Entries are matched
      *  by name; entries this group lacks are created. Used to merge

@@ -38,6 +38,13 @@ class Table
 
     std::size_t rows() const { return rows_.size(); }
 
+    /** Raw contents, for machine-readable export (bench --json). */
+    const std::vector<std::string> &headers() const { return headers_; }
+    const std::vector<std::vector<std::string>> &cells() const
+    {
+        return rows_;
+    }
+
   private:
     template <typename T>
     static std::string

@@ -79,6 +79,60 @@ TEST(Histogram, BadShapePanics)
     EXPECT_THROW(Histogram(1.0, 0), PanicError);
 }
 
+TEST(Histogram, MergeShapeMismatchPanics)
+{
+    Histogram a(2.0, 4);
+    Histogram wrong_count(2.0, 8);
+    Histogram wrong_width(4.0, 4);
+    EXPECT_THROW(a.merge(wrong_count), PanicError);
+    EXPECT_THROW(a.merge(wrong_width), PanicError);
+
+    // The message must name both shapes so the mismatch is debuggable.
+    try {
+        a.merge(wrong_width);
+        FAIL() << "merge of mismatched shapes did not panic";
+    } catch (const PanicError &err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find("2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("4"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("mismatch"), std::string::npos) << msg;
+    }
+
+    // Matching shapes still merge.
+    Histogram b(2.0, 4);
+    a.sample(1.0);
+    b.sample(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(StatGroup, VisitRunsInRegistrationOrder)
+{
+    StatGroup group("visit");
+    group.counter("c1", "first");
+    group.distribution("d1");
+    group.histogram("h1", 2.0, 4);
+    group.counter("c2");
+
+    std::vector<std::string> order;
+    group.visit([&](const std::string &name, const std::string &desc,
+                    const Counter *c, const Distribution *d,
+                    const Histogram *h) {
+        order.push_back(name);
+        if (name == "c1") {
+            EXPECT_EQ(desc, "first");
+            EXPECT_NE(c, nullptr);
+        }
+        if (name == "d1")
+            EXPECT_NE(d, nullptr);
+        if (name == "h1")
+            EXPECT_NE(h, nullptr);
+        EXPECT_EQ((c != nullptr) + (d != nullptr) + (h != nullptr), 1);
+    });
+    EXPECT_EQ(order,
+              (std::vector<std::string>{"c1", "d1", "h1", "c2"}));
+}
+
 TEST(StatGroup, RegisterFindAndDump)
 {
     StatGroup group("test");

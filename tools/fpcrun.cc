@@ -28,6 +28,7 @@
 
 #include "common/logging.hh"
 #include "lang/codegen.hh"
+#include "obs/json.hh"
 #include "sched/runtime.hh"
 #include "stats/table.hh"
 #include "workload/synthetic.hh"
@@ -53,26 +54,52 @@ struct Options
     unsigned banks = 4;
     std::string entryModule;
     std::string entryProc = "main";
+    std::string traceOut;      ///< multi-worker Chrome trace path
+    std::size_t traceCapacity = obs::Tracer::defaultCapacity;
+    bool profile = false;
+    unsigned profileTop = 20;
+    std::string profileFolded; ///< folded-stacks path (flamegraph.pl)
+    std::string statsJson;     ///< "fpc-stats-v1" document path
 };
+
+void
+printUsage(std::ostream &os, const char *argv0)
+{
+    os << "usage: " << argv0
+       << " [options] <file.mm> [int args...]\n"
+          "       " << argv0 << " [options] --synthetic\n"
+          "  --workers=N                     worker threads (default 4)\n"
+          "  --jobs=M                        jobs to run (default 16)\n"
+          "  --impl=simple|mesa|ifu|banked   machine (default mesa)\n"
+          "  --linkage=fat|mesa|direct       binding (default mesa)\n"
+          "  --short-calls                   use SHORTDIRECTCALL\n"
+          "  --banks=N                       register banks (I4)\n"
+          "  --timeslice=N                   preempt every N instructions\n"
+          "  --synthetic                     generate one program per job\n"
+          "  --depth=N                       synthetic recursion depth\n"
+          "  --entry=Mod.proc                entry point\n"
+          "  --stats                         dump merged statistics\n"
+          "  --trace-out=FILE                write a Chrome/Perfetto "
+          "trace, one track per worker\n"
+          "  --trace-capacity=N              per-worker trace ring size "
+          "(default "
+       << obs::Tracer::defaultCapacity
+       << ")\n"
+          "  --profile                       merged per-procedure "
+          "profile\n"
+          "  --profile-top=N                 profile rows to print "
+          "(default 20)\n"
+          "  --profile-folded=FILE           write folded stacks "
+          "(flamegraph.pl)\n"
+          "  --stats-json=FILE               write merged statistics "
+          "as JSON\n"
+          "  --help                          show this help\n";
+}
 
 [[noreturn]] void
 usage(const char *argv0)
 {
-    std::cerr
-        << "usage: " << argv0
-        << " [options] <file.mm> [int args...]\n"
-           "       " << argv0 << " [options] --synthetic\n"
-           "  --workers=N                     worker threads (default 4)\n"
-           "  --jobs=M                        jobs to run (default 16)\n"
-           "  --impl=simple|mesa|ifu|banked   machine (default mesa)\n"
-           "  --linkage=fat|mesa|direct       binding (default mesa)\n"
-           "  --short-calls                   use SHORTDIRECTCALL\n"
-           "  --banks=N                       register banks (I4)\n"
-           "  --timeslice=N                   preempt every N instructions\n"
-           "  --synthetic                     generate one program per job\n"
-           "  --depth=N                       synthetic recursion depth\n"
-           "  --entry=Mod.proc                entry point\n"
-           "  --stats                         dump merged statistics\n";
+    printUsage(std::cerr, argv0);
     std::exit(2);
 }
 
@@ -130,6 +157,23 @@ parseArgs(int argc, char **argv)
             opt.entryProc = v.substr(dot + 1);
         } else if (arg == "--stats") {
             opt.stats = true;
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            opt.traceOut = value("--trace-out=");
+        } else if (arg.rfind("--trace-capacity=", 0) == 0) {
+            opt.traceCapacity = std::stoull(value("--trace-capacity="));
+        } else if (arg == "--profile") {
+            opt.profile = true;
+        } else if (arg.rfind("--profile-top=", 0) == 0) {
+            opt.profile = true;
+            opt.profileTop = std::stoul(value("--profile-top="));
+        } else if (arg.rfind("--profile-folded=", 0) == 0) {
+            opt.profile = true;
+            opt.profileFolded = value("--profile-folded=");
+        } else if (arg.rfind("--stats-json=", 0) == 0) {
+            opt.statsJson = value("--stats-json=");
+        } else if (arg == "--help") {
+            printUsage(std::cout, argv[0]);
+            std::exit(0);
         } else if (arg.rfind("--", 0) == 0) {
             usage(argv[0]);
         } else if (opt.file.empty()) {
@@ -185,6 +229,9 @@ try {
     rc.machine.timesliceSteps = opt.timeslice;
     rc.plan.lowering = opt.lowering;
     rc.plan.shortCalls = opt.shortCalls;
+    rc.trace = !opt.traceOut.empty();
+    rc.traceCapacity = opt.traceCapacity;
+    rc.profile = opt.profile;
     sched::Runtime runtime(rc);
 
     if (opt.synthetic) {
@@ -249,6 +296,46 @@ try {
 
     if (opt.stats)
         dumpMergedStats(runtime);
+
+    if (!opt.traceOut.empty()) {
+        std::ofstream out(opt.traceOut);
+        if (!out) {
+            std::cerr << "fpcrun: cannot write " << opt.traceOut
+                      << "\n";
+            return 1;
+        }
+        runtime.writeTrace(out);
+    }
+    if (opt.profile) {
+        const obs::ProfileData &data = runtime.profile();
+        std::cout << "\n--- merged profile (top " << opt.profileTop
+                  << " by exclusive cycles) ---\n";
+        data.topTable(opt.profileTop).print(std::cout);
+        if (!opt.profileFolded.empty()) {
+            std::ofstream out(opt.profileFolded);
+            if (!out) {
+                std::cerr << "fpcrun: cannot write "
+                          << opt.profileFolded << "\n";
+                return 1;
+            }
+            data.writeFolded(out);
+        }
+    }
+    if (!opt.statsJson.empty()) {
+        std::ofstream out(opt.statsJson);
+        if (!out) {
+            std::cerr << "fpcrun: cannot write " << opt.statsJson
+                      << "\n";
+            return 1;
+        }
+        obs::StatsExport exp;
+        exp.driver = "fpcrun";
+        exp.impl = implName(rc.machine.impl);
+        exp.workers = runtime.workers();
+        exp.machine = &runtime.machineStats();
+        exp.groups.push_back(&runtime.stats());
+        obs::writeStatsJson(out, exp);
+    }
     return failed == 0 ? 0 : 1;
 } catch (const std::exception &err) {
     std::cerr << "fpcrun: " << err.what() << "\n";

@@ -8,6 +8,7 @@
  *   fpcvm prog.mm                          # I2/Mesa defaults
  *   fpcvm --impl=banked --linkage=direct --short-calls prog.mm 20 5
  *   fpcvm --stats --disasm prog.mm
+ *   fpcvm --trace-out=t.json --profile --stats-json=s.json prog.mm
  *
  * Positional arguments after the file are passed to <entry>(...) as
  * 16-bit integers; the entry point is Main.main or, if there is no
@@ -16,6 +17,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -24,6 +26,10 @@
 #include "isa/disasm.hh"
 #include "lang/codegen.hh"
 #include "machine/machine.hh"
+#include "obs/fanout.hh"
+#include "obs/json.hh"
+#include "obs/profile.hh"
+#include "obs/trace.hh"
 #include "program/loader.hh"
 #include "stats/table.hh"
 
@@ -45,23 +51,47 @@ struct Options
     std::uint64_t timeslice = 0;
     std::string entryModule;
     std::string entryProc = "main";
+    std::string traceOut;      ///< Chrome trace JSON path
+    std::size_t traceCapacity = obs::Tracer::defaultCapacity;
+    bool profile = false;
+    unsigned profileTop = 20;
+    std::string profileFolded; ///< folded-stacks path (flamegraph.pl)
+    std::string statsJson;     ///< "fpc-stats-v1" document path
 };
+
+void
+printUsage(std::ostream &os, const char *argv0)
+{
+    os << "usage: " << argv0
+       << " [options] <file.mm> [int args...]\n"
+          "  --impl=simple|mesa|ifu|banked   machine (default mesa)\n"
+          "  --linkage=fat|mesa|direct       binding (default mesa)\n"
+          "  --short-calls                   use SHORTDIRECTCALL\n"
+          "  --banks=N                       register banks (I4)\n"
+          "  --timeslice=N                   preempt every N "
+          "instructions\n"
+          "  --entry=Mod.proc                entry point\n"
+          "  --stats                         dump machine statistics\n"
+          "  --disasm                        dump the loaded code\n"
+          "  --trace-out=FILE                write a Chrome/Perfetto "
+          "XFER trace\n"
+          "  --trace-capacity=N              trace ring size (default "
+       << obs::Tracer::defaultCapacity
+       << ")\n"
+          "  --profile                       per-procedure cycle "
+          "profile\n"
+          "  --profile-top=N                 profile rows to print "
+          "(default 20)\n"
+          "  --profile-folded=FILE           write folded stacks "
+          "(flamegraph.pl)\n"
+          "  --stats-json=FILE               write statistics as JSON\n"
+          "  --help                          show this help\n";
+}
 
 [[noreturn]] void
 usage(const char *argv0)
 {
-    std::cerr
-        << "usage: " << argv0
-        << " [options] <file.mm> [int args...]\n"
-           "  --impl=simple|mesa|ifu|banked   machine (default mesa)\n"
-           "  --linkage=fat|mesa|direct       binding (default mesa)\n"
-           "  --short-calls                   use SHORTDIRECTCALL\n"
-           "  --banks=N                       register banks (I4)\n"
-           "  --timeslice=N                   preempt every N "
-           "instructions\n"
-           "  --entry=Mod.proc                entry point\n"
-           "  --stats                         dump machine statistics\n"
-           "  --disasm                        dump the loaded code\n";
+    printUsage(std::cerr, argv0);
     std::exit(2);
 }
 
@@ -113,6 +143,23 @@ parseArgs(int argc, char **argv)
             opt.stats = true;
         } else if (arg == "--disasm") {
             opt.disasm = true;
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            opt.traceOut = value("--trace-out=");
+        } else if (arg.rfind("--trace-capacity=", 0) == 0) {
+            opt.traceCapacity = std::stoull(value("--trace-capacity="));
+        } else if (arg == "--profile") {
+            opt.profile = true;
+        } else if (arg.rfind("--profile-top=", 0) == 0) {
+            opt.profile = true;
+            opt.profileTop = std::stoul(value("--profile-top="));
+        } else if (arg.rfind("--profile-folded=", 0) == 0) {
+            opt.profile = true;
+            opt.profileFolded = value("--profile-folded=");
+        } else if (arg.rfind("--stats-json=", 0) == 0) {
+            opt.statsJson = value("--stats-json=");
+        } else if (arg == "--help") {
+            printUsage(std::cout, argv[0]);
+            std::exit(0);
         } else if (arg.rfind("--", 0) == 0) {
             usage(argv[0]);
         } else if (opt.file.empty()) {
@@ -236,6 +283,25 @@ try {
     config.numBanks = opt.banks;
     config.timesliceSteps = opt.timeslice;
     Machine machine(mem, image, config);
+
+    // Observability: a tracer and/or profiler share the machine's one
+    // observer slot through a fanout. Both are free when unused.
+    obs::ProcMap procMap;
+    obs::Tracer tracer(opt.traceCapacity);
+    std::optional<obs::Profiler> profiler;
+    obs::Fanout fanout;
+    if (!opt.traceOut.empty()) {
+        procMap = obs::ProcMap(image);
+        tracer.setProcMap(&procMap);
+        fanout.add(&tracer);
+    }
+    if (opt.profile) {
+        profiler.emplace(image);
+        fanout.add(&*profiler);
+    }
+    if (!fanout.empty())
+        machine.setObserver(&fanout);
+
     if (opt.timeslice > 0) {
         // Single program, so every expired slice switches the process
         // to itself — still a full ProcSwitch XFER through the engine.
@@ -248,18 +314,67 @@ try {
     for (const Word v : machine.output())
         std::cout << static_cast<SWord>(v) << "\n";
 
+    int exit_code = 0;
     if (result.reason == StopReason::TopReturn) {
         std::cout << "=> "
                   << static_cast<SWord>(machine.popValue()) << "\n";
     } else if (result.reason != StopReason::Halted) {
         std::cerr << "fpcvm: " << stopReasonName(result.reason) << ": "
                   << result.message << "\n";
-        return 1;
+        exit_code = 1;
     }
 
     if (opt.stats)
         dumpStats(machine, mem);
-    return 0;
+
+    // Artifacts are written even when the program stopped on an error:
+    // a trace of a failing run is the one you want to look at.
+    if (!opt.traceOut.empty()) {
+        std::ofstream out(opt.traceOut);
+        if (!out) {
+            std::cerr << "fpcvm: cannot write " << opt.traceOut << "\n";
+            return 1;
+        }
+        obs::writeChromeTrace(out, tracer);
+        if (tracer.dropped() > 0)
+            std::cerr << "fpcvm: trace ring dropped "
+                      << tracer.dropped() << " of " << tracer.recorded()
+                      << " events (raise --trace-capacity)\n";
+    }
+    if (profiler) {
+        const obs::ProfileData data =
+            profiler->finish(machine.cycles());
+        std::cout << "\n--- profile (top " << opt.profileTop
+                  << " by exclusive cycles) ---\n";
+        data.topTable(opt.profileTop).print(std::cout);
+        if (!opt.profileFolded.empty()) {
+            std::ofstream out(opt.profileFolded);
+            if (!out) {
+                std::cerr << "fpcvm: cannot write " << opt.profileFolded
+                          << "\n";
+                return 1;
+            }
+            data.writeFolded(out);
+        }
+    }
+    if (!opt.statsJson.empty()) {
+        std::ofstream out(opt.statsJson);
+        if (!out) {
+            std::cerr << "fpcvm: cannot write " << opt.statsJson
+                      << "\n";
+            return 1;
+        }
+        obs::StatsExport exp;
+        exp.driver = "fpcvm";
+        exp.impl = implName(config.impl);
+        exp.stopReason = stopReasonName(result.reason);
+        exp.machine = &machine.stats();
+        exp.memory = &mem;
+        exp.heap = &machine.heap().stats();
+        exp.cache = machine.dataCache();
+        obs::writeStatsJson(out, exp);
+    }
+    return exit_code;
 } catch (const std::exception &err) {
     std::cerr << "fpcvm: " << err.what() << "\n";
     return 1;
