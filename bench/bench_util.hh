@@ -8,6 +8,8 @@
 #ifndef FPC_BENCH_BENCH_UTIL_HH
 #define FPC_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -114,6 +116,54 @@ fibProgram()
         }
         proc main(n) { return fib(n); }
     )");
+}
+
+/** Strip --<name>=<uint> from argv (so google-benchmark never sees
+ *  it) and return its value, or fallback when absent. */
+inline unsigned
+stripUintFlag(int &argc, char **argv, const std::string &name,
+              unsigned fallback)
+{
+    unsigned value = fallback;
+    const std::string prefix = "--" + name + "=";
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0) {
+            value = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + prefix.size(), nullptr, 10));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return value;
+}
+
+/**
+ * Min-of-N wall-clock timing: run fn() `repeat` times and return the
+ * fastest wall-clock seconds. The minimum — not the mean — is the
+ * stable statistic for host time: interference (scheduling, frequency
+ * excursions, cache pollution from neighbors) only ever adds time, so
+ * the fastest repetition is the best estimate of the undisturbed cost,
+ * and the one worth gating on.
+ */
+template <typename Fn>
+inline double
+minWallSeconds(unsigned repeat, Fn &&fn)
+{
+    using clock = std::chrono::steady_clock;
+    double best = 0.0;
+    if (repeat == 0)
+        repeat = 1;
+    for (unsigned r = 0; r < repeat; ++r) {
+        const auto t0 = clock::now();
+        fn();
+        const std::chrono::duration<double> dt = clock::now() - t0;
+        if (r == 0 || dt.count() < best)
+            best = dt.count();
+    }
+    return best;
 }
 
 /** Plan/config pairs for the four implementations. */

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Experiment C9 — host-side execution throughput.
+ *
+ * Unlike C1–C8, which report *simulated* costs (cycles, storage
+ * references), C9 measures the wall-clock speed of the simulator
+ * itself: simulated instructions per second and XFERs per second for
+ * each engine I1–I4, with the host acceleration layer (predecoded
+ * icache + XFER link cache + dispatch fast path, docs/PERFORMANCE.md)
+ * off and on. The acceleration contract makes this a pure host
+ * experiment: every simulated number is bit-identical either way, so
+ * the speedup column is free — no accuracy was traded for it.
+ *
+ * The workload is C1's call-heavy primes program, the shape the paper
+ * optimizes for (a call per loop iteration), so the XFER link cache
+ * and icache are both on the hot path. Host times are min-of-N
+ * (--repeat=N, default 3) over interleaved off/on repetitions:
+ * interference only ever adds time, so the fastest repetition
+ * estimates the undisturbed cost, and interleaving keeps a noise
+ * burst from landing on only one side of the ratio.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <utility>
+
+#include "bench_util.hh"
+
+using namespace fpc;
+using namespace fpc::bench;
+
+namespace
+{
+
+constexpr Word primesLimit = 2000;
+
+struct Measurement
+{
+    double seconds = 0;        ///< min-of-N wall time of one run
+    std::uint64_t steps = 0;   ///< simulated instructions per run
+    CountT xfers = 0;          ///< transfers per run
+    AccelStats accel;          ///< steady-state cache counters
+};
+
+/** One warmed, stats-reset rig ready for timed runs. */
+std::unique_ptr<Rig>
+warmRig(const EngineCombo &combo, bool accel_on)
+{
+    MachineConfig config = configFor(combo);
+    config.accel.enabled = accel_on;
+    auto rig = std::make_unique<Rig>(primesProgram(), planFor(combo),
+                                     config);
+    // Warm run: fills the frame free lists and the host caches, then
+    // reset so the measured runs (and their hit rates) are steady
+    // state.
+    runToResult(*rig->machine, "Primes", "main", {primesLimit});
+    rig->machine->resetStats();
+    rig->machine->heap().resetStats();
+    rig->mem->resetStats();
+    return rig;
+}
+
+/**
+ * Measure accel-off and accel-on together, interleaving the timed
+ * repetitions (off, on, off, on, ...). Host interference comes in
+ * bursts that last longer than one repetition, so timing all-off then
+ * all-on lets a burst land on one side only and skew the ratio;
+ * adjacent off/on samples see the same conditions, and min-of-N then
+ * picks both sides' quiet-window cost.
+ */
+std::pair<Measurement, Measurement>
+measurePair(const EngineCombo &combo, unsigned repeat)
+{
+    auto off = warmRig(combo, false);
+    auto on = warmRig(combo, true);
+
+    // One counted run each for the per-run denominators
+    // (deterministic, so any run's counts serve for every repetition).
+    Measurement m_off, m_on;
+    runToResult(*off->machine, "Primes", "main", {primesLimit});
+    m_off.steps = off->machine->stats().steps;
+    m_off.xfers = off->machine->stats().totalXfers();
+    runToResult(*on->machine, "Primes", "main", {primesLimit});
+    m_on.steps = on->machine->stats().steps;
+    m_on.xfers = on->machine->stats().totalXfers();
+
+    using clock = std::chrono::steady_clock;
+    auto timedRun = [](Rig &rig) {
+        const auto t0 = clock::now();
+        runToResult(*rig.machine, "Primes", "main", {primesLimit});
+        const std::chrono::duration<double> dt = clock::now() - t0;
+        return dt.count();
+    };
+    if (repeat == 0)
+        repeat = 1;
+    for (unsigned r = 0; r < repeat; ++r) {
+        const double t_off = timedRun(*off);
+        const double t_on = timedRun(*on);
+        if (r == 0 || t_off < m_off.seconds)
+            m_off.seconds = t_off;
+        if (r == 0 || t_on < m_on.seconds)
+            m_on.seconds = t_on;
+    }
+    m_on.accel = on->machine->accelStats();
+    return {m_off, m_on};
+}
+
+void
+printHostThroughput(unsigned repeat, JsonReport &json)
+{
+    std::cout << "Host execution throughput on the C1 call-heavy "
+                 "workload (primes " << primesLimit << "), min of "
+              << repeat << " runs:\n\n";
+    stats::Table table({"impl", "accel", "wall ms", "sim Minst/s",
+                        "XFER/s", "speedup", "icache hit",
+                        "link hit"});
+
+    double min_speedup = 0;
+    bool first = true;
+    for (const EngineCombo &combo : allEngines()) {
+        const auto [off, on] = measurePair(combo, repeat);
+        const double speedup = off.seconds / on.seconds;
+
+        table.row(implName(combo.impl), "off",
+                  stats::fixed(off.seconds * 1e3, 2),
+                  stats::fixed(off.steps / off.seconds / 1e6, 1),
+                  stats::fixed(off.xfers / off.seconds, 0), "-", "-",
+                  "-");
+        table.row(implName(combo.impl), "on",
+                  stats::fixed(on.seconds * 1e3, 2),
+                  stats::fixed(on.steps / on.seconds / 1e6, 1),
+                  stats::fixed(on.xfers / on.seconds, 0),
+                  stats::fixed(speedup, 2),
+                  stats::percent(on.accel.icacheHitRate()),
+                  stats::percent(on.accel.linkHitRate()));
+
+        const std::string impl = implName(combo.impl);
+        json.metric("speedup_" + impl, speedup);
+        json.metric("sim_mips_off_" + impl,
+                    off.steps / off.seconds / 1e6);
+        json.metric("sim_mips_on_" + impl,
+                    on.steps / on.seconds / 1e6);
+        json.metric("xfers_per_sec_on_" + impl, on.xfers / on.seconds);
+        json.metric("icache_hit_rate_" + impl,
+                    on.accel.icacheHitRate());
+        json.metric("link_hit_rate_" + impl, on.accel.linkHitRate());
+        if (first || speedup < min_speedup)
+            min_speedup = speedup;
+        first = false;
+    }
+    table.print(std::cout);
+    json.table("host_throughput", table);
+    json.metric("min_speedup", min_speedup);
+    json.metric("repeat", repeat);
+    json.note("contract",
+              "simulated numbers are bit-identical with accel on/off; "
+              "this table is host wall-clock only");
+
+    std::cout << "\nAcceptance shape: accel-on >= 2x accel-off on "
+                 "every engine, with icache and link-cache hit rates "
+                 "above 90% at steady state.\n";
+}
+
+void
+BM_HostPrimes(benchmark::State &state)
+{
+    const EngineCombo combo = allEngines()[3]; // I4-banked
+    MachineConfig config = configFor(combo);
+    config.accel.enabled = state.range(0) != 0;
+    Rig rig(primesProgram(), planFor(combo), config);
+    for (auto _ : state)
+        runToResult(*rig.machine, "Primes", "main", {200});
+    state.SetLabel(config.accel.enabled ? "accel-on" : "accel-off");
+}
+BENCHMARK(BM_HostPrimes)->DenseRange(0, 1);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    JsonReport json(argc, argv, "c9_host_mips");
+    const unsigned repeat = stripUintFlag(argc, argv, "repeat", 3);
+
+    printHostThroughput(repeat, json);
+    json.write();
+    std::cout << "\n";
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+} catch (const std::exception &err) {
+    std::cerr << "c9_host_mips: bad flag value (" << err.what()
+              << "); expected --repeat=N\n";
+    return 2;
+}

@@ -1,0 +1,200 @@
+#include "machine/accel.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+#include "program/loader.hh"
+
+namespace fpc
+{
+
+double
+AccelStats::icacheHitRate() const
+{
+    const CountT total = icacheHits + icacheMisses;
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(icacheHits) / total;
+}
+
+double
+AccelStats::linkHitRate() const
+{
+    const CountT total = linkHits() + linkMisses();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(linkHits()) / total;
+}
+
+void
+AccelStats::merge(const AccelStats &other)
+{
+    icacheHits += other.icacheHits;
+    icacheMisses += other.icacheMisses;
+    extHits += other.extHits;
+    extMisses += other.extMisses;
+    localHits += other.localHits;
+    localMisses += other.localMisses;
+    directHits += other.directHits;
+    directMisses += other.directMisses;
+    fatHits += other.fatHits;
+    fatMisses += other.fatMisses;
+    codeFlushes += other.codeFlushes;
+    tableFlushes += other.tableFlushes;
+}
+
+Accel::Accel(const AccelConfig &config, const LoadedImage &image,
+             std::uint64_t code_epoch)
+    : seenEpoch_(code_epoch)
+{
+    const std::size_t isize =
+        std::bit_ceil(std::max(1u, config.icacheEntries));
+    const std::size_t lsize =
+        std::bit_ceil(std::max(1u, config.linkEntries));
+    icacheMask_ = isize - 1;
+    linkMask_ = lsize - 1;
+    icache_.resize(isize);
+    ext_.resize(lsize);
+    local_.resize(lsize);
+    direct_.resize(lsize);
+    fat_.resize(lsize);
+
+    // A data write to one of these words can silently change what a
+    // memoized link resolution would produce: any GFT entry (the
+    // descriptor -> global-frame step of Figure 1) and each instance's
+    // gf[0] code-base word (the global-frame -> code-base step). Link
+    // vectors are deliberately absent: the LV read stays a real read
+    // on every external call, and its value is the cache key.
+    const SystemLayout &layout = image.layout();
+    sensitive_.assign(layout.globalEnd, 0);
+    for (unsigned i = 0; i < layout.gftEntries; ++i)
+        sensitive_[layout.gftAddr + i] = 1;
+    for (const PlacedInstance &inst : image.instances())
+        sensitive_[inst.gfAddr] = 1;
+}
+
+bool
+Accel::findLink(std::vector<LinkEntry> &cache, std::uint64_t key,
+                ProcTarget &out)
+{
+    const LinkEntry &e = cache[slot(key, linkMask_)];
+    if (e.key != key)
+        return false;
+    out = e.target;
+    return true;
+}
+
+void
+Accel::putLink(std::vector<LinkEntry> &cache, std::uint64_t key,
+               const ProcTarget &target)
+{
+    LinkEntry &e = cache[slot(key, linkMask_)];
+    e.key = key;
+    e.target = target;
+}
+
+bool
+Accel::findExt(Word descriptor, ProcTarget &out)
+{
+    if (findLink(ext_, descriptor, out)) {
+        ++stats.extHits;
+        return true;
+    }
+    ++stats.extMisses;
+    return false;
+}
+
+void
+Accel::putExt(Word descriptor, const ProcTarget &target)
+{
+    putLink(ext_, descriptor, target);
+}
+
+bool
+Accel::findLocal(CodeByteAddr code_base, unsigned ev_index,
+                 unsigned &fsi, CodeByteAddr &entry_pc)
+{
+    // Caches only (fsi, entryPc): multiple instances of a module share
+    // one code segment but have distinct global frames, so gf must
+    // come from the live machine state, never from the cache.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(code_base) << 16) | ev_index;
+    ProcTarget t;
+    if (findLink(local_, key, t)) {
+        fsi = t.fsi;
+        entry_pc = t.entryPc;
+        ++stats.localHits;
+        return true;
+    }
+    ++stats.localMisses;
+    return false;
+}
+
+void
+Accel::putLocal(CodeByteAddr code_base, unsigned ev_index,
+                const ProcTarget &target)
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(code_base) << 16) | ev_index;
+    putLink(local_, key, target);
+}
+
+bool
+Accel::findDirect(CodeByteAddr target_addr, ProcTarget &out)
+{
+    if (findLink(direct_, target_addr, out)) {
+        ++stats.directHits;
+        return true;
+    }
+    ++stats.directMisses;
+    return false;
+}
+
+void
+Accel::putDirect(CodeByteAddr target_addr, const ProcTarget &target)
+{
+    putLink(direct_, target_addr, target);
+}
+
+bool
+Accel::findFat(CodeByteAddr target_addr, unsigned &fsi)
+{
+    ProcTarget t;
+    if (findLink(fat_, target_addr, t)) {
+        fsi = t.fsi;
+        ++stats.fatHits;
+        return true;
+    }
+    ++stats.fatMisses;
+    return false;
+}
+
+void
+Accel::putFat(CodeByteAddr target_addr, unsigned fsi)
+{
+    ProcTarget t;
+    t.fsi = fsi;
+    putLink(fat_, target_addr, t);
+}
+
+void
+Accel::flushLinks()
+{
+    for (auto *cache : {&ext_, &local_, &direct_, &fat_})
+        for (LinkEntry &e : *cache)
+            e.key = invalidKey;
+    ++stats.tableFlushes;
+}
+
+void
+Accel::flushAll()
+{
+    for (IEntry &e : icache_)
+        e.tag = invalidTag;
+    for (auto *cache : {&ext_, &local_, &direct_, &fat_})
+        for (LinkEntry &e : *cache)
+            e.key = invalidKey;
+}
+
+} // namespace fpc

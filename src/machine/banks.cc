@@ -15,6 +15,7 @@ BankFile::BankFile(unsigned num_banks, unsigned bank_words)
         panic("BankFile: bank size {} out of the modelled range",
               bank_words);
     banks_.resize(num_banks);
+    numBanks_ = num_banks;
     for (auto &b : banks_)
         b.data.assign(bank_words, 0);
 }
@@ -78,23 +79,10 @@ BankFile::free(int bank)
     b.ownerFsi = 0;
 }
 
-Word
-BankFile::read(int bank, unsigned word) const
-{
-    const Bank &b = banks_.at(bank);
-    if (b.free || word >= bankWords_)
-        panic("bank read out of range (bank {}, word {})", bank, word);
-    return b.data[word];
-}
-
 void
-BankFile::write(int bank, unsigned word, Word value)
+BankFile::bankRangePanic(int bank, unsigned word) const
 {
-    Bank &b = banks_.at(bank);
-    if (b.free || word >= bankWords_)
-        panic("bank write out of range (bank {}, word {})", bank, word);
-    b.data[word] = value;
-    b.dirty |= 1u << word;
+    panic("bank access out of range (bank {}, word {})", bank, word);
 }
 
 void

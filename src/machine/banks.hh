@@ -18,6 +18,7 @@
 #define FPC_MACHINE_BANKS_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -31,7 +32,7 @@ class BankFile
   public:
     BankFile(unsigned num_banks, unsigned bank_words);
 
-    unsigned numBanks() const { return banks_.size(); }
+    unsigned numBanks() const { return numBanks_; }
     unsigned bankWords() const { return bankWords_; }
 
     /** Bank currently shadowing the frame, or -1. */
@@ -55,8 +56,45 @@ class BankFile
     bool isFree(int bank) const { return banks_[bank].free; }
     Addr owner(int bank) const { return banks_[bank].owner; }
 
-    Word read(int bank, unsigned word) const;
-    void write(int bank, unsigned word, Word value);
+    /** Inline: these run 2-4 times per interpreted instruction on the
+     *  I4 engine (every push/pop and local-variable access). */
+    Word
+    read(int bank, unsigned word) const
+    {
+        const Bank &b = bankAt(bank, word);
+        return b.data[word];
+    }
+
+    void
+    write(int bank, unsigned word, Word value)
+    {
+        Bank &b = bankAt(bank, word);
+        b.data[word] = value;
+        b.dirty |= 1u << word;
+    }
+
+    /** @name Unchecked access for the machine's hottest bank paths.
+     *
+     * The eval-stack and current-local-frame accesses already
+     * establish the preconditions (bank owned, word < bankWords())
+     * before every call — the stack pointer is bounded by the bank
+     * capacity and curLbank_/stackBank_ are only ever valid owned
+     * banks — so these skip bankAt()'s revalidation.
+     * @{ */
+    Word
+    readOwned(int bank, unsigned word) const
+    {
+        return banks_[bank].data[word];
+    }
+
+    void
+    writeOwned(int bank, unsigned word, Word value)
+    {
+        Bank &b = banks_[bank];
+        b.data[word] = value;
+        b.dirty |= 1u << word;
+    }
+    /** @} */
 
     /** Bitmask of written words since the last markClean. */
     std::uint32_t dirtyMask(int bank) const { return banks_[bank].dirty; }
@@ -80,7 +118,26 @@ class BankFile
         std::vector<Word> data;
     };
 
+    const Bank &
+    bankAt(int bank, unsigned word) const
+    {
+        if (static_cast<unsigned>(bank) >= numBanks_ ||
+            banks_[bank].free || word >= bankWords_)
+            bankRangePanic(bank, word);
+        return banks_[bank];
+    }
+
+    Bank &
+    bankAt(int bank, unsigned word)
+    {
+        return const_cast<Bank &>(
+            std::as_const(*this).bankAt(bank, word));
+    }
+
+    [[noreturn]] void bankRangePanic(int bank, unsigned word) const;
+
     std::vector<Bank> banks_;
+    unsigned numBanks_ = 0;
     unsigned bankWords_;
     std::uint64_t clock_ = 0;
 };

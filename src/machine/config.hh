@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "machine/accel.hh"
 #include "memory/cache.hh"
 #include "memory/latency.hh"
 
@@ -69,6 +70,12 @@ struct MachineConfig
 
     /** Interpreter step budget for run(). */
     std::uint64_t maxSteps = 200'000'000;
+
+    /** Host-side acceleration (predecoded icache + XFER link cache +
+     *  dispatch fast path). Pure wall-clock optimization: every
+     *  simulated number is bit-identical with it on or off (see
+     *  docs/PERFORMANCE.md), so it defaults to on. */
+    AccelConfig accel;
 };
 
 } // namespace fpc

@@ -131,6 +131,9 @@ Machine::Machine(Memory &memory, const LoadedImage &image,
     if (config_.useDataCache)
         cache_ = std::make_unique<Cache>(config_.cacheConfig,
                                          config_.latency);
+    if (config_.accel.enabled)
+        accel_ = std::make_unique<Accel>(config_.accel, image,
+                                         memory.codeEpoch());
     if (banked()) {
         const unsigned payload =
             std::min(config_.fastFramePayloadWords,
@@ -138,6 +141,8 @@ Machine::Machine(Memory &memory, const LoadedImage &image,
         fastFsi_ = image.classes().fsiFor(payload);
         fastFramesEnabled_ = config_.fastFrameStackDepth > 0;
     }
+    stackCap_ = banked() ? banks_.bankWords() - frame::varsOffset
+                         : static_cast<unsigned>(stack_.size());
     reset();
 }
 
@@ -206,6 +211,12 @@ Machine::readData(Addr addr)
 void
 Machine::writeData(Addr addr, Word value)
 {
+    // A program store into the GFT or a global frame's code-base word
+    // changes what a memoized link walk would resolve to; drop the
+    // link caches. One compare for the common case: every frame/local
+    // store lands at or above globalEnd and skips the map lookup.
+    if (accel_ && addr < layout_.globalEnd && accel_->linkSensitive(addr))
+        accel_->flushLinks();
     if (cache_) {
         stats_.cycles += cache_->access(addr, true);
         mem_.write(addr, value, AccessKind::Data);
@@ -283,7 +294,7 @@ Machine::readVar(unsigned index)
     if (banked() && curLbank_ >= 0 && offset < banks_.bankWords()) {
         ++stats_.localBankAccesses;
         stats_.cycles += config_.latency.regCycles;
-        return banks_.read(curLbank_, offset);
+        return banks_.readOwned(curLbank_, offset);
     }
     ++stats_.localMemAccesses;
     return readData(lf_ + offset);
@@ -296,7 +307,7 @@ Machine::writeVar(unsigned index, Word value)
     if (banked() && curLbank_ >= 0 && offset < banks_.bankWords()) {
         ++stats_.localBankAccesses;
         stats_.cycles += config_.latency.regCycles;
-        banks_.write(curLbank_, offset, value);
+        banks_.writeOwned(curLbank_, offset, value);
         return;
     }
     ++stats_.localMemAccesses;
@@ -320,20 +331,18 @@ Machine::writeGlobal(unsigned index, Word value)
 unsigned
 Machine::stackCapacity() const
 {
-    if (banked())
-        return banks_.bankWords() - frame::varsOffset;
-    return stack_.size();
+    return stackCap_;
 }
 
 void
 Machine::push(Word value)
 {
-    if (sp_ >= stackCapacity()) {
+    if (sp_ >= stackCap_) [[unlikely]] {
         trap(2, "evaluation stack overflow");
         return;
     }
     if (banked())
-        banks_.write(stackBank_, frame::varsOffset + sp_, value);
+        banks_.writeOwned(stackBank_, frame::varsOffset + sp_, value);
     else
         stack_[sp_] = value;
     ++sp_;
@@ -342,13 +351,13 @@ Machine::push(Word value)
 Word
 Machine::pop()
 {
-    if (sp_ == 0) {
+    if (sp_ == 0) [[unlikely]] {
         trap(3, "evaluation stack underflow");
         return 0;
     }
     --sp_;
     if (banked())
-        return banks_.read(stackBank_, frame::varsOffset + sp_);
+        return banks_.readOwned(stackBank_, frame::varsOffset + sp_);
     return stack_[sp_];
 }
 
@@ -406,6 +415,14 @@ Machine::setRetained(Addr frame_ptr, bool retained)
         curFrameRetainedHint_ = retained;
 }
 
+void
+Machine::resetStats()
+{
+    stats_ = MachineStats();
+    if (accel_)
+        accel_->stats = AccelStats();
+}
+
 Word
 Machine::inspectVar(Addr frame_ptr, unsigned index) const
 {
@@ -434,6 +451,11 @@ Machine::startContext(Word descriptor, std::span<const Word> args)
 {
     stop_ = StopReason::Running;
     result_ = RunResult();
+    // The entry call resolves before run()'s per-burst epoch poll
+    // gets a chance: catch host-side patches (loader, relocator)
+    // that happened between runs here.
+    if (accel_)
+        accel_->sync(mem_.codeEpoch());
     for (Word a : args)
         push(a);
     callDescriptor(descriptor, XferKind::ExtCall);
@@ -442,15 +464,72 @@ Machine::startContext(Word descriptor, std::span<const Word> args)
 RunResult
 Machine::run()
 {
+    // With no preemption configured, maybePreempt() is a no-op and the
+    // fast path batches the per-step bookkeeping: the stop/step-limit
+    // checks and the code-epoch poll move to burst granularity, the
+    // pure-sum counters accumulate in a BurstAcc, and the inner loop
+    // is just the step core. The epoch cannot move inside a burst —
+    // the machine itself never pokes memory while running — so
+    // per-burst sync is exact; host-side patching between step() or
+    // run() calls is caught at the next (re)entry. An attached
+    // observer forces the eager loop: XFER records stamp absolute
+    // cycles/steps, which batched accounting would skew.
+    const bool preemptible =
+        config_.timesliceSteps != 0 && scheduler_ != nullptr;
+    constexpr std::uint64_t burstSteps = 4096;
+
     std::uint64_t steps = 0;
     try {
-        while (stop_ == StopReason::Running) {
-            if (steps >= config_.maxSteps) {
-                stopWith(StopReason::StepLimit, "step budget exhausted");
-                break;
+        if (accel_ && !preemptible && observer_ == nullptr) {
+            while (stop_ == StopReason::Running) {
+                if (steps >= config_.maxSteps) {
+                    stopWith(StopReason::StepLimit,
+                             "step budget exhausted");
+                    break;
+                }
+                accel_->sync(mem_.codeEpoch());
+                const std::uint64_t burst =
+                    std::min(burstSteps, config_.maxSteps - steps);
+                std::uint64_t done = 0;
+                BurstAcc acc;
+                const auto flush = [&] {
+                    // acc.steps includes a step that threw (it is
+                    // bumped before execute, exactly like the eager
+                    // counter); `done` counts only completed steps,
+                    // exactly like the plain loop's run total.
+                    stats_.steps += acc.steps;
+                    stats_.cycles +=
+                        acc.steps * config_.latency.decodeCycles;
+                    mem_.chargeCodeBytes(acc.codeBytes);
+                    accel_->stats.icacheMisses += acc.icacheMisses;
+                    if (acc.steps >= acc.icacheMisses)
+                        accel_->stats.icacheHits +=
+                            acc.steps - acc.icacheMisses;
+                };
+                try {
+                    while (done < burst &&
+                           stop_ == StopReason::Running) {
+                        stepCoreT<true, true>(&acc);
+                        ++done;
+                    }
+                } catch (...) {
+                    flush();
+                    steps += done;
+                    throw;
+                }
+                flush();
+                steps += done;
             }
-            step();
-            ++steps;
+        } else {
+            while (stop_ == StopReason::Running) {
+                if (steps >= config_.maxSteps) {
+                    stopWith(StopReason::StepLimit,
+                             "step budget exhausted");
+                    break;
+                }
+                step();
+                ++steps;
+            }
         }
     } catch (const FatalError &err) {
         stopWith(StopReason::Error, err.what());
@@ -472,20 +551,79 @@ Machine::step()
 {
     if (stop_ != StopReason::Running)
         return;
-
-    instStart_ = pcAbs_;
-    const isa::Inst inst =
-        isa::decode([this](unsigned i) { return fetchCodeByte(i); });
-    pcAbs_ += inst.length;
-
-    ++stats_.steps;
-    stats_.cycles += config_.latency.decodeCycles;
-    ++stats_.opCount[static_cast<std::uint8_t>(inst.op)];
-    if (inst.length < stats_.instLenCount.size())
-        ++stats_.instLenCount[inst.length];
-
-    execute(inst);
+    if (accel_)
+        accel_->sync(mem_.codeEpoch());
+    stepCore();
     maybePreempt();
+}
+
+void
+Machine::stepCore()
+{
+    if (accel_)
+        stepCoreT<true>();
+    else
+        stepCoreT<false>();
+}
+
+template <bool WithAccel, bool Batched>
+void
+Machine::stepCoreT(BurstAcc *acc)
+{
+    instStart_ = pcAbs_;
+    isa::Inst decoded;
+    const isa::Inst *inst;
+    if constexpr (WithAccel) {
+        // The real decode fetches exactly inst.length code bytes (no
+        // cycles: the IFU prefetches); a hit replays that. Executing
+        // through the cached entry is safe: the icache is only
+        // written here, never during execute(). The batched loop uses
+        // the counter-free probe and recovers the hit count at burst
+        // flush.
+        const isa::Inst *cached = Batched ? accel_->probeInst(pcAbs_)
+                                          : accel_->findInst(pcAbs_);
+        if (cached) {
+            if constexpr (Batched)
+                acc->codeBytes += cached->length;
+            else
+                mem_.chargeCodeBytes(cached->length);
+            inst = cached;
+        } else {
+            if constexpr (Batched)
+                ++acc->icacheMisses;
+            decoded = isa::decode(
+                [this](unsigned i) { return fetchCodeByte(i); });
+            accel_->storeInst(pcAbs_, decoded);
+            inst = &decoded;
+        }
+    } else {
+        decoded = isa::decode(
+            [this](unsigned i) { return fetchCodeByte(i); });
+        inst = &decoded;
+    }
+    pcAbs_ += inst->length;
+
+    if constexpr (Batched) {
+        // steps and decode cycles flush at burst end: the count is
+        // the accumulated steps, the cycles are steps x decodeCycles.
+        ++acc->steps;
+    } else {
+        ++stats_.steps;
+        stats_.cycles += config_.latency.decodeCycles;
+    }
+    ++stats_.opCount[static_cast<std::uint8_t>(inst->op)];
+    if (inst->length < stats_.instLenCount.size())
+        ++stats_.instLenCount[inst->length];
+
+    execute(*inst);
+}
+
+void
+Machine::chargeLinkWalk(CountT table_reads, CountT code_bytes)
+{
+    stats_.cycles += config_.latency.memCycles * table_reads;
+    mem_.chargeReads(AccessKind::Table, table_reads);
+    mem_.chargeCodeBytes(code_bytes);
 }
 
 void
@@ -670,86 +808,175 @@ Machine::execute(const isa::Inst &inst)
     }
 }
 
-void
-Machine::execArith(isa::Op op)
+namespace
+{
+
+/** Two-operand ALU result; reports division by zero instead of
+ *  dividing, so both execArith paths trap identically. */
+Word
+arithResult(isa::Op op, Word a, Word b, bool &div_zero)
 {
     using isa::Op;
-    if (op == Op::NEG) {
-        push(static_cast<Word>(-static_cast<SWord>(pop())));
-        return;
-    }
-    if (op == Op::NOT) {
-        push(static_cast<Word>(~pop()));
-        return;
-    }
-
-    const Word b = pop();
-    const Word a = pop();
     switch (op) {
       case Op::ADD:
-        push(static_cast<Word>(a + b));
-        break;
+        return static_cast<Word>(a + b);
       case Op::SUB:
-        push(static_cast<Word>(a - b));
-        break;
+        return static_cast<Word>(a - b);
       case Op::MUL:
-        push(static_cast<Word>(
+        return static_cast<Word>(
             static_cast<SDWord>(static_cast<SWord>(a)) *
-            static_cast<SWord>(b)));
-        break;
+            static_cast<SWord>(b));
       case Op::DIV:
         if (b == 0) {
-            trap(5, "division by zero");
-            return;
+            div_zero = true;
+            return 0;
         }
-        push(static_cast<Word>(static_cast<SWord>(a) /
-                               static_cast<SWord>(b)));
-        break;
+        return static_cast<Word>(static_cast<SWord>(a) /
+                                 static_cast<SWord>(b));
       case Op::MOD:
         if (b == 0) {
-            trap(5, "division by zero");
-            return;
+            div_zero = true;
+            return 0;
         }
-        push(static_cast<Word>(static_cast<SWord>(a) %
-                               static_cast<SWord>(b)));
-        break;
+        return static_cast<Word>(static_cast<SWord>(a) %
+                                 static_cast<SWord>(b));
       case Op::AND:
-        push(static_cast<Word>(a & b));
-        break;
+        return static_cast<Word>(a & b);
       case Op::IOR:
-        push(static_cast<Word>(a | b));
-        break;
+        return static_cast<Word>(a | b);
       case Op::XOR:
-        push(static_cast<Word>(a ^ b));
-        break;
+        return static_cast<Word>(a ^ b);
       case Op::SHL:
-        push(static_cast<Word>(b >= 16 ? 0 : a << b));
-        break;
+        return static_cast<Word>(b >= 16 ? 0 : a << b);
       case Op::SHR:
-        push(static_cast<Word>(b >= 16 ? 0 : a >> b));
-        break;
+        return static_cast<Word>(b >= 16 ? 0 : a >> b);
       default:
         panic("execArith: bad op");
     }
 }
 
+bool
+compareResult(isa::Op op, SWord a, SWord b)
+{
+    using isa::Op;
+    switch (op) {
+      case Op::LT: return a < b;
+      case Op::LE: return a <= b;
+      case Op::EQ: return a == b;
+      case Op::NE: return a != b;
+      case Op::GE: return a >= b;
+      case Op::GT: return a > b;
+      default: panic("execCompare: bad op");
+    }
+}
+
+} // namespace
+
+void
+Machine::execArith(isa::Op op)
+{
+    using isa::Op;
+    if (op == Op::NEG || op == Op::NOT) {
+        // Unary: pop-then-push is a net stack effect of zero, so with
+        // an operand present the value can be rewritten in place.
+        // push()/pop() charge no simulated cost — skipping their
+        // checks changes nothing simulated.
+        if (sp_ >= 1) [[likely]] {
+            const unsigned top = sp_ - 1;
+            if (banked()) {
+                const Word v =
+                    banks_.readOwned(stackBank_, frame::varsOffset + top);
+                banks_.writeOwned(
+                    stackBank_, frame::varsOffset + top,
+                    op == Op::NEG
+                        ? static_cast<Word>(-static_cast<SWord>(v))
+                        : static_cast<Word>(~v));
+            } else {
+                const Word v = stack_[top];
+                stack_[top] =
+                    op == Op::NEG
+                        ? static_cast<Word>(-static_cast<SWord>(v))
+                        : static_cast<Word>(~v);
+            }
+            return;
+        }
+        const Word v = pop();
+        push(op == Op::NEG ? static_cast<Word>(-static_cast<SWord>(v))
+                           : static_cast<Word>(~v));
+        return;
+    }
+
+    if (sp_ >= 2) [[likely]] {
+        // Binary fast path: with both operands present the pops
+        // cannot underflow and the in-place result store cannot
+        // overflow (net stack effect -1, and sp_ <= stackCap_ is a
+        // push() invariant).
+        const unsigned base = sp_ - 2;
+        Word a, b;
+        if (banked()) {
+            a = banks_.readOwned(stackBank_, frame::varsOffset + base);
+            b = banks_.readOwned(stackBank_,
+                                 frame::varsOffset + base + 1);
+        } else {
+            a = stack_[base];
+            b = stack_[base + 1];
+        }
+        bool div_zero = false;
+        const Word r = arithResult(op, a, b, div_zero);
+        sp_ = base;
+        if (div_zero) [[unlikely]] {
+            trap(5, "division by zero");
+            return;
+        }
+        if (banked())
+            banks_.writeOwned(stackBank_, frame::varsOffset + base, r);
+        else
+            stack_[base] = r;
+        sp_ = base + 1;
+        return;
+    }
+
+    // Underflow path: keep the original pop/pop sequence so the trap
+    // order and the post-trap state are exactly the historical ones.
+    const Word b = pop();
+    const Word a = pop();
+    bool div_zero = false;
+    const Word r = arithResult(op, a, b, div_zero);
+    if (div_zero) {
+        trap(5, "division by zero");
+        return;
+    }
+    push(r);
+}
+
 void
 Machine::execCompare(isa::Op op)
 {
-    using isa::Op;
+    if (sp_ >= 2) [[likely]] {
+        // Same in-place fast path as execArith's binary case.
+        const unsigned base = sp_ - 2;
+        SWord a, b;
+        if (banked()) {
+            a = static_cast<SWord>(
+                banks_.readOwned(stackBank_, frame::varsOffset + base));
+            b = static_cast<SWord>(banks_.readOwned(
+                stackBank_, frame::varsOffset + base + 1));
+        } else {
+            a = static_cast<SWord>(stack_[base]);
+            b = static_cast<SWord>(stack_[base + 1]);
+        }
+        const Word r = compareResult(op, a, b) ? 1 : 0;
+        if (banked())
+            banks_.writeOwned(stackBank_, frame::varsOffset + base, r);
+        else
+            stack_[base] = r;
+        sp_ = base + 1;
+        return;
+    }
+
     const auto b = static_cast<SWord>(pop());
     const auto a = static_cast<SWord>(pop());
-    bool result = false;
-    switch (op) {
-      case Op::LT: result = a < b; break;
-      case Op::LE: result = a <= b; break;
-      case Op::EQ: result = a == b; break;
-      case Op::NE: result = a != b; break;
-      case Op::GE: result = a >= b; break;
-      case Op::GT: result = a > b; break;
-      default: panic("execCompare: bad op");
-    }
-    push(result ? 1 : 0);
+    push(compareResult(op, a, b) ? 1 : 0);
 }
 
 } // namespace fpc

@@ -35,6 +35,7 @@
 
 #include "frames/frame_heap.hh"
 #include "isa/decode.hh"
+#include "machine/accel.hh"
 #include "machine/banks.hh"
 #include "machine/config.hh"
 #include "memory/cache.hh"
@@ -246,6 +247,14 @@ class Machine
     const MachineStats &stats() const { return stats_; }
     Tick cycles() const { return stats_.cycles; }
 
+    /** Host-acceleration counters (zeroed copy when acceleration is
+     *  off). Host-side only; never part of the simulated results. */
+    AccelStats accelStats() const
+    {
+        return accel_ ? accel_->stats : AccelStats();
+    }
+    bool accelEnabled() const { return accel_ != nullptr; }
+
     /** @name Microarchitectural state, for experiments/diagnostics. @{ */
     const BankFile &banks() const { return banks_; }
     int currentLbank() const { return curLbank_; }
@@ -263,9 +272,10 @@ class Machine
     const MachineConfig &config() const { return config_; }
     const LoadedImage &image() const { return image_; }
 
-    /** Zero the machine's statistics (memory/heap stats are separate;
-     *  see Memory::resetStats and FrameHeap::resetStats). */
-    void resetStats() { stats_ = MachineStats(); }
+    /** Zero the machine's statistics, including the host-acceleration
+     *  counters (memory/heap stats are separate; see
+     *  Memory::resetStats and FrameHeap::resetStats). */
+    void resetStats();
 
     /** Retain/flag a frame coherently with the bank metadata. */
     void setRetained(Addr frame_ptr, bool retained);
@@ -314,18 +324,6 @@ class Machine
 
     // -- transfers (implemented in transfers.cc) ----------------------
     struct RetEntry;
-    struct ProcTarget
-    {
-        Addr gf = 0;
-        /** Callee code base, when the resolution path produced it
-         *  (EFC/LFC do; DFC/FCALL leave it unknown — the paper
-         *  recovers it from the global frame only when transferring
-         *  out). */
-        CodeByteAddr codeBase = 0;
-        bool codeBaseValid = false;
-        unsigned fsi = 0;
-        CodeByteAddr entryPc = 0; ///< absolute byte address
-    };
 
     ProcTarget resolveDescriptor(const Context &ctx);
     ProcTarget resolveDirect(CodeByteAddr target);
@@ -355,6 +353,35 @@ class Machine
 
     // -- interpreter ---------------------------------------------------
     void execute(const isa::Inst &inst);
+    /** Per-burst accumulators for the run() fast path: bookkeeping
+     *  that is a pure sum over the burst (step count, decode cycles,
+     *  hit-path code-byte charges) accumulates here and flushes into
+     *  the real counters once per burst. Exact because only XFER
+     *  probes read these counters mid-run, and they take deltas,
+     *  which a pending constant offset cannot change. Not used when
+     *  an observer is attached: XFER records carry absolute
+     *  cycle/step stamps, which pending offsets would skew. */
+    struct BurstAcc
+    {
+        std::uint64_t steps = 0;
+        CountT codeBytes = 0;
+        /** Icache misses this burst; hits are recovered at flush time
+         *  as steps - misses (host-side counters, so the ±1 skew of a
+         *  decode that throws mid-burst is tolerable). */
+        CountT icacheMisses = 0;
+    };
+    /** One instruction, without the stop check / epoch sync /
+     *  preemption poll that step() wraps around it (the run() fast
+     *  path batches those). The template parameters fold the accel
+     *  null-check and the batched-accounting choice out of the
+     *  per-step path: each loop knows statically which variant it
+     *  runs. */
+    template <bool WithAccel, bool Batched = false>
+    void stepCoreT(BurstAcc *acc = nullptr);
+    void stepCore();
+    /** Replay the accounting of a memoized link walk: n Table-kind
+     *  word reads (each costing memCycles) plus n code-byte fetches. */
+    void chargeLinkWalk(CountT table_reads, CountT code_bytes);
     void maybePreempt();
     void execArith(isa::Op op);
     void execCompare(isa::Op op);
@@ -368,6 +395,7 @@ class Machine
     FrameHeap heap_;
     BankFile banks_;
     std::unique_ptr<Cache> cache_;
+    std::unique_ptr<Accel> accel_;
 
     // processor registers
     Addr lf_ = nilAddr;            ///< local frame pointer
@@ -378,6 +406,9 @@ class Machine
     CodeByteAddr instStart_ = 0;   ///< start of the current instruction
     Word returnCtx_ = nilContext;  ///< the returnContext global (§3)
     std::array<Word, 16> stack_{}; ///< eval stack (I1-I3 registers)
+    /** Stack capacity for the configured mode, fixed at construction
+     *  (bank words minus the vars offset when banked). */
+    unsigned stackCap_ = 0;
     unsigned sp_ = 0;
     bool xferRedirected_ = false;
 

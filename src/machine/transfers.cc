@@ -284,7 +284,7 @@ Machine::currentCodeBase()
     return codeBase_;
 }
 
-Machine::ProcTarget
+ProcTarget
 Machine::resolveDescriptor(const Context &ctx)
 {
     // Figure 1: descriptor -> GFT -> global frame -> entry vector.
@@ -310,7 +310,7 @@ Machine::resolveDescriptor(const Context &ctx)
     return target;
 }
 
-Machine::ProcTarget
+ProcTarget
 Machine::resolveDirect(CodeByteAddr target_addr)
 {
     // §6: "at p is stored the global frame address GF and the frame
@@ -349,12 +349,24 @@ Machine::callLocal(unsigned ev_index)
     // and has only one level of indirection."
     ProcTarget target;
     target.gf = gf_;
+    // Stays a real (conditionally charged) read either way: whether
+    // gf[0] must be fetched depends on live register state, not on
+    // the cacheable (code base, EV index) -> (fsi, entry) mapping.
     target.codeBase = currentCodeBase();
     target.codeBaseValid = true;
+    if (accel_ &&
+        accel_->findLocal(target.codeBase, ev_index, target.fsi,
+                          target.entryPc)) {
+        chargeLinkWalk(1, 1); // the EV word read + the fsi byte
+        finishCall(target, XferKind::LocalCall, false);
+        return;
+    }
     const Word ev_offset = readMem(
         target.codeBase / wordBytes + ev_index, AccessKind::Table);
     target.fsi = mem_.readByte(target.codeBase + ev_offset);
     target.entryPc = target.codeBase + ev_offset + 1;
+    if (accel_)
+        accel_->putLocal(target.codeBase, ev_index, target);
     finishCall(target, XferKind::LocalCall, false);
 }
 
@@ -362,6 +374,18 @@ void
 Machine::callDirect(CodeByteAddr target_addr)
 {
     XferProbe probe(*this, XferKind::DirectCall);
+    if (accel_) {
+        ProcTarget target;
+        if (accel_->findDirect(target_addr, target)) {
+            mem_.chargeCodeBytes(4); // the GF/fsi header bytes
+            finishCall(target, XferKind::DirectCall, ifuEnabled());
+            return;
+        }
+        const ProcTarget resolved = resolveDirect(target_addr);
+        accel_->putDirect(target_addr, resolved);
+        finishCall(resolved, XferKind::DirectCall, ifuEnabled());
+        return;
+    }
     const ProcTarget target = resolveDirect(target_addr);
     finishCall(target, XferKind::DirectCall, ifuEnabled());
 }
@@ -370,12 +394,20 @@ void
 Machine::callFat(CodeByteAddr target_addr, Addr gf)
 {
     XferProbe probe(*this, XferKind::FatCall);
-    // §4: the descriptor was a literal in the instruction stream.
+    // §4: the descriptor was a literal in the instruction stream; only
+    // the fsi byte comes from code, so that is all the cache holds.
     ProcTarget target;
     target.gf = gf;
-    target.fsi = mem_.readByte(target_addr);
     target.codeBaseValid = false;
     target.entryPc = target_addr + 1;
+    if (accel_ && accel_->findFat(target_addr, target.fsi)) {
+        mem_.chargeCodeBytes(1);
+        finishCall(target, XferKind::FatCall, ifuEnabled());
+        return;
+    }
+    target.fsi = mem_.readByte(target_addr);
+    if (accel_)
+        accel_->putFat(target_addr, target.fsi);
     finishCall(target, XferKind::FatCall, ifuEnabled());
 }
 
@@ -391,6 +423,22 @@ Machine::dispatchContext(Word ctx_word, XferKind kind, bool followable)
 {
     const Context ctx = unpackContext(ctx_word, layout_);
     if (ctx.tag == Context::Tag::Proc) {
+        // The memoizable Figure-1 walk. Keyed by the descriptor word
+        // itself, so a program that rewrites an LV slot changes the
+        // key, never the mapping; a hit replays the walk's exact
+        // accounting (GFT word + gf[0] word + EV word, each a Table
+        // read at memCycles, plus the fsi code byte).
+        if (accel_) {
+            ProcTarget target;
+            if (accel_->findExt(ctx_word, target)) {
+                chargeLinkWalk(3, 1);
+            } else {
+                target = resolveDescriptor(ctx);
+                accel_->putExt(ctx_word, target);
+            }
+            finishCall(target, kind, followable);
+            return;
+        }
         finishCall(resolveDescriptor(ctx), kind, followable);
         return;
     }
@@ -469,10 +517,24 @@ Machine::finishCall(const ProcTarget &target, XferKind kind,
     // link stays in registers until a flush materializes it.
     const Addr old_lf = lf_;
     lf_ = new_lf;
-    if (!use_ret_stack)
-        writeFrameWord(new_lf, frame::returnLinkOffset, ret_ctx);
-    writeFrameWord(new_lf, frame::globalFrameOffset,
-                   static_cast<Word>(target.gf));
+    if (new_bank >= 0) {
+        // The callee's bank is the one just renamed to new_lf, so the
+        // writeFrameWord() bank scan would find exactly new_bank;
+        // route there directly with the same register-access cost.
+        if (!use_ret_stack) {
+            stats_.cycles += config_.latency.regCycles;
+            banks_.writeOwned(new_bank, frame::returnLinkOffset,
+                              ret_ctx);
+        }
+        stats_.cycles += config_.latency.regCycles;
+        banks_.writeOwned(new_bank, frame::globalFrameOffset,
+                          static_cast<Word>(target.gf));
+    } else {
+        if (!use_ret_stack)
+            writeFrameWord(new_lf, frame::returnLinkOffset, ret_ctx);
+        writeFrameWord(new_lf, frame::globalFrameOffset,
+                       static_cast<Word>(target.gf));
+    }
     (void)old_lf;
 
     curFrameFsi_ = alloc.fsi;

@@ -27,29 +27,10 @@ Memory::Memory(std::size_t words) : store_(words, 0)
 }
 
 void
-Memory::checkAddr(Addr addr) const
+Memory::addrPanic(Addr addr) const
 {
-    if (addr >= store_.size())
-        fatal("memory reference out of range: {} >= {}", addr,
-              store_.size());
-}
-
-Word
-Memory::read(Addr addr, AccessKind kind)
-{
-    checkAddr(addr);
-    ++readCounts_[static_cast<std::size_t>(kind)];
-    ++totalRefs_;
-    return store_[addr];
-}
-
-void
-Memory::write(Addr addr, Word value, AccessKind kind)
-{
-    checkAddr(addr);
-    ++writeCounts_[static_cast<std::size_t>(kind)];
-    ++totalRefs_;
-    store_[addr] = value;
+    fatal("memory reference out of range: {} >= {}", addr,
+          store_.size());
 }
 
 std::uint8_t
@@ -70,6 +51,7 @@ void
 Memory::poke(Addr addr, Word value)
 {
     checkAddr(addr);
+    ++codeEpoch_;
     store_[addr] = value;
 }
 
@@ -91,6 +73,7 @@ Memory::pokeByte(CodeByteAddr byte_addr, std::uint8_t value)
 {
     const Addr word_addr = byte_addr / wordBytes;
     checkAddr(word_addr);
+    ++codeEpoch_;
     Word w = store_[word_addr];
     if (byte_addr % wordBytes == 0)
         w = static_cast<Word>((w & 0x00FF) | (value << 8));

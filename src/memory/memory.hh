@@ -52,11 +52,26 @@ class Memory
 
     std::size_t size() const { return store_.size(); }
 
-    /** Accounted word read. */
-    Word read(Addr addr, AccessKind kind);
+    /** Accounted word read. Inline: every interpreted instruction
+     *  makes one or more of these. */
+    Word
+    read(Addr addr, AccessKind kind)
+    {
+        checkAddr(addr);
+        ++readCounts_[static_cast<std::size_t>(kind)];
+        ++totalRefs_;
+        return store_[addr];
+    }
 
     /** Accounted word write. */
-    void write(Addr addr, Word value, AccessKind kind);
+    void
+    write(Addr addr, Word value, AccessKind kind)
+    {
+        checkAddr(addr);
+        ++writeCounts_[static_cast<std::size_t>(kind)];
+        ++totalRefs_;
+        store_[addr] = value;
+    }
 
     /** Accounted code byte read (big-endian byte order within words). */
     std::uint8_t readByte(CodeByteAddr byte_addr);
@@ -66,6 +81,35 @@ class Memory
     void poke(Addr addr, Word value);
     std::uint8_t peekByte(CodeByteAddr byte_addr) const;
     void pokeByte(CodeByteAddr byte_addr, std::uint8_t value);
+
+    /** @name Mutation epoch for host-side caches.
+     *
+     * Any unaccounted write (poke/pokeByte — the loader, relocator,
+     * and test patching all go through these) advances the epoch, and
+     * the machine's acceleration caches flush when they see it move.
+     * Accounted writes are the simulated program's own stores and are
+     * handled separately (they can never reach the code region: data
+     * pointers are 16-bit words, the code region starts at word 2^16).
+     * @{ */
+    std::uint64_t codeEpoch() const { return codeEpoch_; }
+    void invalidateCode() { ++codeEpoch_; }
+    /** @} */
+
+    /** @name Replay accounting for acceleration cache hits.
+     *
+     * A memoized resolution must charge exactly the storage references
+     * the real walk would have made (the simulated numbers are
+     * invariant under acceleration); these bump the counters without
+     * touching the store.
+     * @{ */
+    void
+    chargeReads(AccessKind kind, CountT n)
+    {
+        readCounts_[static_cast<std::size_t>(kind)] += n;
+        totalRefs_ += n;
+    }
+    void chargeCodeBytes(CountT n) { codeBytes_ += n; }
+    /** @} */
 
     /** Reference counts. */
     CountT reads(AccessKind kind) const;
@@ -77,7 +121,14 @@ class Memory
     void dumpStats(std::ostream &os) const;
 
   private:
-    void checkAddr(Addr addr) const;
+    void
+    checkAddr(Addr addr) const
+    {
+        if (addr >= store_.size())
+            addrPanic(addr);
+    }
+
+    [[noreturn]] void addrPanic(Addr addr) const;
 
     std::vector<Word> store_;
     std::array<CountT, static_cast<std::size_t>(AccessKind::NumKinds)>
@@ -86,6 +137,7 @@ class Memory
         writeCounts_{};
     CountT totalRefs_ = 0;
     CountT codeBytes_ = 0;
+    std::uint64_t codeEpoch_ = 0;
 };
 
 } // namespace fpc

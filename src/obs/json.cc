@@ -270,6 +270,31 @@ machineStatsJson(JsonWriter &w, const MachineStats &s)
 }
 
 void
+accelStatsJson(JsonWriter &w, const AccelStats &s)
+{
+    w.beginObject();
+    w.key("icache").beginObject();
+    w.kv("hits", s.icacheHits);
+    w.kv("misses", s.icacheMisses);
+    w.kv("hitRate", s.icacheHitRate());
+    w.endObject();
+    w.key("links").beginObject();
+    w.kv("extHits", s.extHits);
+    w.kv("extMisses", s.extMisses);
+    w.kv("localHits", s.localHits);
+    w.kv("localMisses", s.localMisses);
+    w.kv("directHits", s.directHits);
+    w.kv("directMisses", s.directMisses);
+    w.kv("fatHits", s.fatHits);
+    w.kv("fatMisses", s.fatMisses);
+    w.kv("hitRate", s.linkHitRate());
+    w.endObject();
+    w.kv("codeFlushes", s.codeFlushes);
+    w.kv("tableFlushes", s.tableFlushes);
+    w.endObject();
+}
+
+void
 memoryStatsJson(JsonWriter &w, const Memory &mem)
 {
     w.beginObject();
@@ -396,6 +421,12 @@ writeStatsJson(std::ostream &os, const StatsExport &exp)
     w.key("cache");
     if (exp.cache != nullptr)
         cacheStatsJson(w, *exp.cache);
+    else
+        w.nullValue();
+
+    w.key("accel");
+    if (exp.accel != nullptr)
+        accelStatsJson(w, *exp.accel);
     else
         w.nullValue();
 

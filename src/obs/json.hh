@@ -24,6 +24,7 @@
 namespace fpc
 {
 struct MachineStats;
+struct AccelStats;
 class Memory;
 struct FrameHeapStats;
 class Cache;
@@ -97,6 +98,7 @@ class JsonWriter
 /** @name Component exporters: each writes one JSON value. @{ */
 void distributionJson(JsonWriter &w, const stats::Distribution &d);
 void machineStatsJson(JsonWriter &w, const MachineStats &s);
+void accelStatsJson(JsonWriter &w, const AccelStats &s);
 void memoryStatsJson(JsonWriter &w, const Memory &mem);
 void heapStatsJson(JsonWriter &w, const FrameHeapStats &s);
 void cacheStatsJson(JsonWriter &w, const Cache &cache);
@@ -117,6 +119,11 @@ struct StatsExport
     const Memory *memory = nullptr;
     const FrameHeapStats *heap = nullptr;
     const Cache *cache = nullptr;
+    /** Host-acceleration counters. Left null unless explicitly
+     *  requested (fpcvm --accel-stats): the default export must stay
+     *  byte-identical with acceleration on or off, and these counters
+     *  are the one thing that legitimately differs. */
+    const AccelStats *accel = nullptr;
     std::vector<const stats::StatGroup *> groups;
 };
 

@@ -603,6 +603,12 @@ Loader::load(Memory &memory, const LinkPlan &plan) const
         }
     }
 
+    // Every poke above already advanced the memory's mutation epoch,
+    // but loading is *the* event the host-side caches must observe
+    // (new code, new tables); make the invalidation explicit so it
+    // survives any change to poke's epoch policy.
+    memory.invalidateCode();
+
     return image;
 }
 

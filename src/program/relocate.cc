@@ -104,6 +104,12 @@ relocateModule(Memory &memory, LoadedImage &image,
     for (PlacedProc &pp : pm.procs)
         pp.prologueAddr = pp.prologueAddr - old_base + new_base;
 
+    // The segment moved and every instance's code-base word changed;
+    // force the host-side caches to drop predecoded instructions and
+    // memoized link resolutions (the pokes above bump the epoch too,
+    // but relocation must invalidate by contract, not by side effect).
+    memory.invalidateCode();
+
     return pm.segBytes;
 }
 

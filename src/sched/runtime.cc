@@ -31,8 +31,8 @@ Runtime::submit(Job job)
 
 JobResult
 Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
-                    MachineStats &acc, obs::Tracer *tracer,
-                    obs::ProfileData *profile_acc)
+                    MachineStats &acc, AccelStats &accel_acc,
+                    obs::Tracer *tracer, obs::ProfileData *profile_acc)
 {
     JobResult out;
     out.id = id;
@@ -92,6 +92,7 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
         out.error = result.message;
     }
     acc.merge(machine.stats());
+    accel_acc.merge(machine.accelStats());
 
     if (tracer != nullptr) {
         // Lay consecutive jobs out consecutively on this worker's
@@ -109,6 +110,7 @@ void
 Runtime::workerMain(unsigned worker_id)
 {
     MachineStats acc;
+    AccelStats accelAcc;
     stats::StatGroup local("fpc_runtime");
     auto &jobs_completed =
         local.counter("jobs_completed", "jobs that finished ok");
@@ -145,7 +147,8 @@ Runtime::workerMain(unsigned worker_id)
         JobResult r;
         try {
             r = executeJob(jobs_[i], static_cast<unsigned>(i),
-                           worker_id, acc, tracer, profile_ptr);
+                           worker_id, acc, accelAcc, tracer,
+                           profile_ptr);
         } catch (const std::exception &err) {
             r.id = static_cast<unsigned>(i);
             r.worker = worker_id;
@@ -165,6 +168,7 @@ Runtime::workerMain(unsigned worker_id)
     // Per-worker stats fold into the runtime's registries at join.
     std::lock_guard<std::mutex> lock(mergeMutex_);
     merged_.merge(acc);
+    mergedAccel_.merge(accelAcc);
     group_.mergeFrom(local);
     if (profile_ptr != nullptr)
         profile_.merge(profile_acc);

@@ -94,6 +94,10 @@ class Runtime
      *  run()). */
     const MachineStats &machineStats() const { return merged_; }
 
+    /** Host-acceleration counters summed across all workers (valid
+     *  after run(); all zero when acceleration is off). */
+    const AccelStats &accelStats() const { return mergedAccel_; }
+
     /** The merged "fpc_runtime" stat registry: job counts, per-job
      *  step/cycle distributions (valid after run()). */
     const stats::StatGroup &stats() const { return group_; }
@@ -110,7 +114,7 @@ class Runtime
     void workerMain(unsigned worker_id);
     JobResult executeJob(const Job &job, unsigned id,
                          unsigned worker_id, MachineStats &acc,
-                         obs::Tracer *tracer,
+                         AccelStats &accel_acc, obs::Tracer *tracer,
                          obs::ProfileData *profile_acc);
 
     RuntimeConfig config_;
@@ -119,6 +123,7 @@ class Runtime
     std::atomic<std::size_t> next_{0};
     std::mutex mergeMutex_;
     MachineStats merged_;
+    AccelStats mergedAccel_;
     stats::StatGroup group_{"fpc_runtime"};
     obs::ProfileData profile_;
     std::vector<std::unique_ptr<obs::Tracer>> tracers_;

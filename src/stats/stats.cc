@@ -8,16 +8,6 @@ namespace fpc::stats
 {
 
 void
-Distribution::sample(double val, CountT count)
-{
-    count_ += count;
-    sum_ += val * count;
-    sumSq_ += val * val * count;
-    min_ = std::min(min_, val);
-    max_ = std::max(max_, val);
-}
-
-void
 Distribution::reset()
 {
     *this = Distribution();

@@ -47,7 +47,17 @@ class Counter
 class Distribution
 {
   public:
-    void sample(double val, CountT count = 1);
+    /** Inline: sampled on every XFER (refs and cycles). */
+    void
+    sample(double val, CountT count = 1)
+    {
+        count_ += count;
+        sum_ += val * count;
+        sumSq_ += val * val * count;
+        min_ = std::min(min_, val);
+        max_ = std::max(max_, val);
+    }
+
     void reset();
 
     /** Fold another distribution in; exact for count/sum/moments. */

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Host-acceleration tests (docs/PERFORMANCE.md): the invariance
+ * contract — every simulated number is bit-identical with
+ * acceleration on or off — plus the invalidation hooks (code patches,
+ * relocation) and the steady-state hit rates the C9 benchmark relies
+ * on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asm/builder.hh"
+#include "common/logging.hh"
+#include "machine/machine.hh"
+#include "obs/json.hh"
+#include "obs/trace.hh"
+#include "program/loader.hh"
+#include "program/relocate.hh"
+
+namespace fpc
+{
+namespace
+{
+
+/** A call-heavy program: main loops n times, each iteration calling
+ *  bump(acc) = acc + 77 through a local call. */
+Module
+callLoopModule()
+{
+    ModuleBuilder b("M");
+    auto &bump = b.proc("bump", 1, 1);
+    bump.loadLocal(0).loadImm(77).op(isa::Op::ADD).ret();
+
+    auto &main = b.proc("main", 1, 2);
+    auto loop = main.newLabel();
+    auto done = main.newLabel();
+    main.loadImm(0).storeLocal(1);
+    main.label(loop);
+    main.loadLocal(0).jumpZero(done);
+    main.loadLocal(1).callLocal("bump").storeLocal(1);
+    main.loadLocal(0).loadImm(1).op(isa::Op::SUB).storeLocal(0);
+    main.jump(loop);
+    main.label(done);
+    main.loadLocal(1).ret();
+    return b.build();
+}
+
+struct EngineCombo
+{
+    Impl impl;
+    CallLowering lowering;
+};
+
+const EngineCombo combos[] = {
+    {Impl::Simple, CallLowering::Fat},
+    {Impl::Mesa, CallLowering::Mesa},
+    {Impl::Ifu, CallLowering::Direct},
+    {Impl::Banked, CallLowering::Direct},
+};
+
+struct RunOut
+{
+    Word value = 0;
+    std::string statsJson;
+    std::string traceJson;
+    StopReason reason = StopReason::Running;
+};
+
+/** One complete run on a fresh memory/image; exports the full
+ *  simulated-stats document (and optionally an XFER trace, which
+ *  forces the eager per-step loop even with acceleration on). */
+RunOut
+runOnce(const EngineCombo &combo, bool accel_on, Word n,
+        bool with_trace)
+{
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    loader.add(callLoopModule());
+    LinkPlan plan;
+    plan.lowering = combo.lowering;
+    const LoadedImage image = loader.load(mem, plan);
+
+    MachineConfig config;
+    config.impl = combo.impl;
+    config.accel.enabled = accel_on;
+    Machine machine(mem, image, config);
+
+    obs::Tracer tracer;
+    if (with_trace)
+        machine.setObserver(&tracer);
+
+    machine.start("M", "main", std::array<Word, 1>{n});
+    RunOut out;
+    out.reason = machine.run().reason;
+    if (out.reason == StopReason::TopReturn)
+        out.value = machine.popValue();
+
+    std::ostringstream stats;
+    obs::StatsExport exp;
+    exp.driver = "test_accel";
+    exp.impl = implName(config.impl);
+    exp.stopReason = stopReasonName(out.reason);
+    exp.machine = &machine.stats();
+    exp.memory = &mem;
+    exp.heap = &machine.heap().stats();
+    exp.cache = machine.dataCache();
+    obs::writeStatsJson(stats, exp);
+    out.statsJson = stats.str();
+
+    if (with_trace) {
+        std::ostringstream trace;
+        obs::writeChromeTrace(trace, tracer);
+        out.traceJson = trace.str();
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// The invariance contract
+// ---------------------------------------------------------------------
+
+TEST(AccelDeterminism, StatsJsonByteIdenticalOnEveryEngine)
+{
+    for (const EngineCombo &combo : combos) {
+        const RunOut off = runOnce(combo, false, 200, false);
+        const RunOut on = runOnce(combo, true, 200, false);
+        ASSERT_EQ(off.reason, StopReason::TopReturn)
+            << implName(combo.impl);
+        EXPECT_EQ(off.value, on.value) << implName(combo.impl);
+        EXPECT_EQ(off.statsJson, on.statsJson) << implName(combo.impl);
+    }
+}
+
+TEST(AccelDeterminism, TraceByteIdenticalWithObserverAttached)
+{
+    // An attached observer routes the accelerated machine through the
+    // eager per-step loop; the XFER records' absolute cycle/step
+    // stamps must come out identical.
+    for (const EngineCombo &combo : combos) {
+        const RunOut off = runOnce(combo, false, 100, true);
+        const RunOut on = runOnce(combo, true, 100, true);
+        EXPECT_EQ(off.traceJson, on.traceJson) << implName(combo.impl);
+        EXPECT_EQ(off.statsJson, on.statsJson) << implName(combo.impl);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Invalidation
+// ---------------------------------------------------------------------
+
+/** Drive a machine mid-run, patch bump's immediate (77 -> 5) through
+ *  pokeByte, and finish. Returns the final value. */
+Word
+patchMidRun(bool accel_on, std::string *stats_json)
+{
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    loader.add(callLoopModule());
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+
+    MachineConfig config;
+    config.accel.enabled = accel_on;
+    Machine machine(mem, image, config);
+    machine.start("M", "main", std::array<Word, 1>{Word{100}});
+
+    // Far enough that bump's decode is cached, mid-loop.
+    for (int i = 0; i < 120; ++i)
+        machine.step();
+
+    // The immediate 77 appears exactly once in bump's body bytes.
+    const PlacedModule &pm = image.modules().front();
+    const PlacedProc &bump = pm.procs.front();
+    std::vector<CodeByteAddr> sites;
+    for (unsigned i = 0; i < bump.bodyBytes; ++i) {
+        const CodeByteAddr a = bump.prologueAddr + bump.prologueBytes + i;
+        if (mem.peekByte(a) == 77)
+            sites.push_back(a);
+    }
+    EXPECT_EQ(sites.size(), 1u);
+    mem.pokeByte(sites.front(), 5);
+
+    const RunResult result = machine.run();
+    EXPECT_EQ(result.reason, StopReason::TopReturn);
+    const Word value = machine.popValue();
+    if (stats_json != nullptr) {
+        std::ostringstream os;
+        obs::StatsExport exp;
+        exp.driver = "test_accel";
+        exp.impl = implName(config.impl);
+        exp.stopReason = stopReasonName(result.reason);
+        exp.machine = &machine.stats();
+        exp.memory = &mem;
+        exp.heap = &machine.heap().stats();
+        obs::writeStatsJson(os, exp);
+        *stats_json = os.str();
+    }
+    return value;
+}
+
+TEST(AccelInvalidation, PokeByteMidRunDropsStaleDecode)
+{
+    std::string off_json, on_json;
+    const Word off = patchMidRun(false, &off_json);
+    const Word on = patchMidRun(true, &on_json);
+    // The patch must take effect under acceleration (stale cached
+    // decode of the old immediate would keep adding 77)...
+    EXPECT_EQ(on, off);
+    EXPECT_EQ(on_json, off_json);
+    // ...and the result must show a mix of old and new immediates,
+    // proving the patch landed mid-run, not before or after.
+    EXPECT_NE(off, static_cast<Word>(100 * 77));
+    EXPECT_NE(off, static_cast<Word>(100 * 5));
+}
+
+TEST(AccelInvalidation, RelocationFlushesMemoizedEntryPoints)
+{
+    // Warm every cache over a full run, move the module's code
+    // segment, and rerun on the same machine: the memoized entry PCs
+    // point into the old segment and must not survive.
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    loader.add(callLoopModule());
+    LoadedImage image = loader.load(mem, LinkPlan{});
+
+    MachineConfig config;
+    config.impl = Impl::Mesa; // relocation forbids direct linkage
+    config.accel.enabled = true;
+    Machine machine(mem, image, config);
+
+    machine.start("M", "main", std::array<Word, 1>{Word{50}});
+    ASSERT_EQ(machine.run().reason, StopReason::TopReturn);
+    EXPECT_EQ(machine.popValue(), static_cast<Word>(50 * 77));
+
+    const unsigned moved =
+        relocateModule(mem, image, "M", imageCodeEnd(image));
+    ASSERT_GT(moved, 0u);
+
+    machine.start("M", "main", std::array<Word, 1>{Word{50}});
+    ASSERT_EQ(machine.run().reason, StopReason::TopReturn);
+    EXPECT_EQ(machine.popValue(), static_cast<Word>(50 * 77));
+    EXPECT_GE(machine.accelStats().codeFlushes, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Steady-state behaviour and counters
+// ---------------------------------------------------------------------
+
+TEST(AccelCounters, HitRatesExceedNinetyPercentOnCallLoop)
+{
+    for (const EngineCombo &combo : combos) {
+        const SystemLayout layout;
+        Memory mem(layout.memWords);
+        Loader loader{layout, SizeClasses::standard()};
+        loader.add(callLoopModule());
+        LinkPlan plan;
+        plan.lowering = combo.lowering;
+        const LoadedImage image = loader.load(mem, plan);
+
+        MachineConfig config;
+        config.impl = combo.impl;
+        config.accel.enabled = true;
+        Machine machine(mem, image, config);
+        machine.start("M", "main", std::array<Word, 1>{Word{500}});
+        ASSERT_EQ(machine.run().reason, StopReason::TopReturn)
+            << implName(combo.impl);
+
+        const AccelStats a = machine.accelStats();
+        EXPECT_GT(a.icacheHitRate(), 0.9) << implName(combo.impl);
+        EXPECT_GT(a.linkHitRate(), 0.9) << implName(combo.impl);
+    }
+}
+
+TEST(AccelCounters, MergeSumsEveryField)
+{
+    AccelStats a;
+    a.icacheHits = 10;
+    a.icacheMisses = 2;
+    a.extHits = 3;
+    a.localHits = 4;
+    a.directHits = 5;
+    a.fatHits = 6;
+    a.extMisses = 1;
+    a.codeFlushes = 7;
+    AccelStats b;
+    b.icacheHits = 100;
+    b.localMisses = 9;
+    b.tableFlushes = 8;
+
+    a.merge(b);
+    EXPECT_EQ(a.icacheHits, 110u);
+    EXPECT_EQ(a.icacheMisses, 2u);
+    EXPECT_EQ(a.linkHits(), 3u + 4u + 5u + 6u);
+    EXPECT_EQ(a.linkMisses(), 1u + 9u);
+    EXPECT_EQ(a.codeFlushes, 7u);
+    EXPECT_EQ(a.tableFlushes, 8u);
+}
+
+TEST(AccelCounters, DisabledMachineReportsZeroes)
+{
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    loader.add(callLoopModule());
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+
+    MachineConfig config;
+    config.accel.enabled = false;
+    Machine machine(mem, image, config);
+    machine.start("M", "main", std::array<Word, 1>{Word{10}});
+    ASSERT_EQ(machine.run().reason, StopReason::TopReturn);
+    EXPECT_FALSE(machine.accelEnabled());
+    EXPECT_EQ(machine.accelStats().icacheHits, 0u);
+    EXPECT_EQ(machine.accelStats().linkHits(), 0u);
+}
+
+} // namespace
+} // namespace fpc

@@ -48,6 +48,8 @@ struct Options
     CallLowering lowering = CallLowering::Mesa;
     bool shortCalls = false;
     bool stats = false;
+    bool accel = true;
+    bool accelStats = false;
     bool synthetic = false;
     unsigned depth = 8; ///< synthetic entry argument
     std::uint64_t timeslice = 0;
@@ -79,6 +81,12 @@ printUsage(std::ostream &os, const char *argv0)
           "  --depth=N                       synthetic recursion depth\n"
           "  --entry=Mod.proc                entry point\n"
           "  --stats                         dump merged statistics\n"
+          "  --accel=on|off                  host-side acceleration "
+          "(default on;\n"
+          "                                  simulated numbers are "
+          "identical either way)\n"
+          "  --accel-stats                   dump merged host cache "
+          "counters\n"
           "  --trace-out=FILE                write a Chrome/Perfetto "
           "trace, one track per worker\n"
           "  --trace-capacity=N              per-worker trace ring size "
@@ -157,6 +165,16 @@ parseArgs(int argc, char **argv)
             opt.entryProc = v.substr(dot + 1);
         } else if (arg == "--stats") {
             opt.stats = true;
+        } else if (arg.rfind("--accel=", 0) == 0) {
+            const std::string v = value("--accel=");
+            if (v == "on")
+                opt.accel = true;
+            else if (v == "off")
+                opt.accel = false;
+            else
+                usage(argv[0]);
+        } else if (arg == "--accel-stats") {
+            opt.accelStats = true;
         } else if (arg.rfind("--trace-out=", 0) == 0) {
             opt.traceOut = value("--trace-out=");
         } else if (arg.rfind("--trace-capacity=", 0) == 0) {
@@ -227,6 +245,7 @@ try {
     rc.machine.impl = opt.impl;
     rc.machine.numBanks = opt.banks;
     rc.machine.timesliceSteps = opt.timeslice;
+    rc.machine.accel.enabled = opt.accel;
     rc.plan.lowering = opt.lowering;
     rc.plan.shortCalls = opt.shortCalls;
     rc.trace = !opt.traceOut.empty();
@@ -296,6 +315,22 @@ try {
 
     if (opt.stats)
         dumpMergedStats(runtime);
+    if (opt.accelStats) {
+        const AccelStats &a = runtime.accelStats();
+        std::cout << "\n--- host acceleration (merged) ---\n";
+        if (!opt.accel) {
+            std::cout << "disabled (--accel=off)\n";
+        } else {
+            std::cout << "icache: " << a.icacheHits << " hits, "
+                      << a.icacheMisses << " misses ("
+                      << stats::percent(a.icacheHitRate()) << ")\n"
+                      << "link cache: " << a.linkHits() << " hits, "
+                      << a.linkMisses() << " misses ("
+                      << stats::percent(a.linkHitRate()) << ")\n"
+                      << "flushes: " << a.codeFlushes << " code, "
+                      << a.tableFlushes << " link\n";
+        }
+    }
 
     if (!opt.traceOut.empty()) {
         std::ofstream out(opt.traceOut);
@@ -334,6 +369,10 @@ try {
         exp.workers = runtime.workers();
         exp.machine = &runtime.machineStats();
         exp.groups.push_back(&runtime.stats());
+        // Host counters only on request: the default document must be
+        // byte-identical with acceleration on or off.
+        if (opt.accelStats)
+            exp.accel = &runtime.accelStats();
         obs::writeStatsJson(out, exp);
     }
     return failed == 0 ? 0 : 1;

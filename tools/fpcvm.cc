@@ -47,6 +47,8 @@ struct Options
     bool shortCalls = false;
     bool stats = false;
     bool disasm = false;
+    bool accel = true;
+    bool accelStats = false;
     unsigned banks = 4;
     std::uint64_t timeslice = 0;
     std::string entryModule;
@@ -72,6 +74,11 @@ printUsage(std::ostream &os, const char *argv0)
           "instructions\n"
           "  --entry=Mod.proc                entry point\n"
           "  --stats                         dump machine statistics\n"
+          "  --accel=on|off                  host-side acceleration "
+          "(default on;\n"
+          "                                  simulated numbers are "
+          "identical either way)\n"
+          "  --accel-stats                   dump host cache counters\n"
           "  --disasm                        dump the loaded code\n"
           "  --trace-out=FILE                write a Chrome/Perfetto "
           "XFER trace\n"
@@ -141,6 +148,16 @@ parseArgs(int argc, char **argv)
             opt.entryProc = v.substr(dot + 1);
         } else if (arg == "--stats") {
             opt.stats = true;
+        } else if (arg.rfind("--accel=", 0) == 0) {
+            const std::string v = value("--accel=");
+            if (v == "on")
+                opt.accel = true;
+            else if (v == "off")
+                opt.accel = false;
+            else
+                usage(argv[0]);
+        } else if (arg == "--accel-stats") {
+            opt.accelStats = true;
         } else if (arg == "--disasm") {
             opt.disasm = true;
         } else if (arg.rfind("--trace-out=", 0) == 0) {
@@ -241,6 +258,25 @@ dumpStats(const Machine &machine, const Memory &mem)
     }
 }
 
+void
+dumpAccelStats(const Machine &machine)
+{
+    std::cout << "\n--- host acceleration ---\n";
+    if (!machine.accelEnabled()) {
+        std::cout << "disabled (--accel=off)\n";
+        return;
+    }
+    const AccelStats a = machine.accelStats();
+    std::cout << "icache: " << a.icacheHits << " hits, "
+              << a.icacheMisses << " misses ("
+              << stats::percent(a.icacheHitRate()) << ")\n"
+              << "link cache: " << a.linkHits() << " hits, "
+              << a.linkMisses() << " misses ("
+              << stats::percent(a.linkHitRate()) << ")\n"
+              << "flushes: " << a.codeFlushes << " code, "
+              << a.tableFlushes << " link\n";
+}
+
 } // namespace
 
 int
@@ -282,6 +318,7 @@ try {
     config.impl = opt.impl;
     config.numBanks = opt.banks;
     config.timesliceSteps = opt.timeslice;
+    config.accel.enabled = opt.accel;
     Machine machine(mem, image, config);
 
     // Observability: a tracer and/or profiler share the machine's one
@@ -326,6 +363,8 @@ try {
 
     if (opt.stats)
         dumpStats(machine, mem);
+    if (opt.accelStats)
+        dumpAccelStats(machine);
 
     // Artifacts are written even when the program stopped on an error:
     // a trace of a failing run is the one you want to look at.
@@ -372,6 +411,13 @@ try {
         exp.memory = &mem;
         exp.heap = &machine.heap().stats();
         exp.cache = machine.dataCache();
+        // Host counters only on request: the default document must be
+        // byte-identical with acceleration on or off.
+        AccelStats accel_counters;
+        if (opt.accelStats) {
+            accel_counters = machine.accelStats();
+            exp.accel = &accel_counters;
+        }
         obs::writeStatsJson(out, exp);
     }
     return exit_code;
