@@ -253,6 +253,16 @@ class JsonReport
             notes_[key] = text;
     }
 
+    /** Record a histogram's interpolated percentiles as metrics
+     *  (<key>_p50 / _p90 / _p99). */
+    void
+    histogram(const std::string &key, const stats::Histogram &h)
+    {
+        metric(key + "_p50", h.p50());
+        metric(key + "_p90", h.p90());
+        metric(key + "_p99", h.p99());
+    }
+
     /** Write the document; aborts the bench if the path is bad. */
     void
     write() const

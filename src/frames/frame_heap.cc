@@ -64,6 +64,21 @@ FrameHeap::alloc(unsigned fsi)
     return frame_ptr;
 }
 
+unsigned
+FrameHeap::freeListLength(unsigned fsi) const
+{
+    if (fsi >= classes_.numClasses())
+        panic("freeListLength: fsi {} out of range", fsi);
+    unsigned n = 0;
+    Word head = mem_.peek(layout_.avAddr + fsi);
+    while (head != nilContext) {
+        ++n;
+        const Context ctx = unpackContext(head, layout_);
+        head = mem_.peek(ctx.framePtr);
+    }
+    return n;
+}
+
 Addr
 FrameHeap::allocWords(unsigned payload_words)
 {

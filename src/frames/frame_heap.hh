@@ -48,6 +48,9 @@ struct FrameHeapStats
 
     /** Internal fragmentation: fraction of granted payload unused. */
     double fragmentation() const;
+
+    /** Frames currently allocated and not yet freed. */
+    CountT liveFrames() const { return allocs - frees; }
 };
 
 /** The fast frame allocator over simulated storage. */
@@ -104,6 +107,11 @@ class FrameHeap
 
     const FrameHeapStats &stats() const { return stats_; }
     void resetStats() { stats_ = FrameHeapStats(); }
+
+    /** Free frames currently on the fsi free list (AV state). Walks
+     *  the in-storage list with unaccounted peeks, so sampling it
+     *  charges no simulated references. */
+    unsigned freeListLength(unsigned fsi) const;
 
     /** Words of the region not yet carved by the software allocator. */
     Addr regionRemaining() const { return layout_.frameEnd - carve_; }

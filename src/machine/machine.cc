@@ -408,6 +408,14 @@ Machine::setScheduler(Scheduler scheduler)
 }
 
 void
+Machine::setSampler(CycleSampler *sampler, Tick interval_cycles)
+{
+    sampler_ = sampler;
+    sampleInterval_ = interval_cycles > 0 ? interval_cycles : 1;
+    nextSampleAt_ = stats_.cycles + sampleInterval_;
+}
+
+void
 Machine::setRetained(Addr frame_ptr, bool retained)
 {
     heap_.setRetained(frame_ptr, retained);
@@ -473,14 +481,18 @@ Machine::run()
     // per-burst sync is exact; host-side patching between step() or
     // run() calls is caught at the next (re)entry. An attached
     // observer forces the eager loop: XFER records stamp absolute
-    // cycles/steps, which batched accounting would skew.
+    // cycles/steps, which batched accounting would skew. An attached
+    // sampler does too: sample points are defined as step boundaries
+    // crossing cycle-interval multiples, which burst-granular cycle
+    // accounting would move.
     const bool preemptible =
         config_.timesliceSteps != 0 && scheduler_ != nullptr;
     constexpr std::uint64_t burstSteps = 4096;
 
     std::uint64_t steps = 0;
     try {
-        if (accel_ && !preemptible && observer_ == nullptr) {
+        if (accel_ && !preemptible && observer_ == nullptr &&
+            sampler_ == nullptr) {
             while (stop_ == StopReason::Running) {
                 if (steps >= config_.maxSteps) {
                     stopWith(StopReason::StepLimit,
@@ -555,6 +567,16 @@ Machine::step()
         accel_->sync(mem_.codeEpoch());
     stepCore();
     maybePreempt();
+    if (sampler_ != nullptr && stats_.cycles >= nextSampleAt_)
+        [[unlikely]] {
+        // Catch up past multi-cycle instructions so the next fire is
+        // strictly in the future; the sampler only reads state, so no
+        // simulated cost is charged here.
+        do {
+            nextSampleAt_ += sampleInterval_;
+        } while (nextSampleAt_ <= stats_.cycles);
+        sampler_->onSample(*this);
+    }
 }
 
 void

@@ -156,6 +156,25 @@ class XferObserver
     virtual void onXfer(const XferRecord &record) = 0;
 };
 
+class Machine;
+
+/**
+ * Periodic sampling hook clocked on simulated cycles; attach with
+ * Machine::setSampler. onSample fires at the first step boundary at
+ * or past each interval multiple, reads whatever gauges it wants
+ * through the const machine reference, and charges zero simulated
+ * cycles — exactly the XferObserver contract, at interval rather
+ * than transfer granularity. Because the clock is simulated cycles,
+ * the sample points (and therefore any exported series) are
+ * byte-identical across runs and across the acceleration switch.
+ */
+class CycleSampler
+{
+  public:
+    virtual ~CycleSampler() = default;
+    virtual void onSample(const Machine &machine) = 0;
+};
+
 /** The processor. */
 class Machine
 {
@@ -219,6 +238,14 @@ class Machine
      *  outlive the machine or be detached before it dies. */
     void setObserver(XferObserver *observer) { observer_ = observer; }
     XferObserver *observer() const { return observer_; }
+
+    /** Attach a periodic sampler fired every interval_cycles simulated
+     *  cycles (next fire is re-anchored at the current cycle count);
+     *  null detaches. Like an observer, an attached sampler routes
+     *  run() through the eager per-step loop so sample points stay
+     *  byte-identical with acceleration on or off. */
+    void setSampler(CycleSampler *sampler, Tick interval_cycles);
+    CycleSampler *sampler() const { return sampler_; }
     /** @} */
 
     /** @name Transfer primitives (also for trace-driven use). @{ */
@@ -244,6 +271,12 @@ class Machine
     Addr currentGlobalFrame() const { return gf_; }
     Word currentFrameContext() const;
 
+    /** Absolute PC (next instruction byte). */
+    CodeByteAddr pc() const { return pcAbs_; }
+    /** Start of the most recently decoded instruction — after an
+     *  error stop, the faulting instruction (postmortem support). */
+    CodeByteAddr lastInstStart() const { return instStart_; }
+
     const MachineStats &stats() const { return stats_; }
     Tick cycles() const { return stats_.cycles; }
 
@@ -268,6 +301,7 @@ class Machine
     FrameHeap &heap() { return heap_; }
     const FrameHeap &heap() const { return heap_; }
     Memory &memory() { return mem_; }
+    const Memory &memory() const { return mem_; }
     const Cache *dataCache() const { return cache_.get(); }
     const MachineConfig &config() const { return config_; }
     const LoadedImage &image() const { return image_; }
@@ -446,6 +480,9 @@ class Machine
     Scheduler scheduler_;
     Word trapCtx_ = nilContext;
     XferObserver *observer_ = nullptr;
+    CycleSampler *sampler_ = nullptr;
+    Tick sampleInterval_ = 0;
+    Tick nextSampleAt_ = 0;
 
     // timeslice preemption
     std::uint64_t sliceLeft_ = 0;

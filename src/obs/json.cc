@@ -373,6 +373,9 @@ statGroupJson(JsonWriter &w, const stats::StatGroup &group)
             w.kv("bucketWidth", hist->bucketWidth());
             w.kv("count", hist->count());
             w.kv("mean", hist->mean());
+            w.kv("p50", hist->p50());
+            w.kv("p90", hist->p90());
+            w.kv("p99", hist->p99());
             w.kv("overflow", hist->overflow());
             w.key("buckets").beginArray();
             for (std::size_t i = 0; i < hist->buckets(); ++i)

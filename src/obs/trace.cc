@@ -65,14 +65,9 @@ Tracer::onXfer(const XferRecord &record)
     } else {
         ring_[head_] = ev;
         head_ = (head_ + 1) % capacity_;
+        ++dropped_;
     }
     ++recorded_;
-}
-
-CountT
-Tracer::dropped() const
-{
-    return recorded_ - ring_.size();
 }
 
 std::vector<TraceEvent>
@@ -102,7 +97,8 @@ Tracer::clear()
     recorded_ = 0;
     depth_ = 0;
     // Keep the interned names: indices in already-snapshotted events
-    // stay valid and re-recording reuses them.
+    // stay valid and re-recording reuses them. dropped_ also survives:
+    // it reports lifetime losses across every epoch.
 }
 
 unsigned

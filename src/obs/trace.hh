@@ -73,9 +73,13 @@ class Tracer : public XferObserver
     void setProcMap(const ProcMap *map) { procMap_ = map; }
 
     std::size_t capacity() const { return capacity_; }
-    /** Events seen (recorded() - events().size() were dropped). */
+    /** Events seen since the last clear(). */
     CountT recorded() const { return recorded_; }
-    CountT dropped() const;
+    /** Events discarded by the drop-oldest ring over the tracer's
+     *  whole lifetime — the count survives clear() and setBase(), so
+     *  a runtime worker re-based between jobs still reports every
+     *  event any of its epochs lost. */
+    CountT dropped() const { return dropped_; }
 
     /** Oldest-first snapshot of the retained events. */
     std::vector<TraceEvent> events() const;
@@ -90,6 +94,7 @@ class Tracer : public XferObserver
     std::vector<TraceEvent> ring_;
     std::size_t head_ = 0; ///< next write slot once the ring is full
     CountT recorded_ = 0;
+    CountT dropped_ = 0;   ///< lifetime drops, across all epochs
     Tick base_ = 0;
     unsigned depth_ = 0;
     const ProcMap *procMap_ = nullptr;

@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "frames/size_classes.hh"
 #include "obs/fanout.hh"
+#include "obs/postmortem.hh"
 
 namespace fpc::sched
 {
@@ -32,7 +33,8 @@ Runtime::submit(Job job)
 JobResult
 Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
                     MachineStats &acc, AccelStats &accel_acc,
-                    obs::Tracer *tracer, obs::ProfileData *profile_acc)
+                    obs::Tracer *tracer, obs::ProfileData *profile_acc,
+                    obs::Telemetry *telemetry)
 {
     JobResult out;
     out.id = id;
@@ -66,8 +68,15 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
         profiler.emplace(image);
         fanout.add(&*profiler);
     }
+    std::optional<obs::FlightRecorder> recorder;
+    if (!config_.postmortemDir.empty()) {
+        recorder.emplace();
+        fanout.add(&*recorder);
+    }
     if (!fanout.empty())
         machine.setObserver(&fanout);
+    if (telemetry != nullptr)
+        machine.setSampler(telemetry, config_.metricsInterval);
 
     if (config_.machine.timesliceSteps > 0) {
         // A single-process workload still takes the full ProcSwitch
@@ -78,7 +87,11 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
     }
 
     machine.start(job.module, job.proc, job.args);
+    if (telemetry != nullptr)
+        telemetry->sample(machine);
     const RunResult result = machine.run();
+    if (telemetry != nullptr)
+        telemetry->sample(machine);
 
     out.reason = result.reason;
     out.steps = machine.stats().steps;
@@ -94,6 +107,23 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
     acc.merge(machine.stats());
     accel_acc.merge(machine.accelStats());
 
+    if (!out.ok && recorder) {
+        obs::PostmortemConfig pm;
+        pm.dir = config_.postmortemDir;
+        pm.filePrefix = "job-" + std::to_string(id) + "-";
+        pm.driver = config_.driver;
+        pm.impl = implName(config_.machine.impl);
+        obs::writePostmortem(pm, machine, result, image, *recorder,
+                             telemetry);
+    }
+
+    if (telemetry != nullptr) {
+        // As with the tracer: consecutive jobs lay out consecutively
+        // on this worker's series, and the counters stay monotone.
+        telemetry->setBase(telemetry->base() + machine.stats().cycles,
+                           telemetry->stepBase() +
+                               machine.stats().steps);
+    }
     if (tracer != nullptr) {
         // Lay consecutive jobs out consecutively on this worker's
         // track; the ProcMap dies with this job.
@@ -126,17 +156,32 @@ Runtime::workerMain(unsigned worker_id)
     obs::ProfileData profile_acc;
     obs::ProfileData *profile_ptr =
         config_.profile ? &profile_acc : nullptr;
+    obs::Telemetry *telemetry =
+        config_.metrics ? telemetry_[worker_id].get() : nullptr;
+
+    // This worker's job progress, visible in every sample it takes.
+    // Deterministic because metrics force the static assignment.
+    double jobs_done = 0;
+    double jobs_assigned = 0;
+    if (telemetry != nullptr) {
+        telemetry->setProvider(
+            [&jobs_done, &jobs_assigned](
+                std::vector<std::pair<std::string, double>> &g) {
+                g.emplace_back("worker_jobs_done", jobs_done);
+                g.emplace_back("worker_jobs_assigned", jobs_assigned);
+            });
+    }
 
     // The dynamic queue is fast but nondeterministic: which worker
-    // claims which job depends on thread timing. With tracing on we
-    // want reproducible tracks, so jobs stride statically instead
-    // (job i runs on worker i mod n).
-    const std::size_t stride = tracers_.size();
+    // claims which job depends on thread timing. With observation on
+    // (tracing, metrics, postmortems) we want reproducible tracks, so
+    // jobs stride statically instead (job i runs on worker i mod n).
+    const std::size_t stride = poolSize_;
     std::size_t strided = worker_id;
 
     while (true) {
         std::size_t i;
-        if (config_.trace) {
+        if (staticAssignment()) {
             i = strided;
             strided += stride;
         } else {
@@ -144,11 +189,12 @@ Runtime::workerMain(unsigned worker_id)
         }
         if (i >= jobs_.size())
             break;
+        ++jobs_assigned;
         JobResult r;
         try {
             r = executeJob(jobs_[i], static_cast<unsigned>(i),
                            worker_id, acc, accelAcc, tracer,
-                           profile_ptr);
+                           profile_ptr, telemetry);
         } catch (const std::exception &err) {
             r.id = static_cast<unsigned>(i);
             r.worker = worker_id;
@@ -162,6 +208,7 @@ Runtime::workerMain(unsigned worker_id)
             ++jobs_failed;
         job_steps.sample(static_cast<double>(r.steps));
         job_cycles.sample(static_cast<double>(r.cycles));
+        ++jobs_done;
         results_[i] = std::move(r); // distinct slot per job: no lock
     }
 
@@ -185,11 +232,19 @@ Runtime::run()
     const unsigned n =
         std::min<unsigned>(config_.workers,
                            std::max<std::size_t>(1, jobs_.size()));
+    poolSize_ = n;
     if (config_.trace) {
         tracers_.reserve(n);
         for (unsigned w = 0; w < n; ++w) {
             tracers_.push_back(
                 std::make_unique<obs::Tracer>(config_.traceCapacity));
+        }
+    }
+    if (config_.metrics) {
+        telemetry_.reserve(n);
+        for (unsigned w = 0; w < n; ++w) {
+            telemetry_.push_back(std::make_unique<obs::Telemetry>(
+                config_.metricsCapacity));
         }
     }
     std::vector<std::thread> pool;
@@ -210,6 +265,36 @@ Runtime::writeTrace(std::ostream &os) const
     for (const auto &t : tracers_)
         tracks.push_back(t.get());
     obs::writeChromeTrace(os, tracks);
+}
+
+obs::MetricsExport
+Runtime::metricsMeta() const
+{
+    obs::MetricsExport meta;
+    meta.driver = config_.driver;
+    meta.impl = implName(config_.machine.impl);
+    meta.interval = config_.metricsInterval;
+    return meta;
+}
+
+void
+Runtime::writeMetricsJson(std::ostream &os) const
+{
+    std::vector<const obs::Telemetry *> series;
+    series.reserve(telemetry_.size());
+    for (const auto &t : telemetry_)
+        series.push_back(t.get());
+    obs::writeMetricsJson(os, metricsMeta(), series);
+}
+
+void
+Runtime::writeOpenMetrics(std::ostream &os) const
+{
+    std::vector<const obs::Telemetry *> series;
+    series.reserve(telemetry_.size());
+    for (const auto &t : telemetry_)
+        series.push_back(t.get());
+    obs::writeOpenMetrics(os, metricsMeta(), series);
 }
 
 } // namespace fpc::sched

@@ -25,6 +25,7 @@
 
 #include "machine/machine.hh"
 #include "obs/profile.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "program/loader.hh"
 #include "program/module.hh"
@@ -69,6 +70,23 @@ struct RuntimeConfig
 
     /** Attribute cycles to procedures (merged across all jobs). */
     bool profile = false;
+
+    /** Record a per-worker metrics time series (see obs::Telemetry):
+     *  each job is sampled every metricsInterval simulated cycles and
+     *  bracketed with a start and end snapshot; consecutive jobs lay
+     *  out consecutively on their worker's series. Forces the static
+     *  job-to-worker assignment so the series are reproducible. */
+    bool metrics = false;
+    Tick metricsInterval = obs::Telemetry::defaultInterval;
+    std::size_t metricsCapacity = obs::Telemetry::defaultCapacity;
+
+    /** When nonempty, every failed job writes a postmortem bundle
+     *  ("job-<id>-postmortem.json" + disassembly) into this
+     *  directory. Forces the static assignment, like trace. */
+    std::string postmortemDir;
+
+    /** Identity stamped into metrics/postmortem exports. */
+    std::string driver = "runtime";
 };
 
 /**
@@ -110,12 +128,29 @@ class Runtime
      *  (valid after run() when RuntimeConfig::trace was set). */
     void writeTrace(std::ostream &os) const;
 
+    /** Write the fpc-metrics-v1 document — one series per worker
+     *  (valid after run() when RuntimeConfig::metrics was set). */
+    void writeMetricsJson(std::ostream &os) const;
+
+    /** Same series in OpenMetrics text exposition format. */
+    void writeOpenMetrics(std::ostream &os) const;
+
   private:
     void workerMain(unsigned worker_id);
     JobResult executeJob(const Job &job, unsigned id,
                          unsigned worker_id, MachineStats &acc,
                          AccelStats &accel_acc, obs::Tracer *tracer,
-                         obs::ProfileData *profile_acc);
+                         obs::ProfileData *profile_acc,
+                         obs::Telemetry *telemetry);
+
+    /** Reproducible observation wants the static job-to-worker
+     *  stride instead of the dynamic queue. */
+    bool staticAssignment() const
+    {
+        return config_.trace || config_.metrics ||
+               !config_.postmortemDir.empty();
+    }
+    obs::MetricsExport metricsMeta() const;
 
     RuntimeConfig config_;
     std::vector<Job> jobs_;
@@ -127,6 +162,8 @@ class Runtime
     stats::StatGroup group_{"fpc_runtime"};
     obs::ProfileData profile_;
     std::vector<std::unique_ptr<obs::Tracer>> tracers_;
+    std::vector<std::unique_ptr<obs::Telemetry>> telemetry_;
+    std::size_t poolSize_ = 0; ///< stride for the static assignment
     bool ran_ = false;
 };
 

@@ -214,4 +214,23 @@ Scheduler::liveCount() const
         }));
 }
 
+void
+Scheduler::appendGauges(
+    std::vector<std::pair<std::string, double>> &out) const
+{
+    out.emplace_back("sched_ready",
+                     static_cast<double>(readyCount()));
+    out.emplace_back("sched_blocked",
+                     static_cast<double>(blockedCount()));
+    out.emplace_back("sched_live", static_cast<double>(liveCount()));
+    out.emplace_back("sched_dispatches",
+                     static_cast<double>(stats_.dispatches));
+    out.emplace_back("sched_preemptions",
+                     static_cast<double>(stats_.preemptions));
+    out.emplace_back("sched_yields",
+                     static_cast<double>(stats_.yields));
+    out.emplace_back("sched_completions",
+                     static_cast<double>(stats_.completions));
+}
+
 } // namespace fpc::sched

@@ -20,6 +20,7 @@
 #include <deque>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "machine/machine.hh"
@@ -99,6 +100,15 @@ class Scheduler
     const SchedStats &stats() const { return stats_; }
     Policy policy() const { return policy_; }
     Machine &machine() { return machine_; }
+
+    /** Append the scheduler's gauges (queue depths and decision
+     *  counts) to out — shaped for obs::Telemetry::GaugeProvider:
+     *
+     *      telemetry.setProvider(
+     *          [&](auto &g) { sched.appendGauges(g); });
+     */
+    void
+    appendGauges(std::vector<std::pair<std::string, double>> &out) const;
 
   private:
     /** The machine's scheduler hook: requeue the current process,

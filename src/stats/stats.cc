@@ -95,6 +95,31 @@ Histogram::fractionAtOrBelow(double val) const
     return static_cast<double>(at_or_below) / dist_.count();
 }
 
+double
+Histogram::percentile(double p) const
+{
+    const CountT n = dist_.count();
+    if (n == 0)
+        return 0.0;
+    p = std::min(1.0, std::max(0.0, p));
+    const double rank = p * static_cast<double>(n);
+    double cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double in_bucket = static_cast<double>(counts_[i]);
+        if (in_bucket > 0 && cum + in_bucket >= rank) {
+            // Interpolate the rank's position inside [i*w, (i+1)*w).
+            const double frac =
+                std::max(0.0, rank - cum) / in_bucket;
+            const double v = (i + frac) * bucketWidth_;
+            return std::min(dist_.max(), std::max(dist_.min(), v));
+        }
+        cum += in_bucket;
+    }
+    // The rank lands among overflow samples; all we know about them
+    // is the recorded extremum.
+    return dist_.max();
+}
+
 StatGroup::Entry &
 StatGroup::newEntry(const std::string &name, std::string desc)
 {

@@ -105,6 +105,17 @@ class Histogram
     /** Fraction of samples with value <= val (bucket-resolution). */
     double fractionAtOrBelow(double val) const;
 
+    /** @name Percentiles, linearly interpolated within buckets.
+     *  Ranks that fall into the overflow bucket report the observed
+     *  maximum; results are clamped to [min(), max()] so a
+     *  single-bucket histogram never reports a value outside the
+     *  samples it actually saw. Empty histograms report 0. @{ */
+    double percentile(double p) const;
+    double p50() const { return percentile(0.50); }
+    double p90() const { return percentile(0.90); }
+    double p99() const { return percentile(0.99); }
+    /** @} */
+
   private:
     double bucketWidth_;
     std::vector<CountT> counts_;

@@ -163,6 +163,33 @@ TEST(Tracer, RingDropsOldestAtCapacity)
     EXPECT_EQ(events.back().kind, XferKind::Return);
 }
 
+TEST(Tracer, DroppedSurvivesEpochs)
+{
+    // The runtime rolls a tracer across jobs with setBase()+clear();
+    // dropped() must keep the lifetime total, not reset per epoch
+    // (it used to be computed as recorded() - events.size(), which a
+    // clear() silently zeroed).
+    Rig rig(kPrimes);
+    obs::Tracer tracer(4);
+    rig.machine->setObserver(&tracer);
+    runMain(rig, "Main", 20);
+
+    const CountT first_dropped = tracer.dropped();
+    EXPECT_GT(first_dropped, 0u);
+    EXPECT_EQ(first_dropped, tracer.recorded() - 4);
+
+    tracer.setBase(tracer.base() + rig.machine->cycles());
+    tracer.clear();
+    EXPECT_EQ(tracer.recorded(), 0u);
+    EXPECT_EQ(tracer.dropped(), first_dropped);
+
+    Rig rig2(kPrimes);
+    rig2.machine->setObserver(&tracer);
+    runMain(rig2, "Main", 20);
+    EXPECT_EQ(tracer.dropped(),
+              first_dropped + tracer.recorded() - 4);
+}
+
 TEST(Tracer, ExportIsByteIdenticalAcrossRuns)
 {
     const std::string a = traceOnce(25);

@@ -73,6 +73,57 @@ TEST(Histogram, FractionAtOrBelow)
     EXPECT_NEAR(h.fractionAtOrBelow(100.0), 1.0, 1e-9);
 }
 
+TEST(Histogram, PercentilesEmpty)
+{
+    const Histogram h(1.0, 10);
+    EXPECT_EQ(h.p50(), 0.0);
+    EXPECT_EQ(h.p90(), 0.0);
+    EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(Histogram, PercentilesSingleBucket)
+{
+    // One sample: every percentile is that sample (interpolation
+    // within the bucket is clamped to the observed range).
+    Histogram h(10.0, 4);
+    h.sample(5.0);
+    EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+    EXPECT_DOUBLE_EQ(h.p90(), 5.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 5.0);
+}
+
+TEST(Histogram, PercentilesInterpolate)
+{
+    Histogram h(1.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(i + 0.5); // one sample per bucket
+    EXPECT_NEAR(h.p50(), 5.0, 1e-9);
+    EXPECT_NEAR(h.p90(), 9.0, 1e-9);
+    // p99 lands 0.9 into the last bucket, clamped to the max seen.
+    EXPECT_NEAR(h.p99(), 9.5, 1e-9);
+    EXPECT_NEAR(h.percentile(0.0), 0.5, 1e-9); // clamped to min
+}
+
+TEST(Histogram, PercentilesAfterMerge)
+{
+    Histogram a(2.0, 4);
+    Histogram b(2.0, 4);
+    a.sample(1.0);
+    a.sample(1.0);
+    b.sample(3.0);
+    b.sample(3.0);
+    a.merge(b);
+    EXPECT_NEAR(a.p50(), 2.0, 1e-9);
+    EXPECT_NEAR(a.p99(), 3.0, 1e-9); // clamped to the merged max
+}
+
+TEST(Histogram, PercentileOfOverflowSamples)
+{
+    Histogram h(1.0, 2);
+    h.sample(10.0); // overflow bucket
+    EXPECT_DOUBLE_EQ(h.p50(), 10.0);
+}
+
 TEST(Histogram, BadShapePanics)
 {
     EXPECT_THROW(Histogram(0.0, 4), PanicError);

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Help-coverage checker: every flag a driver parses must be listed in
+its --help output exactly once, and vice versa.
+
+Usage:
+    check_help_coverage.py <driver-binary> <driver-source.cc>
+
+The parsed set comes from the source's argument-dispatch patterns
+(`arg == "--x"` and `arg.rfind("--x=", 0)`); the documented set from
+running `<driver> --help` and collecting the option-table lines (lines
+whose first token starts with `--`). The two sets must be equal, and
+no flag may be documented twice. Exits 0 on success, 1 with the
+difference otherwise. Stdlib only.
+"""
+
+import re
+import subprocess
+import sys
+
+EQ_RE = re.compile(r'arg\s*==\s*"(--[a-z][a-z0-9-]*)"')
+RFIND_RE = re.compile(r'arg\.rfind\("(--[a-z][a-z0-9-]*)=?",\s*0\)')
+HELP_FLAG_RE = re.compile(r"^\s+(--[a-z][a-z0-9-]*)")
+
+
+def parsed_flags(source_path):
+    with open(source_path, "r", encoding="utf-8") as f:
+        src = f.read()
+    flags = set(EQ_RE.findall(src))
+    flags.update(f.rstrip("=") for f in RFIND_RE.findall(src))
+    return flags
+
+
+def documented_flags(binary):
+    proc = subprocess.run([binary, "--help"], capture_output=True,
+                          text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(
+            "check_help_coverage: '%s --help' exited %d\n"
+            % (binary, proc.returncode))
+        sys.exit(1)
+    counts = {}
+    for line in proc.stdout.splitlines():
+        m = HELP_FLAG_RE.match(line)
+        if m:
+            flag = m.group(1)
+            counts[flag] = counts.get(flag, 0) + 1
+    return counts
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    binary, source = argv[1], argv[2]
+
+    parsed = parsed_flags(source)
+    if not parsed:
+        sys.stderr.write(
+            "check_help_coverage: no parsed flags found in %s "
+            "(dispatch pattern changed?)\n" % source)
+        return 1
+    documented = documented_flags(binary)
+
+    ok = True
+    for flag, n in sorted(documented.items()):
+        if n != 1:
+            sys.stderr.write(
+                "check_help_coverage: %s listed %d times in --help\n"
+                % (flag, n))
+            ok = False
+    undocumented = parsed - set(documented)
+    unparsed = set(documented) - parsed
+    for flag in sorted(undocumented):
+        sys.stderr.write(
+            "check_help_coverage: %s is parsed but missing from "
+            "--help\n" % flag)
+        ok = False
+    for flag in sorted(unparsed):
+        sys.stderr.write(
+            "check_help_coverage: %s is in --help but never parsed\n"
+            % flag)
+        ok = False
+    if not ok:
+        return 1
+    print("check_help_coverage: OK (%d flags)" % len(parsed))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

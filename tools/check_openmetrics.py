@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Strict checker for the OpenMetrics text exposition the drivers emit.
+
+Usage:
+    check_openmetrics.py --file <exposition.txt>
+    check_openmetrics.py <driver> [driver args...]
+
+In driver mode the driver is run with --openmetrics-out=<tmpfile>
+appended and the resulting exposition is validated. The checks follow
+the OpenMetrics 1.0 text format:
+
+  * every metric family is introduced by adjacent `# HELP` and
+    `# TYPE` lines, declared exactly once;
+  * sample lines belong to a declared family — counters sample as
+    `<family>_total`, gauges as `<family>`;
+  * metric and label names match the allowed charsets, label values
+    are correctly quoted/escaped, sample values and the optional
+    timestamps parse as numbers;
+  * the exposition ends with the mandatory `# EOF` terminator and
+    nothing follows it.
+
+Exits 0 when the exposition is valid, 1 with a line-numbered
+diagnosis otherwise. Stdlib only.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+HELP_RE = re.compile(r"^# HELP (\S+) (.+)$")
+TYPE_RE = re.compile(r"^# TYPE (\S+) (\S+)$")
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)( \S+)?$")
+LABELS_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\\\|\\"|\\n)*)"')
+ALLOWED_TYPES = {"counter", "gauge", "histogram", "summary",
+                 "info", "stateset", "unknown"}
+
+
+def fail(lineno, line, why):
+    sys.stderr.write(
+        "check_openmetrics: line %d: %s\n  %s\n" % (lineno, why, line))
+    sys.exit(1)
+
+
+def parse_labels(lineno, line, braced):
+    body = braced[1:-1]
+    if not body:
+        return
+    consumed = 0
+    for m in LABELS_RE.finditer(body):
+        if m.start() != consumed:
+            fail(lineno, line, "malformed label set %r" % braced)
+        consumed = m.end()
+        if consumed < len(body):
+            if body[consumed] != ",":
+                fail(lineno, line, "labels must be comma-separated")
+            consumed += 1
+    if consumed != len(body):
+        fail(lineno, line, "malformed label set %r" % braced)
+
+
+def check(text):
+    if not text.endswith("# EOF\n"):
+        sys.stderr.write(
+            "check_openmetrics: exposition must end with '# EOF'\n")
+        sys.exit(1)
+
+    families = {}      # name -> type
+    last_help = None   # family name from the preceding HELP line
+    saw_eof = False
+    samples = 0
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if saw_eof:
+            fail(lineno, line, "content after '# EOF'")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if not line:
+            fail(lineno, line, "blank lines are not allowed")
+
+        if line.startswith("# HELP "):
+            m = HELP_RE.match(line)
+            if not m:
+                fail(lineno, line, "malformed HELP line")
+            name = m.group(1)
+            if not METRIC_NAME.fullmatch(name):
+                fail(lineno, line, "bad metric name %r" % name)
+            if name in families:
+                fail(lineno, line, "family %r declared twice" % name)
+            last_help = name
+            continue
+
+        if line.startswith("# TYPE "):
+            m = TYPE_RE.match(line)
+            if not m:
+                fail(lineno, line, "malformed TYPE line")
+            name, mtype = m.group(1), m.group(2)
+            if name != last_help:
+                fail(lineno, line,
+                     "TYPE must directly follow its HELP line")
+            if mtype not in ALLOWED_TYPES:
+                fail(lineno, line, "unknown metric type %r" % mtype)
+            families[name] = mtype
+            last_help = None
+            continue
+
+        if line.startswith("#"):
+            fail(lineno, line, "unexpected comment line")
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(lineno, line, "malformed sample line")
+        name, braced, value, stamp = m.groups()
+
+        family = None
+        if name.endswith("_total"):
+            base = name[: -len("_total")]
+            if families.get(base) == "counter":
+                family = base
+        if family is None and families.get(name) == "gauge":
+            family = name
+        if family is None:
+            fail(lineno, line,
+                 "sample %r has no matching family declaration "
+                 "(counters sample as <family>_total)" % name)
+
+        if braced:
+            parse_labels(lineno, line, braced)
+        try:
+            float(value)
+        except ValueError:
+            fail(lineno, line, "bad sample value %r" % value)
+        if stamp is not None:
+            try:
+                float(stamp.strip())
+            except ValueError:
+                fail(lineno, line, "bad timestamp %r" % stamp.strip())
+        samples += 1
+
+    if not saw_eof:
+        sys.stderr.write("check_openmetrics: missing '# EOF'\n")
+        sys.exit(1)
+    return len(families), samples
+
+
+def main(argv):
+    if len(argv) >= 3 and argv[1] == "--file":
+        with open(argv[2], "r", encoding="utf-8") as f:
+            text = f.read()
+    elif len(argv) >= 2:
+        fd, path = tempfile.mkstemp(suffix=".om.txt")
+        os.close(fd)
+        try:
+            cmd = argv[1:] + ["--openmetrics-out=" + path]
+            proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+            if proc.returncode != 0:
+                sys.stderr.write(
+                    "check_openmetrics: driver exited %d\n"
+                    % proc.returncode)
+                return 1
+            with open(path, "r", encoding="utf-8") as f:
+                text = f.read()
+        finally:
+            os.unlink(path)
+    else:
+        sys.stderr.write(__doc__)
+        return 2
+
+    nfam, nsamples = check(text)
+    print("check_openmetrics: OK (%d families, %d samples)"
+          % (nfam, nsamples))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -62,6 +62,11 @@ struct Options
     unsigned profileTop = 20;
     std::string profileFolded; ///< folded-stacks path (flamegraph.pl)
     std::string statsJson;     ///< "fpc-stats-v1" document path
+    std::string metricsOut;    ///< "fpc-metrics-v1" time-series path
+    Tick metricsInterval = obs::Telemetry::defaultInterval;
+    std::size_t metricsCapacity = obs::Telemetry::defaultCapacity;
+    std::string openmetricsOut; ///< OpenMetrics exposition path
+    std::string postmortemDir;  ///< per-failed-job bundle directory
 };
 
 void
@@ -101,6 +106,20 @@ printUsage(std::ostream &os, const char *argv0)
           "(flamegraph.pl)\n"
           "  --stats-json=FILE               write merged statistics "
           "as JSON\n"
+          "  --metrics-out=FILE              write a fpc-metrics-v1 "
+          "series per worker\n"
+          "  --metrics-interval=N            cycles between samples "
+          "(default "
+       << obs::Telemetry::defaultInterval
+       << ")\n"
+          "  --metrics-capacity=N            per-worker metrics ring "
+          "size (default "
+       << obs::Telemetry::defaultCapacity
+       << ")\n"
+          "  --openmetrics-out=FILE          write the series as "
+          "OpenMetrics text\n"
+          "  --postmortem-dir=DIR            write a bundle per failed "
+          "job\n"
           "  --help                          show this help\n";
 }
 
@@ -189,6 +208,18 @@ parseArgs(int argc, char **argv)
             opt.profileFolded = value("--profile-folded=");
         } else if (arg.rfind("--stats-json=", 0) == 0) {
             opt.statsJson = value("--stats-json=");
+        } else if (arg.rfind("--metrics-out=", 0) == 0) {
+            opt.metricsOut = value("--metrics-out=");
+        } else if (arg.rfind("--metrics-interval=", 0) == 0) {
+            opt.metricsInterval =
+                std::stoull(value("--metrics-interval="));
+        } else if (arg.rfind("--metrics-capacity=", 0) == 0) {
+            opt.metricsCapacity =
+                std::stoull(value("--metrics-capacity="));
+        } else if (arg.rfind("--openmetrics-out=", 0) == 0) {
+            opt.openmetricsOut = value("--openmetrics-out=");
+        } else if (arg.rfind("--postmortem-dir=", 0) == 0) {
+            opt.postmortemDir = value("--postmortem-dir=");
         } else if (arg == "--help") {
             printUsage(std::cout, argv[0]);
             std::exit(0);
@@ -251,6 +282,12 @@ try {
     rc.trace = !opt.traceOut.empty();
     rc.traceCapacity = opt.traceCapacity;
     rc.profile = opt.profile;
+    rc.metrics =
+        !opt.metricsOut.empty() || !opt.openmetricsOut.empty();
+    rc.metricsInterval = opt.metricsInterval;
+    rc.metricsCapacity = opt.metricsCapacity;
+    rc.postmortemDir = opt.postmortemDir;
+    rc.driver = "fpcrun";
     sched::Runtime runtime(rc);
 
     if (opt.synthetic) {
@@ -374,6 +411,24 @@ try {
         if (opt.accelStats)
             exp.accel = &runtime.accelStats();
         obs::writeStatsJson(out, exp);
+    }
+    if (!opt.metricsOut.empty()) {
+        std::ofstream out(opt.metricsOut);
+        if (!out) {
+            std::cerr << "fpcrun: cannot write " << opt.metricsOut
+                      << "\n";
+            return 1;
+        }
+        runtime.writeMetricsJson(out);
+    }
+    if (!opt.openmetricsOut.empty()) {
+        std::ofstream out(opt.openmetricsOut);
+        if (!out) {
+            std::cerr << "fpcrun: cannot write " << opt.openmetricsOut
+                      << "\n";
+            return 1;
+        }
+        runtime.writeOpenMetrics(out);
     }
     return failed == 0 ? 0 : 1;
 } catch (const std::exception &err) {

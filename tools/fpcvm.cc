@@ -28,7 +28,9 @@
 #include "machine/machine.hh"
 #include "obs/fanout.hh"
 #include "obs/json.hh"
+#include "obs/postmortem.hh"
 #include "obs/profile.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "program/loader.hh"
 #include "stats/table.hh"
@@ -59,6 +61,11 @@ struct Options
     unsigned profileTop = 20;
     std::string profileFolded; ///< folded-stacks path (flamegraph.pl)
     std::string statsJson;     ///< "fpc-stats-v1" document path
+    std::string metricsOut;    ///< "fpc-metrics-v1" time-series path
+    Tick metricsInterval = obs::Telemetry::defaultInterval;
+    std::size_t metricsCapacity = obs::Telemetry::defaultCapacity;
+    std::string openmetricsOut; ///< OpenMetrics exposition path
+    std::string postmortemDir;  ///< bundle directory on error stops
 };
 
 void
@@ -92,6 +99,20 @@ printUsage(std::ostream &os, const char *argv0)
           "  --profile-folded=FILE           write folded stacks "
           "(flamegraph.pl)\n"
           "  --stats-json=FILE               write statistics as JSON\n"
+          "  --metrics-out=FILE              write a fpc-metrics-v1 "
+          "time series\n"
+          "  --metrics-interval=N            cycles between samples "
+          "(default "
+       << obs::Telemetry::defaultInterval
+       << ")\n"
+          "  --metrics-capacity=N            metrics ring size "
+          "(default "
+       << obs::Telemetry::defaultCapacity
+       << ")\n"
+          "  --openmetrics-out=FILE          write the series as "
+          "OpenMetrics text\n"
+          "  --postmortem-dir=DIR            write a postmortem bundle "
+          "on error stops\n"
           "  --help                          show this help\n";
 }
 
@@ -174,6 +195,18 @@ parseArgs(int argc, char **argv)
             opt.profileFolded = value("--profile-folded=");
         } else if (arg.rfind("--stats-json=", 0) == 0) {
             opt.statsJson = value("--stats-json=");
+        } else if (arg.rfind("--metrics-out=", 0) == 0) {
+            opt.metricsOut = value("--metrics-out=");
+        } else if (arg.rfind("--metrics-interval=", 0) == 0) {
+            opt.metricsInterval =
+                std::stoull(value("--metrics-interval="));
+        } else if (arg.rfind("--metrics-capacity=", 0) == 0) {
+            opt.metricsCapacity =
+                std::stoull(value("--metrics-capacity="));
+        } else if (arg.rfind("--openmetrics-out=", 0) == 0) {
+            opt.openmetricsOut = value("--openmetrics-out=");
+        } else if (arg.rfind("--postmortem-dir=", 0) == 0) {
+            opt.postmortemDir = value("--postmortem-dir=");
         } else if (arg == "--help") {
             printUsage(std::cout, argv[0]);
             std::exit(0);
@@ -336,8 +369,17 @@ try {
         profiler.emplace(image);
         fanout.add(&*profiler);
     }
+    obs::FlightRecorder recorder;
+    if (!opt.postmortemDir.empty())
+        fanout.add(&recorder);
     if (!fanout.empty())
         machine.setObserver(&fanout);
+
+    const bool metricsWanted =
+        !opt.metricsOut.empty() || !opt.openmetricsOut.empty();
+    obs::Telemetry telemetry(opt.metricsCapacity);
+    if (metricsWanted || !opt.postmortemDir.empty())
+        machine.setSampler(&telemetry, opt.metricsInterval);
 
     if (opt.timeslice > 0) {
         // Single program, so every expired slice switches the process
@@ -346,7 +388,13 @@ try {
             [](Machine &m) { return m.currentFrameContext(); });
     }
     machine.start(entry, opt.entryProc, opt.args);
+    // Bracket the run: even programs shorter than one interval export
+    // a start and a final point.
+    if (machine.sampler() != nullptr)
+        telemetry.sample(machine);
     const RunResult result = machine.run();
+    if (machine.sampler() != nullptr)
+        telemetry.sample(machine);
 
     for (const Word v : machine.output())
         std::cout << static_cast<SWord>(v) << "\n";
@@ -359,6 +407,17 @@ try {
         std::cerr << "fpcvm: " << stopReasonName(result.reason) << ": "
                   << result.message << "\n";
         exit_code = 1;
+        if (!opt.postmortemDir.empty()) {
+            obs::PostmortemConfig pm;
+            pm.dir = opt.postmortemDir;
+            pm.driver = "fpcvm";
+            pm.impl = implName(config.impl);
+            if (obs::writePostmortem(pm, machine, result, image,
+                                     recorder, &telemetry)) {
+                std::cerr << "fpcvm: postmortem bundle written to "
+                          << opt.postmortemDir << "\n";
+            }
+        }
     }
 
     if (opt.stats)
@@ -419,6 +478,38 @@ try {
             exp.accel = &accel_counters;
         }
         obs::writeStatsJson(out, exp);
+    }
+    if (metricsWanted) {
+        obs::MetricsExport meta;
+        meta.driver = "fpcvm";
+        meta.impl = implName(config.impl);
+        meta.interval = opt.metricsInterval;
+        // Host hit rates only on request, like --accel-stats: the
+        // default series must be byte-identical with --accel=on|off.
+        meta.includeAccel = opt.accelStats;
+        if (!opt.metricsOut.empty()) {
+            std::ofstream out(opt.metricsOut);
+            if (!out) {
+                std::cerr << "fpcvm: cannot write " << opt.metricsOut
+                          << "\n";
+                return 1;
+            }
+            obs::writeMetricsJson(out, meta, telemetry);
+            if (telemetry.dropped() > 0)
+                std::cerr << "fpcvm: metrics ring dropped "
+                          << telemetry.dropped() << " of "
+                          << telemetry.recorded()
+                          << " samples (raise --metrics-capacity)\n";
+        }
+        if (!opt.openmetricsOut.empty()) {
+            std::ofstream out(opt.openmetricsOut);
+            if (!out) {
+                std::cerr << "fpcvm: cannot write "
+                          << opt.openmetricsOut << "\n";
+                return 1;
+            }
+            obs::writeOpenMetrics(out, meta, telemetry);
+        }
     }
     return exit_code;
 } catch (const std::exception &err) {
