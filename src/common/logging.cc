@@ -8,12 +8,53 @@ namespace fpc
 namespace
 {
 bool quietMode = false;
+LogLevel currentLevel = LogLevel::Info;
+
+bool
+enabled(LogLevel level)
+{
+    return !quietMode && level <= currentLevel;
+}
 } // namespace
 
 void
 setQuiet(bool quiet)
 {
     quietMode = quiet;
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error: return "error";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Info: return "info";
+      case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
+bool
+parseLogLevel(std::string_view name, LogLevel &out)
+{
+    if (name == "error") { out = LogLevel::Error; return true; }
+    if (name == "warn") { out = LogLevel::Warn; return true; }
+    if (name == "info") { out = LogLevel::Info; return true; }
+    if (name == "debug") { out = LogLevel::Debug; return true; }
+    return false;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    currentLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return currentLevel;
 }
 
 void
@@ -33,17 +74,31 @@ fatalImpl(const std::string &msg)
 }
 
 void
+errorImpl(const std::string &msg)
+{
+    if (enabled(LogLevel::Error))
+        std::cerr << "error: " << msg << std::endl;
+}
+
+void
 warnImpl(const std::string &msg)
 {
-    if (!quietMode)
+    if (enabled(LogLevel::Warn))
         std::cerr << "warn: " << msg << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quietMode)
+    if (enabled(LogLevel::Info))
         std::cerr << "info: " << msg << std::endl;
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (enabled(LogLevel::Debug))
+        std::cerr << "debug: " << msg << std::endl;
 }
 
 } // namespace fpc

@@ -34,10 +34,31 @@ class FatalError : public std::runtime_error
     explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
 };
 
+/** Verbosity of the non-throwing channels (error/warn/inform/debug).
+ *  Messages at or above the current level print to stderr; panic and
+ *  fatal always print (they are about to throw). */
+enum class LogLevel
+{
+    Error, ///< only error()
+    Warn,  ///< + warn()
+    Info,  ///< + inform() — the default
+    Debug  ///< + debugMsg()
+};
+
+const char *logLevelName(LogLevel level);
+
+/** Parse "error" | "warn" | "info" | "debug"; false on anything else. */
+bool parseLogLevel(std::string_view name, LogLevel &out);
+
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
 [[noreturn]] void panicImpl(const std::string &msg);
 [[noreturn]] void fatalImpl(const std::string &msg);
+void errorImpl(const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
 
 /** Report a simulator bug and abort via exception. */
 template <typename... Args>
@@ -55,6 +76,15 @@ fatal(std::string_view fmt, const Args &...args)
     fatalImpl(strfmt(fmt, args...));
 }
 
+/** Report a survivable error the program should still act on (a
+ *  driver reporting it will typically exit nonzero). Never throws. */
+template <typename... Args>
+void
+error(std::string_view fmt, const Args &...args)
+{
+    errorImpl(strfmt(fmt, args...));
+}
+
 /** Report a suspicious but survivable condition. */
 template <typename... Args>
 void
@@ -69,6 +99,14 @@ void
 inform(std::string_view fmt, const Args &...args)
 {
     informImpl(strfmt(fmt, args...));
+}
+
+/** Diagnostic chatter, off unless --log-level=debug. */
+template <typename... Args>
+void
+debugMsg(std::string_view fmt, const Args &...args)
+{
+    debugImpl(strfmt(fmt, args...));
 }
 
 /** Quiet warn/inform output (benchmarks set this). */

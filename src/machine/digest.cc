@@ -1,0 +1,100 @@
+#include "machine/digest.hh"
+
+#include "machine/machine.hh"
+
+namespace fpc
+{
+
+namespace
+{
+
+/** Separate the digest's sections so reordered state cannot alias. */
+constexpr std::uint64_t
+section(std::uint64_t h, std::uint8_t tag)
+{
+    return fnv1aByte(h, tag);
+}
+
+std::uint64_t
+digestArch(std::uint64_t h, const Machine &m)
+{
+    h = section(h, 'R');
+    h = fnv1aWord(h, m.pc());
+    h = fnv1aWord(h, m.currentGlobalFrame());
+    h = section(h, 'S');
+    h = fnv1aWord(h, m.stackDepth());
+    for (unsigned i = 0; i < m.stackDepth(); ++i)
+        h = fnv1aWord(h, m.stackAt(i));
+    h = section(h, 'O');
+    h = fnv1aWord(h, m.output().size());
+    for (const Word v : m.output())
+        h = fnv1aWord(h, v);
+    return h;
+}
+
+std::uint64_t
+digestMicro(std::uint64_t h, const Machine &m)
+{
+    // Frame registers: engine-dependent (I4 allocates fast frames in
+    // its own order), so these live outside the Arch scope.
+    h = section(h, 'F');
+    h = fnv1aWord(h, m.currentFrame());
+    h = fnv1aWord(h, m.returnContext());
+
+    // IFU return stack (I3/I4): resident entry frames, innermost last.
+    h = section(h, 'I');
+    const std::vector<Addr> ret = m.returnStackFrames();
+    h = fnv1aWord(h, ret.size());
+    for (const Addr frame : ret)
+        h = fnv1aWord(h, frame);
+
+    // Register banks (I4): ownership and resident contents. Free
+    // banks contribute only their tag — their data is garbage.
+    h = section(h, 'B');
+    const BankFile &banks = m.banks();
+    h = fnv1aWord(h, banks.numBanks());
+    h = fnv1aWord(h, static_cast<std::uint64_t>(
+                         static_cast<std::int64_t>(m.currentLbank())));
+    h = fnv1aWord(h,
+                  static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(m.currentStackBank())));
+    for (unsigned b = 0; b < banks.numBanks(); ++b) {
+        const int bank = static_cast<int>(b);
+        if (banks.isFree(bank)) {
+            h = fnv1aByte(h, 0);
+            continue;
+        }
+        h = fnv1aByte(h, 1);
+        h = fnv1aWord(h, banks.owner(bank));
+        for (unsigned w = 0; w < banks.bankWords(); ++w)
+            h = fnv1aWord(h, banks.readOwned(bank, w));
+    }
+    h = fnv1aWord(h, m.fastFrameStackSize());
+
+    // Frame heap: the AV free lists and the live census.
+    h = section(h, 'H');
+    const FrameHeap &heap = m.heap();
+    h = fnv1aWord(h, heap.stats().liveFrames());
+    h = fnv1aWord(h, heap.stats().allocs);
+    h = fnv1aWord(h, heap.stats().frees);
+    h = fnv1aWord(h, heap.regionRemaining());
+    const unsigned classes = heap.classes().numClasses();
+    h = fnv1aWord(h, classes);
+    for (unsigned c = 0; c < classes; ++c)
+        h = fnv1aWord(h, heap.freeListLength(c));
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+stateDigest(const Machine &machine, DigestScope scope)
+{
+    std::uint64_t h = fnvOffsetBasis;
+    h = digestArch(h, machine);
+    if (scope == DigestScope::Full)
+        h = digestMicro(h, machine);
+    return h;
+}
+
+} // namespace fpc

@@ -1,0 +1,264 @@
+#include "replay/record.hh"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "machine/digest.hh"
+#include "memory/memory.hh"
+
+namespace fpc::replay
+{
+
+std::string
+digestHex(std::uint64_t digest)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buf;
+}
+
+namespace
+{
+
+std::uint64_t
+parseHex16(const std::string &token)
+{
+    if (token.size() != 16)
+        fatal("record: bad digest token '{}'", token);
+    std::uint64_t v = 0;
+    for (const char c : token) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= c - '0';
+        else if (c >= 'a' && c <= 'f')
+            v |= c - 'a' + 10;
+        else
+            fatal("record: bad digest token '{}'", token);
+    }
+    return v;
+}
+
+std::uint64_t
+parseU64(const std::string &token)
+{
+    std::uint64_t v = 0;
+    if (token.empty())
+        fatal("record: expected a number, got an empty field");
+    for (const char c : token) {
+        if (c < '0' || c > '9')
+            fatal("record: bad number '{}'", token);
+        v = v * 10 + (c - '0');
+    }
+    return v;
+}
+
+} // namespace
+
+Impl
+parseImplToken(const std::string &token)
+{
+    if (token == "simple")
+        return Impl::Simple;
+    if (token == "mesa")
+        return Impl::Mesa;
+    if (token == "ifu")
+        return Impl::Ifu;
+    if (token == "banked")
+        return Impl::Banked;
+    fatal("record: unknown impl '{}'", token);
+}
+
+const char *
+implToken(Impl impl)
+{
+    switch (impl) {
+      case Impl::Simple: return "simple";
+      case Impl::Mesa: return "mesa";
+      case Impl::Ifu: return "ifu";
+      case Impl::Banked: return "banked";
+    }
+    return "?";
+}
+
+CallLowering
+parseLoweringToken(const std::string &token)
+{
+    if (token == "fat")
+        return CallLowering::Fat;
+    if (token == "mesa")
+        return CallLowering::Mesa;
+    if (token == "direct")
+        return CallLowering::Direct;
+    fatal("record: unknown linkage '{}'", token);
+}
+
+void
+writeRecord(std::ostream &os, const RecordLog &log)
+{
+    os << "fpc-record-v1\n"
+       << "impl " << implToken(log.impl) << "\n"
+       << "linkage " << callLoweringName(log.lowering) << "\n"
+       << "short-calls " << (log.shortCalls ? 1 : 0) << "\n"
+       << "banks " << log.banks << "\n"
+       << "timeslice " << log.timeslice << "\n"
+       << "accel " << (log.accel ? 1 : 0) << "\n"
+       << "interval " << log.interval << "\n"
+       << "workers " << log.workers << "\n"
+       << "stride " << log.stride << "\n"
+       << "image-hash " << digestHex(log.imageHash) << "\n"
+       << "entry " << log.entryModule << " " << log.entryProc << "\n";
+    for (const Word a : log.args)
+        os << "arg " << a << "\n";
+    std::istringstream src(log.source);
+    for (std::string line; std::getline(src, line);) {
+        if (line.empty())
+            os << "src\n";
+        else
+            os << "src " << line << "\n";
+    }
+    for (const JobRecord &job : log.jobs) {
+        os << "job " << job.id << " " << job.worker << "\n";
+        for (const Decision &d : job.decisions)
+            os << "decision " << d.step << " " << d.ctx << "\n";
+        for (const Sample &s : job.samples)
+            os << "sample " << s.steps << " " << s.cycles << " "
+               << digestHex(s.digest) << "\n";
+        os << "end " << job.final.reason << " " << job.final.steps
+           << " " << job.final.cycles << " " << digestHex(job.final.digest)
+           << " " << job.final.value << "\n";
+        os << "endstate " << job.final.pc << " " << job.final.lf << " "
+           << job.final.gf << " " << job.final.sp << " "
+           << job.final.heapLive << " " << job.final.heapAllocs << " "
+           << job.final.heapFrees << "\n";
+    }
+    os << "eof\n";
+}
+
+RecordLog
+parseRecord(std::istream &is)
+{
+    RecordLog log;
+    std::string line;
+    if (!std::getline(is, line) || line != "fpc-record-v1")
+        fatal("record: not an fpc-record-v1 log (bad magic)");
+
+    JobRecord *job = nullptr;
+    bool sawEof = false;
+    std::string source;
+    while (std::getline(is, line)) {
+        // "src" lines carry raw text; split off only the keyword.
+        const auto space = line.find(' ');
+        const std::string kw = line.substr(0, space);
+        const std::string rest =
+            space == std::string::npos ? "" : line.substr(space + 1);
+        if (kw == "src") {
+            source += rest;
+            source += '\n';
+            continue;
+        }
+        std::istringstream fields(rest);
+        auto word = [&]() {
+            std::string t;
+            if (!(fields >> t))
+                fatal("record: truncated '{}' line", kw);
+            return t;
+        };
+        if (kw == "impl") {
+            log.impl = parseImplToken(word());
+        } else if (kw == "linkage") {
+            log.lowering = parseLoweringToken(word());
+        } else if (kw == "short-calls") {
+            log.shortCalls = parseU64(word()) != 0;
+        } else if (kw == "banks") {
+            log.banks = static_cast<unsigned>(parseU64(word()));
+        } else if (kw == "timeslice") {
+            log.timeslice = parseU64(word());
+        } else if (kw == "accel") {
+            log.accel = parseU64(word()) != 0;
+        } else if (kw == "interval") {
+            log.interval = parseU64(word());
+        } else if (kw == "workers") {
+            log.workers = static_cast<unsigned>(parseU64(word()));
+        } else if (kw == "stride") {
+            log.stride = static_cast<unsigned>(parseU64(word()));
+        } else if (kw == "image-hash") {
+            log.imageHash = parseHex16(word());
+        } else if (kw == "entry") {
+            log.entryModule = word();
+            log.entryProc = word();
+        } else if (kw == "arg") {
+            log.args.push_back(
+                static_cast<Word>(parseU64(word()) & 0xFFFF));
+        } else if (kw == "job") {
+            log.jobs.emplace_back();
+            job = &log.jobs.back();
+            job->id = static_cast<unsigned>(parseU64(word()));
+            job->worker = static_cast<unsigned>(parseU64(word()));
+        } else if (kw == "decision") {
+            if (job == nullptr)
+                fatal("record: 'decision' before any 'job'");
+            Decision d;
+            d.step = parseU64(word());
+            d.ctx = static_cast<Word>(parseU64(word()) & 0xFFFF);
+            job->decisions.push_back(d);
+        } else if (kw == "sample") {
+            if (job == nullptr)
+                fatal("record: 'sample' before any 'job'");
+            Sample s;
+            s.steps = parseU64(word());
+            s.cycles = parseU64(word());
+            s.digest = parseHex16(word());
+            job->samples.push_back(s);
+        } else if (kw == "end") {
+            if (job == nullptr)
+                fatal("record: 'end' before any 'job'");
+            job->final.reason = word();
+            job->final.steps = parseU64(word());
+            job->final.cycles = parseU64(word());
+            job->final.digest = parseHex16(word());
+            job->final.value =
+                static_cast<Word>(parseU64(word()) & 0xFFFF);
+        } else if (kw == "endstate") {
+            if (job == nullptr)
+                fatal("record: 'endstate' before any 'job'");
+            job->final.pc = parseU64(word());
+            job->final.lf = parseU64(word());
+            job->final.gf = parseU64(word());
+            job->final.sp = static_cast<unsigned>(parseU64(word()));
+            job->final.heapLive = parseU64(word());
+            job->final.heapAllocs = parseU64(word());
+            job->final.heapFrees = parseU64(word());
+        } else if (kw == "eof") {
+            sawEof = true;
+            break;
+        } else {
+            fatal("record: unknown line '{}'", line);
+        }
+    }
+    if (!sawEof)
+        fatal("record: truncated log (no 'eof' terminator)");
+    if (log.entryModule.empty())
+        fatal("record: log has no 'entry' line");
+    if (source.empty())
+        fatal("record: log has no embedded program ('src' lines)");
+    log.source = std::move(source);
+    return log;
+}
+
+std::uint64_t
+imageHash(const Memory &memory, const LoadedImage &image)
+{
+    std::uint64_t h = fnvOffsetBasis;
+    for (Addr a = 0; a < image.layout().globalEnd; ++a)
+        h = fnv1aWord(h, memory.peek(a));
+    for (const PlacedModule &pm : image.modules())
+        for (unsigned b = 0; b < pm.segBytes; ++b)
+            h = fnv1aByte(h, memory.peekByte(pm.segBase + b));
+    return h;
+}
+
+} // namespace fpc::replay

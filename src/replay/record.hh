@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The "fpc-record-v1" execution log: everything needed to re-run an
+ * execution deterministically and check it against the original.
+ *
+ * Because every simulated number is byte-identical across runs and
+ * across the acceleration switch (docs/PERFORMANCE.md), a complete
+ * execution history needs only three things beyond the program
+ * itself: the machine configuration, the scheduler's decisions
+ * (step-stamped contexts), and a stream of periodic state digests to
+ * check against. The format is line-oriented text, append-only
+ * streamable, and self-contained — the MiniMesa source is embedded,
+ * so a recording taken on one checkout replays anywhere:
+ *
+ *     fpc-record-v1
+ *     impl mesa              linkage mesa        short-calls 0
+ *     banks 4                timeslice 1000      accel 1
+ *     interval 10000         workers 2           stride 2
+ *     image-hash <hex16>
+ *     entry Main main
+ *     arg 12                 (one line per entry argument)
+ *     src <source line>      (one line per embedded source line)
+ *     job <id> <worker>
+ *     decision <step> <ctx>
+ *     sample <steps> <cycles> <digest-hex16>
+ *     end <reason> <steps> <cycles> <digest-hex16> <value>
+ *     eof
+ *
+ * Digests are DigestScope::Full (machine/digest.hh). The image hash
+ * is FNV-1a over the loaded image — data words below
+ * SystemLayout::globalEnd plus every placed code segment — taken
+ * after Loader::load and before the Machine exists (the FrameHeap
+ * constructor rewrites the AV), at the identical point during record
+ * and replay.
+ */
+
+#ifndef FPC_REPLAY_RECORD_HH
+#define FPC_REPLAY_RECORD_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "machine/config.hh"
+#include "program/loader.hh"
+
+namespace fpc
+{
+class Memory;
+}
+
+namespace fpc::replay
+{
+
+/** One scheduler decision: at instruction `step`, XFER to `ctx`. */
+struct Decision
+{
+    std::uint64_t step = 0;
+    Word ctx = 0;
+};
+
+/** One periodic state digest. */
+struct Sample
+{
+    std::uint64_t steps = 0;
+    Tick cycles = 0;
+    std::uint64_t digest = 0;
+};
+
+/** How a job's run ended. The register and heap fields feed the
+ *  divergence bundle's recorded-vs-replayed deltas. */
+struct Final
+{
+    std::string reason; ///< stopReasonName() token
+    std::uint64_t steps = 0;
+    Tick cycles = 0;
+    std::uint64_t digest = 0;
+    Word value = 0; ///< top-of-stack on topReturn, else 0
+    std::uint64_t pc = 0;
+    std::uint64_t lf = 0;
+    std::uint64_t gf = 0;
+    unsigned sp = 0;
+    std::uint64_t heapLive = 0;
+    std::uint64_t heapAllocs = 0;
+    std::uint64_t heapFrees = 0;
+};
+
+/** One job's recorded history. */
+struct JobRecord
+{
+    unsigned id = 0;
+    unsigned worker = 0;
+    std::vector<Decision> decisions;
+    std::vector<Sample> samples;
+    Final final;
+};
+
+/** A parsed (or to-be-written) recording. */
+struct RecordLog
+{
+    Impl impl = Impl::Mesa;
+    CallLowering lowering = CallLowering::Mesa;
+    bool shortCalls = false;
+    unsigned banks = 4;
+    std::uint64_t timeslice = 0;
+    bool accel = true;
+    Tick interval = 10000;
+    unsigned workers = 1;
+    unsigned stride = 1;
+    std::uint64_t imageHash = 0;
+    std::string entryModule;
+    std::string entryProc;
+    std::vector<Word> args;
+    std::string source; ///< the embedded MiniMesa program
+    std::vector<JobRecord> jobs;
+};
+
+/** Serialize the log (terminated with "eof"). */
+void writeRecord(std::ostream &os, const RecordLog &log);
+
+/** Parse a log; throws FatalError on malformed or truncated input. */
+RecordLog parseRecord(std::istream &is);
+
+/** Hash the loaded image: data words in [0, layout.globalEnd) plus
+ *  each placed module's code bytes. Call after Loader::load and
+ *  before constructing the Machine. */
+std::uint64_t imageHash(const Memory &memory, const LoadedImage &image);
+
+/** Render a digest as the format's fixed-width hex token. */
+std::string digestHex(std::uint64_t digest);
+
+/** Round-trip helpers for the header tokens; fatal on bad input. */
+Impl parseImplToken(const std::string &token);
+const char *implToken(Impl impl);
+CallLowering parseLoweringToken(const std::string &token);
+
+} // namespace fpc::replay
+
+#endif // FPC_REPLAY_RECORD_HH

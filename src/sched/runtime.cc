@@ -8,6 +8,7 @@
 #include "frames/size_classes.hh"
 #include "obs/fanout.hh"
 #include "obs/postmortem.hh"
+#include "replay/recorder.hh"
 
 namespace fpc::sched
 {
@@ -49,6 +50,12 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
     for (const Module &m : *job.modules)
         loader.add(m);
     const LoadedImage image = loader.load(mem, config_.plan);
+    if (config_.record) {
+        // Hash before the Machine exists: its FrameHeap constructor
+        // rewrites the AV, and replay hashes at this same point.
+        recordedImageHash_.store(replay::imageHash(mem, image),
+                                 std::memory_order_relaxed);
+    }
 
     Machine machine(mem, image, config_.machine);
 
@@ -75,21 +82,40 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
     }
     if (!fanout.empty())
         machine.setObserver(&fanout);
-    if (telemetry != nullptr)
+
+    // Record/replay capture: the replay recorder takes the machine's
+    // one sampler slot and chains a telemetry sampler behind it, so
+    // both fire on the same simulated-cycle boundaries.
+    replay::Recorder replayRec;
+    if (config_.record) {
+        replayRec.beginJob(id, worker_id);
+        replayRec.setNext(telemetry);
+        machine.setSampler(&replayRec, config_.metricsInterval);
+    } else if (telemetry != nullptr) {
         machine.setSampler(telemetry, config_.metricsInterval);
+    }
 
     if (config_.machine.timesliceSteps > 0) {
         // A single-process workload still takes the full ProcSwitch
         // XFER on every timeslice: the scheduler hook hands back the
         // current context and the engine pays the fallback.
-        machine.setScheduler(
-            [](Machine &m) { return m.currentFrameContext(); });
+        Machine::Scheduler policy =
+            [](Machine &m) { return m.currentFrameContext(); };
+        if (config_.record)
+            policy = replayRec.wrapPolicy(std::move(policy));
+        machine.setScheduler(std::move(policy));
     }
 
     machine.start(job.module, job.proc, job.args);
+    if (config_.record)
+        replayRec.sample(machine);
     if (telemetry != nullptr)
         telemetry->sample(machine);
     const RunResult result = machine.run();
+    if (config_.record) {
+        replayRec.finish(machine, result);
+        jobRecords_[id] = replayRec.takeJob(); // distinct slot: no lock
+    }
     if (telemetry != nullptr)
         telemetry->sample(machine);
 
@@ -228,6 +254,8 @@ Runtime::run()
         panic("Runtime::run called twice");
     ran_ = true;
     results_.resize(jobs_.size());
+    if (config_.record)
+        jobRecords_.resize(jobs_.size());
 
     const unsigned n =
         std::min<unsigned>(config_.workers,

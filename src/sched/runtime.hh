@@ -29,6 +29,7 @@
 #include "obs/trace.hh"
 #include "program/loader.hh"
 #include "program/module.hh"
+#include "replay/record.hh"
 #include "stats/stats.hh"
 
 namespace fpc::sched
@@ -85,6 +86,13 @@ struct RuntimeConfig
      *  directory. Forces the static assignment, like trace. */
     std::string postmortemDir;
 
+    /** Record every job's execution history (scheduler decisions +
+     *  periodic state digests on metricsInterval) into a
+     *  replay::JobRecord, retrievable with jobRecords() after run().
+     *  Forces the static assignment so job→worker mapping — part of
+     *  the fpc-record-v1 header — is reproducible. */
+    bool record = false;
+
     /** Identity stamped into metrics/postmortem exports. */
     std::string driver = "runtime";
 };
@@ -135,6 +143,26 @@ class Runtime
     /** Same series in OpenMetrics text exposition format. */
     void writeOpenMetrics(std::ostream &os) const;
 
+    /** Per-job recorded histories, indexed by job id (valid after
+     *  run() when RuntimeConfig::record was set). */
+    const std::vector<replay::JobRecord> &jobRecords() const
+    {
+        return jobRecords_;
+    }
+
+    /** The static-assignment stride actually used (min(workers,
+     *  jobs)); the fpc-record-v1 header's "stride". */
+    unsigned stride() const
+    {
+        return static_cast<unsigned>(poolSize_);
+    }
+
+    /** The recorded image hash (valid after run() with record on). */
+    std::uint64_t recordedImageHash() const
+    {
+        return recordedImageHash_.load(std::memory_order_relaxed);
+    }
+
   private:
     void workerMain(unsigned worker_id);
     JobResult executeJob(const Job &job, unsigned id,
@@ -147,7 +175,7 @@ class Runtime
      *  stride instead of the dynamic queue. */
     bool staticAssignment() const
     {
-        return config_.trace || config_.metrics ||
+        return config_.trace || config_.metrics || config_.record ||
                !config_.postmortemDir.empty();
     }
     obs::MetricsExport metricsMeta() const;
@@ -163,6 +191,8 @@ class Runtime
     obs::ProfileData profile_;
     std::vector<std::unique_ptr<obs::Tracer>> tracers_;
     std::vector<std::unique_ptr<obs::Telemetry>> telemetry_;
+    std::vector<replay::JobRecord> jobRecords_;
+    std::atomic<std::uint64_t> recordedImageHash_{0};
     std::size_t poolSize_ = 0; ///< stride for the static assignment
     bool ran_ = false;
 };

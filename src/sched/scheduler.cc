@@ -99,8 +99,24 @@ Scheduler::pickNext()
             if (procs_[*it].priority > procs_[*best].priority)
                 best = it;
     }
-    const int idx = static_cast<int>(*best);
+    int idx = static_cast<int>(*best);
+    if (pickOverride_) {
+        const int forced =
+            pickOverride_(machine_.stats().steps, idx);
+        if (forced >= 0 && forced != idx) {
+            const auto it = std::find(ready_.begin(), ready_.end(),
+                                      static_cast<unsigned>(forced));
+            if (it == ready_.end())
+                panic("scheduler replay: forced pid {} is not ready",
+                      forced);
+            best = it;
+            idx = forced;
+        }
+    }
     ready_.erase(best);
+    if (pickHook_)
+        pickHook_(machine_.stats().steps,
+                  static_cast<unsigned>(idx));
     return idx;
 }
 

@@ -18,6 +18,7 @@
 #define FPC_SCHED_SCHEDULER_HH
 
 #include <deque>
+#include <functional>
 #include <span>
 #include <string>
 #include <utility>
@@ -110,6 +111,27 @@ class Scheduler
     void
     appendGauges(std::vector<std::pair<std::string, double>> &out) const;
 
+    /** @name Record/replay hooks (see src/replay/). @{ */
+
+    /** Observes every dispatch decision as it is made: the machine's
+     *  instruction count and the chosen pid. Fires for initial
+     *  dispatches in runAll() and for every in-run switch. */
+    using PickHook = std::function<void(std::uint64_t step, unsigned pid)>;
+    void setPickHook(PickHook hook) { pickHook_ = std::move(hook); }
+
+    /** Forces dispatch decisions instead of live policy (replay).
+     *  Receives the step stamp and the policy's live pick; returns the
+     *  pid to dispatch (which must be ready), or -1 to keep the live
+     *  pick. Installed before runAll(), this makes the schedule an
+     *  input rather than an outcome. */
+    using PickOverride =
+        std::function<int(std::uint64_t step, int live_pick)>;
+    void setPickOverride(PickOverride override)
+    {
+        pickOverride_ = std::move(override);
+    }
+    /** @} */
+
   private:
     /** The machine's scheduler hook: requeue the current process,
      *  pick the next, hand back its context. */
@@ -127,6 +149,8 @@ class Scheduler
      *  executed instructions to processes. */
     std::uint64_t stepMark_ = 0;
     SchedStats stats_;
+    PickHook pickHook_;
+    PickOverride pickOverride_;
 };
 
 } // namespace fpc::sched

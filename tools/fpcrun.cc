@@ -29,6 +29,7 @@
 #include "common/logging.hh"
 #include "lang/codegen.hh"
 #include "obs/json.hh"
+#include "replay/record.hh"
 #include "sched/runtime.hh"
 #include "stats/table.hh"
 #include "workload/synthetic.hh"
@@ -67,6 +68,7 @@ struct Options
     std::size_t metricsCapacity = obs::Telemetry::defaultCapacity;
     std::string openmetricsOut; ///< OpenMetrics exposition path
     std::string postmortemDir;  ///< per-failed-job bundle directory
+    std::string recordOut;      ///< "fpc-record-v1" recording path
 };
 
 void
@@ -120,6 +122,10 @@ printUsage(std::ostream &os, const char *argv0)
           "OpenMetrics text\n"
           "  --postmortem-dir=DIR            write a bundle per failed "
           "job\n"
+          "  --record-out=FILE               write an fpc-record-v1 "
+          "recording of every job\n"
+          "  --log-level=error|warn|info|debug  stderr verbosity "
+          "(default info)\n"
           "  --help                          show this help\n";
 }
 
@@ -220,6 +226,13 @@ parseArgs(int argc, char **argv)
             opt.openmetricsOut = value("--openmetrics-out=");
         } else if (arg.rfind("--postmortem-dir=", 0) == 0) {
             opt.postmortemDir = value("--postmortem-dir=");
+        } else if (arg.rfind("--record-out=", 0) == 0) {
+            opt.recordOut = value("--record-out=");
+        } else if (arg.rfind("--log-level=", 0) == 0) {
+            LogLevel level;
+            if (!parseLogLevel(value("--log-level="), level))
+                usage(argv[0]);
+            setLogLevel(level);
         } else if (arg == "--help") {
             printUsage(std::cout, argv[0]);
             std::exit(0);
@@ -287,9 +300,15 @@ try {
     rc.metricsInterval = opt.metricsInterval;
     rc.metricsCapacity = opt.metricsCapacity;
     rc.postmortemDir = opt.postmortemDir;
+    rc.record = !opt.recordOut.empty();
     rc.driver = "fpcrun";
+    if (rc.record && opt.synthetic)
+        fatal("--record-out= needs a compiled program; --synthetic "
+              "jobs have no source to embed");
     sched::Runtime runtime(rc);
 
+    std::string source;
+    std::string entry = opt.entryModule;
     if (opt.synthetic) {
         for (unsigned j = 0; j < opt.jobs; ++j) {
             ProgramConfig pc;
@@ -304,15 +323,15 @@ try {
     } else {
         std::ifstream in(opt.file);
         if (!in) {
-            std::cerr << "fpcrun: cannot open " << opt.file << "\n";
+            error("fpcrun: cannot open {}", opt.file);
             return 1;
         }
         std::stringstream buffer;
         buffer << in.rdbuf();
+        source = buffer.str();
         auto modules = std::make_shared<const std::vector<Module>>(
-            lang::compile(buffer.str()));
+            lang::compile(source));
 
-        std::string entry = opt.entryModule;
         if (entry.empty()) {
             entry = modules->front().name;
             for (const auto &m : *modules)
@@ -335,9 +354,8 @@ try {
             ++ok;
         } else {
             ++failed;
-            std::cerr << "fpcrun: job " << r.id << " failed ("
-                      << stopReasonName(r.reason) << "): " << r.error
-                      << "\n";
+            error("fpcrun: job {} failed ({}): {}", r.id,
+                  stopReasonName(r.reason), r.error);
         }
     }
 
@@ -372,8 +390,7 @@ try {
     if (!opt.traceOut.empty()) {
         std::ofstream out(opt.traceOut);
         if (!out) {
-            std::cerr << "fpcrun: cannot write " << opt.traceOut
-                      << "\n";
+            error("fpcrun: cannot write {}", opt.traceOut);
             return 1;
         }
         runtime.writeTrace(out);
@@ -386,8 +403,7 @@ try {
         if (!opt.profileFolded.empty()) {
             std::ofstream out(opt.profileFolded);
             if (!out) {
-                std::cerr << "fpcrun: cannot write "
-                          << opt.profileFolded << "\n";
+                error("fpcrun: cannot write {}", opt.profileFolded);
                 return 1;
             }
             data.writeFolded(out);
@@ -396,8 +412,7 @@ try {
     if (!opt.statsJson.empty()) {
         std::ofstream out(opt.statsJson);
         if (!out) {
-            std::cerr << "fpcrun: cannot write " << opt.statsJson
-                      << "\n";
+            error("fpcrun: cannot write {}", opt.statsJson);
             return 1;
         }
         obs::StatsExport exp;
@@ -415,8 +430,7 @@ try {
     if (!opt.metricsOut.empty()) {
         std::ofstream out(opt.metricsOut);
         if (!out) {
-            std::cerr << "fpcrun: cannot write " << opt.metricsOut
-                      << "\n";
+            error("fpcrun: cannot write {}", opt.metricsOut);
             return 1;
         }
         runtime.writeMetricsJson(out);
@@ -424,14 +438,39 @@ try {
     if (!opt.openmetricsOut.empty()) {
         std::ofstream out(opt.openmetricsOut);
         if (!out) {
-            std::cerr << "fpcrun: cannot write " << opt.openmetricsOut
-                      << "\n";
+            error("fpcrun: cannot write {}", opt.openmetricsOut);
             return 1;
         }
         runtime.writeOpenMetrics(out);
     }
+    if (!opt.recordOut.empty()) {
+        replay::RecordLog log;
+        log.impl = opt.impl;
+        log.lowering = opt.lowering;
+        log.shortCalls = opt.shortCalls;
+        log.banks = opt.banks;
+        log.timeslice = opt.timeslice;
+        log.accel = opt.accel;
+        log.interval = opt.metricsInterval;
+        log.workers = runtime.workers();
+        log.stride = runtime.stride();
+        log.imageHash = runtime.recordedImageHash();
+        log.entryModule = entry;
+        log.entryProc = opt.entryProc;
+        log.args = opt.args;
+        log.source = source;
+        log.jobs = runtime.jobRecords();
+        std::ofstream out(opt.recordOut);
+        if (!out) {
+            error("fpcrun: cannot write {}", opt.recordOut);
+            return 1;
+        }
+        replay::writeRecord(out, log);
+        inform("fpcrun: recorded {} job(s) to {}", log.jobs.size(),
+               opt.recordOut);
+    }
     return failed == 0 ? 0 : 1;
 } catch (const std::exception &err) {
-    std::cerr << "fpcrun: " << err.what() << "\n";
+    error("fpcrun: {}", err.what());
     return 1;
 }

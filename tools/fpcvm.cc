@@ -33,6 +33,8 @@
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "program/loader.hh"
+#include "replay/record.hh"
+#include "replay/recorder.hh"
 #include "stats/table.hh"
 
 using namespace fpc;
@@ -66,6 +68,7 @@ struct Options
     std::size_t metricsCapacity = obs::Telemetry::defaultCapacity;
     std::string openmetricsOut; ///< OpenMetrics exposition path
     std::string postmortemDir;  ///< bundle directory on error stops
+    std::string recordOut;      ///< "fpc-record-v1" recording path
 };
 
 void
@@ -113,6 +116,10 @@ printUsage(std::ostream &os, const char *argv0)
           "OpenMetrics text\n"
           "  --postmortem-dir=DIR            write a postmortem bundle "
           "on error stops\n"
+          "  --record-out=FILE               write an fpc-record-v1 "
+          "recording (fpcreplay)\n"
+          "  --log-level=error|warn|info|debug  stderr verbosity "
+          "(default info)\n"
           "  --help                          show this help\n";
 }
 
@@ -207,6 +214,13 @@ parseArgs(int argc, char **argv)
             opt.openmetricsOut = value("--openmetrics-out=");
         } else if (arg.rfind("--postmortem-dir=", 0) == 0) {
             opt.postmortemDir = value("--postmortem-dir=");
+        } else if (arg.rfind("--record-out=", 0) == 0) {
+            opt.recordOut = value("--record-out=");
+        } else if (arg.rfind("--log-level=", 0) == 0) {
+            LogLevel level;
+            if (!parseLogLevel(value("--log-level="), level))
+                usage(argv[0]);
+            setLogLevel(level);
         } else if (arg == "--help") {
             printUsage(std::cout, argv[0]);
             std::exit(0);
@@ -319,13 +333,14 @@ try {
 
     std::ifstream in(opt.file);
     if (!in) {
-        std::cerr << "fpcvm: cannot open " << opt.file << "\n";
+        error("fpcvm: cannot open {}", opt.file);
         return 1;
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
+    const std::string source = buffer.str();
 
-    const auto modules = lang::compile(buffer.str());
+    const auto modules = lang::compile(source);
     std::string entry = opt.entryModule;
     if (entry.empty()) {
         entry = modules.front().name;
@@ -343,6 +358,11 @@ try {
     plan.lowering = opt.lowering;
     plan.shortCalls = opt.shortCalls;
     const LoadedImage image = loader.load(mem, plan);
+    // Hash before the Machine exists: its FrameHeap constructor
+    // rewrites the AV, and replay hashes at this same point.
+    const std::uint64_t imageHash = opt.recordOut.empty()
+                                        ? 0
+                                        : replay::imageHash(mem, image);
 
     if (opt.disasm)
         dumpDisassembly(image, mem);
@@ -377,23 +397,42 @@ try {
 
     const bool metricsWanted =
         !opt.metricsOut.empty() || !opt.openmetricsOut.empty();
+    const bool telemetryWanted =
+        metricsWanted || !opt.postmortemDir.empty();
     obs::Telemetry telemetry(opt.metricsCapacity);
-    if (metricsWanted || !opt.postmortemDir.empty())
+    // The replay recorder takes the machine's one sampler slot and
+    // chains the telemetry sampler behind it, so both fire on the
+    // same simulated-cycle boundaries.
+    replay::Recorder replayRec;
+    if (!opt.recordOut.empty()) {
+        replayRec.beginJob(0, 0);
+        if (telemetryWanted)
+            replayRec.setNext(&telemetry);
+        machine.setSampler(&replayRec, opt.metricsInterval);
+    } else if (telemetryWanted) {
         machine.setSampler(&telemetry, opt.metricsInterval);
+    }
 
     if (opt.timeslice > 0) {
         // Single program, so every expired slice switches the process
         // to itself — still a full ProcSwitch XFER through the engine.
-        machine.setScheduler(
-            [](Machine &m) { return m.currentFrameContext(); });
+        Machine::Scheduler policy =
+            [](Machine &m) { return m.currentFrameContext(); };
+        if (!opt.recordOut.empty())
+            policy = replayRec.wrapPolicy(std::move(policy));
+        machine.setScheduler(std::move(policy));
     }
     machine.start(entry, opt.entryProc, opt.args);
     // Bracket the run: even programs shorter than one interval export
     // a start and a final point.
-    if (machine.sampler() != nullptr)
+    if (!opt.recordOut.empty())
+        replayRec.sample(machine);
+    if (telemetryWanted)
         telemetry.sample(machine);
     const RunResult result = machine.run();
-    if (machine.sampler() != nullptr)
+    if (!opt.recordOut.empty())
+        replayRec.finish(machine, result); // before popValue below
+    if (telemetryWanted)
         telemetry.sample(machine);
 
     for (const Word v : machine.output())
@@ -404,8 +443,8 @@ try {
         std::cout << "=> "
                   << static_cast<SWord>(machine.popValue()) << "\n";
     } else if (result.reason != StopReason::Halted) {
-        std::cerr << "fpcvm: " << stopReasonName(result.reason) << ": "
-                  << result.message << "\n";
+        error("fpcvm: {}: {}", stopReasonName(result.reason),
+              result.message);
         exit_code = 1;
         if (!opt.postmortemDir.empty()) {
             obs::PostmortemConfig pm;
@@ -414,8 +453,8 @@ try {
             pm.impl = implName(config.impl);
             if (obs::writePostmortem(pm, machine, result, image,
                                      recorder, &telemetry)) {
-                std::cerr << "fpcvm: postmortem bundle written to "
-                          << opt.postmortemDir << "\n";
+                inform("fpcvm: postmortem bundle written to {}",
+                       opt.postmortemDir);
             }
         }
     }
@@ -430,14 +469,14 @@ try {
     if (!opt.traceOut.empty()) {
         std::ofstream out(opt.traceOut);
         if (!out) {
-            std::cerr << "fpcvm: cannot write " << opt.traceOut << "\n";
+            error("fpcvm: cannot write {}", opt.traceOut);
             return 1;
         }
         obs::writeChromeTrace(out, tracer);
         if (tracer.dropped() > 0)
-            std::cerr << "fpcvm: trace ring dropped "
-                      << tracer.dropped() << " of " << tracer.recorded()
-                      << " events (raise --trace-capacity)\n";
+            warn("fpcvm: trace ring dropped {} of {} events (raise "
+                 "--trace-capacity)",
+                 tracer.dropped(), tracer.recorded());
     }
     if (profiler) {
         const obs::ProfileData data =
@@ -448,8 +487,7 @@ try {
         if (!opt.profileFolded.empty()) {
             std::ofstream out(opt.profileFolded);
             if (!out) {
-                std::cerr << "fpcvm: cannot write " << opt.profileFolded
-                          << "\n";
+                error("fpcvm: cannot write {}", opt.profileFolded);
                 return 1;
             }
             data.writeFolded(out);
@@ -458,8 +496,7 @@ try {
     if (!opt.statsJson.empty()) {
         std::ofstream out(opt.statsJson);
         if (!out) {
-            std::cerr << "fpcvm: cannot write " << opt.statsJson
-                      << "\n";
+            error("fpcvm: cannot write {}", opt.statsJson);
             return 1;
         }
         obs::StatsExport exp;
@@ -490,29 +527,50 @@ try {
         if (!opt.metricsOut.empty()) {
             std::ofstream out(opt.metricsOut);
             if (!out) {
-                std::cerr << "fpcvm: cannot write " << opt.metricsOut
-                          << "\n";
+                error("fpcvm: cannot write {}", opt.metricsOut);
                 return 1;
             }
             obs::writeMetricsJson(out, meta, telemetry);
             if (telemetry.dropped() > 0)
-                std::cerr << "fpcvm: metrics ring dropped "
-                          << telemetry.dropped() << " of "
-                          << telemetry.recorded()
-                          << " samples (raise --metrics-capacity)\n";
+                warn("fpcvm: metrics ring dropped {} of {} samples "
+                     "(raise --metrics-capacity)",
+                     telemetry.dropped(), telemetry.recorded());
         }
         if (!opt.openmetricsOut.empty()) {
             std::ofstream out(opt.openmetricsOut);
             if (!out) {
-                std::cerr << "fpcvm: cannot write "
-                          << opt.openmetricsOut << "\n";
+                error("fpcvm: cannot write {}", opt.openmetricsOut);
                 return 1;
             }
             obs::writeOpenMetrics(out, meta, telemetry);
         }
     }
+    if (!opt.recordOut.empty()) {
+        replay::RecordLog log;
+        log.impl = opt.impl;
+        log.lowering = opt.lowering;
+        log.shortCalls = opt.shortCalls;
+        log.banks = opt.banks;
+        log.timeslice = opt.timeslice;
+        log.accel = opt.accel;
+        log.interval = opt.metricsInterval;
+        log.workers = 1;
+        log.stride = 1;
+        log.imageHash = imageHash;
+        log.entryModule = entry;
+        log.entryProc = opt.entryProc;
+        log.args = opt.args;
+        log.source = source;
+        log.jobs.push_back(replayRec.takeJob());
+        std::ofstream out(opt.recordOut);
+        if (!out) {
+            error("fpcvm: cannot write {}", opt.recordOut);
+            return 1;
+        }
+        replay::writeRecord(out, log);
+    }
     return exit_code;
 } catch (const std::exception &err) {
-    std::cerr << "fpcvm: " << err.what() << "\n";
+    error("fpcvm: {}", err.what());
     return 1;
 }
