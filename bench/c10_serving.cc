@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Experiment C10 — the serving runtime under load.
+ *
+ * The paper's machine ran one program for one user; fpcserve runs
+ * many programs for many tenants, forever. This bench asks the two
+ * questions that matter for that regime:
+ *
+ *  1. Closed loop — with a fixed set of clients each waiting for its
+ *     reply before submitting again, what job throughput and latency
+ *     does the pool sustain? This is the server's capacity.
+ *  2. Open loop — when offered load is set *independently* of service
+ *     rate (0.25x, 1x, 4x of the measured closed-loop capacity), how
+ *     do latency percentiles degrade, and does admission control
+ *     answer overload with explicit REJECTED/OVER_QUOTA backpressure
+ *     instead of an unbounded queue? At 4x the bench *requires*
+ *     nonzero rejects (exit 3 otherwise): a serving system that
+ *     never says no has an invisible queue somewhere.
+ *
+ * The tenant mix is deliberately lopsided — gold (weight 3), silver
+ * (weight 1), and tiny (weight 1, but max 2 queued jobs) — so the
+ * open-loop table also shows DRR fairness and the per-tenant queue
+ * bound doing their jobs.
+ *
+ * By default the bench spins an in-process Server on an ephemeral
+ * port; --connect=HOST:PORT points it at an already-running fpcserve
+ * instead (the CI smoke job does this). --scrape-out=FILE captures a
+ * SCRAPE exposition mid-load for check_openmetrics.py.
+ *
+ * Flags: --connect=HOST:PORT --workers=N --clients=N --closed-jobs=N
+ * --open-jobs=N --limit=N --scrape-out=FILE --json=FILE.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+
+using namespace fpc;
+using namespace fpc::bench;
+
+namespace
+{
+
+using clock_t_ = std::chrono::steady_clock;
+
+/** The workload every submit carries: MiniMesa source, compiled once
+ *  server-side and cached, so both in-process and --connect modes
+ *  exercise the identical path. */
+const char *kPrimesSource = R"(
+    module Primes;
+    var count;
+    proc isPrime(n) {
+        var d;
+        if (n < 2) { return 0; }
+        d = 2;
+        while (d * d <= n) {
+            if (n % d == 0) { return 0; }
+            d = d + 1;
+        }
+        return 1;
+    }
+    proc main(limit) {
+        var i;
+        i = 2;
+        while (i < limit) {
+            if (isPrime(i)) { count = count + 1; }
+            i = i + 1;
+        }
+        return count;
+    }
+)";
+
+const std::vector<std::string> kTenants = {"gold", "silver", "tiny"};
+
+std::string gHost = "127.0.0.1";
+std::uint16_t gPort = 0;
+Word gLimit = 200;
+
+double
+msSince(clock_t_::time_point t0, clock_t_::time_point t1)
+{
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+serve::Request
+makeSubmit(std::uint32_t reqId, const std::string &tenant)
+{
+    serve::Request req;
+    req.op = serve::ReqOp::Submit;
+    req.submit.reqId = reqId;
+    req.submit.tenant = tenant;
+    req.submit.source = kPrimesSource;
+    req.submit.args = {gLimit};
+    return req;
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::cerr << "c10_serving: " << msg << "\n";
+    std::exit(2);
+}
+
+/**
+ * Closed loop: `clients` threads, each its own connection, each
+ * submitting synchronously round-robin across the tenant mix until
+ * `jobs` total jobs have completed. Returns sustained jobs/sec;
+ * latencies land in `lat` (ms).
+ */
+double
+closedLoop(unsigned clients, unsigned jobs, stats::Histogram &lat,
+           std::uint64_t &failures)
+{
+    std::atomic<unsigned> next{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::mutex latMutex;
+    const auto t0 = clock_t_::now();
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            serve::Client client;
+            std::string err;
+            if (!client.connect(gHost, gPort, err))
+                die("connect: " + err);
+            std::vector<double> samples;
+            for (unsigned i = next.fetch_add(1); i < jobs;
+                 i = next.fetch_add(1)) {
+                const std::string &tenant =
+                    kTenants[(c + i) % kTenants.size()];
+                // A closed-loop client honors backpressure: on
+                // REJECTED / OVER_QUOTA it waits the server's
+                // retry-after hint and resubmits the same job.
+                for (;;) {
+                    serve::Reply reply;
+                    const auto s0 = clock_t_::now();
+                    if (!client.call(makeSubmit(i + 1, tenant), reply))
+                        die("closed-loop call failed "
+                            "(connection lost)");
+                    if (reply.status == serve::Status::Rejected ||
+                        reply.status == serve::Status::OverQuota) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(std::max(
+                                1u, reply.retryAfterMs)));
+                        continue;
+                    }
+                    samples.push_back(msSince(s0, clock_t_::now()));
+                    if (reply.status != serve::Status::Ok ||
+                        !reply.jobOk)
+                        failed.fetch_add(1);
+                    break;
+                }
+            }
+            std::lock_guard<std::mutex> lock(latMutex);
+            for (double ms : samples)
+                lat.sample(ms);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    const double secs =
+        std::chrono::duration<double>(clock_t_::now() - t0).count();
+    failures = failed.load();
+    return jobs / secs;
+}
+
+/** One open-loop level's outcome. */
+struct OpenResult
+{
+    double offeredPerSec = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;   ///< ran but stopped abnormally
+    std::uint64_t rejected = 0; ///< queue-full backpressure
+    std::uint64_t overQuota = 0;
+    std::uint64_t other = 0; ///< draining / bad-request
+    stats::Histogram latency{0.5, 400};
+};
+
+/**
+ * Open loop: one pipelined connection per tenant, a paced sender
+ * pushing SUBMITs at the offered rate regardless of completions, and
+ * a reader collecting the (possibly out-of-order) replies. Every
+ * submit gets exactly one reply, so the reader joins on a count.
+ */
+OpenResult
+openLoop(double offeredPerSec, unsigned jobs)
+{
+    OpenResult out;
+    out.offeredPerSec = offeredPerSec;
+    std::mutex mergeMutex;
+
+    const unsigned perTenant =
+        std::max(1u, jobs / static_cast<unsigned>(kTenants.size()));
+    const double perTenantRate =
+        offeredPerSec / static_cast<double>(kTenants.size());
+
+    std::vector<std::thread> threads;
+    for (const std::string &tenant : kTenants) {
+        threads.emplace_back([&, tenant] {
+            serve::Client client;
+            std::string err;
+            if (!client.connect(gHost, gPort, err))
+                die("connect: " + err);
+
+            // Send times indexed by reqId - 1; written strictly
+            // before the send() syscall for that id.
+            std::vector<std::atomic<std::int64_t>> sentNs(perTenant);
+            const auto start = clock_t_::now();
+
+            std::thread reader([&] {
+                stats::Histogram lat(0.5, 400);
+                std::uint64_t ok = 0, failed = 0, rejected = 0,
+                              overQuota = 0, other = 0;
+                for (unsigned got = 0; got < perTenant; ++got) {
+                    serve::Reply reply;
+                    if (!client.recv(reply))
+                        die("open-loop recv failed (connection lost)");
+                    const auto now = clock_t_::now();
+                    switch (reply.status) {
+                      case serve::Status::Ok: {
+                        reply.jobOk ? ++ok : ++failed;
+                        const std::int64_t s =
+                            sentNs[reply.reqId - 1].load();
+                        lat.sample(
+                            static_cast<double>(
+                                std::chrono::duration_cast<
+                                    std::chrono::nanoseconds>(
+                                    now - start)
+                                    .count() -
+                                s) /
+                            1e6);
+                        break;
+                      }
+                      case serve::Status::Rejected:
+                        ++rejected;
+                        break;
+                      case serve::Status::OverQuota:
+                        ++overQuota;
+                        break;
+                      default:
+                        ++other;
+                        break;
+                    }
+                }
+                std::lock_guard<std::mutex> lock(mergeMutex);
+                out.ok += ok;
+                out.failed += failed;
+                out.rejected += rejected;
+                out.overQuota += overQuota;
+                out.other += other;
+                out.latency.merge(lat);
+            });
+
+            const double intervalNs = 1e9 / perTenantRate;
+            for (unsigned i = 0; i < perTenant; ++i) {
+                const auto due =
+                    start + std::chrono::nanoseconds(
+                                static_cast<std::int64_t>(
+                                    intervalNs * i));
+                std::this_thread::sleep_until(due);
+                sentNs[i].store(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(clock_t_::now() -
+                                                  start)
+                        .count());
+                if (!client.send(makeSubmit(i + 1, tenant)))
+                    die("open-loop send failed (connection lost)");
+            }
+            reader.join();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    return out;
+}
+
+/** Microbenchmark: closed-loop round trips on one connection (the
+ *  per-job serving overhead: frame, admit, dispatch, run, reply). */
+void
+BM_ServeRoundTrip(benchmark::State &state)
+{
+    serve::Client client;
+    std::string err;
+    if (!client.connect(gHost, gPort, err))
+        die("connect: " + err);
+    std::uint32_t id = 1;
+    for (auto _ : state) {
+        serve::Reply reply;
+        if (!client.call(makeSubmit(id++, "gold"), reply) ||
+            reply.status != serve::Status::Ok)
+            die("benchmark round trip failed");
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeRoundTrip)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    JsonReport json(argc, argv, "c10_serving");
+    std::string connect;
+    std::string scrapeOut;
+    unsigned workers = 2;
+    unsigned clients = 3;
+    unsigned closedJobs = 60;
+    unsigned openJobs = 90;
+    {
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--connect=", 0) == 0)
+                connect = arg.substr(10);
+            else if (arg.rfind("--scrape-out=", 0) == 0)
+                scrapeOut = arg.substr(13);
+            else
+                argv[out++] = argv[i];
+        }
+        argc = out;
+    }
+    workers = stripUintFlag(argc, argv, "workers", workers);
+    clients = stripUintFlag(argc, argv, "clients", clients);
+    closedJobs = stripUintFlag(argc, argv, "closed-jobs", closedJobs);
+    openJobs = stripUintFlag(argc, argv, "open-jobs", openJobs);
+    gLimit = static_cast<Word>(
+        stripUintFlag(argc, argv, "limit", gLimit));
+
+    // The server under test: remote (--connect) or in-process. The
+    // tenant mix must match what the table below assumes; the CI
+    // smoke job starts fpcserve with the same --tenant flags.
+    std::unique_ptr<serve::Server> local;
+    if (connect.empty()) {
+        serve::ServerConfig sc;
+        sc.workers = workers;
+        const EngineCombo combo{Impl::Banked, CallLowering::Direct,
+                                true};
+        sc.machine = configFor(combo);
+        sc.plan = planFor(combo);
+        sc.queueCapacity = 8;
+        sc.tenants["gold"] = {3.0, 64, 0};
+        sc.tenants["silver"] = {1.0, 64, 0};
+        sc.tenants["tiny"] = {1.0, 2, 0};
+        local = std::make_unique<serve::Server>(sc);
+        local->start();
+        gPort = local->port();
+    } else {
+        const auto colon = connect.rfind(':');
+        if (colon == std::string::npos)
+            die("--connect wants HOST:PORT");
+        gHost = connect.substr(0, colon);
+        gPort = static_cast<std::uint16_t>(
+            std::stoul(connect.substr(colon + 1)));
+    }
+
+    std::cout << "C10 — serving under load (" << gHost << ":" << gPort
+              << (local ? ", in-process" : ", remote") << ", primes("
+              << gLimit << ") via source submit, tenants gold:3 / "
+              << "silver:1 / tiny:1 cap 2)\n\n";
+
+    // Closed loop first: its throughput calibrates the open loop.
+    stats::Histogram closedLat(0.5, 400);
+    std::uint64_t closedFailures = 0;
+    closedLoop(clients, std::max(1u, closedJobs / 8), closedLat,
+               closedFailures); // warm-up: connections, source cache
+    closedLat.reset();
+    const double closedJps =
+        closedLoop(clients, closedJobs, closedLat, closedFailures);
+    if (closedFailures)
+        die("closed-loop jobs failed");
+
+    stats::Table closedTable(
+        {"clients", "jobs", "jobs/s", "p50 ms", "p90 ms", "p99 ms"});
+    closedTable.row(clients, closedJobs, stats::fixed(closedJps, 1),
+                    stats::fixed(closedLat.p50(), 2),
+                    stats::fixed(closedLat.p90(), 2),
+                    stats::fixed(closedLat.p99(), 2));
+    std::cout << "Closed loop (each client waits for its reply):\n\n";
+    closedTable.print(std::cout);
+    json.table("closed_loop", closedTable);
+    json.metric("closed_jobs_per_s", closedJps);
+    json.metric("ms_closed_p50", closedLat.p50());
+    json.metric("ms_closed_p90", closedLat.p90());
+    json.metric("ms_closed_p99", closedLat.p99());
+
+    // Open loop: offered load decoupled from service rate.
+    struct Level
+    {
+        const char *label;
+        const char *key;
+        double factor;
+    };
+    const std::vector<Level> levels = {
+        {"0.25x", "x025", 0.25}, {"1x", "x1", 1.0}, {"4x", "x4", 4.0}};
+
+    std::cout << "\nOpen loop (offered load as a multiple of "
+                 "closed-loop capacity, "
+              << openJobs << " jobs per level):\n\n";
+    stats::Table openTable({"offered", "jobs/s", "ok", "rejected",
+                            "over-quota", "other", "p50 ms", "p90 ms",
+                            "p99 ms"});
+    std::uint64_t topRejects = 0;
+    for (const Level &level : levels) {
+        const OpenResult r =
+            openLoop(closedJps * level.factor, openJobs);
+        openTable.row(level.label, stats::fixed(r.offeredPerSec, 1),
+                      r.ok, r.rejected, r.overQuota,
+                      r.failed + r.other,
+                      stats::fixed(r.latency.p50(), 2),
+                      stats::fixed(r.latency.p90(), 2),
+                      stats::fixed(r.latency.p99(), 2));
+        json.metric(std::string("open_ok_") + level.key,
+                    static_cast<double>(r.ok));
+        json.metric(std::string("ms_open_p99_") + level.key,
+                    r.latency.p99());
+        if (level.factor >= 4.0)
+            topRejects = r.rejected + r.overQuota;
+        if (r.failed)
+            die("open-loop jobs ran but failed");
+
+        // Capture a SCRAPE while the server still has the load's
+        // counters — written once, after the saturating level.
+        if (level.factor >= 4.0 && !scrapeOut.empty()) {
+            serve::Client client;
+            std::string err, text;
+            if (!client.connect(gHost, gPort, err) ||
+                !client.scrape(text))
+                die("scrape failed: " + err);
+            std::ofstream os(scrapeOut);
+            if (!os)
+                die("cannot write " + scrapeOut);
+            os << text;
+        }
+    }
+    openTable.print(std::cout);
+    json.table("open_loop", openTable);
+    json.metric("open_rejected_x4", static_cast<double>(topRejects));
+
+    std::cout << "\nAt 4x offered load the bounded queues must push "
+                 "back: "
+              << topRejects << " rejected/over-quota.\n";
+    if (topRejects == 0) {
+        std::cerr << "c10_serving: REGRESSION — no backpressure at "
+                     "4x offered load; admission control is not "
+                     "bounding the queue.\n";
+        return 3;
+    }
+    json.write();
+    std::cout << "\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+} catch (const std::exception &err) {
+    std::cerr << "c10_serving: bad flag value (" << err.what()
+              << "); expected --connect=HOST:PORT --workers=N "
+                 "--clients=N --closed-jobs=N --open-jobs=N "
+                 "--limit=N --scrape-out=FILE --json=FILE\n";
+    return 2;
+}

@@ -1,5 +1,6 @@
 #include "memory/memory.hh"
 
+#include <algorithm>
 #include <ostream>
 
 #include "common/logging.hh"
@@ -45,6 +46,13 @@ Memory::peek(Addr addr) const
 {
     checkAddr(addr);
     return store_[addr];
+}
+
+void
+Memory::clear()
+{
+    std::fill(store_.begin(), store_.end(), 0);
+    ++codeEpoch_;
 }
 
 void

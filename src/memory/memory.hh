@@ -117,6 +117,12 @@ class Memory
     CountT totalRefs() const { return totalRefs_; }
     CountT codeByteFetches() const { return codeBytes_; }
 
+    /** Zero the whole store and advance the code epoch, returning the
+     *  memory to its just-constructed contents. Lets a long-lived
+     *  worker reuse one allocation across jobs with simulated state
+     *  indistinguishable from a fresh Memory. */
+    void clear();
+
     void resetStats();
     void dumpStats(std::ostream &os) const;
 

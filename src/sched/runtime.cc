@@ -19,6 +19,11 @@ Runtime::Runtime(RuntimeConfig config) : config_(std::move(config))
         config_.workers = 1;
 }
 
+Runtime::~Runtime()
+{
+    stopPool();
+}
+
 unsigned
 Runtime::submit(Job job)
 {
@@ -31,25 +36,61 @@ Runtime::submit(Job job)
     return id;
 }
 
+void
+Runtime::prepareContext(ExecContext &ctx, const Job &job)
+{
+    // Tear down the previous job's machine before touching the
+    // memory and image it references.
+    ctx.machine.reset();
+    if (!ctx.mem) {
+        ctx.mem = std::make_unique<Memory>(ctx.layout.memWords);
+        ++ctx.builds;
+    } else {
+        // Reuse keeps the allocation (and its first-touch cost) but
+        // nothing else: zeroing the store and reloading the image
+        // below leaves simulated state byte-identical to a fresh
+        // Memory, so results, stats and replay digests don't depend
+        // on which jobs shared a context.
+        ctx.mem->clear();
+        ctx.mem->resetStats();
+        ++ctx.reuses;
+    }
+    Loader loader{ctx.layout, SizeClasses::standard()};
+    for (const Module &m : *job.modules)
+        loader.add(m);
+    ctx.image.emplace(loader.load(*ctx.mem, config_.plan));
+}
+
+JobResult
+Runtime::canceledResult(unsigned id, unsigned worker_id) const
+{
+    JobResult r;
+    r.id = id;
+    r.worker = worker_id;
+    r.ok = false;
+    r.reason = StopReason::Error;
+    r.error = "canceled: drain requested";
+    return r;
+}
+
 JobResult
 Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
-                    MachineStats &acc, AccelStats &accel_acc,
-                    obs::Tracer *tracer, obs::ProfileData *profile_acc,
+                    ExecContext &ctx, MachineStats &acc,
+                    AccelStats &accel_acc, obs::Tracer *tracer,
+                    obs::ProfileData *profile_acc,
                     obs::Telemetry *telemetry)
 {
     JobResult out;
     out.id = id;
     out.worker = worker_id;
 
-    // Each job gets a pristine simulated machine: its own memory,
-    // image and processor. Workers therefore share nothing but the
-    // job queue, and scale with host cores.
-    const SystemLayout layout;
-    Memory mem(layout.memWords);
-    Loader loader{layout, SizeClasses::standard()};
-    for (const Module &m : *job.modules)
-        loader.add(m);
-    const LoadedImage image = loader.load(mem, config_.plan);
+    // Each job sees a pristine simulated machine — its own memory,
+    // image and processor — but the worker's context (the Memory
+    // allocation) persists across jobs. Workers share nothing but
+    // the job queue, and scale with host cores.
+    prepareContext(ctx, job);
+    Memory &mem = *ctx.mem;
+    const LoadedImage &image = *ctx.image;
     if (config_.record) {
         // Hash before the Machine exists: its FrameHeap constructor
         // rewrites the AV, and replay hashes at this same point.
@@ -57,7 +98,8 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
                                  std::memory_order_relaxed);
     }
 
-    Machine machine(mem, image, config_.machine);
+    ctx.machine.emplace(mem, image, config_.machine);
+    Machine &machine = *ctx.machine;
 
     // Observers are per-job: the ProcMap indexes this job's image, and
     // the tracer interns names at record time, so nothing here has to
@@ -159,6 +201,13 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
     if (profiler)
         profile_acc->merge(profiler->finish(machine.stats().cycles));
 
+    // The machine outlives this call inside the worker's context, but
+    // every observer above is a stack local: detach them so nothing
+    // dangles between jobs.
+    machine.setObserver(nullptr);
+    machine.setSampler(nullptr, 0);
+    machine.setScheduler(nullptr);
+
     return out;
 }
 
@@ -176,6 +225,10 @@ Runtime::workerMain(unsigned worker_id)
         local.distribution("job_steps", "instructions per job");
     auto &job_cycles =
         local.distribution("job_cycles", "simulated cycles per job");
+    auto &context_builds = local.counter(
+        "context_builds", "fresh per-worker machine contexts");
+    auto &context_reuses = local.counter(
+        "context_reuses", "jobs that recycled a worker context");
 
     obs::Tracer *tracer =
         config_.trace ? tracers_[worker_id].get() : nullptr;
@@ -184,6 +237,7 @@ Runtime::workerMain(unsigned worker_id)
         config_.profile ? &profile_acc : nullptr;
     obs::Telemetry *telemetry =
         config_.metrics ? telemetry_[worker_id].get() : nullptr;
+    ExecContext ctx;
 
     // This worker's job progress, visible in every sample it takes.
     // Deterministic because metrics force the static assignment.
@@ -191,10 +245,12 @@ Runtime::workerMain(unsigned worker_id)
     double jobs_assigned = 0;
     if (telemetry != nullptr) {
         telemetry->setProvider(
-            [&jobs_done, &jobs_assigned](
+            [this, &jobs_done, &jobs_assigned](
                 std::vector<std::pair<std::string, double>> &g) {
                 g.emplace_back("worker_jobs_done", jobs_done);
                 g.emplace_back("worker_jobs_assigned", jobs_assigned);
+                if (config_.gaugeProvider)
+                    config_.gaugeProvider(g);
             });
     }
 
@@ -217,16 +273,20 @@ Runtime::workerMain(unsigned worker_id)
             break;
         ++jobs_assigned;
         JobResult r;
-        try {
-            r = executeJob(jobs_[i], static_cast<unsigned>(i),
-                           worker_id, acc, accelAcc, tracer,
-                           profile_ptr, telemetry);
-        } catch (const std::exception &err) {
-            r.id = static_cast<unsigned>(i);
-            r.worker = worker_id;
-            r.ok = false;
-            r.reason = StopReason::Error;
-            r.error = err.what();
+        if (stopRequested()) {
+            r = canceledResult(static_cast<unsigned>(i), worker_id);
+        } else {
+            try {
+                r = executeJob(jobs_[i], static_cast<unsigned>(i),
+                               worker_id, ctx, acc, accelAcc, tracer,
+                               profile_ptr, telemetry);
+            } catch (const std::exception &err) {
+                r.id = static_cast<unsigned>(i);
+                r.worker = worker_id;
+                r.ok = false;
+                r.reason = StopReason::Error;
+                r.error = err.what();
+            }
         }
         if (r.ok)
             ++jobs_completed;
@@ -237,6 +297,8 @@ Runtime::workerMain(unsigned worker_id)
         ++jobs_done;
         results_[i] = std::move(r); // distinct slot per job: no lock
     }
+    context_builds += ctx.builds;
+    context_reuses += ctx.reuses;
 
     // Per-worker stats fold into the runtime's registries at join.
     std::lock_guard<std::mutex> lock(mergeMutex_);
@@ -247,11 +309,253 @@ Runtime::workerMain(unsigned worker_id)
         profile_.merge(profile_acc);
 }
 
+void
+Runtime::poolWorkerMain(unsigned worker_id)
+{
+    MachineStats acc;
+    AccelStats accelAcc;
+    stats::StatGroup local("fpc_runtime");
+    auto &jobs_completed =
+        local.counter("jobs_completed", "jobs that finished ok");
+    auto &jobs_failed =
+        local.counter("jobs_failed", "jobs that stopped on an error");
+    auto &job_steps =
+        local.distribution("job_steps", "instructions per job");
+    auto &job_cycles =
+        local.distribution("job_cycles", "simulated cycles per job");
+    auto &context_builds = local.counter(
+        "context_builds", "fresh per-worker machine contexts");
+    auto &context_reuses = local.counter(
+        "context_reuses", "jobs that recycled a worker context");
+    auto &jobs_stolen = local.counter(
+        "jobs_stolen", "jobs taken from another worker's deque");
+
+    obs::ProfileData profile_acc;
+    obs::ProfileData *profile_ptr =
+        config_.profile ? &profile_acc : nullptr;
+    obs::Telemetry *telemetry =
+        config_.metrics && worker_id < telemetry_.size()
+            ? telemetry_[worker_id].get()
+            : nullptr;
+    ExecContext ctx;
+
+    double jobs_done = 0;
+    double jobs_assigned = 0;
+    if (telemetry != nullptr) {
+        telemetry->setProvider(
+            [this, &jobs_done, &jobs_assigned](
+                std::vector<std::pair<std::string, double>> &g) {
+                g.emplace_back("worker_jobs_done", jobs_done);
+                g.emplace_back("worker_jobs_assigned", jobs_assigned);
+                if (config_.gaugeProvider)
+                    config_.gaugeProvider(g);
+            });
+    }
+
+    PoolTask task;
+    bool stolen = false;
+    while (takeTask(worker_id, task, stolen)) {
+        ++jobs_assigned;
+        if (stolen)
+            ++jobs_stolen;
+        JobResult r;
+        if (stopRequested()) {
+            r = canceledResult(task.id, worker_id);
+        } else {
+            try {
+                r = executeJob(task.job, task.id, worker_id, ctx, acc,
+                               accelAcc, nullptr, profile_ptr,
+                               telemetry);
+            } catch (const std::exception &err) {
+                r.id = task.id;
+                r.worker = worker_id;
+                r.ok = false;
+                r.reason = StopReason::Error;
+                r.error = err.what();
+            }
+        }
+        if (r.ok)
+            ++jobs_completed;
+        else
+            ++jobs_failed;
+        job_steps.sample(static_cast<double>(r.steps));
+        job_cycles.sample(static_cast<double>(r.cycles));
+        ++jobs_done;
+
+        // Completion fires before this job stops counting as running,
+        // so a drain that began while it ran cannot observe an idle
+        // pool until after the callback (which may chain more work)
+        // has returned. No pool lock is held: completions may call
+        // enqueue().
+        if (task.done) {
+            JobCompletion done = std::move(task.done);
+            done(std::move(r));
+        }
+        task = PoolTask{}; // drop the job's module refs promptly
+        {
+            std::lock_guard<std::mutex> lock(poolMutex_);
+            running_.fetch_sub(1);
+        }
+        idleCv_.notify_all();
+    }
+    context_builds += ctx.builds;
+    context_reuses += ctx.reuses;
+
+    // Per-worker stats fold into the runtime's registries at join.
+    std::lock_guard<std::mutex> lock(mergeMutex_);
+    merged_.merge(acc);
+    mergedAccel_.merge(accelAcc);
+    group_.mergeFrom(local);
+    if (profile_ptr != nullptr)
+        profile_.merge(profile_acc);
+}
+
+bool
+Runtime::takeTask(unsigned worker_id, PoolTask &out, bool &stolen)
+{
+    const std::size_t n = deques_.size();
+    while (true) {
+        // Own deque first: the owner takes the newest entry (the
+        // front ages toward thieves).
+        {
+            WorkerDeque &own = *deques_[worker_id];
+            std::lock_guard<std::mutex> lock(own.m);
+            if (!own.dq.empty()) {
+                out = std::move(own.dq.back());
+                own.dq.pop_back();
+                running_.fetch_add(1);
+                queued_.fetch_sub(1);
+                stolen = false;
+                return true;
+            }
+        }
+        // Steal oldest-first from the other workers.
+        for (std::size_t off = 1; off < n; ++off) {
+            WorkerDeque &victim = *deques_[(worker_id + off) % n];
+            std::lock_guard<std::mutex> lock(victim.m);
+            if (!victim.dq.empty()) {
+                out = std::move(victim.dq.front());
+                victim.dq.pop_front();
+                running_.fetch_add(1);
+                queued_.fetch_sub(1);
+                stolen = true;
+                return true;
+            }
+        }
+        std::unique_lock<std::mutex> lock(poolMutex_);
+        if (queued_.load() > 0)
+            continue; // raced an in-flight enqueue; rescan
+        if (poolStopping_)
+            return false;
+        workCv_.wait(lock, [this] {
+            return queued_.load() > 0 || poolStopping_;
+        });
+        if (poolStopping_ && queued_.load() == 0)
+            return false;
+    }
+}
+
+void
+Runtime::startPoolWorkers(unsigned n)
+{
+    poolStarted_ = true;
+    deques_.clear();
+    deques_.reserve(n);
+    for (unsigned w = 0; w < n; ++w)
+        deques_.push_back(std::make_unique<WorkerDeque>());
+    poolThreads_.reserve(n);
+    for (unsigned w = 0; w < n; ++w)
+        poolThreads_.emplace_back([this, w] { poolWorkerMain(w); });
+}
+
+void
+Runtime::startPool()
+{
+    if (ran_)
+        panic("Runtime::startPool after run()");
+    if (poolStarted_)
+        panic("Runtime::startPool called twice");
+    if (config_.trace || config_.record) {
+        panic("Runtime pool mode does not support trace/record; "
+              "batch run() provides the reproducible static "
+              "assignment");
+    }
+    const unsigned n = config_.workers;
+    poolSize_ = n;
+    if (config_.metrics && telemetry_.empty()) {
+        telemetry_.reserve(n);
+        for (unsigned w = 0; w < n; ++w) {
+            telemetry_.push_back(std::make_unique<obs::Telemetry>(
+                config_.metricsCapacity));
+        }
+    }
+    startPoolWorkers(n);
+}
+
+unsigned
+Runtime::enqueue(Job job, JobCompletion done)
+{
+    if (!poolStarted_)
+        panic("Runtime::enqueue without startPool()");
+    if (!job.modules || job.modules->empty())
+        panic("Runtime::enqueue: job has no modules");
+    const unsigned id = nextPoolId_.fetch_add(1);
+    const auto w = static_cast<std::size_t>(enqueueRr_.fetch_add(1)) %
+                   deques_.size();
+    // Count the job as queued before it becomes claimable: a worker
+    // can never drive queued_ through zero while a task is in flight
+    // between the deque and the running count, so drainPool's
+    // "queued == 0 && running == 0" condition is exact.
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        queued_.fetch_add(1);
+    }
+    {
+        std::lock_guard<std::mutex> lock(deques_[w]->m);
+        deques_[w]->dq.push_back(
+            PoolTask{id, std::move(job), std::move(done)});
+    }
+    workCv_.notify_one();
+    return id;
+}
+
+void
+Runtime::drainPool()
+{
+    std::unique_lock<std::mutex> lock(poolMutex_);
+    idleCv_.wait(lock, [this] {
+        return queued_.load() == 0 && running_.load() == 0;
+    });
+}
+
+void
+Runtime::stopPool()
+{
+    if (!poolStarted_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        poolStopping_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : poolThreads_)
+        t.join();
+    poolThreads_.clear();
+    deques_.clear();
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        poolStopping_ = false;
+    }
+    poolStarted_ = false;
+}
+
 std::vector<JobResult>
 Runtime::run()
 {
     if (ran_)
         panic("Runtime::run called twice");
+    if (poolStarted_)
+        panic("Runtime::run after startPool()");
     ran_ = true;
     results_.resize(jobs_.size());
     if (config_.record)
@@ -275,12 +579,27 @@ Runtime::run()
                 config_.metricsCapacity));
         }
     }
-    std::vector<std::thread> pool;
-    pool.reserve(n);
-    for (unsigned w = 0; w < n; ++w)
-        pool.emplace_back([this, w] { workerMain(w); });
-    for (std::thread &t : pool)
-        t.join();
+    if (staticAssignment()) {
+        std::vector<std::thread> pool;
+        pool.reserve(n);
+        for (unsigned w = 0; w < n; ++w)
+            pool.emplace_back([this, w] { workerMain(w); });
+        for (std::thread &t : pool)
+            t.join();
+    } else {
+        // The dynamic batch path rides the same pool machinery the
+        // serving layer uses: bring workers up, enqueue everything
+        // with completions that land results in their slots, drain
+        // and join.
+        startPoolWorkers(n);
+        for (std::size_t i = 0; i < jobs_.size(); ++i) {
+            enqueue(jobs_[i], [this, i](JobResult r) {
+                r.id = static_cast<unsigned>(i);
+                results_[i] = std::move(r); // distinct slot: no lock
+            });
+        }
+        stopPool();
+    }
 
     return results_;
 }

@@ -18,9 +18,14 @@
 #define FPC_SCHED_RUNTIME_HH
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "machine/machine.hh"
@@ -58,11 +63,29 @@ struct JobResult
     Tick cycles = 0;
 };
 
+/** Delivered with a pool-mode job's result, on the worker thread that
+ *  ran it. Must not block for long — the worker is the pool's
+ *  capacity — but may call Runtime::enqueue to chain more work. */
+using JobCompletion = std::function<void(JobResult)>;
+
 struct RuntimeConfig
 {
     unsigned workers = 1;
     MachineConfig machine;
     LinkPlan plan;
+
+    /** Cooperative cancellation: when non-null and set, workers stop
+     *  starting jobs — anything not yet begun completes immediately
+     *  as failed ("canceled: drain requested") — but every job still
+     *  gets a result and the merged stats stay valid. Drivers point
+     *  this at their SIGINT/SIGTERM flag. */
+    const std::atomic<bool> *stopFlag = nullptr;
+
+    /** Extra gauges appended to every worker's telemetry samples when
+     *  metrics are on (the serving layer injects queue depth and
+     *  tenant gauges this way). Called on worker threads, so it must
+     *  be thread-safe. */
+    obs::Telemetry::GaugeProvider gaugeProvider;
 
     /** Record per-worker XFER traces (see obs::Tracer). Forces the
      *  static job-to-worker assignment so traces are reproducible. */
@@ -98,21 +121,70 @@ struct RuntimeConfig
 };
 
 /**
- * The multi-worker runtime. submit() jobs, then run() once; results
- * come back in job order, and the merged statistics describe all
- * workers together.
+ * The multi-worker runtime, usable two ways.
+ *
+ * Batch mode (the original shape): submit() jobs, then run() once;
+ * results come back in job order, and the merged statistics describe
+ * all workers together.
+ *
+ * Pool mode (the serving shape): startPool() brings up long-lived
+ * workers, enqueue() hands each job a completion callback, and
+ * stopPool() drains and joins. Each worker keeps one reusable
+ * execution context — the Memory allocation and Machine survive
+ * across jobs (the store is zeroed and the image reloaded, so
+ * simulated behavior is identical to a fresh machine) — and idle
+ * workers steal from the back-logged ones's deques.
  */
 class Runtime
 {
   public:
     explicit Runtime(RuntimeConfig config);
+    ~Runtime();
 
-    /** Enqueue a job; returns its id (results index). */
+    /** Enqueue a job for batch mode; returns its id (results
+     *  index). */
     unsigned submit(Job job);
 
     /** Run every submitted job across the worker pool; blocks until
-     *  all are done. May be called once per Runtime. */
+     *  all are done. May be called once per Runtime (guarded — reuse
+     *  panics; long-lived callers use the pool API instead). */
     std::vector<JobResult> run();
+
+    /** @name Long-lived pool mode
+     * @{ */
+
+    /** Bring up config.workers long-lived workers. Panics if the
+     *  pool is already up or run() was used. */
+    void startPool();
+
+    /** Hand the pool a job; done(result) fires on the worker thread
+     *  that ran it. Jobs go to per-worker deques round-robin; idle
+     *  workers steal from the front of busy ones. Returns the job
+     *  id. */
+    unsigned enqueue(Job job, JobCompletion done);
+
+    /** Block until every enqueued job has completed (the pool stays
+     *  up). Only races with concurrent enqueue if the caller lets
+     *  it. */
+    void drainPool();
+
+    /** Drain, then stop and join the workers and fold their stats
+     *  into the merged view. Idempotent. */
+    void stopPool();
+
+    bool poolStarted() const { return poolStarted_; }
+
+    /** Jobs enqueued but not yet started / currently executing.
+     *  Approximate under concurrency; exact once quiescent. */
+    std::size_t queuedJobs() const
+    {
+        return queued_.load(std::memory_order_relaxed);
+    }
+    unsigned runningJobs() const
+    {
+        return running_.load(std::memory_order_relaxed);
+    }
+    /** @} */
 
     unsigned workers() const { return config_.workers; }
 
@@ -164,12 +236,54 @@ class Runtime
     }
 
   private:
+    /** A worker's reusable simulated machine. The Memory allocation
+     *  (and its first-touch cost) persists across jobs; prepare()
+     *  zeroes the store and reloads the image, so each job still sees
+     *  a pristine machine and the simulated numbers are identical to
+     *  building everything fresh. */
+    struct ExecContext
+    {
+        SystemLayout layout;
+        std::unique_ptr<Memory> mem;
+        std::optional<LoadedImage> image;
+        std::optional<Machine> machine;
+        std::uint64_t builds = 0; ///< fresh Memory allocations
+        std::uint64_t reuses = 0; ///< jobs that recycled the Memory
+    };
+
+    struct PoolTask
+    {
+        unsigned id = 0;
+        Job job;
+        JobCompletion done;
+    };
+
+    /** One worker's deque: the owner pushes/pops at the back, thieves
+     *  take from the front (oldest first, better locality for the
+     *  owner's recent work). */
+    struct WorkerDeque
+    {
+        std::mutex m;
+        std::deque<PoolTask> dq;
+    };
+
     void workerMain(unsigned worker_id);
+    void poolWorkerMain(unsigned worker_id);
+    bool takeTask(unsigned worker_id, PoolTask &out, bool &stolen);
+    void startPoolWorkers(unsigned n);
+    void prepareContext(ExecContext &ctx, const Job &job);
     JobResult executeJob(const Job &job, unsigned id,
-                         unsigned worker_id, MachineStats &acc,
-                         AccelStats &accel_acc, obs::Tracer *tracer,
+                         unsigned worker_id, ExecContext &ctx,
+                         MachineStats &acc, AccelStats &accel_acc,
+                         obs::Tracer *tracer,
                          obs::ProfileData *profile_acc,
                          obs::Telemetry *telemetry);
+    bool stopRequested() const
+    {
+        return config_.stopFlag != nullptr &&
+               config_.stopFlag->load(std::memory_order_relaxed);
+    }
+    JobResult canceledResult(unsigned id, unsigned worker_id) const;
 
     /** Reproducible observation wants the static job-to-worker
      *  stride instead of the dynamic queue. */
@@ -195,6 +309,19 @@ class Runtime
     std::atomic<std::uint64_t> recordedImageHash_{0};
     std::size_t poolSize_ = 0; ///< stride for the static assignment
     bool ran_ = false;
+
+    // Pool mode.
+    std::vector<std::unique_ptr<WorkerDeque>> deques_;
+    std::vector<std::thread> poolThreads_;
+    std::mutex poolMutex_;          ///< guards the wakeup conditions
+    std::condition_variable workCv_; ///< work arrived / stopping
+    std::condition_variable idleCv_; ///< a job finished (drain wait)
+    std::atomic<std::size_t> queued_{0};
+    std::atomic<unsigned> running_{0};
+    std::atomic<unsigned> nextPoolId_{0};
+    std::atomic<unsigned> enqueueRr_{0};
+    bool poolStopping_ = false; ///< under poolMutex_
+    bool poolStarted_ = false;
 };
 
 } // namespace fpc::sched

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A small blocking client for the fpc-serve-v1 protocol, used by the
+ * load generator, the tests, and anything else that wants to talk to
+ * a running fpcserve without hand-rolling frames.
+ *
+ * One Client is one connection. call() does a synchronous round trip
+ * (closed-loop use); send()/recv() are the raw halves for pipelined
+ * use — issue many SUBMITs, then collect completions out of order and
+ * correlate by request id (typically from a dedicated reader thread).
+ */
+
+#ifndef FPC_SERVE_CLIENT_HH
+#define FPC_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace fpc::serve
+{
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client() { close(); }
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    Client(Client &&other) noexcept
+        : fd_(other.fd_), nextReqId_(other.nextReqId_)
+    {
+        other.fd_ = -1;
+    }
+
+    Client &
+    operator=(Client &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            nextReqId_ = other.nextReqId_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    /** Connect to host:port; false (with a message in err) on
+     *  failure. */
+    bool connect(const std::string &host, std::uint16_t port,
+                 std::string &err);
+
+    void close();
+    bool connected() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** @name Raw pipelined halves. @{ */
+    bool send(const Request &req);
+    bool recv(Reply &reply);
+    /** @} */
+
+    /** Synchronous round trip (single outstanding request). */
+    bool call(const Request &req, Reply &reply);
+
+    /** @name Convenience round trips. @{ */
+    bool submitSource(const std::string &tenant,
+                      const std::string &source,
+                      const std::vector<Word> &args, Reply &reply);
+    bool submitProgram(const std::string &tenant,
+                       const std::string &program,
+                       const std::vector<Word> &args, Reply &reply);
+    bool scrape(std::string &text);
+    bool ping();
+    /** @} */
+
+  private:
+    int fd_ = -1;
+    std::uint32_t nextReqId_ = 1;
+};
+
+} // namespace fpc::serve
+
+#endif // FPC_SERVE_CLIENT_HH

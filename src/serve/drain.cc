@@ -1,0 +1,87 @@
+#include "serve/drain.hh"
+
+#include <csignal>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace fpc::serve
+{
+
+namespace
+{
+
+std::atomic<bool> g_requested{false};
+std::atomic<bool> g_installed{false};
+int g_pipe[2] = {-1, -1};
+struct sigaction g_prevInt;
+struct sigaction g_prevTerm;
+
+} // namespace
+
+void
+DrainSignal::handler(int signo)
+{
+    (void)signo;
+    g_requested.store(true, std::memory_order_relaxed);
+    const char byte = 1;
+    // Self-pipe: write() is async-signal-safe; a full pipe just means
+    // the poller is already awake.
+    [[maybe_unused]] ssize_t n = ::write(g_pipe[1], &byte, 1);
+    // One shot: restore default handlers so a second signal kills a
+    // stuck drain the ordinary way.
+    ::sigaction(SIGINT, &g_prevInt, nullptr);
+    ::sigaction(SIGTERM, &g_prevTerm, nullptr);
+}
+
+DrainSignal::DrainSignal()
+{
+    if (g_installed.exchange(true))
+        panic("DrainSignal: already installed in this process");
+    g_requested.store(false);
+    if (::pipe(g_pipe) != 0)
+        fatal("DrainSignal: pipe() failed");
+    ::fcntl(g_pipe[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(g_pipe[1], F_SETFL, O_NONBLOCK);
+
+    struct sigaction sa = {};
+    sa.sa_handler = &DrainSignal::handler;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: blocking accept/read sees EINTR
+    ::sigaction(SIGINT, &sa, &g_prevInt);
+    ::sigaction(SIGTERM, &sa, &g_prevTerm);
+}
+
+DrainSignal::~DrainSignal()
+{
+    if (!requested()) {
+        ::sigaction(SIGINT, &g_prevInt, nullptr);
+        ::sigaction(SIGTERM, &g_prevTerm, nullptr);
+    }
+    ::close(g_pipe[0]);
+    ::close(g_pipe[1]);
+    g_pipe[0] = g_pipe[1] = -1;
+    g_installed.store(false);
+}
+
+bool
+DrainSignal::requested() const
+{
+    return g_requested.load(std::memory_order_relaxed);
+}
+
+const std::atomic<bool> &
+DrainSignal::flag() const
+{
+    return g_requested;
+}
+
+int
+DrainSignal::fd() const
+{
+    return g_pipe[0];
+}
+
+} // namespace fpc::serve

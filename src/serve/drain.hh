@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Graceful-shutdown plumbing shared by the drivers: a SIGINT/SIGTERM
+ * handler that records the request in an atomic flag and pokes a
+ * self-pipe, so both polling loops (fpcserve waits on the pipe) and
+ * running workers (fpcrun points RuntimeConfig::stopFlag at the
+ * flag) see the drain without any async-signal-unsafe work in the
+ * handler.
+ */
+
+#ifndef FPC_SERVE_DRAIN_HH
+#define FPC_SERVE_DRAIN_HH
+
+#include <atomic>
+
+namespace fpc::serve
+{
+
+/**
+ * Installs SIGINT and SIGTERM handlers on construction, restores the
+ * previous handlers on destruction. Process-wide state: at most one
+ * instance may live at a time (the constructor panics otherwise).
+ * A second signal while draining falls through to the restored
+ * default handler, so a stuck drain can still be killed.
+ */
+class DrainSignal
+{
+  public:
+    DrainSignal();
+    ~DrainSignal();
+
+    DrainSignal(const DrainSignal &) = delete;
+    DrainSignal &operator=(const DrainSignal &) = delete;
+
+    /** True once a shutdown signal arrived. */
+    bool requested() const;
+
+    /** The flag itself — wire into RuntimeConfig::stopFlag. */
+    const std::atomic<bool> &flag() const;
+
+    /** Readable end of the self-pipe: becomes readable on the first
+     *  signal. poll() this instead of sleeping. */
+    int fd() const;
+
+  private:
+    static void handler(int signo);
+};
+
+} // namespace fpc::serve
+
+#endif // FPC_SERVE_DRAIN_HH

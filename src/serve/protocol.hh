@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The fpc-serve-v1 wire protocol: length-prefixed binary frames over
+ * a stream socket.
+ *
+ * Every frame is a little-endian u32 payload length followed by that
+ * many bytes. Payloads are flat little-endian structs built from u8 /
+ * u16 / u32 / u64 scalars and u32-length-prefixed strings — no
+ * nesting, no varints, so a client in any language is a page of code.
+ *
+ * Requests open with a u8 opcode; SUBMIT carries a client-chosen
+ * request id that the matching reply echoes, so one connection can
+ * pipeline many jobs and collect completions out of order (jobs
+ * finish in whatever order the pool schedules them).
+ */
+
+#ifndef FPC_SERVE_PROTOCOL_HH
+#define FPC_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fpc::serve
+{
+
+/** Frames above this are rejected before allocation: nothing the
+ *  protocol carries legitimately approaches it. */
+constexpr std::uint32_t maxFrameBytes = 1u << 24;
+
+enum class ReqOp : std::uint8_t
+{
+    Submit = 1, ///< run a job
+    Scrape = 2, ///< fetch the server's OpenMetrics exposition
+    Ping = 3,   ///< liveness check
+};
+
+/** Reply status. Submit replies use Ok/Rejected/OverQuota/Draining/
+ *  BadRequest; Scrape answers ScrapeText; Ping answers Pong. */
+enum class Status : std::uint8_t
+{
+    Ok = 0,         ///< the job ran; see the result fields
+    Rejected = 1,   ///< queue full — back off retryAfterMs
+    OverQuota = 2,  ///< tenant cycle quota spent — retryAfterMs
+    Draining = 3,   ///< server is shutting down, resubmit elsewhere
+    BadRequest = 4, ///< malformed frame / unknown program / bad source
+    ScrapeText = 5,
+    Pong = 6,
+};
+
+const char *statusName(Status status);
+
+struct SubmitRequest
+{
+    std::uint32_t reqId = 0;
+    std::string tenant;      ///< empty → the server's default tenant
+    std::string program;     ///< preloaded program name; empty → source
+    std::string source;      ///< MiniMesa source when program is empty
+    std::string entryModule; ///< empty → "Main" or the first module
+    std::string entryProc;   ///< empty → "main"
+    std::vector<Word> args;
+};
+
+struct Request
+{
+    ReqOp op = ReqOp::Ping;
+    SubmitRequest submit; ///< valid when op == Submit
+};
+
+struct Reply
+{
+    std::uint32_t reqId = 0;
+    Status status = Status::Pong;
+
+    // Status::Ok — the job's outcome.
+    bool jobOk = false;
+    Word value = 0;
+    std::string stopReason;
+    std::string error; ///< job failure, or the BadRequest diagnosis
+    std::uint64_t steps = 0;
+    std::uint64_t cycles = 0;
+    std::string postmortem; ///< bundle path prefix, when written
+
+    // Status::Rejected / OverQuota — explicit backpressure.
+    std::uint32_t retryAfterMs = 0;
+
+    // Status::ScrapeText.
+    std::string text;
+};
+
+/** @name Payload encoding.
+ * encode* build a payload (no frame header); decode* parse one,
+ * returning false with a diagnosis on truncated or malformed input
+ * instead of throwing — the server answers BadRequest, it does not
+ * die.
+ * @{ */
+std::string encodeRequest(const Request &req);
+std::string encodeReply(const Reply &reply);
+bool decodeRequest(std::string_view payload, Request &out,
+                   std::string &err);
+bool decodeReply(std::string_view payload, Reply &out,
+                 std::string &err);
+/** @} */
+
+/** @name Framed blocking I/O on a connected socket.
+ * Both return false on EOF or a socket error; writeFrame never raises
+ * SIGPIPE. readFrame enforces maxFrameBytes.
+ * @{ */
+bool writeFrame(int fd, std::string_view payload);
+bool readFrame(int fd, std::string &payload);
+/** @} */
+
+} // namespace fpc::serve
+
+#endif // FPC_SERVE_PROTOCOL_HH

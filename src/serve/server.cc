@@ -1,0 +1,692 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "lang/codegen.hh"
+
+namespace fpc::serve
+{
+
+namespace
+{
+
+/** OpenMetrics label-value escaping: backslash, quote, newline. */
+std::string
+labelEscape(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+Server::Conn::~Conn()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      latency_(config_.latencyBucketMs > 0 ? config_.latencyBucketMs
+                                           : 0.25,
+               std::max<std::size_t>(1, config_.latencyBuckets))
+{
+    if (config_.workers == 0)
+        config_.workers = 1;
+    maxInFlight_ = config_.maxInFlight != 0 ? config_.maxInFlight
+                                            : config_.workers;
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::addProgram(const std::string &name,
+                   std::shared_ptr<const std::vector<Module>> modules)
+{
+    if (!modules || modules->empty())
+        panic("Server::addProgram: program has no modules");
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    programs_[name] = std::move(modules);
+}
+
+void
+Server::start()
+{
+    if (started_)
+        panic("Server::start called twice");
+    started_ = true;
+
+    sched::RuntimeConfig rc;
+    rc.workers = config_.workers;
+    rc.machine = config_.machine;
+    rc.plan = config_.plan;
+    rc.metrics = config_.metrics;
+    rc.metricsInterval = config_.metricsInterval;
+    rc.metricsCapacity = config_.metricsCapacity;
+    rc.postmortemDir = config_.postmortemDir;
+    rc.driver = config_.driver;
+    rc.gaugeProvider =
+        [this](std::vector<std::pair<std::string, double>> &g) {
+            g.emplace_back("serve_queue_depth", gaugeQueue_.load());
+            g.emplace_back("serve_in_flight", gaugeInFlight_.load());
+        };
+    runtime_ = std::make_unique<sched::Runtime>(rc);
+    runtime_->startPool();
+
+    windowStart_ = std::chrono::steady_clock::now();
+    {
+        // Pre-register configured tenants so the scrape shows them
+        // before their first request.
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &entry : config_.tenants)
+            tenantLocked(entry.first);
+        tenantLocked("default");
+    }
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        fatal("fpcserve: socket() failed");
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) !=
+        1)
+        fatal("fpcserve: bad listen address '{}'", config_.host);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("fpcserve: cannot bind {}:{}", config_.host,
+              config_.port);
+    if (::listen(listenFd_, 64) != 0)
+        fatal("fpcserve: listen() failed");
+    socklen_t len = sizeof(addr);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                  &len);
+    port_ = ntohs(addr.sin_port);
+
+    if (::pipe(wakePipe_) != 0)
+        fatal("fpcserve: pipe() failed");
+
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::acceptLoop()
+{
+    while (true) {
+        pollfd fds[2] = {{listenFd_, POLLIN, 0},
+                         {wakePipe_[0], POLLIN, 0}};
+        const int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (fds[1].revents != 0)
+            break; // drain/stop woke us
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            break;
+        }
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        std::lock_guard<std::mutex> lock(connMutex_);
+        if (acceptClosed_) {
+            break; // Conn destructor closes fd
+        }
+        conns_.push_back(conn);
+        connThreads_.emplace_back(
+            [this, conn] { connLoop(std::move(conn)); });
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+Server::connLoop(std::shared_ptr<Conn> conn)
+{
+    std::string payload;
+    while (readFrame(conn->fd, payload)) {
+        Request req;
+        std::string err;
+        if (!decodeRequest(payload, req, err)) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++badRequests_;
+            }
+            Reply reply;
+            reply.status = Status::BadRequest;
+            reply.error = err;
+            sendReply(conn, reply);
+            continue;
+        }
+        switch (req.op) {
+          case ReqOp::Ping: {
+            Reply reply;
+            reply.status = Status::Pong;
+            sendReply(conn, reply);
+            break;
+          }
+          case ReqOp::Scrape: {
+            Reply reply;
+            reply.status = Status::ScrapeText;
+            reply.text = scrapeText();
+            sendReply(conn, reply);
+            break;
+          }
+          case ReqOp::Submit:
+            handleSubmit(conn, std::move(req.submit));
+            break;
+        }
+    }
+    conn->open.store(false, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const std::vector<Module>>
+Server::resolveModules(const SubmitRequest &req, std::string &err)
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    if (!req.program.empty()) {
+        auto it = programs_.find(req.program);
+        if (it == programs_.end()) {
+            err = "unknown program '" + req.program + "'";
+            return nullptr;
+        }
+        return it->second;
+    }
+    if (req.source.empty()) {
+        err = "SUBMIT carries neither a program name nor source";
+        return nullptr;
+    }
+    auto it = sourceCache_.find(req.source);
+    if (it != sourceCache_.end())
+        return it->second;
+    try {
+        auto modules = std::make_shared<const std::vector<Module>>(
+            lang::compile(req.source));
+        sourceCache_[req.source] = modules;
+        return modules;
+    } catch (const std::exception &e) {
+        err = e.what();
+        return nullptr;
+    }
+}
+
+void
+Server::handleSubmit(const std::shared_ptr<Conn> &conn,
+                     SubmitRequest &&req)
+{
+    Reply reply;
+    reply.reqId = req.reqId;
+
+    // Compilation / registry lookup happens outside the serving lock:
+    // it can be slow, and completions must not wait on it.
+    std::string err;
+    auto modules = resolveModules(req, err);
+    if (!modules) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++badRequests_;
+        }
+        reply.status = Status::BadRequest;
+        reply.error = err;
+        sendReply(conn, reply);
+        return;
+    }
+
+    std::string module = req.entryModule;
+    if (module.empty()) {
+        module = modules->front().name;
+        for (const Module &m : *modules)
+            if (m.name == "Main")
+                module = "Main";
+    }
+    const std::string proc =
+        req.entryProc.empty() ? "main" : req.entryProc;
+    const std::string tenant =
+        req.tenant.empty() ? "default" : req.tenant;
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (draining_) {
+            ++rejectedDraining_;
+            reply.status = Status::Draining;
+            reply.error = "server is draining";
+            lock.unlock();
+            sendReply(conn, reply);
+            return;
+        }
+        rollWindowLocked();
+        TenantState &t = tenantLocked(tenant);
+        ++t.counters.submitted;
+        ++jobsSubmitted_;
+        if (t.config.cyclesPerWindow > 0 &&
+            t.counters.windowCycles >= t.config.cyclesPerWindow) {
+            ++t.counters.rejectedQuota;
+            ++rejectedQuota_;
+            reply.status = Status::OverQuota;
+            const double left =
+                static_cast<double>(config_.quotaWindowMs) -
+                msSince(windowStart_);
+            reply.retryAfterMs = static_cast<std::uint32_t>(
+                std::clamp(left, 1.0, 1.0e6));
+            reply.error = "tenant simulated-cycle quota exhausted";
+            lock.unlock();
+            sendReply(conn, reply);
+            return;
+        }
+        if (queuedTotal_ >= config_.queueCapacity) {
+            ++t.counters.rejectedQueue;
+            ++rejectedQueue_;
+            reply.status = Status::Rejected;
+            reply.retryAfterMs = retryAfterLocked();
+            reply.error = "server queue full";
+            lock.unlock();
+            sendReply(conn, reply);
+            return;
+        }
+        if (t.pending.size() >= t.config.maxQueued) {
+            ++t.counters.rejectedQueue;
+            ++rejectedQueue_;
+            reply.status = Status::Rejected;
+            reply.retryAfterMs = retryAfterLocked();
+            reply.error = "tenant queue full";
+            lock.unlock();
+            sendReply(conn, reply);
+            return;
+        }
+
+        Pending p;
+        p.reqId = req.reqId;
+        p.conn = conn;
+        p.tenant = tenant;
+        p.job = sched::Job{std::move(modules), std::move(module),
+                           proc, std::move(req.args)};
+        p.admitted = std::chrono::steady_clock::now();
+        t.pending.push_back(std::move(p));
+        t.counters.queued = t.pending.size();
+        ++queuedTotal_;
+        drr_.enqueue(tenant);
+        pumpLocked();
+        updateGaugesLocked();
+    }
+    // The reply comes from the completion callback once the job ran.
+}
+
+void
+Server::pumpLocked()
+{
+    std::string tenant;
+    while (inFlight_ < maxInFlight_ && drr_.pick(tenant)) {
+        TenantState &t = tenants_.at(tenant);
+        Pending p = std::move(t.pending.front());
+        t.pending.pop_front();
+        t.counters.queued = t.pending.size();
+        --queuedTotal_;
+        ++inFlight_;
+        ++t.counters.inFlight;
+        sched::Job job = std::move(p.job);
+        auto meta = std::make_shared<Pending>(std::move(p));
+        runtime_->enqueue(std::move(job),
+                          [this, meta](sched::JobResult r) {
+                              onComplete(*meta, std::move(r));
+                          });
+    }
+}
+
+void
+Server::onComplete(const Pending &meta, sched::JobResult r)
+{
+    Reply reply;
+    reply.reqId = meta.reqId;
+    reply.status = Status::Ok;
+    reply.jobOk = r.ok;
+    reply.value = r.value;
+    reply.stopReason = stopReasonName(r.reason);
+    reply.error = r.error;
+    reply.steps = r.steps;
+    reply.cycles = r.cycles;
+    if (!r.ok && !config_.postmortemDir.empty()) {
+        reply.postmortem = config_.postmortemDir + "/job-" +
+                           std::to_string(r.id) +
+                           "-postmortem.json";
+    }
+    // Charge the books that admission reads BEFORE the reply goes
+    // out: a client that resubmits the instant its Ok arrives must
+    // see the quota already spent, not race the bookkeeping.
+    const double ms = msSince(meta.admitted);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        TenantState &t = tenantLocked(meta.tenant);
+        ++t.counters.completed;
+        ++jobsCompleted_;
+        if (!r.ok) {
+            ++t.counters.failed;
+            ++jobsFailed_;
+        }
+        t.counters.windowCycles += r.cycles;
+        latency_.sample(ms);
+    }
+
+    // Reply before the in-flight count drops: once drain() returns,
+    // every admitted job's result frame has been written.
+    sendReply(meta.conn, reply);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    --inFlight_;
+    --tenantLocked(meta.tenant).counters.inFlight;
+    pumpLocked();
+    updateGaugesLocked();
+    if (draining_ && queuedTotal_ == 0 && inFlight_ == 0)
+        drainedCv_.notify_all();
+}
+
+void
+Server::rollWindowLocked()
+{
+    const auto window =
+        std::chrono::milliseconds(config_.quotaWindowMs);
+    const auto now = std::chrono::steady_clock::now();
+    if (now - windowStart_ < window)
+        return;
+    while (now - windowStart_ >= window)
+        windowStart_ += window;
+    for (auto &entry : tenants_)
+        entry.second.counters.windowCycles = 0;
+}
+
+Server::TenantState &
+Server::tenantLocked(const std::string &name)
+{
+    auto it = tenants_.find(name);
+    if (it == tenants_.end()) {
+        TenantState ts;
+        auto cfg = config_.tenants.find(name);
+        ts.config = cfg != config_.tenants.end()
+                        ? cfg->second
+                        : config_.defaultTenant;
+        it = tenants_.emplace(name, std::move(ts)).first;
+        drr_.setQuantum(name, it->second.config.weight);
+    }
+    return it->second;
+}
+
+std::uint32_t
+Server::retryAfterLocked() const
+{
+    // Estimate: the backlog's expected drain time at the observed
+    // mean job latency (or a nominal 10ms before any completions).
+    const double perJob =
+        latency_.count() > 0 ? latency_.mean() : 10.0;
+    const double backlog =
+        static_cast<double>(queuedTotal_ + inFlight_);
+    const double est =
+        perJob * backlog / static_cast<double>(config_.workers);
+    return static_cast<std::uint32_t>(std::clamp(est, 1.0, 30000.0));
+}
+
+void
+Server::updateGaugesLocked()
+{
+    gaugeQueue_.store(static_cast<double>(queuedTotal_));
+    gaugeInFlight_.store(static_cast<double>(inFlight_));
+}
+
+void
+Server::sendReply(const std::shared_ptr<Conn> &conn,
+                  const Reply &reply)
+{
+    if (!conn->open.load(std::memory_order_relaxed))
+        return;
+    const std::string payload = encodeReply(reply);
+    std::lock_guard<std::mutex> lock(conn->writeMutex);
+    if (!writeFrame(conn->fd, payload))
+        conn->open.store(false, std::memory_order_relaxed);
+}
+
+bool
+Server::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return draining_;
+}
+
+std::string
+Server::scrapeText() const
+{
+    std::ostringstream os;
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    auto gauge = [&os](const char *name, const char *help,
+                       double value) {
+        os << "# HELP " << name << " " << help << "\n"
+           << "# TYPE " << name << " gauge\n"
+           << name << " " << value << "\n";
+    };
+    auto counter = [&os](const char *name, const char *help,
+                         std::uint64_t value) {
+        os << "# HELP " << name << " " << help << "\n"
+           << "# TYPE " << name << " counter\n"
+           << name << "_total " << value << "\n";
+    };
+
+    gauge("fpc_serve_queue_depth",
+          "Jobs admitted but not yet dispatched.",
+          static_cast<double>(queuedTotal_));
+    gauge("fpc_serve_in_flight", "Jobs currently on the pool.",
+          static_cast<double>(inFlight_));
+    gauge("fpc_serve_workers", "Pool worker threads.",
+          static_cast<double>(config_.workers));
+    gauge("fpc_serve_draining", "1 while the server drains.",
+          draining_ ? 1.0 : 0.0);
+    counter("fpc_serve_connections", "Connections accepted.",
+            accepted_.load(std::memory_order_relaxed));
+    counter("fpc_serve_jobs_submitted", "SUBMIT requests received.",
+            jobsSubmitted_);
+    counter("fpc_serve_jobs_completed", "Jobs run to completion.",
+            jobsCompleted_);
+    counter("fpc_serve_jobs_failed",
+            "Completed jobs that stopped on an error.", jobsFailed_);
+    counter("fpc_serve_rejected_queue",
+            "Submits rejected by a queue bound.", rejectedQueue_);
+    counter("fpc_serve_rejected_quota",
+            "Submits rejected by a tenant cycle quota.",
+            rejectedQuota_);
+    counter("fpc_serve_rejected_draining",
+            "Submits answered DRAINING during shutdown.",
+            rejectedDraining_);
+    counter("fpc_serve_bad_requests",
+            "Frames that failed to decode or resolve.", badRequests_);
+    gauge("fpc_serve_job_latency_ms_p50",
+          "Median job latency, admission to completion.",
+          latency_.p50());
+    gauge("fpc_serve_job_latency_ms_p90", "90th percentile latency.",
+          latency_.p90());
+    gauge("fpc_serve_job_latency_ms_p99", "99th percentile latency.",
+          latency_.p99());
+    gauge("fpc_serve_job_latency_ms_mean", "Mean job latency.",
+          latency_.mean());
+
+    // Per-tenant families: one HELP/TYPE header, one labeled sample
+    // per tenant.
+    auto tenantGauge =
+        [&](const char *name, const char *help,
+            double (*get)(const TenantState &)) {
+            os << "# HELP " << name << " " << help << "\n"
+               << "# TYPE " << name << " gauge\n";
+            for (const auto &entry : tenants_) {
+                os << name << "{tenant=\""
+                   << labelEscape(entry.first) << "\"} "
+                   << get(entry.second) << "\n";
+            }
+        };
+    auto tenantCounter =
+        [&](const char *name, const char *help,
+            std::uint64_t (*get)(const TenantState &)) {
+            os << "# HELP " << name << " " << help << "\n"
+               << "# TYPE " << name << " counter\n";
+            for (const auto &entry : tenants_) {
+                os << name << "_total{tenant=\""
+                   << labelEscape(entry.first) << "\"} "
+                   << get(entry.second) << "\n";
+            }
+        };
+    tenantGauge("fpc_serve_tenant_queued",
+                "Jobs waiting in the tenant's queue.",
+                [](const TenantState &t) {
+                    return static_cast<double>(t.counters.queued);
+                });
+    tenantGauge("fpc_serve_tenant_in_flight",
+                "The tenant's jobs on the pool.",
+                [](const TenantState &t) {
+                    return static_cast<double>(t.counters.inFlight);
+                });
+    tenantGauge("fpc_serve_tenant_weight", "DRR dispatch weight.",
+                [](const TenantState &t) { return t.config.weight; });
+    tenantGauge("fpc_serve_tenant_window_cycles",
+                "Simulated cycles spent in the current quota window.",
+                [](const TenantState &t) {
+                    return static_cast<double>(
+                        t.counters.windowCycles);
+                });
+    tenantCounter("fpc_serve_tenant_submitted",
+                  "SUBMITs received for the tenant.",
+                  [](const TenantState &t) {
+                      return t.counters.submitted;
+                  });
+    tenantCounter("fpc_serve_tenant_completed",
+                  "The tenant's jobs run to completion.",
+                  [](const TenantState &t) {
+                      return t.counters.completed;
+                  });
+    tenantCounter("fpc_serve_tenant_rejected",
+                  "The tenant's submits rejected (queue or quota).",
+                  [](const TenantState &t) {
+                      return t.counters.rejectedQueue +
+                             t.counters.rejectedQuota;
+                  });
+
+    os << "# EOF\n";
+    return os.str();
+}
+
+void
+Server::drain()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        draining_ = true;
+    }
+    // Wake the accept loop; it exits and no new connections land.
+    if (wakePipe_[1] >= 0) {
+        [[maybe_unused]] ssize_t n = ::write(wakePipe_[1], "x", 1);
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    drainedCv_.wait(lock, [this] {
+        return queuedTotal_ == 0 && inFlight_ == 0;
+    });
+}
+
+void
+Server::stop()
+{
+    if (!started_ || stopped_)
+        return;
+    stopped_ = true;
+    drain();
+    runtime_->stopPool();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        acceptClosed_ = true;
+        for (const auto &c : conns_) {
+            c->open.store(false, std::memory_order_relaxed);
+            ::shutdown(c->fd, SHUT_RDWR);
+        }
+        threads.swap(connThreads_);
+    }
+    for (std::thread &t : threads)
+        t.join();
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        conns_.clear();
+    }
+
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (wakePipe_[0] >= 0) {
+        ::close(wakePipe_[0]);
+        ::close(wakePipe_[1]);
+        wakePipe_[0] = wakePipe_[1] = -1;
+    }
+}
+
+void
+Server::writeMetricsJson(std::ostream &os) const
+{
+    runtime_->writeMetricsJson(os);
+}
+
+void
+Server::writeOpenMetrics(std::ostream &os) const
+{
+    runtime_->writeOpenMetrics(os);
+}
+
+std::uint64_t
+Server::jobsCompleted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return jobsCompleted_;
+}
+
+std::uint64_t
+Server::jobsRejected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejectedQueue_ + rejectedQuota_ + rejectedDraining_;
+}
+
+} // namespace fpc::serve

@@ -1,0 +1,79 @@
+#include "serve/tenant.hh"
+
+namespace fpc::serve
+{
+
+DrrDispatcher::Ent &
+DrrDispatcher::ent(const std::string &tenant)
+{
+    auto [it, inserted] = index_.try_emplace(tenant, ents_.size());
+    if (inserted) {
+        Ent e;
+        e.name = tenant;
+        ents_.push_back(std::move(e));
+    }
+    return ents_[it->second];
+}
+
+void
+DrrDispatcher::setQuantum(const std::string &tenant, double quantum)
+{
+    ent(tenant).quantum = quantum > 0 ? quantum : 1.0;
+}
+
+void
+DrrDispatcher::enqueue(const std::string &tenant)
+{
+    Ent &e = ent(tenant);
+    ++e.queued;
+    ++total_;
+    if (!e.active) {
+        // Re-entering the ring starts a fresh turn: idle time banks
+        // no deficit.
+        e.active = true;
+        e.charged = false;
+        e.deficit = 0.0;
+        ring_.push_back(index_[tenant]);
+    }
+}
+
+bool
+DrrDispatcher::pick(std::string &tenant_out)
+{
+    while (total_ > 0) {
+        Ent &e = ents_[ring_.front()];
+        if (e.queued == 0) {
+            e.active = false;
+            e.charged = false;
+            e.deficit = 0.0;
+            ring_.pop_front();
+            continue;
+        }
+        if (!e.charged) {
+            e.deficit += e.quantum;
+            e.charged = true;
+        }
+        if (e.deficit >= 1.0) {
+            e.deficit -= 1.0;
+            --e.queued;
+            --total_;
+            tenant_out = e.name;
+            if (e.queued == 0) {
+                e.active = false;
+                e.charged = false;
+                e.deficit = 0.0;
+                ring_.pop_front();
+            }
+            return true;
+        }
+        // Turn exhausted; rotate. Sub-unit quanta accumulate across
+        // turns until they cover a job.
+        e.charged = false;
+        const std::size_t i = ring_.front();
+        ring_.pop_front();
+        ring_.push_back(i);
+    }
+    return false;
+}
+
+} // namespace fpc::serve

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Multi-tenant bookkeeping for the serving runtime: per-tenant
+ * quotas, counters, and a deficit-round-robin dispatcher that decides
+ * whose queued job runs next.
+ *
+ * DRR here is the classic scheme with unit job cost: each tenant in
+ * the active ring holds a deficit; on its turn it is credited its
+ * quantum (the configured weight) once, dispatches jobs while the
+ * deficit covers them, then rotates to the back. Over any backlogged
+ * interval tenants therefore dispatch in proportion to their weights,
+ * a weight-2 tenant getting two jobs for every one of a weight-1
+ * tenant, and an idle tenant's unused turns are not banked — it
+ * re-enters the ring with a zero deficit.
+ */
+
+#ifndef FPC_SERVE_TENANT_HH
+#define FPC_SERVE_TENANT_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fpc::serve
+{
+
+/** Admission limits for one tenant. */
+struct TenantConfig
+{
+    double weight = 1.0;        ///< DRR quantum (jobs per turn)
+    std::size_t maxQueued = 64; ///< per-tenant queue bound
+    /** Simulated cycles the tenant may consume per quota window;
+     *  0 = unlimited. Charged at job completion, reset when the
+     *  window rolls. */
+    std::uint64_t cyclesPerWindow = 0;
+};
+
+/** Running totals the scrape endpoint exports per tenant. */
+struct TenantCounters
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0; ///< subset of completed
+    std::uint64_t rejectedQueue = 0;
+    std::uint64_t rejectedQuota = 0;
+    std::uint64_t windowCycles = 0; ///< spent in the current window
+    std::size_t queued = 0;
+    std::size_t inFlight = 0;
+};
+
+/**
+ * The deficit-round-robin dispatcher. It tracks only names and
+ * backlog counts — the owner keeps the actual job queues — so it is
+ * deterministic and unit-testable in isolation: enqueue(tenant) when
+ * a job is admitted, then pick() returns the tenant whose oldest job
+ * should dispatch next.
+ */
+class DrrDispatcher
+{
+  public:
+    /** Set a tenant's quantum (default 1.0). Takes effect on its
+     *  next turn. */
+    void setQuantum(const std::string &tenant, double quantum);
+
+    /** A job for this tenant was admitted to its queue. */
+    void enqueue(const std::string &tenant);
+
+    /** Choose the next tenant to dispatch one job from; false when
+     *  nothing is queued. */
+    bool pick(std::string &tenant_out);
+
+    std::size_t queued() const { return total_; }
+
+  private:
+    struct Ent
+    {
+        std::string name;
+        double quantum = 1.0;
+        double deficit = 0.0;
+        bool charged = false; ///< credited this turn already
+        std::size_t queued = 0;
+        bool active = false; ///< in the ring
+    };
+
+    Ent &ent(const std::string &tenant);
+
+    std::map<std::string, std::size_t> index_;
+    std::vector<Ent> ents_;
+    std::deque<std::size_t> ring_;
+    std::size_t total_ = 0;
+};
+
+} // namespace fpc::serve
+
+#endif // FPC_SERVE_TENANT_HH

@@ -103,6 +103,11 @@ Histogram::percentile(double p) const
         return 0.0;
     p = std::min(1.0, std::max(0.0, p));
     const double rank = p * static_cast<double>(n);
+    // Rank 0 is the smallest sample by definition — even when every
+    // sample overflowed the bucketed range and the scan below would
+    // only ever see the recorded maximum.
+    if (rank <= 0.0)
+        return dist_.min();
     double cum = 0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         const double in_bucket = static_cast<double>(counts_[i]);

@@ -11,8 +11,11 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 
+#include "common/logging.hh"
 #include "lang/codegen.hh"
 #include "machine/machine.hh"
 #include "program/loader.hh"
@@ -392,6 +395,135 @@ TEST(Runtime, FailingJobIsIsolated)
     EXPECT_EQ(runtime.stats().findCounter("jobs_completed").value(),
               2u);
     EXPECT_EQ(runtime.stats().findCounter("jobs_failed").value(), 1u);
+}
+
+TEST(Runtime, RunTwicePanics)
+{
+    const auto prog = shared(fibTracer());
+    sched::RuntimeConfig rc;
+    rc.workers = 1;
+    sched::Runtime runtime(rc);
+    runtime.submit({prog, "Fib", "main", {5}});
+    runtime.run();
+    EXPECT_THROW(runtime.run(), PanicError);
+    EXPECT_THROW(runtime.submit({prog, "Fib", "main", {5}}),
+                 PanicError);
+}
+
+TEST(Runtime, RunAndPoolModesAreExclusive)
+{
+    const auto prog = shared(fibTracer());
+    {
+        sched::RuntimeConfig rc;
+        rc.workers = 1;
+        sched::Runtime runtime(rc);
+        runtime.startPool();
+        EXPECT_THROW(runtime.run(), PanicError);
+        EXPECT_THROW(runtime.startPool(), PanicError);
+        runtime.stopPool();
+    }
+    {
+        sched::RuntimeConfig rc;
+        rc.workers = 1;
+        sched::Runtime runtime(rc);
+        runtime.submit({prog, "Fib", "main", {5}});
+        runtime.run();
+        EXPECT_THROW(runtime.startPool(), PanicError);
+    }
+    {
+        sched::RuntimeConfig rc;
+        rc.workers = 1;
+        sched::Runtime runtime(rc);
+        EXPECT_THROW(
+            runtime.enqueue({prog, "Fib", "main", {5}}, nullptr),
+            PanicError);
+    }
+}
+
+TEST(Runtime, PoolEnqueueCompletesEveryJob)
+{
+    const auto prog = shared(fibTracer());
+    sched::RuntimeConfig rc;
+    rc.workers = 2;
+    rc.machine.impl = Impl::Banked;
+    rc.plan.lowering = CallLowering::Direct;
+    rc.plan.shortCalls = true;
+    sched::Runtime runtime(rc);
+    runtime.startPool();
+
+    std::mutex mu;
+    std::vector<sched::JobResult> results;
+    for (unsigned j = 0; j < 12; ++j)
+        runtime.enqueue({prog, "Fib", "main", {10}},
+                        [&](sched::JobResult r) {
+                            std::lock_guard<std::mutex> lock(mu);
+                            results.push_back(std::move(r));
+                        });
+    runtime.drainPool();
+    EXPECT_EQ(runtime.queuedJobs(), 0u);
+    EXPECT_EQ(runtime.runningJobs(), 0u);
+    ASSERT_EQ(results.size(), 12u);
+    for (const sched::JobResult &r : results) {
+        EXPECT_TRUE(r.ok) << r.error;
+        EXPECT_EQ(r.value, 55u);
+    }
+    runtime.stopPool();
+    EXPECT_EQ(runtime.stats().findCounter("jobs_completed").value(),
+              12u);
+    EXPECT_EQ(runtime.stats().findCounter("jobs_failed").value(), 0u);
+}
+
+TEST(Runtime, PoolReusesWorkerContextsDeterministically)
+{
+    // One worker, four identical jobs: the first builds the context,
+    // the rest recycle it — and recycling must be invisible to the
+    // simulated outcome (same value, same step count every time).
+    const auto prog = shared(fibTracer());
+    sched::RuntimeConfig rc;
+    rc.workers = 1;
+    sched::Runtime runtime(rc);
+    runtime.startPool();
+    std::mutex mu;
+    std::vector<sched::JobResult> results;
+    for (unsigned j = 0; j < 4; ++j)
+        runtime.enqueue({prog, "Fib", "main", {9}},
+                        [&](sched::JobResult r) {
+                            std::lock_guard<std::mutex> lock(mu);
+                            results.push_back(std::move(r));
+                        });
+    runtime.drainPool();
+    runtime.stopPool();
+    ASSERT_EQ(results.size(), 4u);
+    for (const sched::JobResult &r : results) {
+        EXPECT_TRUE(r.ok) << r.error;
+        EXPECT_EQ(r.value, results[0].value);
+        EXPECT_EQ(r.steps, results[0].steps);
+    }
+    EXPECT_EQ(runtime.stats().findCounter("context_builds").value(),
+              1u);
+    EXPECT_EQ(runtime.stats().findCounter("context_reuses").value(),
+              3u);
+}
+
+TEST(Runtime, StopFlagCancelsRemainingJobs)
+{
+    // With the drain flag already raised, every job comes back
+    // canceled — the path fpcrun takes on SIGINT/SIGTERM.
+    const auto prog = shared(fibTracer());
+    std::atomic<bool> stop{true};
+    sched::RuntimeConfig rc;
+    rc.workers = 2;
+    rc.stopFlag = &stop;
+    sched::Runtime runtime(rc);
+    for (unsigned j = 0; j < 4; ++j)
+        runtime.submit({prog, "Fib", "main", {10}});
+    const auto results = runtime.run();
+    ASSERT_EQ(results.size(), 4u);
+    for (const sched::JobResult &r : results) {
+        EXPECT_FALSE(r.ok);
+        EXPECT_NE(r.error.find("canceled"), std::string::npos)
+            << r.error;
+    }
 }
 
 TEST(Runtime, TimeslicedJobsPreemptAndStillAgree)

@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Tests for the fpc_serve library, bottom-up: the wire protocol
+ * (round-trips and malformed-input rejection), the deficit-round-robin
+ * dispatcher (weighted fairness in isolation), the drain signal, and a
+ * live Server on an ephemeral port driven through the real client —
+ * submission paths, admission control, quotas, scrape, and drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+
+#include "common/logging.hh"
+#include "lang/codegen.hh"
+#include "serve/client.hh"
+#include "serve/drain.hh"
+#include "serve/server.hh"
+#include "serve/tenant.hh"
+
+namespace fpc
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Protocol.
+// ---------------------------------------------------------------------
+
+TEST(Protocol, SubmitRoundTrip)
+{
+    serve::Request req;
+    req.op = serve::ReqOp::Submit;
+    req.submit.reqId = 42;
+    req.submit.tenant = "gold";
+    req.submit.program = "primes";
+    req.submit.source = "module M; proc main(n) { return n; }";
+    req.submit.entryModule = "M";
+    req.submit.entryProc = "main";
+    req.submit.args = {7, 0, 65535};
+
+    serve::Request out;
+    std::string err;
+    ASSERT_TRUE(
+        serve::decodeRequest(serve::encodeRequest(req), out, err))
+        << err;
+    EXPECT_EQ(out.op, serve::ReqOp::Submit);
+    EXPECT_EQ(out.submit.reqId, 42u);
+    EXPECT_EQ(out.submit.tenant, "gold");
+    EXPECT_EQ(out.submit.program, "primes");
+    EXPECT_EQ(out.submit.source, req.submit.source);
+    EXPECT_EQ(out.submit.entryModule, "M");
+    EXPECT_EQ(out.submit.entryProc, "main");
+    EXPECT_EQ(out.submit.args, req.submit.args);
+}
+
+TEST(Protocol, ReplyVariantsRoundTrip)
+{
+    serve::Reply ok;
+    ok.reqId = 9;
+    ok.status = serve::Status::Ok;
+    ok.jobOk = true;
+    ok.value = 55;
+    ok.stopReason = "topReturn";
+    ok.steps = 1234;
+    ok.cycles = 9876;
+
+    serve::Reply rejected;
+    rejected.reqId = 10;
+    rejected.status = serve::Status::Rejected;
+    rejected.retryAfterMs = 25;
+    rejected.error = "queue full";
+
+    serve::Reply scrape;
+    scrape.status = serve::Status::ScrapeText;
+    scrape.text = "# EOF\n";
+
+    for (const serve::Reply &reply : {ok, rejected, scrape}) {
+        serve::Reply out;
+        std::string err;
+        ASSERT_TRUE(
+            serve::decodeReply(serve::encodeReply(reply), out, err))
+            << err;
+        EXPECT_EQ(out.reqId, reply.reqId);
+        EXPECT_EQ(out.status, reply.status);
+        EXPECT_EQ(out.jobOk, reply.jobOk);
+        EXPECT_EQ(out.value, reply.value);
+        EXPECT_EQ(out.stopReason, reply.stopReason);
+        EXPECT_EQ(out.error, reply.error);
+        EXPECT_EQ(out.steps, reply.steps);
+        EXPECT_EQ(out.cycles, reply.cycles);
+        EXPECT_EQ(out.retryAfterMs, reply.retryAfterMs);
+        EXPECT_EQ(out.text, reply.text);
+    }
+}
+
+TEST(Protocol, MalformedInputIsRejectedNotThrown)
+{
+    serve::Request req;
+    std::string err;
+
+    // Unknown opcode.
+    EXPECT_FALSE(serve::decodeRequest("\x7f", req, err));
+    EXPECT_FALSE(err.empty());
+
+    // Truncated SUBMIT: every proper prefix must fail cleanly.
+    serve::Request full;
+    full.op = serve::ReqOp::Submit;
+    full.submit.tenant = "t";
+    full.submit.source = "module M; proc main(n) { return n; }";
+    full.submit.args = {1, 2};
+    const std::string payload = serve::encodeRequest(full);
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+        EXPECT_FALSE(serve::decodeRequest(
+            std::string_view(payload.data(), len), req, err))
+            << "prefix of length " << len << " decoded";
+    }
+
+    // Trailing garbage after a valid PING.
+    EXPECT_FALSE(serve::decodeRequest(std::string("\x03junk"), req,
+                                      err));
+
+    serve::Reply reply;
+    EXPECT_FALSE(serve::decodeReply("", reply, err));
+    EXPECT_FALSE(serve::decodeReply("\x01\x00\x00\x00\x63", reply,
+                                    err)); // status 99
+}
+
+// ---------------------------------------------------------------------
+// Deficit round robin.
+// ---------------------------------------------------------------------
+
+TEST(Drr, WeightsSetDispatchShares)
+{
+    serve::DrrDispatcher drr;
+    drr.setQuantum("heavy", 2.0);
+    drr.setQuantum("light", 1.0);
+    for (int i = 0; i < 12; ++i) {
+        drr.enqueue("heavy");
+        drr.enqueue("light");
+    }
+    ASSERT_EQ(drr.queued(), 24u);
+
+    int heavy = 0, light = 0;
+    std::string who;
+    for (int i = 0; i < 18; ++i) {
+        ASSERT_TRUE(drr.pick(who));
+        (who == "heavy" ? heavy : light)++;
+    }
+    // Backlogged throughout: dispatches split 2:1.
+    EXPECT_EQ(heavy, 12);
+    EXPECT_EQ(light, 6);
+}
+
+TEST(Drr, DrainsCompletelyAndStopsPicking)
+{
+    serve::DrrDispatcher drr;
+    drr.enqueue("a");
+    drr.enqueue("a");
+    drr.enqueue("b");
+    std::string who;
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(drr.pick(who));
+    EXPECT_FALSE(drr.pick(who));
+    EXPECT_EQ(drr.queued(), 0u);
+}
+
+TEST(Drr, IdleTenantDoesNotBankCredit)
+{
+    serve::DrrDispatcher drr;
+    drr.setQuantum("idle", 8.0);
+    drr.setQuantum("busy", 1.0);
+
+    // idle drains once, then sits out many turns.
+    drr.enqueue("idle");
+    std::string who;
+    ASSERT_TRUE(drr.pick(who));
+    EXPECT_EQ(who, "idle");
+    for (int i = 0; i < 10; ++i) {
+        drr.enqueue("busy");
+        ASSERT_TRUE(drr.pick(who));
+        EXPECT_EQ(who, "busy");
+    }
+
+    // Back with a backlog: its share resumes at 8:1 from zero
+    // deficit, not with 10 turns of banked credit spent instantly.
+    for (int i = 0; i < 9; ++i) {
+        drr.enqueue("idle");
+        drr.enqueue("busy");
+    }
+    int idle = 0, busy = 0;
+    for (int i = 0; i < 9; ++i) {
+        ASSERT_TRUE(drr.pick(who));
+        (who == "idle" ? idle : busy)++;
+    }
+    EXPECT_EQ(idle, 8);
+    EXPECT_EQ(busy, 1);
+}
+
+TEST(Drr, SubUnitWeightsAccumulateAcrossTurns)
+{
+    serve::DrrDispatcher drr;
+    drr.setQuantum("slow", 0.5);
+    drr.setQuantum("fast", 1.0);
+    for (int i = 0; i < 6; ++i) {
+        drr.enqueue("slow");
+        drr.enqueue("fast");
+    }
+    int slow = 0, fast = 0;
+    std::string who;
+    for (int i = 0; i < 9; ++i) {
+        ASSERT_TRUE(drr.pick(who));
+        (who == "slow" ? slow : fast)++;
+    }
+    // A 0.5 quantum dispatches every other turn: 1:2 share.
+    EXPECT_EQ(slow, 3);
+    EXPECT_EQ(fast, 6);
+}
+
+// ---------------------------------------------------------------------
+// Drain signal.
+// ---------------------------------------------------------------------
+
+TEST(DrainSignal, SigtermSetsFlagAndWakesPipe)
+{
+    serve::DrainSignal drain;
+    EXPECT_FALSE(drain.requested());
+    EXPECT_FALSE(drain.flag().load());
+
+    std::raise(SIGTERM);
+
+    EXPECT_TRUE(drain.requested());
+    EXPECT_TRUE(drain.flag().load());
+    pollfd pfd = {drain.fd(), POLLIN, 0};
+    EXPECT_EQ(::poll(&pfd, 1, 1000), 1);
+    EXPECT_TRUE(pfd.revents & POLLIN);
+}
+
+// ---------------------------------------------------------------------
+// The live server.
+// ---------------------------------------------------------------------
+
+const char *kFibSource = R"(
+    module Fib;
+    proc fib(n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    proc main(n) { return fib(n); }
+)";
+
+serve::Client
+connectTo(const serve::Server &server)
+{
+    serve::Client client;
+    std::string err;
+    if (!client.connect("127.0.0.1", server.port(), err))
+        ADD_FAILURE() << "connect: " << err;
+    return client;
+}
+
+TEST(Server, RunsSourceAndPreloadedPrograms)
+{
+    serve::ServerConfig sc;
+    sc.workers = 2;
+    serve::Server server(sc);
+    server.addProgram(
+        "fib", std::make_shared<const std::vector<Module>>(
+                   lang::compile(kFibSource)));
+    server.start();
+    ASSERT_NE(server.port(), 0);
+
+    serve::Client client = connectTo(server);
+    EXPECT_TRUE(client.ping());
+
+    serve::Reply reply;
+    ASSERT_TRUE(client.submitSource("", kFibSource, {10}, reply));
+    EXPECT_EQ(reply.status, serve::Status::Ok);
+    EXPECT_TRUE(reply.jobOk) << reply.error;
+    EXPECT_EQ(reply.value, 55u);
+    EXPECT_EQ(reply.stopReason, "topReturn");
+    EXPECT_GT(reply.steps, 0u);
+
+    ASSERT_TRUE(client.submitProgram("", "fib", {11}, reply));
+    EXPECT_EQ(reply.status, serve::Status::Ok);
+    EXPECT_TRUE(reply.jobOk) << reply.error;
+    EXPECT_EQ(reply.value, 89u);
+
+    server.stop();
+    EXPECT_EQ(server.jobsCompleted(), 2u);
+    EXPECT_EQ(server.jobsRejected(), 0u);
+}
+
+TEST(Server, BadSubmissionsAnswerBadRequest)
+{
+    serve::ServerConfig sc;
+    sc.workers = 1;
+    serve::Server server(sc);
+    server.start();
+    serve::Client client = connectTo(server);
+
+    serve::Reply reply;
+    ASSERT_TRUE(client.submitProgram("", "nosuch", {1}, reply));
+    EXPECT_EQ(reply.status, serve::Status::BadRequest);
+    EXPECT_NE(reply.error.find("nosuch"), std::string::npos);
+
+    ASSERT_TRUE(
+        client.submitSource("", "module Broken; proc {", {}, reply));
+    EXPECT_EQ(reply.status, serve::Status::BadRequest);
+    EXPECT_FALSE(reply.error.empty());
+
+    // The connection survives bad submissions.
+    EXPECT_TRUE(client.ping());
+    server.stop();
+}
+
+TEST(Server, CycleQuotaAnswersOverQuota)
+{
+    serve::ServerConfig sc;
+    sc.workers = 1;
+    // metered may spend 1 simulated cycle per (enormous) window: the
+    // first job completes and puts it over, the second is refused.
+    sc.tenants["metered"] = {1.0, 64, 1};
+    sc.quotaWindowMs = 3600 * 1000;
+    serve::Server server(sc);
+    server.start();
+    serve::Client client = connectTo(server);
+
+    serve::Reply reply;
+    ASSERT_TRUE(client.submitSource("metered", kFibSource, {5}, reply));
+    EXPECT_EQ(reply.status, serve::Status::Ok);
+    EXPECT_TRUE(reply.jobOk) << reply.error;
+
+    ASSERT_TRUE(client.submitSource("metered", kFibSource, {5}, reply));
+    EXPECT_EQ(reply.status, serve::Status::OverQuota);
+    EXPECT_GT(reply.retryAfterMs, 0u);
+
+    // Another tenant is unaffected.
+    ASSERT_TRUE(client.submitSource("other", kFibSource, {5}, reply));
+    EXPECT_EQ(reply.status, serve::Status::Ok);
+    server.stop();
+}
+
+TEST(Server, FullQueueAnswersRejectedWithRetryAfter)
+{
+    serve::ServerConfig sc;
+    sc.workers = 1;
+    sc.maxInFlight = 1;
+    sc.queueCapacity = 1;
+    serve::Server server(sc);
+    server.start();
+    serve::Client client = connectTo(server);
+
+    // Pipeline far more work than one worker and a one-slot queue can
+    // hold; admission control must refuse some of it explicitly.
+    const unsigned burst = 30;
+    for (unsigned i = 0; i < burst; ++i) {
+        serve::Request req;
+        req.op = serve::ReqOp::Submit;
+        req.submit.reqId = i + 1;
+        req.submit.source = kFibSource;
+        req.submit.args = {12};
+        ASSERT_TRUE(client.send(req));
+    }
+    unsigned ok = 0, rejected = 0;
+    for (unsigned i = 0; i < burst; ++i) {
+        serve::Reply reply;
+        ASSERT_TRUE(client.recv(reply));
+        if (reply.status == serve::Status::Ok) {
+            EXPECT_TRUE(reply.jobOk) << reply.error;
+            ++ok;
+        } else {
+            ASSERT_EQ(reply.status, serve::Status::Rejected);
+            EXPECT_GT(reply.retryAfterMs, 0u);
+            ++rejected;
+        }
+    }
+    EXPECT_GT(ok, 0u);
+    EXPECT_GT(rejected, 0u);
+    EXPECT_EQ(ok + rejected, burst);
+    server.stop();
+    EXPECT_EQ(server.jobsRejected(), rejected);
+}
+
+TEST(Server, ScrapeExposesServingMetrics)
+{
+    serve::ServerConfig sc;
+    sc.workers = 1;
+    sc.tenants["gold"] = {3.0, 64, 0};
+    serve::Server server(sc);
+    server.start();
+    serve::Client client = connectTo(server);
+
+    serve::Reply reply;
+    ASSERT_TRUE(client.submitSource("gold", kFibSource, {8}, reply));
+    EXPECT_EQ(reply.status, serve::Status::Ok);
+
+    std::string text;
+    ASSERT_TRUE(client.scrape(text));
+    EXPECT_NE(text.find("fpc_serve_queue_depth"), std::string::npos);
+    EXPECT_NE(text.find("fpc_serve_jobs_completed"),
+              std::string::npos);
+    EXPECT_NE(text.find("fpc_serve_job_latency_ms_p99"),
+              std::string::npos);
+    EXPECT_NE(text.find("tenant=\"gold\""), std::string::npos);
+    EXPECT_NE(text.find("# EOF\n"), std::string::npos);
+    server.stop();
+}
+
+TEST(Server, DrainRefusesNewWorkThenStops)
+{
+    serve::ServerConfig sc;
+    sc.workers = 1;
+    serve::Server server(sc);
+    server.start();
+    serve::Client client = connectTo(server);
+
+    serve::Reply reply;
+    ASSERT_TRUE(client.submitSource("", kFibSource, {9}, reply));
+    EXPECT_EQ(reply.status, serve::Status::Ok);
+
+    server.drain();
+    EXPECT_TRUE(server.draining());
+
+    // The established connection still gets answers — explicit
+    // DRAINING, not a hang or a dropped socket.
+    ASSERT_TRUE(client.submitSource("", kFibSource, {9}, reply));
+    EXPECT_EQ(reply.status, serve::Status::Draining);
+
+    server.stop();
+    EXPECT_EQ(server.jobsCompleted(), 1u);
+}
+
+} // namespace
+} // namespace fpc

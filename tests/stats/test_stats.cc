@@ -124,6 +124,38 @@ TEST(Histogram, PercentileOfOverflowSamples)
     EXPECT_DOUBLE_EQ(h.p50(), 10.0);
 }
 
+TEST(Histogram, PercentileEndpointsEmpty)
+{
+    const Histogram h(1.0, 4);
+    EXPECT_EQ(h.percentile(0.0), 0.0);
+    EXPECT_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(Histogram, PercentileEndpoints)
+{
+    Histogram h(1.0, 10);
+    h.sample(0.25);
+    h.sample(7.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.25); // p0 is the min seen
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 7.5);  // p100 is the max
+    // Out-of-range p clamps to the endpoints.
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), 0.25);
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), 7.5);
+}
+
+TEST(Histogram, PercentileAllOverflow)
+{
+    // Every sample lands past the bucketed range: the histogram only
+    // knows the observed extrema, and the endpoints must report them
+    // (p0 the min, everything else the max).
+    Histogram h(1.0, 2);
+    h.sample(50.0);
+    h.sample(90.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 50.0);
+    EXPECT_DOUBLE_EQ(h.p50(), 90.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 90.0);
+}
+
 TEST(Histogram, BadShapePanics)
 {
     EXPECT_THROW(Histogram(0.0, 4), PanicError);

@@ -31,6 +31,7 @@
 #include "obs/json.hh"
 #include "replay/record.hh"
 #include "sched/runtime.hh"
+#include "serve/drain.hh"
 #include "stats/table.hh"
 #include "workload/synthetic.hh"
 
@@ -305,6 +306,10 @@ try {
     if (rc.record && opt.synthetic)
         fatal("--record-out= needs a compiled program; --synthetic "
               "jobs have no source to embed");
+    // Graceful shutdown: SIGINT/SIGTERM let running jobs finish,
+    // cancel the rest, and still emit every requested export below.
+    serve::DrainSignal drain;
+    rc.stopFlag = &drain.flag();
     sched::Runtime runtime(rc);
 
     std::string source;
@@ -348,16 +353,23 @@ try {
     const double secs =
         std::chrono::duration<double>(t1 - t0).count();
 
-    unsigned ok = 0, failed = 0;
+    unsigned ok = 0, failed = 0, canceled = 0;
     for (const sched::JobResult &r : results) {
         if (r.ok) {
             ++ok;
+        } else if (drain.requested() &&
+                   r.error == "canceled: drain requested") {
+            ++canceled;
         } else {
             ++failed;
             error("fpcrun: job {} failed ({}): {}", r.id,
                   stopReasonName(r.reason), r.error);
         }
     }
+    if (drain.requested())
+        inform("fpcrun: drained after signal; {} job(s) canceled, "
+               "exports still written",
+               canceled);
 
     std::cout << ok << "/" << results.size() << " jobs ok, "
               << runtime.workers() << " workers, " << stats::fixed(secs, 3)
