@@ -100,6 +100,9 @@ makeSubmit(std::uint32_t reqId, const std::string &tenant)
     serve::Request req;
     req.op = serve::ReqOp::Submit;
     req.submit.reqId = reqId;
+    // Correlation id: lands in the server's span tree (fpc-spans-v1
+    // traceId column) so a request here can be found there.
+    req.submit.traceId = reqId;
     req.submit.tenant = tenant;
     req.submit.source = kPrimesSource;
     req.submit.args = {gLimit};
@@ -121,7 +124,8 @@ die(const std::string &msg)
  */
 double
 closedLoop(unsigned clients, unsigned jobs, stats::Histogram &lat,
-           std::uint64_t &failures)
+           std::uint64_t &failures, stats::Histogram *attrQueue,
+           stats::Histogram *attrExec)
 {
     std::atomic<unsigned> next{0};
     std::atomic<std::uint64_t> failed{0};
@@ -135,6 +139,7 @@ closedLoop(unsigned clients, unsigned jobs, stats::Histogram &lat,
             if (!client.connect(gHost, gPort, err))
                 die("connect: " + err);
             std::vector<double> samples;
+            std::vector<std::pair<double, double>> attr;
             for (unsigned i = next.fetch_add(1); i < jobs;
                  i = next.fetch_add(1)) {
                 const std::string &tenant =
@@ -156,6 +161,11 @@ closedLoop(unsigned clients, unsigned jobs, stats::Histogram &lat,
                         continue;
                     }
                     samples.push_back(msSince(s0, clock_t_::now()));
+                    if (reply.status == serve::Status::Ok &&
+                        reply.execNs != 0)
+                        attr.emplace_back(
+                            static_cast<double>(reply.queueNs) / 1e6,
+                            static_cast<double>(reply.execNs) / 1e6);
                     if (reply.status != serve::Status::Ok ||
                         !reply.jobOk)
                         failed.fetch_add(1);
@@ -165,6 +175,11 @@ closedLoop(unsigned clients, unsigned jobs, stats::Histogram &lat,
             std::lock_guard<std::mutex> lock(latMutex);
             for (double ms : samples)
                 lat.sample(ms);
+            if (attrQueue != nullptr)
+                for (const auto &[q, e] : attr) {
+                    attrQueue->sample(q);
+                    attrExec->sample(e);
+                }
         });
     }
     for (auto &t : threads)
@@ -185,6 +200,9 @@ struct OpenResult
     std::uint64_t overQuota = 0;
     std::uint64_t other = 0; ///< draining / bad-request
     stats::Histogram latency{0.5, 400};
+    /** Server-side attribution echoed in the Ok replies. */
+    stats::Histogram attrQueue{0.5, 400};
+    stats::Histogram attrExec{0.5, 400};
 };
 
 /**
@@ -220,6 +238,7 @@ openLoop(double offeredPerSec, unsigned jobs)
 
             std::thread reader([&] {
                 stats::Histogram lat(0.5, 400);
+                stats::Histogram attrQ(0.5, 400), attrE(0.5, 400);
                 std::uint64_t ok = 0, failed = 0, rejected = 0,
                               overQuota = 0, other = 0;
                 for (unsigned got = 0; got < perTenant; ++got) {
@@ -240,6 +259,14 @@ openLoop(double offeredPerSec, unsigned jobs)
                                     .count() -
                                 s) /
                             1e6);
+                        if (reply.execNs != 0) {
+                            attrQ.sample(
+                                static_cast<double>(reply.queueNs) /
+                                1e6);
+                            attrE.sample(
+                                static_cast<double>(reply.execNs) /
+                                1e6);
+                        }
                         break;
                       }
                       case serve::Status::Rejected:
@@ -260,6 +287,8 @@ openLoop(double offeredPerSec, unsigned jobs)
                 out.overQuota += overQuota;
                 out.other += other;
                 out.latency.merge(lat);
+                out.attrQueue.merge(attrQ);
+                out.attrExec.merge(attrE);
             });
 
             const double intervalNs = 1e9 / perTenantRate;
@@ -372,28 +401,39 @@ try {
 
     // Closed loop first: its throughput calibrates the open loop.
     stats::Histogram closedLat(0.5, 400);
+    stats::Histogram closedAttrQ(0.5, 400), closedAttrE(0.5, 400);
     std::uint64_t closedFailures = 0;
     closedLoop(clients, std::max(1u, closedJobs / 8), closedLat,
-               closedFailures); // warm-up: connections, source cache
+               closedFailures, nullptr,
+               nullptr); // warm-up: connections, source cache
     closedLat.reset();
     const double closedJps =
-        closedLoop(clients, closedJobs, closedLat, closedFailures);
+        closedLoop(clients, closedJobs, closedLat, closedFailures,
+                   &closedAttrQ, &closedAttrE);
     if (closedFailures)
         die("closed-loop jobs failed");
 
-    stats::Table closedTable(
-        {"clients", "jobs", "jobs/s", "p50 ms", "p90 ms", "p99 ms"});
+    stats::Table closedTable({"clients", "jobs", "jobs/s", "p50 ms",
+                              "p90 ms", "p99 ms", "queue p50",
+                              "exec p50"});
     closedTable.row(clients, closedJobs, stats::fixed(closedJps, 1),
                     stats::fixed(closedLat.p50(), 2),
                     stats::fixed(closedLat.p90(), 2),
-                    stats::fixed(closedLat.p99(), 2));
-    std::cout << "Closed loop (each client waits for its reply):\n\n";
+                    stats::fixed(closedLat.p99(), 2),
+                    stats::fixed(closedAttrQ.p50(), 2),
+                    stats::fixed(closedAttrE.p50(), 2));
+    std::cout << "Closed loop (each client waits for its reply; "
+                 "queue/exec are the server's own attribution):\n\n";
     closedTable.print(std::cout);
     json.table("closed_loop", closedTable);
     json.metric("closed_jobs_per_s", closedJps);
     json.metric("ms_closed_p50", closedLat.p50());
     json.metric("ms_closed_p90", closedLat.p90());
     json.metric("ms_closed_p99", closedLat.p99());
+    // attr_* metrics are informational in bench_diff: host-time
+    // attribution, not a simulated invariant.
+    json.metric("attr_closed_queue_ms_p50", closedAttrQ.p50());
+    json.metric("attr_closed_exec_ms_p50", closedAttrE.p50());
 
     // Open loop: offered load decoupled from service rate.
     struct Level
@@ -410,39 +450,56 @@ try {
               << openJobs << " jobs per level):\n\n";
     stats::Table openTable({"offered", "jobs/s", "ok", "rejected",
                             "over-quota", "other", "p50 ms", "p90 ms",
-                            "p99 ms"});
+                            "p99 ms", "queue p99", "exec p99"});
     std::uint64_t topRejects = 0;
     for (const Level &level : levels) {
+        // Capture a SCRAPE in the middle of the saturating level,
+        // concurrent with the pipelined SUBMITs and out-of-order
+        // replies: the exposition must be coherent under load, not
+        // just at rest.
+        std::thread scraper;
+        if (level.factor >= 4.0 && !scrapeOut.empty()) {
+            const double expectSecs =
+                openJobs / (closedJps * level.factor);
+            scraper = std::thread([&, expectSecs] {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(expectSecs * 0.5));
+                serve::Client client;
+                std::string err, text;
+                if (!client.connect(gHost, gPort, err) ||
+                    !client.scrape(text))
+                    die("scrape failed: " + err);
+                std::ofstream os(scrapeOut);
+                if (!os)
+                    die("cannot write " + scrapeOut);
+                os << text;
+            });
+        }
         const OpenResult r =
             openLoop(closedJps * level.factor, openJobs);
+        if (scraper.joinable())
+            scraper.join();
         openTable.row(level.label, stats::fixed(r.offeredPerSec, 1),
                       r.ok, r.rejected, r.overQuota,
                       r.failed + r.other,
                       stats::fixed(r.latency.p50(), 2),
                       stats::fixed(r.latency.p90(), 2),
-                      stats::fixed(r.latency.p99(), 2));
+                      stats::fixed(r.latency.p99(), 2),
+                      stats::fixed(r.attrQueue.p99(), 2),
+                      stats::fixed(r.attrExec.p99(), 2));
         json.metric(std::string("open_ok_") + level.key,
                     static_cast<double>(r.ok));
         json.metric(std::string("ms_open_p99_") + level.key,
                     r.latency.p99());
+        json.metric(std::string("attr_open_queue_ms_p99_") +
+                        level.key,
+                    r.attrQueue.p99());
+        json.metric(std::string("attr_open_exec_ms_p99_") + level.key,
+                    r.attrExec.p99());
         if (level.factor >= 4.0)
             topRejects = r.rejected + r.overQuota;
         if (r.failed)
             die("open-loop jobs ran but failed");
-
-        // Capture a SCRAPE while the server still has the load's
-        // counters — written once, after the saturating level.
-        if (level.factor >= 4.0 && !scrapeOut.empty()) {
-            serve::Client client;
-            std::string err, text;
-            if (!client.connect(gHost, gPort, err) ||
-                !client.scrape(text))
-                die("scrape failed: " + err);
-            std::ofstream os(scrapeOut);
-            if (!os)
-                die("cannot write " + scrapeOut);
-            os << text;
-        }
     }
     openTable.print(std::cout);
     json.table("open_loop", openTable);

@@ -126,8 +126,8 @@ namespace
  * cycles the transfer consumed. Exported as 1 cycle == 1 "us".
  */
 void
-writeEvent(std::ostream &os, const Tracer &tracer, unsigned tid,
-           const TraceEvent &ev, bool &first)
+writeEvent(std::ostream &os, const Tracer &tracer, unsigned pid,
+           unsigned tid, const TraceEvent &ev, bool &first)
 {
     if (!first)
         os << ",\n";
@@ -137,8 +137,8 @@ writeEvent(std::ostream &os, const Tracer &tracer, unsigned tid,
                                   ? xferKindName(ev.kind)
                                   : tracer.name(ev.nameIdx);
     os << "    {\"name\": \"" << jsonEscape(name)
-       << "\", \"cat\": \"xfer\", \"ph\": \"X\", \"pid\": 0, \"tid\": "
-       << tid << ", \"ts\": " << ev.start
+       << "\", \"cat\": \"xfer\", \"ph\": \"X\", \"pid\": " << pid
+       << ", \"tid\": " << tid << ", \"ts\": " << ev.start
        << ", \"dur\": " << (ev.end - ev.start) << ", \"args\": {"
        << "\"kind\": \"" << xferKindName(ev.kind) << "\", \"src\": "
        << ev.srcCtx << ", \"dst\": " << ev.dstCtx
@@ -150,6 +150,26 @@ writeEvent(std::ostream &os, const Tracer &tracer, unsigned tid,
 } // namespace
 
 void
+writeChromeThreadName(std::ostream &os, unsigned pid, unsigned tid,
+                      const std::string &name, bool &first)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "    {\"name\": \"thread_name\", \"ph\": \"M\", "
+       << "\"pid\": " << pid << ", \"tid\": " << tid
+       << ", \"args\": {\"name\": \"" << jsonEscape(name) << "\"}}";
+}
+
+void
+writeChromeTraceEvents(std::ostream &os, const Tracer &tracer,
+                       unsigned pid, unsigned tid, bool &first)
+{
+    for (const TraceEvent &ev : tracer.events())
+        writeEvent(os, tracer, pid, tid, ev, first);
+}
+
+void
 writeChromeTrace(std::ostream &os,
                  const std::vector<const Tracer *> &tracks)
 {
@@ -158,18 +178,13 @@ writeChromeTrace(std::ostream &os,
     for (unsigned tid = 0; tid < tracks.size(); ++tid) {
         if (tracks[tid] == nullptr)
             continue;
-        if (!first)
-            os << ",\n";
-        first = false;
-        os << "    {\"name\": \"thread_name\", \"ph\": \"M\", "
-           << "\"pid\": 0, \"tid\": " << tid
-           << ", \"args\": {\"name\": \"worker " << tid << "\"}}";
+        writeChromeThreadName(os, 0, tid, "worker " + std::to_string(tid),
+                              first);
     }
     for (unsigned tid = 0; tid < tracks.size(); ++tid) {
         if (tracks[tid] == nullptr)
             continue;
-        for (const TraceEvent &ev : tracks[tid]->events())
-            writeEvent(os, *tracks[tid], tid, ev, first);
+        writeChromeTraceEvents(os, *tracks[tid], 0, tid, first);
     }
     os << "\n  ]\n}\n";
 }

@@ -113,6 +113,15 @@ void writeChromeTrace(std::ostream &os,
 /** Single-machine convenience: one track. */
 void writeChromeTrace(std::ostream &os, const Tracer &tracer);
 
+/** @name Building blocks for combined documents (see obs/spans.hh).
+ *  Append events to an already-open "traceEvents" array; `first`
+ *  tracks whether a comma is needed and is updated in place. @{ */
+void writeChromeThreadName(std::ostream &os, unsigned pid, unsigned tid,
+                           const std::string &name, bool &first);
+void writeChromeTraceEvents(std::ostream &os, const Tracer &tracer,
+                            unsigned pid, unsigned tid, bool &first);
+/** @} */
+
 } // namespace fpc::obs
 
 #endif // FPC_OBS_TRACE_HH

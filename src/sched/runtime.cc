@@ -61,6 +61,30 @@ Runtime::prepareContext(ExecContext &ctx, const Job &job)
     ctx.image.emplace(loader.load(*ctx.mem, config_.plan));
 }
 
+/**
+ * A job that will never execute (canceled) or died mid-execution (an
+ * exception out of executeJob) must not leave spans open: close
+ * whatever phase is open as failed, and for batch jobs (which have no
+ * serving layer to do it) the request span too.
+ */
+void
+Runtime::closeSpansOnAbort(const Job &job, unsigned id,
+                           unsigned worker_id)
+{
+    if (config_.spans == nullptr)
+        return;
+    const std::uint64_t sid =
+        job.span.requestId != 0 ? job.span.requestId
+                                : static_cast<std::uint64_t>(id) + 1;
+    const std::int64_t t = obs::SpanCollector::nowNs();
+    config_.spans->endPhase(sid, t, false, obs::SpanTrack::Worker,
+                            worker_id);
+    if (job.span.requestId == 0)
+        config_.spans->endRequestIfOpen(sid, t, false,
+                                        obs::SpanTrack::Worker,
+                                        worker_id);
+}
+
 JobResult
 Runtime::canceledResult(unsigned id, unsigned worker_id) const
 {
@@ -83,6 +107,26 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
     JobResult out;
     out.id = id;
     out.worker = worker_id;
+
+    // Host-time execution bracket, stamped unconditionally (two clock
+    // reads per job) so the serving layer can attribute queue-wait vs
+    // execute without span collection on. When a collector is wired,
+    // this closes the open phase (serve: dispatch; batch: queued) and
+    // opens execute — re-homed to *this* worker's track, which under
+    // work stealing is the stealing worker, deterministically
+    // (span tracks always match JobResult::worker).
+    obs::SpanCollector *spans = config_.spans;
+    const std::uint64_t sid =
+        job.span.requestId != 0 ? job.span.requestId
+                                : static_cast<std::uint64_t>(id) + 1;
+    out.execStartNs = obs::SpanCollector::nowNs();
+    if (spans != nullptr) {
+        spans->endPhase(sid, out.execStartNs, true,
+                        obs::SpanTrack::Worker, worker_id);
+        spans->begin(obs::SpanKind::Execute, sid,
+                     obs::SpanTrack::Worker, worker_id, job.span.tenant,
+                     out.execStartNs, job.span.traceId);
+    }
 
     // Each job sees a pristine simulated machine — its own memory,
     // image and processor — but the worker's context (the Memory
@@ -174,6 +218,18 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
     }
     acc.merge(machine.stats());
     accel_acc.merge(machine.accelStats());
+
+    out.execEndNs = obs::SpanCollector::nowNs();
+    if (spans != nullptr) {
+        spans->end(obs::SpanKind::Execute, sid, out.execEndNs, out.ok);
+        if (job.span.requestId == 0) {
+            // Batch jobs have no serving layer to close the request:
+            // the tree is request ⊃ queued ⊃ execute, all ending here,
+            // re-homed to the executing worker.
+            spans->end(obs::SpanKind::Request, sid, out.execEndNs,
+                       out.ok, obs::SpanTrack::Worker, worker_id);
+        }
+    }
 
     if (!out.ok && recorder) {
         obs::PostmortemConfig pm;
@@ -275,6 +331,8 @@ Runtime::workerMain(unsigned worker_id)
         JobResult r;
         if (stopRequested()) {
             r = canceledResult(static_cast<unsigned>(i), worker_id);
+            closeSpansOnAbort(jobs_[i], static_cast<unsigned>(i),
+                              worker_id);
         } else {
             try {
                 r = executeJob(jobs_[i], static_cast<unsigned>(i),
@@ -286,6 +344,8 @@ Runtime::workerMain(unsigned worker_id)
                 r.ok = false;
                 r.reason = StopReason::Error;
                 r.error = err.what();
+                closeSpansOnAbort(jobs_[i], static_cast<unsigned>(i),
+                                  worker_id);
             }
         }
         if (r.ok)
@@ -330,6 +390,13 @@ Runtime::poolWorkerMain(unsigned worker_id)
     auto &jobs_stolen = local.counter(
         "jobs_stolen", "jobs taken from another worker's deque");
 
+    // Pool-mode tracing: this worker's track records every job it
+    // executes — including stolen ones, which thereby re-home to the
+    // thief's track (matching JobResult::worker and the job's spans).
+    obs::Tracer *tracer =
+        config_.trace && worker_id < tracers_.size()
+            ? tracers_[worker_id].get()
+            : nullptr;
     obs::ProfileData profile_acc;
     obs::ProfileData *profile_ptr =
         config_.profile ? &profile_acc : nullptr;
@@ -361,10 +428,11 @@ Runtime::poolWorkerMain(unsigned worker_id)
         JobResult r;
         if (stopRequested()) {
             r = canceledResult(task.id, worker_id);
+            closeSpansOnAbort(task.job, task.id, worker_id);
         } else {
             try {
                 r = executeJob(task.job, task.id, worker_id, ctx, acc,
-                               accelAcc, nullptr, profile_ptr,
+                               accelAcc, tracer, profile_ptr,
                                telemetry);
             } catch (const std::exception &err) {
                 r.id = task.id;
@@ -372,6 +440,7 @@ Runtime::poolWorkerMain(unsigned worker_id)
                 r.ok = false;
                 r.reason = StopReason::Error;
                 r.error = err.what();
+                closeSpansOnAbort(task.job, task.id, worker_id);
             }
         }
         if (r.ok)
@@ -475,13 +544,20 @@ Runtime::startPool()
         panic("Runtime::startPool after run()");
     if (poolStarted_)
         panic("Runtime::startPool called twice");
-    if (config_.trace || config_.record) {
-        panic("Runtime pool mode does not support trace/record; "
-              "batch run() provides the reproducible static "
-              "assignment");
+    if (config_.record) {
+        panic("Runtime pool mode does not support record; batch "
+              "run() provides the reproducible static assignment "
+              "a recording's job→worker header needs");
     }
     const unsigned n = config_.workers;
     poolSize_ = n;
+    if (config_.trace && tracers_.empty()) {
+        tracers_.reserve(n);
+        for (unsigned w = 0; w < n; ++w) {
+            tracers_.push_back(
+                std::make_unique<obs::Tracer>(config_.traceCapacity));
+        }
+    }
     if (config_.metrics && telemetry_.empty()) {
         telemetry_.reserve(n);
         for (unsigned w = 0; w < n; ++w) {
@@ -502,6 +578,21 @@ Runtime::enqueue(Job job, JobCompletion done)
     const unsigned id = nextPoolId_.fetch_add(1);
     const auto w = static_cast<std::size_t>(enqueueRr_.fetch_add(1)) %
                    deques_.size();
+    if (config_.spans != nullptr && job.span.requestId == 0) {
+        // No serving layer owns this job's tree: synthesize
+        // request ⊃ queued here (execute and the closes happen in
+        // executeJob). Ids are job id + 1 — distinct from serve
+        // request ids only because drivers use one style per process.
+        const std::uint64_t sid = static_cast<std::uint64_t>(id) + 1;
+        const std::int64_t t = obs::SpanCollector::nowNs();
+        const auto track = static_cast<std::uint32_t>(w);
+        config_.spans->begin(obs::SpanKind::Request, sid,
+                             obs::SpanTrack::Worker, track,
+                             job.span.tenant, t, job.span.traceId);
+        config_.spans->begin(obs::SpanKind::Queued, sid,
+                             obs::SpanTrack::Worker, track,
+                             job.span.tenant, t, job.span.traceId);
+    }
     // Count the job as queued before it becomes claimable: a worker
     // can never drive queued_ through zero while a task is in flight
     // between the deque and the running count, so drainPool's
@@ -580,6 +671,26 @@ Runtime::run()
         }
     }
     if (staticAssignment()) {
+        if (config_.spans != nullptr) {
+            // Batch request ⊃ queued spans all begin at submission
+            // time (run() entry); queue-wait is time until a worker
+            // reaches the job in its stride.
+            const std::int64_t t = obs::SpanCollector::nowNs();
+            for (std::size_t i = 0; i < jobs_.size(); ++i) {
+                if (jobs_[i].span.requestId != 0)
+                    continue;
+                const std::uint64_t sid = i + 1;
+                const auto track = static_cast<std::uint32_t>(i % n);
+                config_.spans->begin(obs::SpanKind::Request, sid,
+                                     obs::SpanTrack::Worker, track,
+                                     jobs_[i].span.tenant, t,
+                                     jobs_[i].span.traceId);
+                config_.spans->begin(obs::SpanKind::Queued, sid,
+                                     obs::SpanTrack::Worker, track,
+                                     jobs_[i].span.tenant, t,
+                                     jobs_[i].span.traceId);
+            }
+        }
         std::vector<std::thread> pool;
         pool.reserve(n);
         for (unsigned w = 0; w < n; ++w)
@@ -607,11 +718,17 @@ Runtime::run()
 void
 Runtime::writeTrace(std::ostream &os) const
 {
+    obs::writeChromeTrace(os, tracers());
+}
+
+std::vector<const obs::Tracer *>
+Runtime::tracers() const
+{
     std::vector<const obs::Tracer *> tracks;
     tracks.reserve(tracers_.size());
     for (const auto &t : tracers_)
         tracks.push_back(t.get());
-    obs::writeChromeTrace(os, tracks);
+    return tracks;
 }
 
 obs::MetricsExport

@@ -30,6 +30,7 @@
 
 #include "machine/machine.hh"
 #include "obs/profile.hh"
+#include "obs/spans.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "program/loader.hh"
@@ -44,10 +45,27 @@ namespace fpc::sched
  *  module list is shared — many jobs typically run one program. */
 struct Job
 {
+    Job() = default;
+    Job(std::shared_ptr<const std::vector<Module>> modules_,
+        std::string module_, std::string proc_,
+        std::vector<Word> args_, obs::SpanRef span_ = {})
+        : modules(std::move(modules_)), module(std::move(module_)),
+          proc(std::move(proc_)), args(std::move(args_)), span(span_)
+    {
+    }
+
     std::shared_ptr<const std::vector<Module>> modules;
     std::string module;
     std::string proc;
     std::vector<Word> args;
+
+    /** Span propagation context (see obs::SpanRef). When requestId is
+     *  nonzero the serving layer owns the request/admission/queued/
+     *  dispatch/reply brackets and the runtime only brackets execute
+     *  (closing the open dispatch phase at execution start); when
+     *  zero and RuntimeConfig::spans is set, the runtime synthesizes
+     *  a request ⊃ queued ⊃ execute tree itself (batch mode). */
+    obs::SpanRef span;
 };
 
 /** What became of one job. */
@@ -61,6 +79,14 @@ struct JobResult
     std::string error;    ///< failure message, when !ok
     std::uint64_t steps = 0;
     Tick cycles = 0;
+
+    /** Host steady-clock brackets of the execution itself
+     *  (obs::SpanCollector::nowNs() epoch), stamped whether or not
+     *  span collection is on; 0/0 for canceled jobs that never ran.
+     *  The serving layer derives queue-wait/execute attribution from
+     *  these without re-reading clocks. */
+    std::int64_t execStartNs = 0;
+    std::int64_t execEndNs = 0;
 };
 
 /** Delivered with a pool-mode job's result, on the worker thread that
@@ -87,10 +113,23 @@ struct RuntimeConfig
      *  be thread-safe. */
     obs::Telemetry::GaugeProvider gaugeProvider;
 
-    /** Record per-worker XFER traces (see obs::Tracer). Forces the
-     *  static job-to-worker assignment so traces are reproducible. */
+    /** Record per-worker XFER traces (see obs::Tracer). In batch
+     *  run() this forces the static job-to-worker assignment (job i →
+     *  worker i mod stride, jobs_stolen structurally zero) so tracks
+     *  are byte-identical across runs. Pool mode records too, with a
+     *  different determinism contract: a job's whole trace (and its
+     *  spans) land on the track of the worker that executed it —
+     *  JobResult::worker — so work stealing re-homes the job to the
+     *  stealing worker's track; tracks are stable given the
+     *  execution, not across executions. */
     bool trace = false;
     std::size_t traceCapacity = obs::Tracer::defaultCapacity;
+
+    /** Span sink shared with the serving layer (may be null). Spans
+     *  are host-time only: collection never touches the Machine, so
+     *  simulated stats/metrics are byte-identical with spans on or
+     *  off and span collection adds zero simulated cycles. */
+    obs::SpanCollector *spans = nullptr;
 
     /** Attribute cycles to procedures (merged across all jobs). */
     bool profile = false;
@@ -205,8 +244,13 @@ class Runtime
     const obs::ProfileData &profile() const { return profile_; }
 
     /** Write the multi-worker Chrome trace — one track per worker
-     *  (valid after run() when RuntimeConfig::trace was set). */
+     *  (valid after run() or stopPool() when RuntimeConfig::trace was
+     *  set). */
     void writeTrace(std::ostream &os) const;
+
+    /** The per-worker XFER tracers themselves (empty unless trace is
+     *  on), for embedding into combined span/XFER documents. */
+    std::vector<const obs::Tracer *> tracers() const;
 
     /** Write the fpc-metrics-v1 document — one series per worker
      *  (valid after run() when RuntimeConfig::metrics was set). */
@@ -278,6 +322,8 @@ class Runtime
                          obs::Tracer *tracer,
                          obs::ProfileData *profile_acc,
                          obs::Telemetry *telemetry);
+    void closeSpansOnAbort(const Job &job, unsigned id,
+                           unsigned worker_id);
     bool stopRequested() const
     {
         return config_.stopFlag != nullptr &&

@@ -148,6 +148,7 @@ encodeRequest(const Request &req)
     if (req.op == ReqOp::Submit) {
         const SubmitRequest &s = req.submit;
         putU32(out, s.reqId);
+        putU64(out, s.traceId);
         putString(out, s.tenant);
         putString(out, s.program);
         putString(out, s.source);
@@ -178,6 +179,7 @@ decodeRequest(std::string_view payload, Request &out, std::string &err)
         out.op = ReqOp::Submit;
         SubmitRequest &s = out.submit;
         s.reqId = c.u32();
+        s.traceId = c.u64();
         s.tenant = c.str();
         s.program = c.str();
         s.source = c.str();
@@ -215,6 +217,9 @@ encodeReply(const Reply &reply)
         putU64(out, reply.steps);
         putU64(out, reply.cycles);
         putString(out, reply.postmortem);
+        putU64(out, reply.spanId);
+        putU64(out, reply.queueNs);
+        putU64(out, reply.execNs);
         break;
       case Status::Rejected:
       case Status::OverQuota:
@@ -252,6 +257,9 @@ decodeReply(std::string_view payload, Reply &out, std::string &err)
         out.steps = c.u64();
         out.cycles = c.u64();
         out.postmortem = c.str();
+        out.spanId = c.u64();
+        out.queueNs = c.u64();
+        out.execNs = c.u64();
         break;
       case Status::Rejected:
       case Status::OverQuota:

@@ -56,6 +56,10 @@ const char *statusName(Status status);
 struct SubmitRequest
 {
     std::uint32_t reqId = 0;
+    /** Client-chosen correlation id, propagated into the server's
+     *  span tree (fpc-spans-v1 / Perfetto exports) so a client can
+     *  find its own requests in the server's telemetry; 0 = unset. */
+    std::uint64_t traceId = 0;
     std::string tenant;      ///< empty → the server's default tenant
     std::string program;     ///< preloaded program name; empty → source
     std::string source;      ///< MiniMesa source when program is empty
@@ -83,6 +87,15 @@ struct Reply
     std::uint64_t steps = 0;
     std::uint64_t cycles = 0;
     std::string postmortem; ///< bundle path prefix, when written
+
+    /** Latency attribution echoed with every Ok reply: the server's
+     *  span id for this request plus how long it sat queued
+     *  (admission → execution start) and how long it executed, in
+     *  host nanoseconds. Zero for replies that never reached a
+     *  worker. */
+    std::uint64_t spanId = 0;
+    std::uint64_t queueNs = 0;
+    std::uint64_t execNs = 0;
 
     // Status::Rejected / OverQuota — explicit backpressure.
     std::uint32_t retryAfterMs = 0;

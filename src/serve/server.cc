@@ -64,6 +64,9 @@ Server::Server(ServerConfig config)
         config_.workers = 1;
     maxInFlight_ = config_.maxInFlight != 0 ? config_.maxInFlight
                                             : config_.workers;
+    if (config_.spans)
+        spans_ = std::make_unique<obs::SpanCollector>(
+            std::max<std::size_t>(1, config_.spansCapacity));
 }
 
 Server::~Server()
@@ -97,10 +100,16 @@ Server::start()
     rc.metricsCapacity = config_.metricsCapacity;
     rc.postmortemDir = config_.postmortemDir;
     rc.driver = config_.driver;
+    rc.spans = spans_.get();
+    rc.trace = config_.trace;
+    rc.traceCapacity = config_.traceCapacity;
     rc.gaugeProvider =
         [this](std::vector<std::pair<std::string, double>> &g) {
             g.emplace_back("serve_queue_depth", gaugeQueue_.load());
             g.emplace_back("serve_in_flight", gaugeInFlight_.load());
+            std::lock_guard<std::mutex> lock(tenantGaugeMutex_);
+            for (const auto &entry : tenantGauges_)
+                g.push_back(entry);
         };
     runtime_ = std::make_unique<sched::Runtime>(rc);
     runtime_->startPool();
@@ -168,6 +177,7 @@ Server::acceptLoop()
         }
         auto conn = std::make_shared<Conn>();
         conn->fd = fd;
+        conn->track = nextConnTrack_.fetch_add(1);
         std::lock_guard<std::mutex> lock(connMutex_);
         if (acceptClosed_) {
             break; // Conn destructor closes fd
@@ -256,6 +266,33 @@ Server::handleSubmit(const std::shared_ptr<Conn> &conn,
     Reply reply;
     reply.reqId = req.reqId;
 
+    // The span tree roots at frame receipt: request ⊃ admission begin
+    // together on the connection's track. Every SUBMIT gets a request
+    // id whether or not it survives admission.
+    const std::uint64_t rid = nextRequestId_.fetch_add(1);
+    const std::string tenant =
+        req.tenant.empty() ? "default" : req.tenant;
+    std::uint32_t spanTenant = obs::noTenant;
+    if (spans_) {
+        const std::int64_t recvNs = obs::SpanCollector::nowNs();
+        spanTenant = spans_->internTenant(tenant);
+        spans_->begin(obs::SpanKind::Request, rid,
+                      obs::SpanTrack::Connection, conn->track,
+                      spanTenant, recvNs, req.traceId, req.reqId);
+        spans_->begin(obs::SpanKind::Admission, rid,
+                      obs::SpanTrack::Connection, conn->track,
+                      spanTenant, recvNs, req.traceId, req.reqId);
+    }
+    // A request that never reaches the queue ends here: admission and
+    // request both close as failed at the rejection decision.
+    auto rejectSpans = [&] {
+        if (!spans_)
+            return;
+        const std::int64_t t = obs::SpanCollector::nowNs();
+        spans_->end(obs::SpanKind::Admission, rid, t, false);
+        spans_->end(obs::SpanKind::Request, rid, t, false);
+    };
+
     // Compilation / registry lookup happens outside the serving lock:
     // it can be slow, and completions must not wait on it.
     std::string err;
@@ -265,6 +302,7 @@ Server::handleSubmit(const std::shared_ptr<Conn> &conn,
             std::lock_guard<std::mutex> lock(mutex_);
             ++badRequests_;
         }
+        rejectSpans();
         reply.status = Status::BadRequest;
         reply.error = err;
         sendReply(conn, reply);
@@ -280,8 +318,6 @@ Server::handleSubmit(const std::shared_ptr<Conn> &conn,
     }
     const std::string proc =
         req.entryProc.empty() ? "main" : req.entryProc;
-    const std::string tenant =
-        req.tenant.empty() ? "default" : req.tenant;
 
     {
         std::unique_lock<std::mutex> lock(mutex_);
@@ -290,6 +326,7 @@ Server::handleSubmit(const std::shared_ptr<Conn> &conn,
             reply.status = Status::Draining;
             reply.error = "server is draining";
             lock.unlock();
+            rejectSpans();
             sendReply(conn, reply);
             return;
         }
@@ -309,6 +346,7 @@ Server::handleSubmit(const std::shared_ptr<Conn> &conn,
                 std::clamp(left, 1.0, 1.0e6));
             reply.error = "tenant simulated-cycle quota exhausted";
             lock.unlock();
+            rejectSpans();
             sendReply(conn, reply);
             return;
         }
@@ -319,6 +357,7 @@ Server::handleSubmit(const std::shared_ptr<Conn> &conn,
             reply.retryAfterMs = retryAfterLocked();
             reply.error = "server queue full";
             lock.unlock();
+            rejectSpans();
             sendReply(conn, reply);
             return;
         }
@@ -329,6 +368,7 @@ Server::handleSubmit(const std::shared_ptr<Conn> &conn,
             reply.retryAfterMs = retryAfterLocked();
             reply.error = "tenant queue full";
             lock.unlock();
+            rejectSpans();
             sendReply(conn, reply);
             return;
         }
@@ -337,9 +377,30 @@ Server::handleSubmit(const std::shared_ptr<Conn> &conn,
         p.reqId = req.reqId;
         p.conn = conn;
         p.tenant = tenant;
-        p.job = sched::Job{std::move(modules), std::move(module),
-                           proc, std::move(req.args)};
+        p.job.modules = std::move(modules);
+        p.job.module = std::move(module);
+        p.job.proc = proc;
+        p.job.args = std::move(req.args);
         p.admitted = std::chrono::steady_clock::now();
+        p.admittedNs =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                p.admitted.time_since_epoch())
+                .count();
+        p.requestId = rid;
+        p.traceId = req.traceId;
+        p.spanTenant = spanTenant;
+        if (spans_) {
+            // Admission ends where queueing begins — the shared
+            // boundary timestamp keeps the phases an exact partition.
+            p.job.span =
+                obs::SpanRef{rid, req.traceId, spanTenant};
+            spans_->end(obs::SpanKind::Admission, rid, p.admittedNs,
+                        true);
+            spans_->begin(obs::SpanKind::Queued, rid,
+                          obs::SpanTrack::Tenant, spanTenant,
+                          spanTenant, p.admittedNs, req.traceId,
+                          req.reqId);
+        }
         t.pending.push_back(std::move(p));
         t.counters.queued = t.pending.size();
         ++queuedTotal_;
@@ -362,6 +423,17 @@ Server::pumpLocked()
         --queuedTotal_;
         ++inFlight_;
         ++t.counters.inFlight;
+        if (spans_ && p.requestId != 0) {
+            // Queued ends at the DRR pick; dispatch runs until the
+            // worker starts executing, which re-homes the tree onto
+            // the executing worker's track (the track here is a
+            // placeholder — the pool chooses the worker later).
+            const std::int64_t pickNs = obs::SpanCollector::nowNs();
+            spans_->endPhase(p.requestId, pickNs, true);
+            spans_->begin(obs::SpanKind::Dispatch, p.requestId,
+                          obs::SpanTrack::Worker, 0, p.spanTenant,
+                          pickNs, p.traceId, p.reqId);
+        }
         sched::Job job = std::move(p.job);
         auto meta = std::make_shared<Pending>(std::move(p));
         runtime_->enqueue(std::move(job),
@@ -388,6 +460,33 @@ Server::onComplete(const Pending &meta, sched::JobResult r)
                            std::to_string(r.id) +
                            "-postmortem.json";
     }
+
+    // Latency attribution: the worker stamped execStartNs/execEndNs
+    // whether or not span collection is on (a canceled job leaves
+    // them zero). The reply echoes the breakdown.
+    const bool executed = r.execStartNs != 0;
+    const double queueMs =
+        executed ? std::max<double>(0, static_cast<double>(
+                                           r.execStartNs -
+                                           meta.admittedNs)) /
+                       1e6
+                 : 0;
+    const double execMs =
+        executed ? std::max<double>(0, static_cast<double>(
+                                           r.execEndNs -
+                                           r.execStartNs)) /
+                       1e6
+                 : 0;
+    reply.spanId = meta.requestId;
+    reply.queueNs = executed ? static_cast<std::uint64_t>(std::max<
+                                   std::int64_t>(
+                                   0, r.execStartNs - meta.admittedNs))
+                             : 0;
+    reply.execNs = executed ? static_cast<std::uint64_t>(std::max<
+                                  std::int64_t>(
+                                  0, r.execEndNs - r.execStartNs))
+                            : 0;
+
     // Charge the books that admission reads BEFORE the reply goes
     // out: a client that resubmits the instant its Ok arrives must
     // see the quota already spent, not race the bookkeeping.
@@ -403,17 +502,65 @@ Server::onComplete(const Pending &meta, sched::JobResult r)
         }
         t.counters.windowCycles += r.cycles;
         latency_.sample(ms);
+        if (executed) {
+            t.queueWait.sample(queueMs);
+            t.execute.sample(execMs);
+        }
+        if (t.config.sloMs > 0) {
+            const bool good = r.ok && ms <= t.config.sloMs;
+            if (good) {
+                ++t.sloGood;
+                ++t.windowGood;
+            } else {
+                ++t.sloBad;
+                ++t.windowBad;
+            }
+        }
     }
 
+    // The reply phase runs from execution end to the result frame
+    // being on the wire; its close also closes the request span.
     // Reply before the in-flight count drops: once drain() returns,
     // every admitted job's result frame has been written.
-    sendReply(meta.conn, reply);
+    if (spans_ && meta.requestId != 0) {
+        const std::int64_t replyStartNs =
+            r.execEndNs != 0 ? r.execEndNs
+                             : obs::SpanCollector::nowNs();
+        spans_->begin(obs::SpanKind::Reply, meta.requestId,
+                      obs::SpanTrack::Worker, r.worker,
+                      meta.spanTenant, replyStartNs, meta.traceId,
+                      meta.reqId);
+        sendReply(meta.conn, reply);
+        const std::int64_t sentNs = obs::SpanCollector::nowNs();
+        spans_->end(obs::SpanKind::Reply, meta.requestId, sentNs,
+                    true);
+        spans_->end(obs::SpanKind::Request, meta.requestId, sentNs,
+                    r.ok);
+        std::lock_guard<std::mutex> lock(mutex_);
+        tenantLocked(meta.tenant)
+            .reply.sample(std::max<double>(
+                              0, static_cast<double>(sentNs -
+                                                     replyStartNs)) /
+                          1e6);
+    } else {
+        sendReply(meta.conn, reply);
+        if (executed) {
+            const std::int64_t sentNs = obs::SpanCollector::nowNs();
+            std::lock_guard<std::mutex> lock(mutex_);
+            tenantLocked(meta.tenant)
+                .reply.sample(
+                    std::max<double>(
+                        0, static_cast<double>(sentNs - r.execEndNs)) /
+                    1e6);
+        }
+    }
 
     std::lock_guard<std::mutex> lock(mutex_);
     --inFlight_;
     --tenantLocked(meta.tenant).counters.inFlight;
     pumpLocked();
     updateGaugesLocked();
+    updateTenantGaugesLocked();
     if (draining_ && queuedTotal_ == 0 && inFlight_ == 0)
         drainedCv_.notify_all();
 }
@@ -428,8 +575,17 @@ Server::rollWindowLocked()
         return;
     while (now - windowStart_ >= window)
         windowStart_ += window;
-    for (auto &entry : tenants_)
-        entry.second.counters.windowCycles = 0;
+    for (auto &entry : tenants_) {
+        TenantState &t = entry.second;
+        t.counters.windowCycles = 0;
+        // SLO burn-rate smoothing: the gauge reads the previous
+        // window plus the current one, so a fresh window doesn't
+        // reset the rate to zero.
+        t.prevWindowGood = t.windowGood;
+        t.prevWindowBad = t.windowBad;
+        t.windowGood = 0;
+        t.windowBad = 0;
+    }
 }
 
 Server::TenantState &
@@ -442,6 +598,16 @@ Server::tenantLocked(const std::string &name)
         ts.config = cfg != config_.tenants.end()
                         ? cfg->second
                         : config_.defaultTenant;
+        const double width = config_.latencyBucketMs > 0
+                                 ? config_.latencyBucketMs
+                                 : 0.25;
+        const std::size_t buckets =
+            std::max<std::size_t>(1, config_.latencyBuckets);
+        ts.queueWait = stats::Histogram(width, buckets);
+        ts.execute = stats::Histogram(width, buckets);
+        ts.reply = stats::Histogram(width, buckets);
+        if (spans_)
+            ts.spanTenant = spans_->internTenant(name);
         it = tenants_.emplace(name, std::move(ts)).first;
         drr_.setQuantum(name, it->second.config.weight);
     }
@@ -603,6 +769,154 @@ Server::scrapeText() const
                              t.counters.rejectedQuota;
                   });
 
+    // Latency attribution: one histogram family per phase with
+    // coarse cumulative buckets, plus percentile gauges. The
+    // underlying fine-grained linear histograms stay internal; the
+    // exposition re-buckets them at standard boundaries.
+    static const double boundsMs[] = {1,  2,  5,   10,  20,
+                                      50, 100, 250, 1000};
+    auto cumulative = [](const stats::Histogram &h, double bound) {
+        // Samples in buckets that lie entirely at or below the
+        // bound; exact per-bucket, monotone in the bound.
+        std::uint64_t c = 0;
+        const double w = h.bucketWidth();
+        for (std::size_t i = 0; i < h.buckets(); ++i) {
+            if (static_cast<double>(i + 1) * w > bound + 1e-9)
+                break;
+            c += h.bucketCount(i);
+        }
+        return c;
+    };
+    auto tenantHistogram =
+        [&](const char *name, const char *help,
+            const stats::Histogram &(*get)(const TenantState &)) {
+            os << "# HELP " << name << " " << help << "\n"
+               << "# TYPE " << name << " histogram\n";
+            for (const auto &entry : tenants_) {
+                const stats::Histogram &h = get(entry.second);
+                const std::string tenant =
+                    labelEscape(entry.first);
+                for (double b : boundsMs)
+                    os << name << "_bucket{tenant=\"" << tenant
+                       << "\",le=\"" << b << "\"} "
+                       << cumulative(h, b) << "\n";
+                os << name << "_bucket{tenant=\"" << tenant
+                   << "\",le=\"+Inf\"} " << h.count() << "\n";
+                os << name << "_sum{tenant=\"" << tenant << "\"} "
+                   << (h.count() > 0 ? h.mean() *
+                                           static_cast<double>(
+                                               h.count())
+                                     : 0.0)
+                   << "\n";
+                os << name << "_count{tenant=\"" << tenant << "\"} "
+                   << h.count() << "\n";
+            }
+        };
+    tenantHistogram("fpc_serve_tenant_queue_wait_ms",
+                    "Admission to execution start, per completed job.",
+                    [](const TenantState &t) -> const stats::
+                        Histogram & { return t.queueWait; });
+    tenantHistogram("fpc_serve_tenant_execute_ms",
+                    "Execution start to end, per completed job.",
+                    [](const TenantState &t) -> const stats::
+                        Histogram & { return t.execute; });
+    tenantHistogram("fpc_serve_tenant_reply_ms",
+                    "Execution end to the reply on the wire.",
+                    [](const TenantState &t) -> const stats::
+                        Histogram & { return t.reply; });
+    tenantGauge("fpc_serve_tenant_queue_wait_p50_ms",
+                "Median queue wait.", [](const TenantState &t) {
+                    return t.queueWait.p50();
+                });
+    tenantGauge("fpc_serve_tenant_queue_wait_p90_ms",
+                "90th percentile queue wait.",
+                [](const TenantState &t) {
+                    return t.queueWait.p90();
+                });
+    tenantGauge("fpc_serve_tenant_queue_wait_p99_ms",
+                "99th percentile queue wait.",
+                [](const TenantState &t) {
+                    return t.queueWait.p99();
+                });
+    tenantGauge("fpc_serve_tenant_execute_p50_ms",
+                "Median execute time.", [](const TenantState &t) {
+                    return t.execute.p50();
+                });
+    tenantGauge("fpc_serve_tenant_execute_p90_ms",
+                "90th percentile execute time.",
+                [](const TenantState &t) { return t.execute.p90(); });
+    tenantGauge("fpc_serve_tenant_execute_p99_ms",
+                "99th percentile execute time.",
+                [](const TenantState &t) { return t.execute.p99(); });
+    tenantGauge("fpc_serve_tenant_reply_p50_ms",
+                "Median reply time.",
+                [](const TenantState &t) { return t.reply.p50(); });
+    tenantGauge("fpc_serve_tenant_reply_p90_ms",
+                "90th percentile reply time.",
+                [](const TenantState &t) { return t.reply.p90(); });
+    tenantGauge("fpc_serve_tenant_reply_p99_ms",
+                "99th percentile reply time.",
+                [](const TenantState &t) { return t.reply.p99(); });
+
+    // SLO families appear once any tenant has a target; samples only
+    // for tenants with one.
+    bool anySlo = false;
+    for (const auto &entry : tenants_)
+        if (entry.second.config.sloMs > 0)
+            anySlo = true;
+    if (anySlo) {
+        auto sloGauge = [&](const char *name, const char *help,
+                            double (*get)(const TenantState &)) {
+            os << "# HELP " << name << " " << help << "\n"
+               << "# TYPE " << name << " gauge\n";
+            for (const auto &entry : tenants_)
+                if (entry.second.config.sloMs > 0)
+                    os << name << "{tenant=\""
+                       << labelEscape(entry.first) << "\"} "
+                       << get(entry.second) << "\n";
+        };
+        auto sloCounter =
+            [&](const char *name, const char *help,
+                std::uint64_t (*get)(const TenantState &)) {
+                os << "# HELP " << name << " " << help << "\n"
+                   << "# TYPE " << name << " counter\n";
+                for (const auto &entry : tenants_)
+                    if (entry.second.config.sloMs > 0)
+                        os << name << "_total{tenant=\""
+                           << labelEscape(entry.first) << "\"} "
+                           << get(entry.second) << "\n";
+            };
+        sloGauge("fpc_serve_slo_target_ms",
+                 "Latency SLO target (admission to reply).",
+                 [](const TenantState &t) { return t.config.sloMs; });
+        sloCounter("fpc_serve_slo_good",
+                   "Completed requests at or under the SLO target.",
+                   [](const TenantState &t) { return t.sloGood; });
+        sloCounter("fpc_serve_slo_bad",
+                   "Completed requests over the SLO target (or "
+                   "failed).",
+                   [](const TenantState &t) { return t.sloBad; });
+        sloGauge("fpc_serve_slo_burn_rate",
+                 "Error-budget burn rate over the last two quota "
+                 "windows (1 = burning exactly the 1% budget).",
+                 [](const TenantState &t) { return burnRate(t); });
+    }
+
+    if (spans_) {
+        counter("fpc_serve_spans_recorded",
+                "Spans closed into the ring buffer.",
+                spans_->recorded());
+        counter("fpc_serve_spans_dropped",
+                "Spans evicted from the full ring (oldest first).",
+                spans_->dropped());
+        counter("fpc_serve_span_faults",
+                "Span bracketing violations detected.",
+                spans_->faultCount());
+        gauge("fpc_serve_spans_open",
+              "Requests with a span currently open.",
+              static_cast<double>(spans_->openCount()));
+    }
+
     os << "# EOF\n";
     return os.str();
 }
@@ -624,6 +938,83 @@ Server::drain()
     });
 }
 
+double
+Server::burnRate(const TenantState &t)
+{
+    // Fraction of requests blowing the SLO over the previous window
+    // plus the current one, normalized by the 1% error budget: 1.0
+    // means burning the budget exactly, 100 means everything is bad.
+    const double good = static_cast<double>(t.prevWindowGood +
+                                            t.windowGood);
+    const double bad =
+        static_cast<double>(t.prevWindowBad + t.windowBad);
+    const double total = good + bad;
+    if (total <= 0)
+        return 0;
+    return (bad / total) / 0.01;
+}
+
+void
+Server::updateTenantGaugesLocked()
+{
+    // Rebuild the telemetry-provider mirror. Caller holds mutex_;
+    // tenantGaugeMutex_ nests inside it (the provider takes only the
+    // inner lock, so samplers never contend on mutex_).
+    std::vector<std::pair<std::string, double>> g;
+    for (const auto &entry : tenants_) {
+        const TenantState &t = entry.second;
+        if (t.counters.completed == 0 && t.config.sloMs <= 0)
+            continue;
+        const std::string base = "serve_tenant_" + entry.first + "_";
+        g.emplace_back(base + "queue_wait_p50_ms", t.queueWait.p50());
+        g.emplace_back(base + "queue_wait_p99_ms", t.queueWait.p99());
+        g.emplace_back(base + "execute_p50_ms", t.execute.p50());
+        g.emplace_back(base + "execute_p99_ms", t.execute.p99());
+        if (t.config.sloMs > 0)
+            g.emplace_back(base + "slo_burn_rate", burnRate(t));
+    }
+    std::lock_guard<std::mutex> lock(tenantGaugeMutex_);
+    tenantGauges_ = std::move(g);
+}
+
+void
+Server::checkSpansAtStop()
+{
+    if (!spans_)
+        return;
+    // checkSpans combines the collector's recorded discipline faults,
+    // open-at-check spans (everything has drained, so those are real
+    // leaks) and structural violations over the retained spans.
+    spanFaults_ = obs::checkSpans(*spans_);
+    if (!spanFaults_.empty()) {
+        warn("fpcserve: {} span bracketing fault(s) detected",
+             spanFaults_.size());
+        if (!config_.postmortemDir.empty())
+            obs::writeSpanPostmortem(config_.postmortemDir, "serve-",
+                                     config_.driver, spanFaults_,
+                                     *spans_);
+    }
+}
+
+void
+Server::writeSpansLog(std::ostream &os) const
+{
+    if (!spans_)
+        return;
+    obs::writeSpansLog(os, config_.driver, *spans_);
+}
+
+void
+Server::writeSpansTrace(std::ostream &os) const
+{
+    if (!spans_)
+        return;
+    std::vector<const obs::Tracer *> xfer;
+    if (config_.trace && runtime_)
+        xfer = runtime_->tracers();
+    obs::writeSpansPerfetto(os, *spans_, xfer);
+}
+
 void
 Server::stop()
 {
@@ -632,6 +1023,7 @@ Server::stop()
     stopped_ = true;
     drain();
     runtime_->stopPool();
+    checkSpansAtStop();
     if (acceptThread_.joinable())
         acceptThread_.join();
 

@@ -79,6 +79,19 @@ struct ServerConfig
     Tick metricsInterval = obs::Telemetry::defaultInterval;
     std::size_t metricsCapacity = obs::Telemetry::defaultCapacity;
 
+    /** Request-scoped span tracing (see obs::SpanCollector): every
+     *  SUBMIT grows a request ⊃ admission/queued/dispatch/execute/
+     *  reply tree, exported after stop() via writeSpansLog /
+     *  writeSpansTrace. Host-time only: simulated stats and metrics
+     *  are byte-identical with spans on or off. */
+    bool spans = false;
+    std::size_t spansCapacity = obs::SpanCollector::defaultCapacity;
+
+    /** Per-worker XFER tracing on the pool (embedded into
+     *  writeSpansTrace alongside the serve spans). */
+    bool trace = false;
+    std::size_t traceCapacity = obs::Tracer::defaultCapacity;
+
     /** When nonempty, failed jobs write postmortem bundles here and
      *  the result reply carries the bundle path. */
     std::string postmortemDir;
@@ -123,6 +136,25 @@ class Server
      *  while serving — this is what SCRAPE returns). */
     std::string scrapeText() const;
 
+    /** @name Span exports (ServerConfig::spans).
+     *  The collector is live while serving; the log/trace writers and
+     *  spanFaults() are meant for after stop(), which runs the
+     *  well-bracketing checker (writing a span-bracketing postmortem
+     *  bundle into postmortemDir on any fault). @{ */
+    const obs::SpanCollector *spanCollector() const
+    {
+        return spans_.get();
+    }
+    void writeSpansLog(std::ostream &os) const;
+    /** Perfetto JSON: serve tracks, plus the per-worker XFER tracks
+     *  when ServerConfig::trace is on. */
+    void writeSpansTrace(std::ostream &os) const;
+    const std::vector<obs::SpanFault> &spanFaults() const
+    {
+        return spanFaults_;
+    }
+    /** @} */
+
     /** @name Machine-level telemetry (valid after stop() when
      *  ServerConfig::metrics was set). @{ */
     void writeMetricsJson(std::ostream &os) const;
@@ -152,6 +184,7 @@ class Server
         int fd = -1;
         std::mutex writeMutex;
         std::atomic<bool> open{true};
+        std::uint32_t track = 0; ///< span Connection-track index
     };
 
     /** An admitted job waiting in its tenant's queue. */
@@ -162,6 +195,10 @@ class Server
         std::string tenant;
         sched::Job job;
         std::chrono::steady_clock::time_point admitted;
+        std::int64_t admittedNs = 0; ///< nowNs() at admission
+        std::uint64_t requestId = 0; ///< server-assigned span id
+        std::uint64_t traceId = 0;   ///< client correlation id
+        std::uint32_t spanTenant = obs::noTenant;
     };
 
     struct TenantState
@@ -169,6 +206,24 @@ class Server
         TenantConfig config;
         TenantCounters counters;
         std::deque<Pending> pending;
+
+        /** Latency attribution (milliseconds), sampled per completed
+         *  request whether or not span collection is on. */
+        stats::Histogram queueWait; ///< admission → execution start
+        stats::Histogram execute;   ///< execution start → end
+        stats::Histogram reply;     ///< execution end → reply sent
+
+        /** SLO bookkeeping (TenantConfig::sloMs). Window counters
+         *  roll with the quota window; the burn rate smooths over the
+         *  previous window plus the current one. */
+        std::uint64_t sloGood = 0;
+        std::uint64_t sloBad = 0;
+        std::uint64_t windowGood = 0;
+        std::uint64_t windowBad = 0;
+        std::uint64_t prevWindowGood = 0;
+        std::uint64_t prevWindowBad = 0;
+
+        std::uint32_t spanTenant = obs::noTenant;
     };
 
     void acceptLoop();
@@ -188,6 +243,9 @@ class Server
     void updateGaugesLocked();
     void sendReply(const std::shared_ptr<Conn> &conn,
                    const Reply &reply);
+    static double burnRate(const TenantState &t);
+    void updateTenantGaugesLocked();
+    void checkSpansAtStop();
 
     ServerConfig config_;
     unsigned maxInFlight_ = 0;
@@ -223,10 +281,22 @@ class Server
     std::chrono::steady_clock::time_point windowStart_;
 
     std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> nextRequestId_{1};
+    std::atomic<std::uint32_t> nextConnTrack_{0};
+
+    std::unique_ptr<obs::SpanCollector> spans_;
+    std::vector<obs::SpanFault> spanFaults_; ///< set by stop()
 
     // Mirrors for the (lock-free) telemetry gauge provider.
     std::atomic<double> gaugeQueue_{0};
     std::atomic<double> gaugeInFlight_{0};
+
+    /** Per-tenant attribution/SLO gauges mirrored for the telemetry
+     *  provider: rebuilt under mutex_ on completions, read on worker
+     *  threads under its own lock so the sampler never takes
+     *  mutex_. */
+    mutable std::mutex tenantGaugeMutex_;
+    std::vector<std::pair<std::string, double>> tenantGauges_;
 
     // Program registry and source-compile cache, under cacheMutex_.
     std::mutex cacheMutex_;

@@ -35,6 +35,12 @@ struct TenantConfig
      *  0 = unlimited. Charged at job completion, reset when the
      *  window rolls. */
     std::uint64_t cyclesPerWindow = 0;
+    /** Latency SLO target in milliseconds (admission → completed
+     *  reply); 0 = no SLO tracked. Completed requests at or under
+     *  the target count good, the rest bad, and the scrape exposes
+     *  the counters plus a burn-rate gauge against a 1% error
+     *  budget. */
+    double sloMs = 0;
 };
 
 /** Running totals the scrape endpoint exports per tenant. */

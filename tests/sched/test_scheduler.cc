@@ -12,8 +12,14 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "obs/spans.hh"
 
 #include "common/logging.hh"
 #include "lang/codegen.hh"
@@ -601,6 +607,140 @@ TEST(StatsMerge, MachineStatsSumAcrossRuns)
     const double rate = merged.fastCallReturnRate();
     EXPECT_GE(rate, 0.0);
     EXPECT_LE(rate, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Span tracing through the Runtime (src/obs/spans wired into pool and
+// batch execution).
+// ---------------------------------------------------------------------
+
+TEST(RuntimeSpans, BatchRunSynthesizesSpanTreesPerJob)
+{
+    const auto prog = shared(fibTracer());
+    obs::SpanCollector sc;
+    sched::RuntimeConfig rc;
+    rc.workers = 2;
+    rc.trace = true; // static assignment: job i -> worker i mod stride
+    rc.spans = &sc;
+    sched::Runtime runtime(rc);
+    for (unsigned j = 0; j < 4; ++j)
+        runtime.submit({prog, "Fib", "main", {8}});
+    const auto results = runtime.run();
+    ASSERT_EQ(results.size(), 4u);
+
+    const auto faults = obs::checkSpans(sc);
+    EXPECT_TRUE(faults.empty())
+        << (faults.empty() ? "" : faults.front().what);
+    // request + queued + execute per job, no serve-side phases.
+    EXPECT_EQ(sc.recorded(), 12u);
+    std::map<std::uint64_t, std::vector<obs::Span>> trees;
+    for (const obs::Span &s : sc.spans())
+        trees[s.id].push_back(s);
+    ASSERT_EQ(trees.size(), 4u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const std::uint64_t sid = i + 1; // batch span id = job idx + 1
+        ASSERT_EQ(trees.count(sid), 1u);
+        const std::vector<obs::Span> &tree = trees[sid];
+        ASSERT_EQ(tree.size(), 3u);
+        std::set<obs::SpanKind> kinds;
+        for (const obs::Span &s : tree) {
+            kinds.insert(s.kind);
+            EXPECT_EQ(s.trackKind, obs::SpanTrack::Worker);
+            EXPECT_EQ(s.track, results[i].worker)
+                << obs::spanKindName(s.kind) << " of job " << i;
+            if (s.kind == obs::SpanKind::Execute) {
+                // The span brackets exactly the stamped exec window.
+                EXPECT_EQ(s.startNs, results[i].execStartNs);
+                EXPECT_EQ(s.endNs, results[i].execEndNs);
+            }
+        }
+        EXPECT_EQ(kinds.count(obs::SpanKind::Request), 1u);
+        EXPECT_EQ(kinds.count(obs::SpanKind::Queued), 1u);
+        EXPECT_EQ(kinds.count(obs::SpanKind::Execute), 1u);
+    }
+}
+
+TEST(RuntimeSpans, PoolStolenJobsLandOnStealingWorkersTrack)
+{
+    // Pool-mode tracing determinism: a job's spans land on the track
+    // of the worker that executed it — JobResult::worker — so a
+    // stolen job re-homes to the thief's track. The track invariant
+    // is asserted on every attempt; stealing itself is
+    // timing-dependent, so a skewed load is retried a few times until
+    // at least one steal is observed.
+    const auto prog = shared(fibTracer());
+    bool sawSteal = false;
+    for (int attempt = 0; attempt < 5 && !sawSteal; ++attempt) {
+        obs::SpanCollector sc;
+        sched::RuntimeConfig rc;
+        rc.workers = 2;
+        rc.spans = &sc;
+        sched::Runtime runtime(rc);
+        runtime.startPool();
+        std::mutex mu;
+        std::map<unsigned, unsigned> workerOf; // job id -> worker
+        auto done = [&](sched::JobResult r) {
+            std::lock_guard<std::mutex> lock(mu);
+            workerOf[r.id] = r.worker;
+        };
+        // Round-robin puts the long job on deque 0 and half the
+        // short ones behind it; worker 1 drains its own deque first
+        // and then steals from deque 0.
+        runtime.enqueue({prog, "Fib", "main", {22}}, done);
+        for (unsigned j = 0; j < 12; ++j)
+            runtime.enqueue({prog, "Fib", "main", {3}}, done);
+        runtime.drainPool();
+        runtime.stopPool();
+        sawSteal =
+            runtime.stats().findCounter("jobs_stolen").value() > 0;
+
+        ASSERT_EQ(workerOf.size(), 13u);
+        const auto faults = obs::checkSpans(sc);
+        EXPECT_TRUE(faults.empty())
+            << (faults.empty() ? "" : faults.front().what);
+        EXPECT_EQ(sc.recorded(), 39u); // 13 jobs x 3 spans
+        for (const obs::Span &s : sc.spans()) {
+            ASSERT_GE(s.id, 1u);
+            const auto id = static_cast<unsigned>(s.id - 1);
+            ASSERT_EQ(workerOf.count(id), 1u);
+            EXPECT_EQ(s.trackKind, obs::SpanTrack::Worker);
+            EXPECT_EQ(s.track, workerOf[id])
+                << obs::spanKindName(s.kind) << " of job " << id;
+        }
+    }
+    EXPECT_TRUE(sawSteal) << "no steal observed in 5 skewed runs";
+}
+
+TEST(RuntimeSpans, SpanCollectionLeavesStatsJsonByteIdentical)
+{
+    // Spans are host-time observability only: the exported simulated
+    // stats document must be byte-for-byte the same with the
+    // collector attached or absent.
+    const auto prog = shared(fibTracer());
+    const auto statsDoc = [&](obs::SpanCollector *sc) {
+        sched::RuntimeConfig rc;
+        rc.workers = 2;
+        rc.trace = true; // static assignment: deterministic merge
+        rc.spans = sc;
+        sched::Runtime runtime(rc);
+        for (unsigned j = 0; j < 4; ++j)
+            runtime.submit({prog, "Fib", "main", {8}});
+        runtime.run();
+        obs::StatsExport exp;
+        exp.driver = "test_scheduler";
+        exp.impl = implName(rc.machine.impl);
+        exp.workers = runtime.workers();
+        exp.machine = &runtime.machineStats();
+        exp.groups.push_back(&runtime.stats());
+        std::ostringstream os;
+        obs::writeStatsJson(os, exp);
+        return os.str();
+    };
+    obs::SpanCollector sc;
+    const std::string withSpans = statsDoc(&sc);
+    const std::string without = statsDoc(nullptr);
+    EXPECT_GT(sc.recorded(), 0u);
+    EXPECT_EQ(withSpans, without);
 }
 
 } // namespace

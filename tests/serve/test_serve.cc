@@ -10,6 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <csignal>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -36,6 +40,7 @@ TEST(Protocol, SubmitRoundTrip)
     serve::Request req;
     req.op = serve::ReqOp::Submit;
     req.submit.reqId = 42;
+    req.submit.traceId = 0xfeedfacecafef00dull;
     req.submit.tenant = "gold";
     req.submit.program = "primes";
     req.submit.source = "module M; proc main(n) { return n; }";
@@ -50,6 +55,7 @@ TEST(Protocol, SubmitRoundTrip)
         << err;
     EXPECT_EQ(out.op, serve::ReqOp::Submit);
     EXPECT_EQ(out.submit.reqId, 42u);
+    EXPECT_EQ(out.submit.traceId, 0xfeedfacecafef00dull);
     EXPECT_EQ(out.submit.tenant, "gold");
     EXPECT_EQ(out.submit.program, "primes");
     EXPECT_EQ(out.submit.source, req.submit.source);
@@ -68,6 +74,9 @@ TEST(Protocol, ReplyVariantsRoundTrip)
     ok.stopReason = "topReturn";
     ok.steps = 1234;
     ok.cycles = 9876;
+    ok.spanId = 7;
+    ok.queueNs = 111222;
+    ok.execNs = 333444;
 
     serve::Reply rejected;
     rejected.reqId = 10;
@@ -95,6 +104,9 @@ TEST(Protocol, ReplyVariantsRoundTrip)
         EXPECT_EQ(out.cycles, reply.cycles);
         EXPECT_EQ(out.retryAfterMs, reply.retryAfterMs);
         EXPECT_EQ(out.text, reply.text);
+        EXPECT_EQ(out.spanId, reply.spanId);
+        EXPECT_EQ(out.queueNs, reply.queueNs);
+        EXPECT_EQ(out.execNs, reply.execNs);
     }
 }
 
@@ -433,6 +445,237 @@ TEST(Server, DrainRefusesNewWorkThenStops)
 
     server.stop();
     EXPECT_EQ(server.jobsCompleted(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Span tracing and latency attribution through the live server.
+// ---------------------------------------------------------------------
+
+struct ParsedSpan
+{
+    std::uint64_t traceId = 0;
+    std::uint32_t reqId = 0;
+    std::string kind;
+    std::string track;
+    std::int64_t start = 0;
+    std::int64_t end = 0;
+    bool ok = false;
+};
+
+/** Parse writeSpansLog output into per-request-id span maps. */
+std::map<std::uint64_t, std::map<std::string, ParsedSpan>>
+parseSpansLog(const std::string &log)
+{
+    std::map<std::uint64_t, std::map<std::string, ParsedSpan>> trees;
+    std::istringstream is(log);
+    std::string tag;
+    EXPECT_TRUE(std::getline(is, tag));
+    EXPECT_EQ(tag, "fpc-spans-v1");
+    std::string line;
+    while (std::getline(is, line)) {
+        std::istringstream ls(line);
+        ls >> tag;
+        if (tag != "span")
+            continue;
+        std::uint64_t id = 0;
+        std::string tenant, okText;
+        ParsedSpan s;
+        ls >> id >> s.traceId >> s.reqId >> s.kind >> s.track >>
+            tenant >> s.start >> s.end >> okText;
+        EXPECT_FALSE(ls.fail()) << line;
+        s.ok = okText == "ok";
+        trees[id].emplace(s.kind, s);
+    }
+    return trees;
+}
+
+TEST(Server, SpanTreesBracketEveryRequest)
+{
+    serve::ServerConfig sc;
+    sc.workers = 2;
+    sc.spans = true;
+    serve::Server server(sc);
+    server.start();
+    serve::Client client = connectTo(server);
+
+    std::map<std::uint64_t, unsigned> sentTrace; // traceId -> reqId
+    std::map<unsigned, std::uint64_t> spanIds;   // reqId -> spanId
+    for (unsigned i = 1; i <= 3; ++i) {
+        serve::Request req;
+        req.op = serve::ReqOp::Submit;
+        req.submit.reqId = i;
+        req.submit.traceId = 0xabc000 + i;
+        req.submit.source = kFibSource;
+        req.submit.args = {8};
+        sentTrace[req.submit.traceId] = i;
+        ASSERT_TRUE(client.send(req));
+        serve::Reply reply;
+        ASSERT_TRUE(client.recv(reply));
+        ASSERT_EQ(reply.status, serve::Status::Ok);
+        EXPECT_TRUE(reply.jobOk) << reply.error;
+        // The reply carries the attribution breakdown and the span id
+        // that names this request's tree in the exported log.
+        EXPECT_NE(reply.spanId, 0u);
+        EXPECT_GT(reply.execNs, 0u);
+        spanIds[i] = reply.spanId;
+    }
+    server.stop();
+    EXPECT_TRUE(server.spanFaults().empty());
+
+    std::ostringstream os;
+    server.writeSpansLog(os);
+    const auto trees = parseSpansLog(os.str());
+    ASSERT_EQ(trees.size(), 3u);
+    for (const auto &[id, spans] : trees) {
+        // Every admitted ok request carries the full five-phase tree.
+        ASSERT_EQ(spans.size(), 6u);
+        ASSERT_EQ(spans.count("request"), 1u);
+        const ParsedSpan &req = spans.at("request");
+        EXPECT_TRUE(req.ok);
+        // The span id echoed on the wire names this tree, and the
+        // client-supplied traceId made the round trip.
+        ASSERT_EQ(sentTrace.count(req.traceId), 1u);
+        EXPECT_EQ(spanIds[sentTrace[req.traceId]], id);
+        EXPECT_EQ(req.reqId, sentTrace[req.traceId]);
+        std::int64_t phaseSum = 0;
+        for (const char *kind :
+             {"admission", "queued", "dispatch", "execute", "reply"}) {
+            ASSERT_EQ(spans.count(kind), 1u) << kind;
+            const ParsedSpan &p = spans.at(kind);
+            EXPECT_TRUE(p.ok) << kind;
+            EXPECT_GE(p.start, req.start) << kind;
+            EXPECT_LE(p.end, req.end) << kind;
+            EXPECT_EQ(p.traceId, req.traceId) << kind;
+            phaseSum += p.end - p.start;
+        }
+        // Adjacent phases share boundary timestamps: the breakdown
+        // partitions the request span exactly (zero slack).
+        EXPECT_EQ(phaseSum, req.end - req.start);
+        // Execute (and dispatch, re-homed at execution start) sit on
+        // a worker track; admission on the connection track.
+        EXPECT_EQ(spans.at("execute").track.rfind("worker:", 0), 0u);
+        EXPECT_EQ(spans.at("dispatch").track,
+                  spans.at("execute").track);
+        EXPECT_EQ(spans.at("admission").track.rfind("conn:", 0), 0u);
+    }
+}
+
+TEST(Server, PipelinedRepliesOutOfOrderWithScrapeInFlight)
+{
+    serve::ServerConfig sc;
+    sc.workers = 2;
+    sc.spans = true;
+    serve::Server server(sc);
+    server.start();
+    serve::Client client = connectTo(server);
+
+    // One deliberately slow job first, then a burst of quick ones:
+    // with two workers the quick jobs overtake it, so replies come
+    // back out of submission order and must be matched by reqId. A
+    // SCRAPE rides the same pipelined connection mid-flight.
+    std::map<unsigned, Word> want;
+    serve::Request req;
+    req.op = serve::ReqOp::Submit;
+    req.submit.source = kFibSource;
+    req.submit.reqId = 1;
+    req.submit.traceId = 1;
+    req.submit.args = {22};
+    want[1] = 17711;
+    ASSERT_TRUE(client.send(req));
+    for (unsigned i = 2; i <= 8; ++i) {
+        req.submit.reqId = i;
+        req.submit.traceId = i;
+        req.submit.args = {3};
+        want[i] = 2;
+        ASSERT_TRUE(client.send(req));
+    }
+    serve::Request scrapeReq;
+    scrapeReq.op = serve::ReqOp::Scrape;
+    ASSERT_TRUE(client.send(scrapeReq));
+
+    std::vector<unsigned> order;
+    std::set<std::uint64_t> spanIds;
+    std::string scrapeText;
+    for (int i = 0; i < 9; ++i) {
+        serve::Reply reply;
+        ASSERT_TRUE(client.recv(reply));
+        if (reply.status == serve::Status::ScrapeText) {
+            scrapeText = reply.text;
+            continue;
+        }
+        ASSERT_EQ(reply.status, serve::Status::Ok);
+        ASSERT_EQ(want.count(reply.reqId), 1u);
+        EXPECT_EQ(reply.value, want[reply.reqId]);
+        EXPECT_NE(reply.spanId, 0u);
+        spanIds.insert(reply.spanId);
+        order.push_back(reply.reqId);
+    }
+    ASSERT_EQ(order.size(), 8u);
+    EXPECT_EQ(spanIds.size(), 8u); // span ids are per-request
+    // The scrape answered mid-flight with a complete exposition.
+    ASSERT_FALSE(scrapeText.empty());
+    EXPECT_NE(scrapeText.find("# EOF\n"), std::string::npos);
+    // The slow first submission must not have answered first.
+    EXPECT_NE(order.front(), 1u);
+    server.stop();
+    EXPECT_TRUE(server.spanFaults().empty());
+}
+
+TEST(Server, ScrapeExposesAttributionHistogramsAndSlo)
+{
+    serve::ServerConfig sc;
+    sc.workers = 1;
+    sc.spans = true;
+    // gold's SLO is generous (every request lands under 10 s);
+    // strict's is impossible, so its requests all count bad.
+    sc.tenants["gold"] = {3.0, 64, 0, 10000.0};
+    sc.tenants["strict"] = {1.0, 64, 0, 0.000001};
+    serve::Server server(sc);
+    server.start();
+    serve::Client client = connectTo(server);
+
+    serve::Reply reply;
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(
+            client.submitSource("gold", kFibSource, {8}, reply));
+        ASSERT_EQ(reply.status, serve::Status::Ok);
+    }
+    ASSERT_TRUE(
+        client.submitSource("strict", kFibSource, {8}, reply));
+    ASSERT_EQ(reply.status, serve::Status::Ok);
+
+    std::string text;
+    ASSERT_TRUE(client.scrape(text));
+    // Latency attribution histograms + percentile gauges, per phase.
+    for (const char *phase : {"queue_wait", "execute", "reply"}) {
+        const std::string base = std::string("fpc_serve_tenant_") +
+                                 phase + "_ms";
+        EXPECT_NE(text.find(base + "_bucket{tenant=\"gold\",le=\""),
+                  std::string::npos)
+            << base;
+        EXPECT_NE(text.find(base + "_count{tenant=\"gold\"}"),
+                  std::string::npos)
+            << base;
+        EXPECT_NE(text.find(std::string("fpc_serve_tenant_") + phase +
+                            "_p99_ms{tenant=\"gold\"}"),
+                  std::string::npos)
+            << phase;
+    }
+    // SLO tracking: target, good/bad counters, burn rate.
+    EXPECT_NE(text.find("fpc_serve_slo_target_ms{tenant=\"gold\"} "
+                        "10000"),
+              std::string::npos);
+    EXPECT_NE(text.find("fpc_serve_slo_good_total{tenant=\"gold\"} 3"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("fpc_serve_slo_bad_total{tenant=\"strict\"} 1"),
+        std::string::npos);
+    EXPECT_NE(text.find("fpc_serve_slo_burn_rate{tenant=\"strict\"}"),
+              std::string::npos);
+    // Span accounting rides the same scrape when spans are on.
+    EXPECT_NE(text.find("fpc_serve_spans_recorded_total"),
+              std::string::npos);
+    server.stop();
 }
 
 } // namespace

@@ -3,13 +3,17 @@
 
 Usage: bench_diff.py <baseline.json> <candidate.json> [--threshold=0.25]
        [--lower-is-better=prefix,prefix,...]
+       [--informational=prefix,prefix,...]
 
 Prints a delta table over the shared `metrics` maps and exits 1 when
 any metric regressed by more than the threshold (relative). Metrics
 are assumed higher-is-better unless their name starts with one of the
 lower-is-better prefixes (defaults cover wall-clock and miss/drop
-counters). Metrics present on only one side are reported but never
-fail the comparison — benches grow columns over time. Numeric cells
+counters). Metrics whose name starts with an informational prefix
+(default `attr_` — host-time latency attribution) are printed but
+never gate: they are wall-clock measurements of a shared runner, not
+simulated invariants. Metrics present on only one side are reported
+but never fail the comparison — benches grow columns over time. Numeric cells
 of shared `tables` are diffed too, but informationally only: table
 rows mix host-noisy and simulated numbers, so only the curated
 `metrics` map gates.
@@ -24,6 +28,7 @@ import sys
 
 DEFAULT_THRESHOLD = 0.25
 DEFAULT_LOWER_IS_BETTER = ("wall_", "ms_", "misses_", "dropped_", "slow_")
+DEFAULT_INFORMATIONAL = ("attr_",)
 
 
 def load(path):
@@ -91,11 +96,15 @@ def main(argv):
     paths = []
     threshold = DEFAULT_THRESHOLD
     lower_prefixes = DEFAULT_LOWER_IS_BETTER
+    info_prefixes = DEFAULT_INFORMATIONAL
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
         elif arg.startswith("--lower-is-better="):
             lower_prefixes = tuple(
+                p for p in arg.split("=", 1)[1].split(",") if p)
+        elif arg.startswith("--informational="):
+            info_prefixes = tuple(
                 p for p in arg.split("=", 1)[1].split(",") if p)
         elif arg.startswith("--"):
             print(__doc__)
@@ -123,15 +132,19 @@ def main(argv):
     for name in shared:
         b, c = float(base[name]), float(cand[name])
         lower_better = name.startswith(lower_prefixes)
+        informational = name.startswith(info_prefixes)
         if b == 0:
             rel = 0.0 if c == 0 else float("inf")
         else:
             rel = (c - b) / abs(b)
         # A regression is movement in the bad direction past threshold.
         bad = rel > threshold if lower_better else rel < -threshold
-        marker = " REGRESSED" if bad else ""
-        if bad:
-            regressions.append(name)
+        if informational:
+            marker = " (informational)"
+        else:
+            marker = " REGRESSED" if bad else ""
+            if bad:
+                regressions.append(name)
         print(f"  {name:<{width}}  {b:>14.4f} -> {c:>14.4f}  "
               f"{rel:+8.1%}{marker}")
     for name in only_base:

@@ -12,10 +12,17 @@ the OpenMetrics 1.0 text format:
   * every metric family is introduced by adjacent `# HELP` and
     `# TYPE` lines, declared exactly once;
   * sample lines belong to a declared family — counters sample as
-    `<family>_total`, gauges as `<family>`;
+    `<family>_total`, gauges as `<family>`, histograms as
+    `<family>_bucket` / `<family>_sum` / `<family>_count`;
+  * every `_bucket` sample carries an `le` label; within one labeled
+    series the bucket counts are monotonically non-decreasing in `le`
+    order, the series ends with an `le="+Inf"` bucket, and that bucket
+    equals the series' `_count`;
   * metric and label names match the allowed charsets, label values
     are correctly quoted/escaped, sample values and the optional
     timestamps parse as numbers;
+  * burn-rate gauges (names ending `_burn_rate`) are finite and
+    non-negative;
   * the exposition ends with the mandatory `# EOF` terminator and
     nothing follows it.
 
@@ -48,13 +55,15 @@ def fail(lineno, line, why):
 
 
 def parse_labels(lineno, line, braced):
+    labels = []
     body = braced[1:-1]
     if not body:
-        return
+        return labels
     consumed = 0
     for m in LABELS_RE.finditer(body):
         if m.start() != consumed:
             fail(lineno, line, "malformed label set %r" % braced)
+        labels.append((m.group(1), m.group(2)))
         consumed = m.end()
         if consumed < len(body):
             if body[consumed] != ",":
@@ -62,6 +71,7 @@ def parse_labels(lineno, line, braced):
             consumed += 1
     if consumed != len(body):
         fail(lineno, line, "malformed label set %r" % braced)
+    return labels
 
 
 def check(text):
@@ -74,6 +84,10 @@ def check(text):
     last_help = None   # family name from the preceding HELP line
     saw_eof = False
     samples = 0
+    # (family, non-le labels) -> [(lineno, line, le, value)]
+    buckets = {}
+    # (family, labels) -> value, for the _count cross-check
+    counts = {}
 
     for lineno, line in enumerate(text.splitlines(), start=1):
         if saw_eof:
@@ -119,21 +133,29 @@ def check(text):
         name, braced, value, stamp = m.groups()
 
         family = None
+        suffix = None
         if name.endswith("_total"):
             base = name[: -len("_total")]
             if families.get(base) == "counter":
-                family = base
+                family, suffix = base, "_total"
+        if family is None:
+            for s in ("_bucket", "_sum", "_count"):
+                if name.endswith(s):
+                    base = name[: -len(s)]
+                    if families.get(base) == "histogram":
+                        family, suffix = base, s
+                        break
         if family is None and families.get(name) == "gauge":
             family = name
         if family is None:
             fail(lineno, line,
                  "sample %r has no matching family declaration "
-                 "(counters sample as <family>_total)" % name)
+                 "(counters sample as <family>_total, histograms as "
+                 "<family>_bucket/_sum/_count)" % name)
 
-        if braced:
-            parse_labels(lineno, line, braced)
+        labels = parse_labels(lineno, line, braced) if braced else []
         try:
-            float(value)
+            fvalue = float(value)
         except ValueError:
             fail(lineno, line, "bad sample value %r" % value)
         if stamp is not None:
@@ -141,11 +163,59 @@ def check(text):
                 float(stamp.strip())
             except ValueError:
                 fail(lineno, line, "bad timestamp %r" % stamp.strip())
+
+        if suffix == "_bucket":
+            le = [v for k, v in labels if k == "le"]
+            if len(le) != 1:
+                fail(lineno, line,
+                     "histogram bucket needs exactly one 'le' label")
+            rest = tuple(sorted(
+                (k, v) for k, v in labels if k != "le"))
+            buckets.setdefault((family, rest), []).append(
+                (lineno, line, le[0], fvalue))
+        elif suffix == "_count":
+            counts[(family, tuple(sorted(labels)))] = fvalue
+        elif family.endswith("_burn_rate"):
+            if not (fvalue >= 0 and fvalue != float("inf")):
+                fail(lineno, line,
+                     "burn-rate gauge must be finite and "
+                     "non-negative, got %r" % value)
         samples += 1
 
     if not saw_eof:
         sys.stderr.write("check_openmetrics: missing '# EOF'\n")
         sys.exit(1)
+
+    for (family, rest), series in buckets.items():
+        prev_le = None
+        prev_count = None
+        for lineno, line, le, fvalue in series:
+            try:
+                fle = float(le.replace("+Inf", "inf"))
+            except ValueError:
+                fail(lineno, line, "bad 'le' value %r" % le)
+            if prev_le is not None and not fle > prev_le:
+                fail(lineno, line,
+                     "histogram buckets must be in increasing 'le' "
+                     "order")
+            if prev_count is not None and fvalue < prev_count:
+                fail(lineno, line,
+                     "histogram bucket counts must be cumulative "
+                     "(non-decreasing in 'le' order)")
+            prev_le, prev_count = fle, fvalue
+        lineno, line, le, fvalue = series[-1]
+        if le != "+Inf":
+            fail(lineno, line,
+                 "histogram series must end with an le=\"+Inf\" "
+                 "bucket")
+        want = counts.get((family, rest))
+        if want is None:
+            fail(lineno, line,
+                 "histogram series has buckets but no _count sample")
+        if fvalue != want:
+            fail(lineno, line,
+                 "le=\"+Inf\" bucket (%g) must equal _count (%g)"
+                 % (fvalue, want))
     return len(families), samples
 
 

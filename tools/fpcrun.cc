@@ -22,6 +22,7 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -70,6 +71,7 @@ struct Options
     std::string openmetricsOut; ///< OpenMetrics exposition path
     std::string postmortemDir;  ///< per-failed-job bundle directory
     std::string recordOut;      ///< "fpc-record-v1" recording path
+    std::string spansOut;       ///< "fpc-spans-v1" span log path
 };
 
 void
@@ -125,6 +127,8 @@ printUsage(std::ostream &os, const char *argv0)
           "job\n"
           "  --record-out=FILE               write an fpc-record-v1 "
           "recording of every job\n"
+          "  --spans-out=FILE                write per-job host-time "
+          "spans as fpc-spans-v1\n"
           "  --log-level=error|warn|info|debug  stderr verbosity "
           "(default info)\n"
           "  --help                          show this help\n";
@@ -229,6 +233,8 @@ parseArgs(int argc, char **argv)
             opt.postmortemDir = value("--postmortem-dir=");
         } else if (arg.rfind("--record-out=", 0) == 0) {
             opt.recordOut = value("--record-out=");
+        } else if (arg.rfind("--spans-out=", 0) == 0) {
+            opt.spansOut = value("--spans-out=");
         } else if (arg.rfind("--log-level=", 0) == 0) {
             LogLevel level;
             if (!parseLogLevel(value("--log-level="), level))
@@ -303,6 +309,13 @@ try {
     rc.postmortemDir = opt.postmortemDir;
     rc.record = !opt.recordOut.empty();
     rc.driver = "fpcrun";
+    // Batch spans: the runtime synthesizes request ⊃ queued ⊃ execute
+    // trees per job (host time only — simulated numbers untouched).
+    std::unique_ptr<obs::SpanCollector> spans;
+    if (!opt.spansOut.empty()) {
+        spans = std::make_unique<obs::SpanCollector>();
+        rc.spans = spans.get();
+    }
     if (rc.record && opt.synthetic)
         fatal("--record-out= needs a compiled program; --synthetic "
               "jobs have no source to embed");
@@ -454,6 +467,18 @@ try {
             return 1;
         }
         runtime.writeOpenMetrics(out);
+    }
+    if (spans) {
+        const auto faults = obs::checkSpans(*spans);
+        if (!faults.empty())
+            warn("fpcrun: span checker found {} fault(s)",
+                 faults.size());
+        std::ofstream out(opt.spansOut);
+        if (!out) {
+            error("fpcrun: cannot write {}", opt.spansOut);
+            return 1;
+        }
+        obs::writeSpansLog(out, "fpcrun", *spans);
     }
     if (!opt.recordOut.empty()) {
         replay::RecordLog log;

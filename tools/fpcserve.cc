@@ -43,8 +43,11 @@ struct Options
 {
     serve::ServerConfig server;
     std::vector<std::pair<std::string, std::string>> preloads;
+    std::vector<std::pair<std::string, double>> slos;
     std::string metricsOut;
     std::string openmetricsOut;
+    std::string spansOut;
+    std::string traceOut;
 };
 
 void
@@ -72,6 +75,8 @@ printUsage(std::ostream &os, const char *argv0)
           "(default = workers)\n"
           "  --tenant=NAME:W[:Q[:C]]         tenant weight W, max "
           "queued Q, cycles/window C\n"
+          "  --slo=NAME:MS                   tenant latency SLO "
+          "target in ms (admission to reply)\n"
           "  --default-weight=W              unconfigured-tenant DRR "
           "weight (default 1)\n"
           "  --default-max-queued=N          unconfigured-tenant queue "
@@ -92,6 +97,14 @@ printUsage(std::ostream &os, const char *argv0)
        << ")\n"
           "  --openmetrics-out=FILE          write the series as "
           "OpenMetrics text at drain\n"
+          "  --spans-out=FILE                write request spans as "
+          "fpc-spans-v1 at drain\n"
+          "  --trace-out=FILE                write spans (plus "
+          "per-worker XFER tracks) as Perfetto JSON at drain\n"
+          "  --spans-capacity=N              span ring size, "
+          "drop-oldest (default "
+       << obs::SpanCollector::defaultCapacity
+       << ")\n"
           "  --log-level=error|warn|info|debug  stderr verbosity "
           "(default info)\n"
           "  --help                          show this help\n";
@@ -222,6 +235,27 @@ parseArgs(int argc, char **argv)
                 std::stoull(value("--metrics-interval="));
         } else if (arg.rfind("--openmetrics-out=", 0) == 0) {
             opt.openmetricsOut = value("--openmetrics-out=");
+        } else if (arg.rfind("--spans-out=", 0) == 0) {
+            opt.spansOut = value("--spans-out=");
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            opt.traceOut = value("--trace-out=");
+        } else if (arg.rfind("--spans-capacity=", 0) == 0) {
+            sc.spansCapacity =
+                std::stoull(value("--spans-capacity="));
+        } else if (arg.rfind("--slo=", 0) == 0) {
+            const std::string v = value("--slo=");
+            const auto colon = v.rfind(':');
+            if (colon == std::string::npos || colon == 0)
+                usage(argv[0]);
+            try {
+                opt.slos.emplace_back(
+                    v.substr(0, colon),
+                    std::stod(v.substr(colon + 1)));
+            } catch (const std::exception &) {
+                usage(argv[0]);
+            }
+            if (opt.slos.back().second <= 0)
+                usage(argv[0]);
         } else if (arg.rfind("--log-level=", 0) == 0) {
             LogLevel level;
             if (!parseLogLevel(value("--log-level="), level))
@@ -235,6 +269,15 @@ parseArgs(int argc, char **argv)
         }
     }
     sc.metrics = !opt.metricsOut.empty() || !opt.openmetricsOut.empty();
+    // Applied after the loop so --slo composes with --tenant in
+    // either order (--tenant=NAME:... replaces the whole config).
+    for (const auto &[name, ms] : opt.slos) {
+        if (sc.tenants.find(name) == sc.tenants.end())
+            sc.tenants[name] = sc.defaultTenant;
+        sc.tenants[name].sloMs = ms;
+    }
+    sc.spans = !opt.spansOut.empty() || !opt.traceOut.empty();
+    sc.trace = !opt.traceOut.empty();
     return opt;
 }
 
@@ -302,6 +345,25 @@ try {
         }
         server.writeOpenMetrics(out);
     }
+    if (!opt.spansOut.empty()) {
+        std::ofstream out(opt.spansOut);
+        if (!out) {
+            error("fpcserve: cannot write {}", opt.spansOut);
+            return 1;
+        }
+        server.writeSpansLog(out);
+    }
+    if (!opt.traceOut.empty()) {
+        std::ofstream out(opt.traceOut);
+        if (!out) {
+            error("fpcserve: cannot write {}", opt.traceOut);
+            return 1;
+        }
+        server.writeSpansTrace(out);
+    }
+    if (!server.spanFaults().empty())
+        warn("fpcserve: span checker found {} fault(s)",
+             server.spanFaults().size());
     return 0;
 } catch (const std::exception &err) {
     error("fpcserve: {}", err.what());
