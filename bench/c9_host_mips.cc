@@ -5,24 +5,27 @@
  * Unlike C1–C8, which report *simulated* costs (cycles, storage
  * references), C9 measures the wall-clock speed of the simulator
  * itself: simulated instructions per second and XFERs per second for
- * each engine I1–I4, with the host acceleration layer (predecoded
- * icache + XFER link cache + dispatch fast path, docs/PERFORMANCE.md)
- * off and on. The acceleration contract makes this a pure host
- * experiment: every simulated number is bit-identical either way, so
- * the speedup column is free — no accuracy was traded for it.
+ * each engine I1–I4, across the three host backends — the eager loop
+ * (accel=off), the burst loop over the predecoded icache + XFER link
+ * caches (accel=on), and the threaded-code superblock interpreter
+ * (accel=threaded, docs/PERFORMANCE.md). The acceleration contract
+ * makes this a pure host experiment: every simulated number is
+ * bit-identical in all three modes, so the speedup columns are free —
+ * no accuracy was traded for them.
  *
  * The workload is C1's call-heavy primes program, the shape the paper
- * optimizes for (a call per loop iteration), so the XFER link cache
- * and icache are both on the hot path. Host times are min-of-N
- * (--repeat=N, default 3) over interleaved off/on repetitions:
- * interference only ever adds time, so the fastest repetition
- * estimates the undisturbed cost, and interleaving keeps a noise
- * burst from landing on only one side of the ratio.
+ * optimizes for (a call per loop iteration), so the XFER link cache,
+ * the superblock chain, and the icache are all on the hot path. Host
+ * times are min-of-N (--repeat=N, default 3) over interleaved
+ * off/on/threaded repetitions: interference only ever adds time, so
+ * the fastest repetition estimates the undisturbed cost, and
+ * interleaving keeps a noise burst from landing on only one side of a
+ * ratio.
  */
 
 #include <benchmark/benchmark.h>
 
-#include <utility>
+#include <array>
 
 #include "bench_util.hh"
 
@@ -34,20 +37,43 @@ namespace
 
 constexpr Word primesLimit = 2000;
 
+/** The three host execution backends (same simulated numbers). */
+enum class Backend
+{
+    Off,      ///< eager per-step loop
+    On,       ///< burst loop, icache + link caches
+    Threaded, ///< computed-goto superblocks
+};
+
+constexpr std::array<Backend, 3> allBackends = {
+    Backend::Off, Backend::On, Backend::Threaded};
+
+const char *
+backendName(Backend backend)
+{
+    switch (backend) {
+      case Backend::Off: return "off";
+      case Backend::On: return "on";
+      case Backend::Threaded: return "threaded";
+      default: return "?";
+    }
+}
+
 struct Measurement
 {
-    double seconds = 0;        ///< min-of-N wall time of one run
-    std::uint64_t steps = 0;   ///< simulated instructions per run
-    CountT xfers = 0;          ///< transfers per run
-    AccelStats accel;          ///< steady-state cache counters
+    double seconds = 0;      ///< min-of-N wall time of one run
+    std::uint64_t steps = 0; ///< simulated instructions per run
+    CountT xfers = 0;        ///< transfers per run
+    AccelStats accel;        ///< steady-state cache counters
 };
 
 /** One warmed, stats-reset rig ready for timed runs. */
 std::unique_ptr<Rig>
-warmRig(const EngineCombo &combo, bool accel_on)
+warmRig(const EngineCombo &combo, Backend backend)
 {
     MachineConfig config = configFor(combo);
-    config.accel.enabled = accel_on;
+    config.accel.enabled = backend != Backend::Off;
+    config.accel.threaded = backend == Backend::Threaded;
     auto rig = std::make_unique<Rig>(primesProgram(), planFor(combo),
                                      config);
     // Warm run: fills the frame free lists and the host caches, then
@@ -61,28 +87,26 @@ warmRig(const EngineCombo &combo, bool accel_on)
 }
 
 /**
- * Measure accel-off and accel-on together, interleaving the timed
- * repetitions (off, on, off, on, ...). Host interference comes in
- * bursts that last longer than one repetition, so timing all-off then
- * all-on lets a burst land on one side only and skew the ratio;
- * adjacent off/on samples see the same conditions, and min-of-N then
- * picks both sides' quiet-window cost.
+ * Measure all backends together, interleaving the timed repetitions
+ * (off, on, threaded, off, on, threaded, ...). Host interference
+ * comes in bursts that last longer than one repetition, so timing
+ * all-off then all-on lets a burst land on one side only and skew the
+ * ratio; adjacent samples see the same conditions, and min-of-N then
+ * picks every side's quiet-window cost.
  */
-std::pair<Measurement, Measurement>
-measurePair(const EngineCombo &combo, unsigned repeat)
+std::array<Measurement, 3>
+measureBackends(const EngineCombo &combo, unsigned repeat)
 {
-    auto off = warmRig(combo, false);
-    auto on = warmRig(combo, true);
-
-    // One counted run each for the per-run denominators
-    // (deterministic, so any run's counts serve for every repetition).
-    Measurement m_off, m_on;
-    runToResult(*off->machine, "Primes", "main", {primesLimit});
-    m_off.steps = off->machine->stats().steps;
-    m_off.xfers = off->machine->stats().totalXfers();
-    runToResult(*on->machine, "Primes", "main", {primesLimit});
-    m_on.steps = on->machine->stats().steps;
-    m_on.xfers = on->machine->stats().totalXfers();
+    std::array<std::unique_ptr<Rig>, 3> rigs;
+    std::array<Measurement, 3> m;
+    for (std::size_t i = 0; i < allBackends.size(); ++i) {
+        rigs[i] = warmRig(combo, allBackends[i]);
+        // One counted run for the per-run denominators (deterministic,
+        // so any run's counts serve for every repetition).
+        runToResult(*rigs[i]->machine, "Primes", "main", {primesLimit});
+        m[i].steps = rigs[i]->machine->stats().steps;
+        m[i].xfers = rigs[i]->machine->stats().totalXfers();
+    }
 
     using clock = std::chrono::steady_clock;
     auto timedRun = [](Rig &rig) {
@@ -94,15 +118,15 @@ measurePair(const EngineCombo &combo, unsigned repeat)
     if (repeat == 0)
         repeat = 1;
     for (unsigned r = 0; r < repeat; ++r) {
-        const double t_off = timedRun(*off);
-        const double t_on = timedRun(*on);
-        if (r == 0 || t_off < m_off.seconds)
-            m_off.seconds = t_off;
-        if (r == 0 || t_on < m_on.seconds)
-            m_on.seconds = t_on;
+        for (std::size_t i = 0; i < rigs.size(); ++i) {
+            const double t = timedRun(*rigs[i]);
+            if (r == 0 || t < m[i].seconds)
+                m[i].seconds = t;
+        }
     }
-    m_on.accel = on->machine->accelStats();
-    return {m_off, m_on};
+    for (std::size_t i = 0; i < rigs.size(); ++i)
+        m[i].accel = rigs[i]->machine->accelStats();
+    return m;
 }
 
 void
@@ -114,12 +138,23 @@ printHostThroughput(unsigned repeat, JsonReport &json)
     stats::Table table({"impl", "accel", "wall ms", "sim Minst/s",
                         "XFER/s", "speedup", "icache hit",
                         "link hit"});
+    stats::Table dispatch({"impl", "eager ns/inst", "burst ns/inst",
+                           "threaded ns/inst", "burst/thr"});
+    stats::Table sblocks({"impl", "builds", "execs", "chain hits",
+                          "chain rate"});
 
     double min_speedup = 0;
+    double min_thr_speedup = 0;
+    double min_thr_vs_on = 0;
     bool first = true;
     for (const EngineCombo &combo : allEngines()) {
-        const auto [off, on] = measurePair(combo, repeat);
+        const auto m = measureBackends(combo, repeat);
+        const Measurement &off = m[0];
+        const Measurement &on = m[1];
+        const Measurement &thr = m[2];
         const double speedup = off.seconds / on.seconds;
+        const double thr_speedup = off.seconds / thr.seconds;
+        const double thr_vs_on = on.seconds / thr.seconds;
 
         table.row(implName(combo.impl), "off",
                   stats::fixed(off.seconds * 1e3, 2),
@@ -133,46 +168,93 @@ printHostThroughput(unsigned repeat, JsonReport &json)
                   stats::fixed(speedup, 2),
                   stats::percent(on.accel.icacheHitRate()),
                   stats::percent(on.accel.linkHitRate()));
+        table.row(implName(combo.impl), "threaded",
+                  stats::fixed(thr.seconds * 1e3, 2),
+                  stats::fixed(thr.steps / thr.seconds / 1e6, 1),
+                  stats::fixed(thr.xfers / thr.seconds, 0),
+                  stats::fixed(thr_speedup, 2),
+                  stats::percent(thr.accel.icacheHitRate()),
+                  stats::percent(thr.accel.linkHitRate()));
+
+        // Dispatch cost: the per-instruction host price of each loop.
+        const double eager_ns = off.seconds / off.steps * 1e9;
+        const double burst_ns = on.seconds / on.steps * 1e9;
+        const double thr_ns = thr.seconds / thr.steps * 1e9;
+        dispatch.row(implName(combo.impl), stats::fixed(eager_ns, 2),
+                     stats::fixed(burst_ns, 2), stats::fixed(thr_ns, 2),
+                     stats::fixed(burst_ns / thr_ns, 2));
+
+        const AccelStats &ta = thr.accel;
+        const double chain_rate =
+            ta.sblockExecs > 0
+                ? static_cast<double>(ta.sblockChainHits) /
+                      ta.sblockExecs
+                : 0.0;
+        sblocks.row(implName(combo.impl), ta.sblockBuilds,
+                    ta.sblockExecs, ta.sblockChainHits,
+                    stats::percent(chain_rate));
 
         const std::string impl = implName(combo.impl);
         json.metric("speedup_" + impl, speedup);
+        json.metric("speedup_threaded_" + impl, thr_speedup);
+        json.metric("threaded_vs_on_" + impl, thr_vs_on);
         json.metric("sim_mips_off_" + impl,
                     off.steps / off.seconds / 1e6);
         json.metric("sim_mips_on_" + impl,
                     on.steps / on.seconds / 1e6);
+        json.metric("sim_mips_threaded_" + impl,
+                    thr.steps / thr.seconds / 1e6);
         json.metric("xfers_per_sec_on_" + impl, on.xfers / on.seconds);
         json.metric("icache_hit_rate_" + impl,
                     on.accel.icacheHitRate());
         json.metric("link_hit_rate_" + impl, on.accel.linkHitRate());
+        json.metric("sblock_chain_rate_" + impl, chain_rate);
         if (first || speedup < min_speedup)
             min_speedup = speedup;
+        if (first || thr_speedup < min_thr_speedup)
+            min_thr_speedup = thr_speedup;
+        if (first || thr_vs_on < min_thr_vs_on)
+            min_thr_vs_on = thr_vs_on;
         first = false;
     }
     table.print(std::cout);
+    std::cout << "\nDispatch cost (host ns per simulated "
+                 "instruction):\n\n";
+    dispatch.print(std::cout);
+    std::cout << "\nSuperblock cache at steady state:\n\n";
+    sblocks.print(std::cout);
     json.table("host_throughput", table);
+    json.table("dispatch_cost", dispatch);
+    json.table("superblocks", sblocks);
     json.metric("min_speedup", min_speedup);
+    json.metric("min_speedup_threaded", min_thr_speedup);
+    json.metric("min_threaded_vs_on", min_thr_vs_on);
     json.metric("repeat", repeat);
     json.note("contract",
-              "simulated numbers are bit-identical with accel on/off; "
-              "this table is host wall-clock only");
+              "simulated numbers are bit-identical with accel "
+              "off/on/threaded; these tables are host wall-clock only");
 
-    std::cout << "\nAcceptance shape: accel-on >= 2x accel-off on "
-                 "every engine, with icache and link-cache hit rates "
-                 "above 90% at steady state.\n";
+    std::cout << "\nAcceptance shape: accel-on >= 2x accel-off and "
+                 "accel-threaded >= 2x accel-on (>= 4x accel-off) on "
+                 "every engine, with icache, link-cache, and "
+                 "superblock-chain hit rates above 90% at steady "
+                 "state.\n";
 }
 
 void
 BM_HostPrimes(benchmark::State &state)
 {
     const EngineCombo combo = allEngines()[3]; // I4-banked
+    const auto backend = static_cast<Backend>(state.range(0));
     MachineConfig config = configFor(combo);
-    config.accel.enabled = state.range(0) != 0;
+    config.accel.enabled = backend != Backend::Off;
+    config.accel.threaded = backend == Backend::Threaded;
     Rig rig(primesProgram(), planFor(combo), config);
     for (auto _ : state)
         runToResult(*rig.machine, "Primes", "main", {200});
-    state.SetLabel(config.accel.enabled ? "accel-on" : "accel-off");
+    state.SetLabel(std::string("accel-") + backendName(backend));
 }
-BENCHMARK(BM_HostPrimes)->DenseRange(0, 1);
+BENCHMARK(BM_HostPrimes)->DenseRange(0, 2);
 
 } // namespace
 

@@ -42,6 +42,9 @@ AccelStats::merge(const AccelStats &other)
     fatMisses += other.fatMisses;
     codeFlushes += other.codeFlushes;
     tableFlushes += other.tableFlushes;
+    sblockBuilds += other.sblockBuilds;
+    sblockExecs += other.sblockExecs;
+    sblockChainHits += other.sblockChainHits;
 }
 
 Accel::Accel(const AccelConfig &config, const LoadedImage &image,

@@ -52,6 +52,13 @@ struct AccelConfig
     unsigned icacheEntries = 1u << 14;
     /** Entries per link-cache flavor (power of two). */
     unsigned linkEntries = 1u << 8;
+    /** Threaded-code backend: computed-goto dispatch over superblocks
+     *  (see machine/threaded.hh). Requires enabled; only honored when
+     *  Machine::threadedSupported() — callers reject it up front on
+     *  toolchains without the computed-goto extension. */
+    bool threaded = false;
+    /** Superblock cache entries (power of two). */
+    unsigned sblockEntries = 1u << 12;
 };
 
 /** Host-side cache counters (separate from MachineStats on purpose:
@@ -72,6 +79,13 @@ struct AccelStats
 
     CountT codeFlushes = 0;  ///< full flushes (code epoch moved)
     CountT tableFlushes = 0; ///< link flushes (sensitive data write)
+
+    /** Threaded backend: superblocks decoded, superblock executions,
+     *  and block-to-block transitions served by the inline chain
+     *  pointer without a cache lookup. */
+    CountT sblockBuilds = 0;
+    CountT sblockExecs = 0;
+    CountT sblockChainHits = 0;
 
     CountT linkHits() const
     {

@@ -96,6 +96,17 @@ class BankFile
     }
     /** @} */
 
+    /** @name Stable raw views for block-cached bank pointers.
+     *
+     * A bank's data vector is sized at construction and never
+     * reallocates, so the machine's threaded loop can hold these
+     * across a superblock (re-deriving them whenever the bank
+     * assignment can change, i.e. at every transfer).
+     * @{ */
+    Word *dataPtr(int bank) { return banks_[bank].data.data(); }
+    std::uint32_t *dirtyPtr(int bank) { return &banks_[bank].dirty; }
+    /** @} */
+
     /** Bitmask of written words since the last markClean. */
     std::uint32_t dirtyMask(int bank) const { return banks_[bank].dirty; }
     void markClean(int bank) { banks_[bank].dirty = 0; }

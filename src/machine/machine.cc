@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "machine/threaded.hh"
 
 namespace fpc
 {
@@ -134,6 +135,13 @@ Machine::Machine(Memory &memory, const LoadedImage &image,
     if (config_.accel.enabled)
         accel_ = std::make_unique<Accel>(config_.accel, image,
                                          memory.codeEpoch());
+    if (config_.accel.enabled && config_.accel.threaded) {
+        if (!threadedSupported())
+            panic("threaded backend requested but not supported by "
+                  "this build");
+        sblocks_ = std::make_unique<SuperblockCache>(
+            config_.accel.sblockEntries, memory.codeEpoch());
+    }
     if (banked()) {
         const unsigned payload =
             std::min(config_.fastFramePayloadWords,
@@ -145,6 +153,8 @@ Machine::Machine(Memory &memory, const LoadedImage &image,
                          : static_cast<unsigned>(stack_.size());
     reset();
 }
+
+Machine::~Machine() = default;
 
 void
 Machine::reset()
@@ -491,8 +501,17 @@ Machine::run()
 
     std::uint64_t steps = 0;
     try {
-        if (accel_ && !preemptible && observer_ == nullptr &&
+        if (sblocks_ && !preemptible && observer_ == nullptr &&
             sampler_ == nullptr) {
+            // Threaded-code backend: same gating rules as bursts (an
+            // observer, sampler, or preemption forces the eager loop
+            // below), same simulated numbers, faster dispatch.
+            if (banked())
+                threadedLoopT<true>(steps);
+            else
+                threadedLoopT<false>(steps);
+        } else if (accel_ && !preemptible && observer_ == nullptr &&
+                   sampler_ == nullptr) {
             while (stop_ == StopReason::Running) {
                 if (steps >= config_.maxSteps) {
                     stopWith(StopReason::StepLimit,

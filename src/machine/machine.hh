@@ -175,12 +175,16 @@ class CycleSampler
     virtual void onSample(const Machine &machine) = 0;
 };
 
+struct Superblock;
+class SuperblockCache;
+
 /** The processor. */
 class Machine
 {
   public:
     Machine(Memory &memory, const LoadedImage &image,
             const MachineConfig &config = MachineConfig());
+    ~Machine();
 
     /** @name Program control. @{ */
 
@@ -287,6 +291,15 @@ class Machine
         return accel_ ? accel_->stats : AccelStats();
     }
     bool accelEnabled() const { return accel_ != nullptr; }
+
+    /** True when this build can run the threaded-code backend (the
+     *  computed-goto dispatch needs the GNU label-address extension).
+     *  Callers must reject --accel=threaded up front when false. */
+    static bool threadedSupported();
+    /** True when the threaded backend is configured on this machine
+     *  (run() still falls back to the eager loop for observers,
+     *  samplers and preemption, exactly like bursts). */
+    bool threadedActive() const { return sblocks_ != nullptr; }
 
     /** @name Microarchitectural state, for experiments/diagnostics. @{ */
     const BankFile &banks() const { return banks_; }
@@ -413,6 +426,14 @@ class Machine
     template <bool WithAccel, bool Batched = false>
     void stepCoreT(BurstAcc *acc = nullptr);
     void stepCore();
+    /** The threaded-code superblock loop (threaded.cc): computed-goto
+     *  dispatch with block-fused accounting. Runs until stop or the
+     *  step budget expires; steps counts completed instructions and
+     *  stays correct when a handler throws (run()'s catch reads it).
+     *  The Banked parameter folds the I4 bank checks out of the
+     *  inlined stack/local accessors at compile time. */
+    template <bool Banked>
+    void threadedLoopT(std::uint64_t &steps);
     /** Replay the accounting of a memoized link walk: n Table-kind
      *  word reads (each costing memCycles) plus n code-byte fetches. */
     void chargeLinkWalk(CountT table_reads, CountT code_bytes);
@@ -430,6 +451,7 @@ class Machine
     BankFile banks_;
     std::unique_ptr<Cache> cache_;
     std::unique_ptr<Accel> accel_;
+    std::unique_ptr<SuperblockCache> sblocks_;
 
     // processor registers
     Addr lf_ = nilAddr;            ///< local frame pointer

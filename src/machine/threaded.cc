@@ -1,0 +1,1542 @@
+/**
+ * @file
+ * The threaded-code superblock interpreter (see threaded.hh).
+ *
+ * Built on the GNU label-address extension: each decoded instruction
+ * carries the address of its handler, handlers end by jumping straight
+ * into the next handler, and a straight-line run executes out of one
+ * sequential TInst array with one fused accounting charge per block.
+ * The whole file is exact-accounting-first: every handler body is the
+ * corresponding execute() case verbatim (with the bank checks folded
+ * out by the Banked template parameter), and every block exit charges
+ * precisely what the eager loop would have charged for the same
+ * instruction sequence.
+ */
+
+#include "machine/threaded.hh"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "common/logging.hh"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FPC_THREADED_DISPATCH 1
+#else
+#define FPC_THREADED_DISPATCH 0
+#endif
+
+namespace fpc
+{
+
+bool
+Machine::threadedSupported()
+{
+#if FPC_THREADED_DISPATCH
+    return true;
+#else
+    return false;
+#endif
+}
+
+// ---------------------------------------------------------------------
+// SuperblockCache
+// ---------------------------------------------------------------------
+
+SuperblockCache::SuperblockCache(unsigned entries,
+                                 std::uint64_t code_epoch)
+    : seenEpoch_(code_epoch)
+{
+    const std::size_t size = std::bit_ceil(std::max(1u, entries));
+    mask_ = size - 1;
+    table_.assign(size, nullptr);
+}
+
+Superblock *
+SuperblockCache::insert(std::unique_ptr<Superblock> block)
+{
+    Superblock *raw = block.get();
+    arena_.push_back(std::move(block));
+    table_[slot(raw->entry)] = raw;
+    return raw;
+}
+
+void
+SuperblockCache::flushAll(MachineStats &stats, AccelStats &astats)
+{
+    flushDeferred(stats, astats);
+    std::fill(table_.begin(), table_.end(), nullptr);
+    arena_.clear();
+}
+
+void
+SuperblockCache::flushDeferred(MachineStats &stats, AccelStats &astats)
+{
+    for (auto &owned : arena_) {
+        Superblock &b = *owned;
+        if (b.execPending == 0)
+            continue;
+        const std::uint64_t execs = b.execPending;
+        b.execPending = 0;
+        for (const auto &[op, count] : b.opDeltas)
+            stats.opCount[op] += static_cast<CountT>(count) * execs;
+        for (const auto &[len, count] : b.lenDeltas)
+            stats.instLenCount[len] +=
+                static_cast<CountT>(count) * execs;
+        astats.sblockExecs += execs;
+        astats.icacheHits += static_cast<CountT>(b.n) * execs;
+    }
+}
+
+#if FPC_THREADED_DISPATCH
+
+// ---------------------------------------------------------------------
+// Handler indices and the superblock builder
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Handler index space. Order matters twice: the labels array in
+ * threadedLoopT must list the labels in exactly this order, and
+ * every handler from H_Halt on is a block terminal (isTerminalIdx).
+ */
+enum HIdx : unsigned
+{
+    // Straight-line handlers: execution falls through to the next
+    // TInst after the divergence check.
+    H_Noop,
+    H_Dup,
+    H_Drop,
+    H_Exch,
+    H_Out,
+    H_LoadRetCtx,
+    H_LoadLocal,
+    H_StoreLocal,
+    H_LoadLocalAddr,
+    H_LoadGlobal,
+    H_StoreGlobal,
+    H_LoadImm,
+    H_LoadIndirect,
+    H_StoreIndirect,
+    H_ReadField,
+    H_WriteField,
+    H_LoadDesc,
+    H_Add,
+    H_Sub,
+    H_Mul,
+    H_And,
+    H_Ior,
+    H_Xor,
+    H_Shl,
+    H_Shr,
+    H_ArithSlow, ///< DIV/MOD/NEG/NOT: delegate to execArith
+    H_Lt,
+    H_Le,
+    H_Eq,
+    H_Ne,
+    H_Ge,
+    H_Gt,
+    /** Unconditional jump, fused: the builder followed the target, so
+     *  the handler is pure dispatch (loops unroll into the block). */
+    H_JumpFused,
+    /** Forward conditional (BTFN: predicted not-taken): the block
+     *  continues at the fall-through; a taken branch diverges and
+     *  side-exits with exact prefix accounting. */
+    H_JumpZeroFall,
+    H_JumpNotZeroFall,
+    /** Fused compare+forward-conditional superinstructions: the
+     *  builder collapses a compare immediately followed by a
+     *  JumpZeroFall/JumpNotZeroFall in the same block into one
+     *  handler that branches on the comparison directly — no boolean
+     *  push/pop and one dispatch instead of two. Layout is the six
+     *  compares twice: first the JumpZero pairs, then JumpNotZero. */
+    H_LtJz,
+    H_LeJz,
+    H_EqJz,
+    H_NeJz,
+    H_GeJz,
+    H_GtJz,
+    H_LtJnz,
+    H_LeJnz,
+    H_EqJnz,
+    H_NeJnz,
+    H_GeJnz,
+    H_GtJnz,
+    /** Fused load-pair superinstructions (LL/LI are over half of a
+     *  call-heavy instruction stream): two pushes under one guard and
+     *  one dispatch. As with the compare pairs, the second TInst
+     *  stays in the array and keeps its own handler. */
+    H_LlLl,
+    H_LlLi,
+    H_LiLl,
+    H_LiLi,
+
+    // Terminals: every handler from here on ends its block.
+    H_Halt,
+    H_Xfer,
+    H_Ret,
+    H_Brk,
+    H_Yield,
+    /** Backward conditional (BTFN: predicted taken): terminal, so a
+     *  taken latch pays the O(1) full-block exit and re-enters through
+     *  the chain pointer. */
+    H_JumpZero,
+    H_JumpNotZero,
+    H_ExtCall,
+    H_LocalCall,
+    H_DirectCall,
+    H_ShortDirectCall,
+    H_FatCall,
+    H_Illegal,
+    H_BlockEnd, ///< sentinel after the length cap: fall to next block
+    H_Count
+};
+
+constexpr bool
+isTerminalIdx(unsigned h)
+{
+    return h >= H_Halt;
+}
+
+unsigned
+handlerIndexFor(const isa::Inst &inst)
+{
+    using isa::Op;
+    using isa::OpClass;
+    switch (inst.cls) {
+      case OpClass::Noop: return H_Noop;
+      case OpClass::Halt: return H_Halt;
+      case OpClass::Dup: return H_Dup;
+      case OpClass::Drop: return H_Drop;
+      case OpClass::Exch: return H_Exch;
+      case OpClass::Out: return H_Out;
+      case OpClass::LoadRetCtx: return H_LoadRetCtx;
+      case OpClass::Xfer: return H_Xfer;
+      case OpClass::Ret: return H_Ret;
+      case OpClass::Brk: return H_Brk;
+      case OpClass::Yield: return H_Yield;
+      case OpClass::LoadLocal: return H_LoadLocal;
+      case OpClass::StoreLocal: return H_StoreLocal;
+      case OpClass::LoadLocalAddr: return H_LoadLocalAddr;
+      case OpClass::LoadGlobal: return H_LoadGlobal;
+      case OpClass::StoreGlobal: return H_StoreGlobal;
+      case OpClass::LoadImm: return H_LoadImm;
+      case OpClass::LoadIndirect: return H_LoadIndirect;
+      case OpClass::StoreIndirect: return H_StoreIndirect;
+      case OpClass::ReadField: return H_ReadField;
+      case OpClass::WriteField: return H_WriteField;
+      case OpClass::LoadDesc: return H_LoadDesc;
+      case OpClass::Arith:
+        switch (inst.op) {
+          case Op::ADD: return H_Add;
+          case Op::SUB: return H_Sub;
+          case Op::MUL: return H_Mul;
+          case Op::AND: return H_And;
+          case Op::IOR: return H_Ior;
+          case Op::XOR: return H_Xor;
+          case Op::SHL: return H_Shl;
+          case Op::SHR: return H_Shr;
+          default: return H_ArithSlow; // DIV, MOD, NEG, NOT
+        }
+      case OpClass::Compare:
+        switch (inst.op) {
+          case Op::LT: return H_Lt;
+          case Op::LE: return H_Le;
+          case Op::EQ: return H_Eq;
+          case Op::NE: return H_Ne;
+          case Op::GE: return H_Ge;
+          case Op::GT: return H_Gt;
+          default: return H_ArithSlow; // unreachable
+        }
+      case OpClass::Jump:
+        return H_JumpFused;
+      case OpClass::JumpZero:
+        return inst.operand > 0 ? H_JumpZeroFall : H_JumpZero;
+      case OpClass::JumpNotZero:
+        return inst.operand > 0 ? H_JumpNotZeroFall : H_JumpNotZero;
+      case OpClass::ExtCall: return H_ExtCall;
+      case OpClass::LocalCall: return H_LocalCall;
+      case OpClass::DirectCall: return H_DirectCall;
+      case OpClass::ShortDirectCall: return H_ShortDirectCall;
+      case OpClass::FatCall: return H_FatCall;
+      case OpClass::Illegal: return H_Illegal;
+      default:
+        panic("threaded: unhandled op class");
+    }
+}
+
+/** Longest block: bounds both unrolled-loop blow-up (a fused jump can
+ *  revisit the same code) and the prefix-accounting cost of a side
+ *  exit. */
+constexpr unsigned maxBlockInsts = 64;
+
+/**
+ * Decode a superblock starting at entry. Fetches are unaccounted
+ * peeks: the execution charges chargeCodeBytes per run, which is
+ * exactly what the eager loop's per-fetch readByte accounting sums to
+ * (both only bump the code-byte counter). Returns null when even the
+ * first instruction fails to decode — a single eager step then
+ * reproduces the fault with the eager loop's exact partial-fetch
+ * accounting.
+ */
+std::unique_ptr<Superblock>
+buildBlock(Memory &mem, CodeByteAddr entry, const void *const *labels)
+{
+    auto block = std::make_unique<Superblock>();
+    block->entry = entry;
+    block->insts.reserve(maxBlockInsts + 1);
+
+    std::array<std::uint32_t, 256> opCounts{};
+    std::array<std::uint32_t, 7> lenCounts{};
+    std::array<std::uint8_t, maxBlockInsts> hidx{};
+
+    CodeByteAddr pc = entry;
+    std::uint32_t bytes = 0;
+    while (block->insts.size() < maxBlockInsts) {
+        isa::Inst inst;
+        try {
+            inst = isa::decode([&mem, pc](unsigned i) {
+                return mem.peekByte(pc + i);
+            });
+        } catch (...) {
+            break; // undecodable tail: left for the eager loop
+        }
+        const unsigned h = handlerIndexFor(inst);
+        hidx[block->insts.size()] = static_cast<std::uint8_t>(h);
+        TInst t;
+        t.handler = labels[h];
+        t.start = pc;
+        t.operand = inst.operand;
+        t.operand2 = inst.operand2;
+        t.op = static_cast<std::uint8_t>(inst.op);
+        t.length = static_cast<std::uint8_t>(inst.length);
+        bytes += inst.length;
+        t.cumBytes = bytes;
+        // Jump fusion: an unconditional jump's successor is its
+        // target, so the builder keeps decoding there and the handler
+        // is pure dispatch. Everything else falls through.
+        t.next = h == H_JumpFused
+                     ? pc + inst.operand
+                     : pc + inst.length;
+        block->insts.push_back(t);
+        ++opCounts[t.op];
+        if (inst.length < lenCounts.size())
+            ++lenCounts[inst.length];
+        if (isTerminalIdx(h))
+            break;
+        pc = t.next;
+    }
+    if (block->insts.empty())
+        return nullptr;
+
+    // Superinstruction fusion: a compare whose successor in this same
+    // block is a forward conditional gets the fused handler. The
+    // branch TInst stays in the array — the fused handler consumes
+    // both slots, so the per-instruction prefix accounting of a side
+    // exit (and the block deltas above) are unchanged.
+    for (std::size_t i = 0; i + 1 < block->insts.size(); ++i) {
+        const unsigned c = hidx[i];
+        const unsigned br = hidx[i + 1];
+        if (c >= H_Lt && c <= H_Gt &&
+            (br == H_JumpZeroFall || br == H_JumpNotZeroFall)) {
+            block->insts[i].handler =
+                labels[H_LtJz + (c - H_Lt) +
+                       (br == H_JumpNotZeroFall ? 6 : 0)];
+            ++i; // skip the branch: it belongs to the pair
+            continue;
+        }
+        if ((c == H_LoadLocal || c == H_LoadImm) &&
+            (br == H_LoadLocal || br == H_LoadImm)) {
+            block->insts[i].handler =
+                labels[c == H_LoadLocal
+                           ? (br == H_LoadLocal ? H_LlLl : H_LlLi)
+                           : (br == H_LoadLocal ? H_LiLl : H_LiLi)];
+            ++i; // skip the second load: it belongs to the pair
+        }
+    }
+
+    block->n = static_cast<std::uint32_t>(block->insts.size());
+    block->codeBytes = bytes;
+    for (unsigned op = 0; op < opCounts.size(); ++op)
+        if (opCounts[op] != 0)
+            block->opDeltas.emplace_back(
+                static_cast<std::uint8_t>(op), opCounts[op]);
+    for (unsigned len = 0; len < lenCounts.size(); ++len)
+        if (lenCounts[len] != 0)
+            block->lenDeltas.emplace_back(
+                static_cast<std::uint8_t>(len), lenCounts[len]);
+
+    TInst sentinel;
+    sentinel.handler = labels[H_BlockEnd];
+    block->insts.push_back(sentinel);
+    return block;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// The threaded loop
+// ---------------------------------------------------------------------
+
+/** Begin a slow-path or terminal instruction: what stepCoreT does
+ *  before execute(), plus the spill of the register-cached stack
+ *  pointer. Fast paths skip this entirely — nothing they call reads
+ *  instStart_/pcAbs_/sp_, traps only happen behind the guards, and
+ *  the store-port traffic of three spills per instruction is the
+ *  difference between matching and beating the burst loop. The
+ *  members are re-established at every place control can leave the
+ *  fast path: slow bodies and terminals run this macro, a taken side
+ *  exit and the BlockEnd sentinel restore them by hand, and the
+ *  catch block's accounting works from `ti` alone. (After a thrown
+ *  storage panic the members can be stale — the machine is dead at
+ *  that point and the simulated stats, which the catch charges
+ *  exactly, are the only thing still observable.) */
+#define FPC_T_PRE()                                                    \
+    do {                                                               \
+        instStart_ = ti->start;                                        \
+        pcAbs_ = ti->next;                                             \
+        sp_ = sp;                                                      \
+        foldDirty();                                                   \
+    } while (0)
+
+/** End a straight-line instruction whose body may have diverged:
+ *  anything a handler can do that would leave the block (a trap, a
+ *  stop, a taken side exit) shows up as a stop or a PC off the
+ *  decoded path; everything else is one indirect jump into the next
+ *  handler. */
+#define FPC_T_NEXT()                                                   \
+    do {                                                               \
+        if (stop_ != StopReason::Running || pcAbs_ != ti->next)        \
+            [[unlikely]]                                               \
+            goto early_exit;                                           \
+        ++ti;                                                          \
+        goto *const_cast<void *>(ti->handler);                         \
+    } while (0)
+
+/** End a fast path that provably could not diverge. The only ways a
+ *  straight-line body leaves the decoded path are a trap (stack
+ *  over/underflow, DIV/MOD faults) or a taken side-exit branch, so a
+ *  fast path whose stack-bounds guard held — and whose body calls
+ *  nothing that traps — needs no check at all: just the dispatch.
+ *  (Thrown storage panics bypass this and land in the catch block
+ *  with `ti` still on the faulting instruction.) */
+#define FPC_T_NEXT_FAST()                                              \
+    do {                                                               \
+        ++ti;                                                          \
+        goto *const_cast<void *>(ti->handler);                         \
+    } while (0)
+
+/** Binary ALU/compare body: execArith/execCompare's in-place fast
+ *  path with the bank checks folded out; underflow delegates to the
+ *  member for exact trap parity. The fast path cannot trap (the ops
+ *  routed here are total), so it dispatches unchecked. */
+#define FPC_T_BIN(RESULT_EXPR, FALLBACK)                               \
+    do {                                                               \
+        if (sp >= 2) [[likely]] {                                      \
+            const unsigned bse = sp - 2;                               \
+            const Word a = tslot(bse);                                 \
+            const Word b = tslot(bse + 1);                             \
+            tslotw(bse, (RESULT_EXPR));                                \
+            sp = bse + 1;                                              \
+            FPC_T_NEXT_FAST();                                         \
+        }                                                              \
+        FPC_T_PRE();                                                   \
+        FALLBACK(static_cast<isa::Op>(ti->op));                        \
+        sp = sp_;                                                      \
+        treload();                                                     \
+        FPC_T_NEXT();                                                  \
+    } while (0)
+
+/** Fused compare + forward-conditional body. The guard covers the
+ *  whole pair (compare needs two slots; the branch pops the one the
+ *  compare would push, so net sp >= 2 suffices) and the boolean never
+ *  touches the stack. ti advances onto the branch TInst first so a
+ *  taken side exit charges the exact two-instruction prefix; the
+ *  untaken path's dispatch then steps over it. The fallback is the
+ *  compare alone — underflow traps there, diverges, and the branch
+ *  TInst never runs, exactly as in the eager loop. */
+#define FPC_T_CMPBR(COND_EXPR, TAKEN_ON_TRUE)                          \
+    do {                                                               \
+        if (sp >= 2) [[likely]] {                                      \
+            const unsigned bse = sp - 2;                               \
+            const Word a = tslot(bse);                                 \
+            const Word b = tslot(bse + 1);                             \
+            sp = bse;                                                  \
+            const bool cond = (COND_EXPR);                             \
+            /* Eager pushes the boolean then pops it: the slot write   \
+             * (value and dirty bit) is observable when the stack bank \
+             * is renamed into a frame bank and later flushed, so the  \
+             * fusion must keep it. */                                 \
+            tslotw(bse, static_cast<Word>(cond ? 1 : 0));              \
+            ++ti;                                                      \
+            if (TAKEN_ON_TRUE ? cond : !cond) [[unlikely]] {           \
+                sp_ = sp;                                              \
+                instStart_ = ti->start;                                \
+                pcAbs_ = ti->start + ti->operand;                      \
+                goto early_exit; /* taken: known divergence */         \
+            }                                                          \
+            FPC_T_NEXT_FAST();                                         \
+        }                                                              \
+        FPC_T_PRE();                                                   \
+        execCompare(static_cast<isa::Op>(ti->op));                     \
+        sp = sp_;                                                      \
+        treload();                                                     \
+        FPC_T_NEXT();                                                  \
+    } while (0)
+
+template <bool Banked>
+void
+Machine::threadedLoopT(std::uint64_t &steps)
+{
+    // Label order must match HIdx exactly.
+    const void *const labels[H_Count] = {
+        &&h_noop,
+        &&h_dup,
+        &&h_drop,
+        &&h_exch,
+        &&h_out,
+        &&h_lrc,
+        &&h_ll,
+        &&h_sl,
+        &&h_lla,
+        &&h_lg,
+        &&h_sg,
+        &&h_li,
+        &&h_rd,
+        &&h_wr,
+        &&h_readf,
+        &&h_writef,
+        &&h_lpd,
+        &&h_add,
+        &&h_sub,
+        &&h_mul,
+        &&h_and,
+        &&h_ior,
+        &&h_xor,
+        &&h_shl,
+        &&h_shr,
+        &&h_arith_slow,
+        &&h_lt,
+        &&h_le,
+        &&h_eq,
+        &&h_ne,
+        &&h_ge,
+        &&h_gt,
+        &&h_jmp_fused,
+        &&h_jz_fall,
+        &&h_jnz_fall,
+        &&h_lt_jz,
+        &&h_le_jz,
+        &&h_eq_jz,
+        &&h_ne_jz,
+        &&h_ge_jz,
+        &&h_gt_jz,
+        &&h_lt_jnz,
+        &&h_le_jnz,
+        &&h_eq_jnz,
+        &&h_ne_jnz,
+        &&h_ge_jnz,
+        &&h_gt_jnz,
+        &&h_ll_ll,
+        &&h_ll_li,
+        &&h_li_ll,
+        &&h_li_li,
+        &&h_halt,
+        &&h_xf,
+        &&h_ret,
+        &&h_brk,
+        &&h_yield,
+        &&h_jz,
+        &&h_jnz,
+        &&h_efc,
+        &&h_lfc,
+        &&h_dfc,
+        &&h_sdfc,
+        &&h_fcall,
+        &&h_illegal,
+        &&h_block_end,
+    };
+
+    SuperblockCache &cache = *sblocks_;
+    Accel *const acc = accel_.get();
+    Cache *const dcache = cache_.get();
+    const Tick decodeCyc = config_.latency.decodeCycles;
+    const unsigned memCyc = config_.latency.memCycles;
+    const unsigned regCyc = config_.latency.regCycles;
+    const unsigned bankWords = banks_.bankWords();
+    const Addr globalEnd = layout_.globalEnd;
+    const std::uint64_t maxSteps = config_.maxSteps;
+    (void)regCyc;
+    (void)bankWords;
+
+    // Deferred per-block accounting folds into the real counters on
+    // every exit from this loop, normal or thrown, so deferral is
+    // never observable from outside run().
+    struct Flusher
+    {
+        Machine &m;
+        ~Flusher()
+        {
+            m.sblocks_->flushDeferred(m.stats_, m.accel_->stats);
+        }
+    } flusher{*this};
+
+    // Register-cached run-step counter: `steps` is a reference into
+    // the caller's frame, which the compiler must assume any member
+    // call could alias. No RAII mirror here — holding a reference to
+    // the local would pin it to the stack and defeat the register
+    // promotion this exists for; instead every path that leaves the
+    // block world (block_done, the catch block, the eager tail, the
+    // loop exit) writes it back explicitly.
+    std::uint64_t st = steps;
+
+    // Hoisted loop-invariant members and register-resident deltas.
+    // The register budget is the constraint here: every local below
+    // earns its keep on nearly every fast-path instruction, and the
+    // colder counters (localMemAccesses, globalAccesses, the dcache
+    // cycle charge) deliberately stay as direct member updates — a
+    // larger delta set measured slower than this one because the
+    // extra live locals spilled.
+    //
+    // The store and the eval-stack array never move or resize while
+    // running, and stackCap_ is set once at reset. lf mirrors lf_ and
+    // sbData/sbDirty mirror the stack bank's raw views; both only
+    // move inside transfer code — every such call ends its block, and
+    // both the block (re)entry and every slow-path tail reload them
+    // (treload).
+    //
+    // dReads/dWrites count fast-path Data references; when no dcache
+    // is configured each such reference also costs exactly memCyc
+    // cycles, so the cycle charge is derived from the counts at spill
+    // time instead of spending a third register (with a dcache the
+    // charge is data-dependent and goes straight to stats_.cycles).
+    // They flush at every slow-path entry (FPC_T_PRE, so member code
+    // always sees exact absolute values), at block_done, and in the
+    // catch block, so no path leaves run() with a pending delta. The
+    // transfer walks' reference-delta probes are unaffected: the
+    // pending deltas are constant across any member call, so snapshot
+    // differences stay exact.
+    Word *const memBase = mem_.raw();
+    const std::size_t memSize = mem_.size();
+    Word *const stackBase = stack_.data();
+    const unsigned stackCap = stackCap_;
+    Addr lf = 0;
+    Word *sbData = nullptr;
+    Word *lbData = nullptr;
+    CountT dReads = 0;
+    CountT dWrites = 0;
+    CountT dLocalBank = 0;
+    // Register accumulator for the stack bank's dirty bits: the
+    // memory word is a loop-carried store-forward chain when every
+    // push RMWs it, so fast paths OR into this register and the
+    // spillStats choke points (slow entries, block_done, the catch)
+    // fold it into the real mask before any member code can look.
+    std::uint32_t sbAcc = 0;
+    (void)stackBase;
+    (void)sbData;
+    (void)lbData;
+    (void)sbAcc;
+    (void)dLocalBank;
+    // always_inline on every helper lambda is load-bearing: this
+    // function is far past the inliner's size budget, so without the
+    // attribute GCC outlines them into real calls — which also forces
+    // sp and the delta counters out of registers at every call site.
+    // The one piece of deferred state member code CAN observe: bank
+    // flushes read dirty masks, so the register dirty bits fold in at
+    // every slow-path entry. The storage/cycle counters below stay
+    // pending across whole blocks instead — every mid-run reader is
+    // either delta-based around member code (XferProbe, the heap and
+    // link-cache trackers), where a constant pending delta cancels,
+    // or absolute (spans, samplers, preemption), which forces eager.
+    const auto foldDirty = [&]() __attribute__((always_inline)) {
+        if constexpr (Banked) {
+            *banks_.dirtyPtr(stackBank_) |= sbAcc;
+            sbAcc = 0;
+        }
+    };
+    const auto spillStats = [&]() __attribute__((always_inline)) {
+        if constexpr (!Banked) {
+            if (dcache == nullptr)
+                stats_.cycles +=
+                    static_cast<Tick>(memCyc) * (dReads + dWrites);
+            mem_.chargeReads(AccessKind::Data, dReads);
+            mem_.chargeWrites(AccessKind::Data, dWrites);
+            dReads = 0;
+            dWrites = 0;
+        }
+        if constexpr (Banked) {
+            stats_.cycles += static_cast<Tick>(regCyc) * dLocalBank;
+            stats_.localBankAccesses += dLocalBank;
+            dLocalBank = 0;
+        }
+        foldDirty();
+    };
+    // Re-derive the block-cached mirrors from their members: run at
+    // block (re)entry and after every slow-path body, the only places
+    // transfer code (which moves them) can have run.
+    const auto treload = [&]() __attribute__((always_inline)) {
+        lf = lf_;
+        if constexpr (Banked) {
+            sbData = banks_.dataPtr(stackBank_);
+            lbData = curLbank_ >= 0 ? banks_.dataPtr(curLbank_)
+                                    : nullptr;
+        }
+    };
+
+    // Inlined accessor bodies, identical to the members they mirror,
+    // with the Banked checks resolved at compile time.
+    const auto tpush = [&](Word value) __attribute__((always_inline)) {
+        if (sp_ >= stackCap_) [[unlikely]] {
+            trap(2, "evaluation stack overflow");
+            return;
+        }
+        if constexpr (Banked)
+            banks_.writeOwned(stackBank_, frame::varsOffset + sp_,
+                              value);
+        else
+            stack_[sp_] = value;
+        ++sp_;
+    };
+    const auto tpop = [&]() __attribute__((always_inline)) -> Word {
+        if (sp_ == 0) [[unlikely]] {
+            trap(3, "evaluation stack underflow");
+            return 0;
+        }
+        --sp_;
+        if constexpr (Banked)
+            return banks_.readOwned(stackBank_,
+                                    frame::varsOffset + sp_);
+        return stack_[sp_];
+    };
+    const auto treadData = [&](Addr addr) __attribute__((always_inline)) -> Word {
+        // Banked data accesses off the bank file are rare (globals,
+        // indirects, bank-miss locals), so they take readData's exact
+        // member path and keep four registers free for the bank fast
+        // paths. The other engines hit this on every LL/SL and keep
+        // the counts in registers instead.
+        if constexpr (Banked) {
+            if (dcache != nullptr)
+                stats_.cycles += dcache->access(addr, false);
+            else
+                stats_.cycles += memCyc;
+            return mem_.read(addr, AccessKind::Data);
+        }
+        // Eager read() order is charge, check, count: a storage panic
+        // must leave the cycle charged and the reference uncounted.
+        if (dcache != nullptr)
+            stats_.cycles += dcache->access(addr, false);
+        if (addr >= memSize) [[unlikely]] {
+            if (dcache == nullptr)
+                stats_.cycles += memCyc;
+            return mem_.readUncounted(addr); // the accounted panic
+        }
+        const Word v = memBase[addr];
+        ++dReads; // the memCyc charge is derived from the count
+        return v;
+    };
+    const auto twriteData = [&](Addr addr, Word value) __attribute__((always_inline)) {
+        if (addr < globalEnd && acc->linkSensitive(addr))
+            acc->flushLinks();
+        if constexpr (Banked) {
+            if (dcache != nullptr)
+                stats_.cycles += dcache->access(addr, true);
+            else
+                stats_.cycles += memCyc;
+            mem_.write(addr, value, AccessKind::Data);
+            return;
+        }
+        if (dcache != nullptr)
+            stats_.cycles += dcache->access(addr, true);
+        if (addr >= memSize) [[unlikely]] {
+            if (dcache == nullptr)
+                stats_.cycles += memCyc;
+            mem_.writeUncounted(addr, value); // the accounted panic
+            return;
+        }
+        memBase[addr] = value;
+        ++dWrites;
+    };
+    const auto treadVar = [&](unsigned index) __attribute__((always_inline)) -> Word {
+        const unsigned offset = frame::varsOffset + index;
+        if constexpr (Banked) {
+            if (lbData != nullptr && offset < bankWords) {
+                ++dLocalBank; // regCyc charge derived at spill
+                return lbData[offset];
+            }
+        }
+        ++stats_.localMemAccesses;
+        return treadData(lf + offset);
+    };
+    const auto twriteVar = [&](unsigned index, Word value) __attribute__((always_inline)) {
+        const unsigned offset = frame::varsOffset + index;
+        if constexpr (Banked) {
+            if (lbData != nullptr && offset < bankWords) {
+                ++dLocalBank; // regCyc charge derived at spill
+                banks_.writeOwned(curLbank_, offset, value);
+                return;
+            }
+        }
+        ++stats_.localMemAccesses;
+        twriteData(lf + offset, value);
+    };
+    // Raw evaluation-stack slot access for fast paths whose bounds
+    // guard already held — the unchecked core of push/pop.
+    const auto tslot = [&](unsigned index) __attribute__((always_inline)) -> Word {
+        if constexpr (Banked)
+            return sbData[frame::varsOffset + index];
+        else
+            return stackBase[index];
+    };
+    const auto tslotw = [&](unsigned index, Word value) __attribute__((always_inline)) {
+        if constexpr (Banked) {
+            sbData[frame::varsOffset + index] = value;
+            sbAcc |= 1u << (frame::varsOffset + index);
+        } else {
+            stackBase[index] = value;
+        }
+    };
+
+    Superblock *prev = nullptr;
+    Superblock *cur = nullptr;
+    const TInst *base = nullptr;
+    const TInst *ti = nullptr;
+    // Register-cached stack pointer. Fast paths read and write only
+    // this; FPC_T_PRE spills it to sp_ at every instruction start,
+    // and it reloads from sp_ after anything that runs member code
+    // (fallbacks, terminals via the block-entry reload).
+    unsigned sp = 0;
+
+    while (stop_ == StopReason::Running) {
+        if (st >= maxSteps) {
+            stopWith(StopReason::StepLimit, "step budget exhausted");
+            break;
+        }
+        // Per-iteration epoch poll, as the burst loop does: the
+        // machine never pokes code while running, so the epoch cannot
+        // move inside a block.
+        acc->sync(mem_.codeEpoch());
+        if (cache.sync(mem_.codeEpoch(), stats_, acc->stats))
+            prev = nullptr;
+
+        Superblock *sb;
+        if (prev != nullptr && prev->chainPc == pcAbs_) {
+            // The IFU-follows-DIRECTCALL idiom at block granularity:
+            // the previous block's exit remembers where it went.
+            sb = prev->chain;
+            ++acc->stats.sblockChainHits;
+        } else {
+            sb = cache.find(pcAbs_);
+            if (sb == nullptr) {
+                if (cache.overLimit()) {
+                    cache.flushAll(stats_, acc->stats);
+                    prev = nullptr;
+                }
+                std::unique_ptr<Superblock> built =
+                    buildBlock(mem_, pcAbs_, labels);
+                if (built != nullptr) {
+                    sb = cache.insert(std::move(built));
+                    ++acc->stats.sblockBuilds;
+                    acc->stats.icacheMisses += sb->n;
+                }
+            }
+            if (prev != nullptr && sb != nullptr) {
+                prev->chain = sb;
+                prev->chainPc = pcAbs_;
+            }
+        }
+
+        if (sb == nullptr || sb->n > maxSteps - st) {
+            // Undecodable PC or a step-budget tail shorter than the
+            // block: take one exact eager step instead.
+            prev = nullptr;
+            stepCoreT<true>();
+            ++st;
+            steps = st; // the next iteration's member calls can throw
+            continue;
+        }
+
+        cur = sb;
+        base = cur->insts.data();
+        ti = base;
+        sp = sp_;
+            treload();
+        try {
+            goto *const_cast<void *>(ti->handler);
+
+            // -- straight-line handlers --------------------------------
+          h_noop:
+            // Cannot trap, stop, or move the PC: unchecked dispatch.
+            FPC_T_NEXT_FAST();
+
+          h_dup:
+            if (sp >= 1 && sp < stackCap) [[likely]] {
+                // pop v; push v; push v == copy the top slot up.
+                tslotw(sp, tslot(sp - 1));
+                ++sp;
+                FPC_T_NEXT_FAST();
+            }
+            FPC_T_PRE();
+            {
+                const Word v = tpop();
+                tpush(v);
+                tpush(v);
+            }
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_drop:
+            if (sp >= 1) [[likely]] {
+                --sp;
+                FPC_T_NEXT_FAST();
+            }
+            FPC_T_PRE();
+            tpop();
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_exch:
+            if (sp >= 2) [[likely]] {
+                const Word a = tslot(sp - 1);
+                tslotw(sp - 1, tslot(sp - 2));
+                tslotw(sp - 2, a);
+                FPC_T_NEXT_FAST();
+            }
+            FPC_T_PRE();
+            {
+                const Word a = tpop();
+                const Word b = tpop();
+                tpush(a);
+                tpush(b);
+            }
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_out:
+            if (sp >= 1) [[likely]] {
+                --sp;
+                output_.push_back(tslot(sp));
+                FPC_T_NEXT_FAST();
+            }
+            FPC_T_PRE();
+            output_.push_back(tpop());
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_lrc:
+            if (sp < stackCap) [[likely]] {
+                tslotw(sp, returnCtx_);
+                ++sp;
+                FPC_T_NEXT_FAST();
+            }
+            FPC_T_PRE();
+            tpush(returnCtx_);
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_ll:
+            if (sp < stackCap) [[likely]] {
+                tslotw(sp,
+                       treadVar(static_cast<unsigned>(ti->operand)));
+                ++sp;
+                FPC_T_NEXT_FAST();
+            }
+            FPC_T_PRE();
+            tpush(treadVar(static_cast<unsigned>(ti->operand)));
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_sl:
+            if (sp >= 1) [[likely]] {
+                --sp;
+                twriteVar(static_cast<unsigned>(ti->operand),
+                          tslot(sp));
+                FPC_T_NEXT_FAST();
+            }
+            FPC_T_PRE();
+            {
+                const Word v = tpop();
+                twriteVar(static_cast<unsigned>(ti->operand), v);
+            }
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_lla:
+            FPC_T_PRE();
+            {
+                if constexpr (Banked) {
+                    if (curLbank_ >= 0)
+                        dropCurrentBank();
+                }
+                const Addr addr = lf_ + frame::varsOffset +
+                                  static_cast<unsigned>(ti->operand);
+                tpush(static_cast<Word>(addr));
+            }
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_lg:
+            ++stats_.globalAccesses;
+            if (sp < stackCap) [[likely]] {
+                tslotw(sp,
+                       treadData(gf_ + 1 +
+                                 static_cast<unsigned>(ti->operand)));
+                ++sp;
+                FPC_T_NEXT_FAST();
+            }
+            FPC_T_PRE();
+            tpush(
+                treadData(gf_ + 1 + static_cast<unsigned>(ti->operand)));
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_sg:
+            if (sp >= 1) [[likely]] {
+                --sp;
+                const Word v = tslot(sp);
+                ++stats_.globalAccesses;
+                twriteData(gf_ + 1 + static_cast<unsigned>(ti->operand),
+                           v);
+                FPC_T_NEXT_FAST();
+            }
+            FPC_T_PRE();
+            {
+                const Word v = tpop();
+                ++stats_.globalAccesses;
+                twriteData(gf_ + 1 + static_cast<unsigned>(ti->operand),
+                           v);
+            }
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_li:
+            if (sp < stackCap) [[likely]] {
+                tslotw(sp, static_cast<Word>(ti->operand));
+                ++sp;
+                FPC_T_NEXT_FAST();
+            }
+            FPC_T_PRE();
+            tpush(static_cast<Word>(ti->operand));
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_rd:
+            if constexpr (!Banked) {
+                // No bank divert to consider: pop addr, push value in
+                // place; treadData never traps (panics throw).
+                if (sp >= 1) [[likely]] {
+                    tslotw(sp - 1, treadData(tslot(sp - 1)));
+                    FPC_T_NEXT_FAST();
+                }
+            }
+            FPC_T_PRE();
+            {
+                const Addr addr = tpop();
+                Word value = 0;
+                bool diverted = false;
+                if constexpr (Banked)
+                    diverted = divertToBank(addr, false, value);
+                if (diverted)
+                    tpush(value);
+                else
+                    tpush(treadData(addr));
+            }
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_wr:
+            if constexpr (!Banked) {
+                if (sp >= 2) [[likely]] {
+                    const Addr addr = tslot(sp - 1);
+                    const Word value = tslot(sp - 2);
+                    sp -= 2;
+                    twriteData(addr, value);
+                    FPC_T_NEXT_FAST();
+                }
+            }
+            FPC_T_PRE();
+            {
+                const Addr addr = tpop();
+                Word value = tpop();
+                bool diverted = false;
+                if constexpr (Banked)
+                    diverted = divertToBank(addr, true, value);
+                if (!diverted)
+                    twriteData(addr, value);
+            }
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_readf:
+            if (sp >= 1) [[likely]] {
+                tslotw(sp - 1,
+                       treadData(tslot(sp - 1) +
+                                 static_cast<unsigned>(ti->operand)));
+                FPC_T_NEXT_FAST();
+            }
+            FPC_T_PRE();
+            {
+                const Addr addr = tpop();
+                tpush(treadData(addr +
+                                static_cast<unsigned>(ti->operand)));
+            }
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_writef:
+            if (sp >= 2) [[likely]] {
+                const Addr addr = tslot(sp - 1);
+                const Word value = tslot(sp - 2);
+                sp -= 2;
+                twriteData(addr + static_cast<unsigned>(ti->operand),
+                           value);
+                FPC_T_NEXT_FAST();
+            }
+            FPC_T_PRE();
+            {
+                const Addr addr = tpop();
+                const Word value = tpop();
+                twriteData(addr + static_cast<unsigned>(ti->operand),
+                           value);
+            }
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_lpd:
+            FPC_T_PRE();
+            {
+                stats_.cycles += memCyc;
+                tpush(mem_.read(
+                    gf_ - 1 - static_cast<unsigned>(ti->operand),
+                    AccessKind::Table));
+            }
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+            // -- ALU / compare (execArith/execCompare fast paths) ------
+          h_add:
+            FPC_T_BIN(static_cast<Word>(a + b), execArith);
+          h_sub:
+            FPC_T_BIN(static_cast<Word>(a - b), execArith);
+          h_mul:
+            FPC_T_BIN(static_cast<Word>(
+                          static_cast<SDWord>(static_cast<SWord>(a)) *
+                          static_cast<SWord>(b)),
+                      execArith);
+          h_and:
+            FPC_T_BIN(static_cast<Word>(a & b), execArith);
+          h_ior:
+            FPC_T_BIN(static_cast<Word>(a | b), execArith);
+          h_xor:
+            FPC_T_BIN(static_cast<Word>(a ^ b), execArith);
+          h_shl:
+            FPC_T_BIN(static_cast<Word>(b >= 16 ? 0 : a << b),
+                      execArith);
+          h_shr:
+            FPC_T_BIN(static_cast<Word>(b >= 16 ? 0 : a >> b),
+                      execArith);
+
+          h_arith_slow:
+            // DIV/MOD (trap-prone) and the unaries: the member does
+            // the exact eager sequence.
+            FPC_T_PRE();
+            execArith(static_cast<isa::Op>(ti->op));
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_lt:
+            FPC_T_BIN(static_cast<Word>(static_cast<SWord>(a) <
+                                                static_cast<SWord>(b)
+                                            ? 1
+                                            : 0),
+                      execCompare);
+          h_le:
+            FPC_T_BIN(static_cast<Word>(static_cast<SWord>(a) <=
+                                                static_cast<SWord>(b)
+                                            ? 1
+                                            : 0),
+                      execCompare);
+          h_eq:
+            FPC_T_BIN(static_cast<Word>(static_cast<SWord>(a) ==
+                                                static_cast<SWord>(b)
+                                            ? 1
+                                            : 0),
+                      execCompare);
+          h_ne:
+            FPC_T_BIN(static_cast<Word>(static_cast<SWord>(a) !=
+                                                static_cast<SWord>(b)
+                                            ? 1
+                                            : 0),
+                      execCompare);
+          h_ge:
+            FPC_T_BIN(static_cast<Word>(static_cast<SWord>(a) >=
+                                                static_cast<SWord>(b)
+                                            ? 1
+                                            : 0),
+                      execCompare);
+          h_gt:
+            FPC_T_BIN(static_cast<Word>(static_cast<SWord>(a) >
+                                                static_cast<SWord>(b)
+                                            ? 1
+                                            : 0),
+                      execCompare);
+
+            // -- fused / predicted-not-taken branches ------------------
+          h_jmp_fused:
+            // The builder followed the target, so the next TInst IS
+            // the jump target: pure dispatch.
+            FPC_T_NEXT_FAST();
+
+          h_jz_fall:
+            if (sp >= 1) [[likely]] {
+                --sp;
+                if (tslot(sp) != 0) [[likely]]
+                    FPC_T_NEXT_FAST();
+                sp_ = sp;
+                instStart_ = ti->start;
+                pcAbs_ = ti->start + ti->operand;
+                goto early_exit; // taken: known divergence
+            }
+            FPC_T_PRE();
+            if (tpop() == 0)
+                pcAbs_ = instStart_ + ti->operand;
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_jnz_fall:
+            if (sp >= 1) [[likely]] {
+                --sp;
+                if (tslot(sp) == 0) [[likely]]
+                    FPC_T_NEXT_FAST();
+                sp_ = sp;
+                instStart_ = ti->start;
+                pcAbs_ = ti->start + ti->operand;
+                goto early_exit; // taken: known divergence
+            }
+            FPC_T_PRE();
+            if (tpop() != 0)
+                pcAbs_ = instStart_ + ti->operand;
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+            // -- fused compare+branch superinstructions ----------------
+            // JumpZeroFall takes when the pushed boolean would be 0,
+            // i.e. when the comparison is false.
+          h_lt_jz:
+            FPC_T_CMPBR(static_cast<SWord>(a) < static_cast<SWord>(b),
+                        false);
+          h_le_jz:
+            FPC_T_CMPBR(static_cast<SWord>(a) <= static_cast<SWord>(b),
+                        false);
+          h_eq_jz:
+            FPC_T_CMPBR(static_cast<SWord>(a) == static_cast<SWord>(b),
+                        false);
+          h_ne_jz:
+            FPC_T_CMPBR(static_cast<SWord>(a) != static_cast<SWord>(b),
+                        false);
+          h_ge_jz:
+            FPC_T_CMPBR(static_cast<SWord>(a) >= static_cast<SWord>(b),
+                        false);
+          h_gt_jz:
+            FPC_T_CMPBR(static_cast<SWord>(a) > static_cast<SWord>(b),
+                        false);
+          h_lt_jnz:
+            FPC_T_CMPBR(static_cast<SWord>(a) < static_cast<SWord>(b),
+                        true);
+          h_le_jnz:
+            FPC_T_CMPBR(static_cast<SWord>(a) <= static_cast<SWord>(b),
+                        true);
+          h_eq_jnz:
+            FPC_T_CMPBR(static_cast<SWord>(a) == static_cast<SWord>(b),
+                        true);
+          h_ne_jnz:
+            FPC_T_CMPBR(static_cast<SWord>(a) != static_cast<SWord>(b),
+                        true);
+          h_ge_jnz:
+            FPC_T_CMPBR(static_cast<SWord>(a) >= static_cast<SWord>(b),
+                        true);
+          h_gt_jnz:
+            FPC_T_CMPBR(static_cast<SWord>(a) > static_cast<SWord>(b),
+                        true);
+
+            // -- fused load pairs --------------------------------------
+            // One guard covers both pushes; ti steps onto the second
+            // load before its read so a thrown storage panic (and any
+            // side-exit prefix) charges the exact instruction. The
+            // fallback runs the FIRST load alone — the second TInst
+            // kept its own handler and dispatches normally after it.
+          h_ll_ll:
+            if (sp + 2 <= stackCap) [[likely]] {
+                const Word v1 =
+                    treadVar(static_cast<unsigned>(ti->operand));
+                tslotw(sp, v1);
+                ++ti;
+                const Word v2 =
+                    treadVar(static_cast<unsigned>(ti->operand));
+                tslotw(sp + 1, v2);
+                sp += 2;
+                FPC_T_NEXT_FAST();
+            }
+            FPC_T_PRE();
+            tpush(treadVar(static_cast<unsigned>(ti->operand)));
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_ll_li:
+            if (sp + 2 <= stackCap) [[likely]] {
+                const Word v1 =
+                    treadVar(static_cast<unsigned>(ti->operand));
+                tslotw(sp, v1);
+                ++ti;
+                tslotw(sp + 1, static_cast<Word>(ti->operand));
+                sp += 2;
+                FPC_T_NEXT_FAST();
+            }
+            FPC_T_PRE();
+            tpush(treadVar(static_cast<unsigned>(ti->operand)));
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_li_ll:
+            if (sp + 2 <= stackCap) [[likely]] {
+                tslotw(sp, static_cast<Word>(ti->operand));
+                ++ti;
+                const Word v2 =
+                    treadVar(static_cast<unsigned>(ti->operand));
+                tslotw(sp + 1, v2);
+                sp += 2;
+                FPC_T_NEXT_FAST();
+            }
+            FPC_T_PRE();
+            tpush(static_cast<Word>(ti->operand));
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+          h_li_li:
+            if (sp + 2 <= stackCap) [[likely]] {
+                tslotw(sp, static_cast<Word>(ti->operand));
+                ++ti;
+                tslotw(sp + 1, static_cast<Word>(ti->operand));
+                sp += 2;
+                FPC_T_NEXT_FAST();
+            }
+            FPC_T_PRE();
+            tpush(static_cast<Word>(ti->operand));
+            sp = sp_;
+            treload();
+            FPC_T_NEXT();
+
+            // -- terminals ---------------------------------------------
+          h_halt:
+            FPC_T_PRE();
+            stopWith(StopReason::Halted, "HALT");
+            goto full_exit;
+
+          h_xf:
+            FPC_T_PRE();
+            xferTo(tpop());
+            goto full_exit;
+
+          h_ret:
+            FPC_T_PRE();
+            doReturn();
+            goto full_exit;
+
+          h_brk:
+            FPC_T_PRE();
+            trap(1, "BRK trap");
+            goto full_exit;
+
+          h_yield:
+            FPC_T_PRE();
+            processSwitch();
+            goto full_exit;
+
+          h_jz:
+            FPC_T_PRE();
+            if (tpop() == 0)
+                pcAbs_ = instStart_ + ti->operand;
+            goto full_exit;
+
+          h_jnz:
+            FPC_T_PRE();
+            if (tpop() != 0)
+                pcAbs_ = instStart_ + ti->operand;
+            goto full_exit;
+
+          h_efc:
+            FPC_T_PRE();
+            callExternal(static_cast<unsigned>(ti->operand));
+            goto full_exit;
+
+          h_lfc:
+            FPC_T_PRE();
+            callLocal(static_cast<unsigned>(ti->operand));
+            goto full_exit;
+
+          h_dfc:
+            FPC_T_PRE();
+            callDirect(static_cast<CodeByteAddr>(ti->operand));
+            goto full_exit;
+
+          h_sdfc:
+            FPC_T_PRE();
+            callDirect(instStart_ + ti->operand);
+            goto full_exit;
+
+          h_fcall:
+            FPC_T_PRE();
+            callFat(static_cast<CodeByteAddr>(ti->operand),
+                    static_cast<Addr>(ti->operand2));
+            goto full_exit;
+
+          h_illegal:
+            FPC_T_PRE();
+            trap(4, strfmt("illegal opcode {} at {}",
+                           static_cast<int>(ti->op), instStart_));
+            goto full_exit;
+
+          h_block_end:
+            // Length-cap sentinel: re-establish the members the fast
+            // paths skipped — the last real instruction is ti[-1] and
+            // execution resumes at its fall-through.
+            sp_ = sp;
+            instStart_ = ti[-1].start;
+            pcAbs_ = ti[-1].next;
+            goto full_exit;
+
+          full_exit:
+            // Whole block ran: one fused charge, deferring only the
+            // histogram updates (nothing reads those mid-run).
+            stats_.steps += cur->n;
+            stats_.cycles += static_cast<Tick>(cur->n) * decodeCyc;
+            mem_.chargeCodeBytes(cur->codeBytes);
+            ++cur->execPending;
+            st += cur->n;
+            prev = cur;
+            // Chain-follow fast re-entry: the code epoch only moves on
+            // external pokes (loader, relocator, test patching), never
+            // while run() executes, so a chain hit can skip the outer
+            // loop's epoch polls and cache probe entirely.
+            if (stop_ == StopReason::Running && cur->chainPc == pcAbs_)
+                [[likely]] {
+                Superblock *nb = cur->chain;
+                if (nb->n <= maxSteps - st) [[likely]] {
+                    ++acc->stats.sblockChainHits;
+                    cur = nb;
+                    base = cur->insts.data();
+                    ti = base;
+                    sp = sp_;
+            treload();
+                    prev = cur;
+                    goto *const_cast<void *>(ti->handler);
+                }
+            }
+            goto block_done;
+
+          early_exit : {
+            // Divergence (trap transfer, stop, or taken side exit)
+            // after instruction k-1 of the block: charge exactly the
+            // k-instruction prefix the eager loop would have charged.
+            const std::uint64_t k =
+                static_cast<std::uint64_t>(ti - base) + 1;
+            stats_.steps += k;
+            stats_.cycles += k * decodeCyc;
+            mem_.chargeCodeBytes(base[k - 1].cumBytes);
+            for (std::uint64_t i = 0; i < k; ++i) {
+                ++stats_.opCount[base[i].op];
+                if (base[i].length < stats_.instLenCount.size())
+                    ++stats_.instLenCount[base[i].length];
+            }
+            acc->stats.icacheHits += k;
+            st += k;
+            prev = nullptr;
+            goto block_done;
+          }
+
+          block_done:
+            spillStats();
+            steps = st;
+        } catch (...) {
+            // A handler threw (storage panic): the prefix through the
+            // throwing instruction is charged exactly like the eager
+            // loop, whose counters include the instruction that threw;
+            // the run-steps total, like the burst loop's, counts only
+            // completed instructions.
+            const std::uint64_t k =
+                static_cast<std::uint64_t>(ti - base) + 1;
+            stats_.steps += k;
+            stats_.cycles += k * decodeCyc;
+            mem_.chargeCodeBytes(base[k - 1].cumBytes);
+            for (std::uint64_t i = 0; i < k; ++i) {
+                ++stats_.opCount[base[i].op];
+                if (base[i].length < stats_.instLenCount.size())
+                    ++stats_.instLenCount[base[i].length];
+            }
+            acc->stats.icacheHits += k;
+            st += k - 1;
+            spillStats();
+            steps = st;
+            throw;
+        }
+    }
+    steps = st;
+}
+
+#undef FPC_T_CMPBR
+#undef FPC_T_BIN
+#undef FPC_T_NEXT_FAST
+#undef FPC_T_NEXT
+#undef FPC_T_PRE
+
+#else // !FPC_THREADED_DISPATCH
+
+template <bool Banked>
+void
+Machine::threadedLoopT(std::uint64_t &steps)
+{
+    // No label-address extension on this toolchain:
+    // threadedSupported() is false and the constructor refuses the
+    // configuration, so this body is unreachable; keep an exact eager
+    // loop as belt and braces.
+    while (stop_ == StopReason::Running) {
+        if (steps >= config_.maxSteps) {
+            stopWith(StopReason::StepLimit, "step budget exhausted");
+            break;
+        }
+        accel_->sync(mem_.codeEpoch());
+        stepCoreT<true>();
+        ++steps;
+    }
+}
+
+#endif // FPC_THREADED_DISPATCH
+
+template void Machine::threadedLoopT<false>(std::uint64_t &);
+template void Machine::threadedLoopT<true>(std::uint64_t &);
+
+} // namespace fpc

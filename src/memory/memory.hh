@@ -108,7 +108,38 @@ class Memory
         readCounts_[static_cast<std::size_t>(kind)] += n;
         totalRefs_ += n;
     }
+    void
+    chargeWrites(AccessKind kind, CountT n)
+    {
+        writeCounts_[static_cast<std::size_t>(kind)] += n;
+        totalRefs_ += n;
+    }
     void chargeCodeBytes(CountT n) { codeBytes_ += n; }
+
+    /** Checked but uncounted accesses, for hosts that keep the access
+     *  counts in registers and batch them in via chargeReads /
+     *  chargeWrites (the threaded backend). Unlike poke these are
+     *  simulated-program accesses: they do not move the code epoch
+     *  (data addresses cannot reach the code region). */
+    Word
+    readUncounted(Addr addr)
+    {
+        checkAddr(addr);
+        return store_[addr];
+    }
+
+    /** The raw store, for hosts that also hoist the bounds check:
+     *  the store never moves or resizes after construction, so a
+     *  cached pointer + size() check is exactly read()/write()'s
+     *  checked access. Out-of-range addresses must go through
+     *  readUncounted/writeUncounted for the accounted panic. */
+    Word *raw() { return store_.data(); }
+    void
+    writeUncounted(Addr addr, Word value)
+    {
+        checkAddr(addr);
+        store_[addr] = value;
+    }
     /** @} */
 
     /** Reference counts. */

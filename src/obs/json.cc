@@ -291,6 +291,11 @@ accelStatsJson(JsonWriter &w, const AccelStats &s)
     w.endObject();
     w.kv("codeFlushes", s.codeFlushes);
     w.kv("tableFlushes", s.tableFlushes);
+    w.key("sblocks").beginObject();
+    w.kv("builds", s.sblockBuilds);
+    w.kv("execs", s.sblockExecs);
+    w.kv("chainHits", s.sblockChainHits);
+    w.endObject();
     w.endObject();
 }
 

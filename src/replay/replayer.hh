@@ -45,6 +45,13 @@ struct VerifyOptions
      *  recording — digests must be invariant, so this *tests* the
      *  acceleration contract rather than weakening verification. */
     std::optional<bool> accelOverride;
+    /** Configure the threaded-code backend on the replay machine
+     *  (implies acceleration on). The verifier's sampler routes
+     *  execution through the eager loop either way — this checks that
+     *  a threaded-configured machine honors the record/replay gating
+     *  contract bit-for-bit. Callers must check
+     *  Machine::threadedSupported() first. */
+    bool threaded = false;
     /** When nonempty, a divergence writes
      *  "<dir>/job-<id>-divergence.json". */
     std::string divergenceDir;

@@ -17,6 +17,13 @@ Runtime::Runtime(RuntimeConfig config) : config_(std::move(config))
 {
     if (config_.workers == 0)
         config_.workers = 1;
+    // Fail the whole runtime up front rather than panicking on a
+    // worker thread mid-run: every worker machine would hit the same
+    // constructor check.
+    if (config_.machine.accel.enabled && config_.machine.accel.threaded &&
+        !Machine::threadedSupported())
+        panic("threaded backend requested but not supported by this "
+              "build");
 }
 
 Runtime::~Runtime()

@@ -26,6 +26,34 @@ namespace fpc
 namespace
 {
 
+/** The three host execution backends under test. */
+enum class Mode
+{
+    Off,      ///< eager per-step loop
+    On,       ///< burst loop (icache + link caches)
+    Threaded, ///< computed-goto superblocks
+};
+
+const Mode allModes[] = {Mode::Off, Mode::On, Mode::Threaded};
+
+const char *
+modeName(Mode mode)
+{
+    switch (mode) {
+      case Mode::Off: return "off";
+      case Mode::On: return "on";
+      case Mode::Threaded: return "threaded";
+      default: return "?";
+    }
+}
+
+void
+applyMode(MachineConfig &config, Mode mode)
+{
+    config.accel.enabled = mode != Mode::Off;
+    config.accel.threaded = mode == Mode::Threaded;
+}
+
 /** A call-heavy program: main loops n times, each iteration calling
  *  bump(acc) = acc + 77 through a local call. */
 Module
@@ -42,6 +70,42 @@ callLoopModule()
     main.label(loop);
     main.loadLocal(0).jumpZero(done);
     main.loadLocal(1).callLocal("bump").storeLocal(1);
+    main.loadLocal(0).loadImm(1).op(isa::Op::SUB).storeLocal(0);
+    main.jump(loop);
+    main.label(done);
+    main.loadLocal(1).ret();
+    return b.build();
+}
+
+/** A branch-heavy variant: each iteration compares the counter
+ *  against a threshold and only calls bump below it, so compare +
+ *  conditional-branch pairs (the threaded backend's fused CMPBR
+ *  superinstruction) run hot in both directions, and the taken side
+ *  leads straight into a call — on the banked engine the stack bank
+ *  holding the compare's transient boolean gets renamed into the
+ *  callee's frame bank, which is exactly the path where a fused
+ *  compare that skipped the boolean's slot write would leak a wrong
+ *  dirty word into a later flush. */
+Module
+compareLoopModule()
+{
+    ModuleBuilder b("M");
+    auto &bump = b.proc("bump", 1, 1);
+    bump.loadLocal(0).loadImm(77).op(isa::Op::ADD).ret();
+
+    auto &main = b.proc("main", 1, 2);
+    auto loop = main.newLabel();
+    auto skip = main.newLabel();
+    auto next = main.newLabel();
+    auto done = main.newLabel();
+    main.loadImm(0).storeLocal(1);
+    main.label(loop);
+    main.loadLocal(0).jumpZero(done);
+    main.loadLocal(0).loadImm(100).op(isa::Op::LT).jumpZero(skip);
+    main.loadLocal(1).callLocal("bump").storeLocal(1);
+    main.jump(next);
+    main.label(skip);
+    main.label(next);
     main.loadLocal(0).loadImm(1).op(isa::Op::SUB).storeLocal(0);
     main.jump(loop);
     main.label(done);
@@ -74,20 +138,20 @@ struct RunOut
  *  simulated-stats document (and optionally an XFER trace, which
  *  forces the eager per-step loop even with acceleration on). */
 RunOut
-runOnce(const EngineCombo &combo, bool accel_on, Word n,
-        bool with_trace)
+runOnce(const EngineCombo &combo, Mode mode, Word n, bool with_trace,
+        Module (*module)() = callLoopModule)
 {
     const SystemLayout layout;
     Memory mem(layout.memWords);
     Loader loader{layout, SizeClasses::standard()};
-    loader.add(callLoopModule());
+    loader.add(module());
     LinkPlan plan;
     plan.lowering = combo.lowering;
     const LoadedImage image = loader.load(mem, plan);
 
     MachineConfig config;
     config.impl = combo.impl;
-    config.accel.enabled = accel_on;
+    applyMode(config, mode);
     Machine machine(mem, image, config);
 
     obs::Tracer tracer;
@@ -127,12 +191,41 @@ runOnce(const EngineCombo &combo, bool accel_on, Word n,
 TEST(AccelDeterminism, StatsJsonByteIdenticalOnEveryEngine)
 {
     for (const EngineCombo &combo : combos) {
-        const RunOut off = runOnce(combo, false, 200, false);
-        const RunOut on = runOnce(combo, true, 200, false);
+        const RunOut off = runOnce(combo, Mode::Off, 200, false);
         ASSERT_EQ(off.reason, StopReason::TopReturn)
             << implName(combo.impl);
-        EXPECT_EQ(off.value, on.value) << implName(combo.impl);
-        EXPECT_EQ(off.statsJson, on.statsJson) << implName(combo.impl);
+        for (Mode mode : {Mode::On, Mode::Threaded}) {
+            const RunOut out = runOnce(combo, mode, 200, false);
+            EXPECT_EQ(off.value, out.value)
+                << implName(combo.impl) << " " << modeName(mode);
+            EXPECT_EQ(off.statsJson, out.statsJson)
+                << implName(combo.impl) << " " << modeName(mode);
+        }
+    }
+}
+
+TEST(AccelDeterminism, CompareBranchStatsIdenticalOnEveryEngine)
+{
+    // The compare-loop workload keeps the threaded backend's fused
+    // compare+branch and load-pair superinstructions hot, with the
+    // taken side calling through an XFER (the bank-rename path that
+    // makes the compare's transient boolean slot write observable on
+    // the banked engine).
+    for (const EngineCombo &combo : combos) {
+        const RunOut off =
+            runOnce(combo, Mode::Off, 200, false, compareLoopModule);
+        ASSERT_EQ(off.reason, StopReason::TopReturn)
+            << implName(combo.impl);
+        EXPECT_EQ(off.value, static_cast<Word>(99 * 77))
+            << implName(combo.impl);
+        for (Mode mode : {Mode::On, Mode::Threaded}) {
+            const RunOut out =
+                runOnce(combo, mode, 200, false, compareLoopModule);
+            EXPECT_EQ(off.value, out.value)
+                << implName(combo.impl) << " " << modeName(mode);
+            EXPECT_EQ(off.statsJson, out.statsJson)
+                << implName(combo.impl) << " " << modeName(mode);
+        }
     }
 }
 
@@ -142,11 +235,109 @@ TEST(AccelDeterminism, TraceByteIdenticalWithObserverAttached)
     // eager per-step loop; the XFER records' absolute cycle/step
     // stamps must come out identical.
     for (const EngineCombo &combo : combos) {
-        const RunOut off = runOnce(combo, false, 100, true);
-        const RunOut on = runOnce(combo, true, 100, true);
-        EXPECT_EQ(off.traceJson, on.traceJson) << implName(combo.impl);
-        EXPECT_EQ(off.statsJson, on.statsJson) << implName(combo.impl);
+        const RunOut off = runOnce(combo, Mode::Off, 100, true);
+        for (Mode mode : {Mode::On, Mode::Threaded}) {
+            const RunOut out = runOnce(combo, mode, 100, true);
+            EXPECT_EQ(off.traceJson, out.traceJson)
+                << implName(combo.impl) << " " << modeName(mode);
+            EXPECT_EQ(off.statsJson, out.statsJson)
+                << implName(combo.impl) << " " << modeName(mode);
+        }
     }
+}
+
+TEST(AccelDeterminism, ObserverForcesEagerUnderThreaded)
+{
+    // With an observer attached the threaded machine must not run a
+    // single superblock: the eager loop is the only path that can
+    // deliver per-XFER records with exact absolute stamps.
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    loader.add(callLoopModule());
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+
+    MachineConfig config;
+    applyMode(config, Mode::Threaded);
+    Machine machine(mem, image, config);
+    obs::Tracer tracer;
+    machine.setObserver(&tracer);
+    machine.start("M", "main", std::array<Word, 1>{Word{100}});
+    ASSERT_EQ(machine.run().reason, StopReason::TopReturn);
+    EXPECT_EQ(machine.accelStats().sblockExecs, 0u);
+    EXPECT_EQ(machine.accelStats().sblockBuilds, 0u);
+}
+
+/** A sampler that counts its sample points. */
+struct CountingSampler : CycleSampler
+{
+    unsigned samples = 0;
+    void onSample(const Machine &) override { ++samples; }
+};
+
+TEST(AccelDeterminism, SamplerForcesEagerUnderThreaded)
+{
+    // Same for a cycle sampler: sample points are defined at step
+    // granularity, so the threaded machine falls back to the eager
+    // loop and the sample count matches the unaccelerated run.
+    unsigned counts[2] = {0, 0};
+    std::string json[2];
+    const Mode modes[2] = {Mode::Off, Mode::Threaded};
+    for (int i = 0; i < 2; ++i) {
+        const SystemLayout layout;
+        Memory mem(layout.memWords);
+        Loader loader{layout, SizeClasses::standard()};
+        loader.add(callLoopModule());
+        const LoadedImage image = loader.load(mem, LinkPlan{});
+
+        MachineConfig config;
+        applyMode(config, modes[i]);
+        Machine machine(mem, image, config);
+        CountingSampler sampler;
+        machine.setSampler(&sampler, 1000);
+        machine.start("M", "main", std::array<Word, 1>{Word{100}});
+        ASSERT_EQ(machine.run().reason, StopReason::TopReturn);
+        counts[i] = sampler.samples;
+        if (modes[i] == Mode::Threaded) {
+            EXPECT_EQ(machine.accelStats().sblockExecs, 0u);
+        }
+        std::ostringstream os;
+        obs::StatsExport exp;
+        exp.driver = "test_accel";
+        exp.impl = implName(config.impl);
+        exp.stopReason = stopReasonName(StopReason::TopReturn);
+        exp.machine = &machine.stats();
+        exp.memory = &mem;
+        exp.heap = &machine.heap().stats();
+        obs::writeStatsJson(os, exp);
+        json[i] = os.str();
+    }
+    EXPECT_GT(counts[0], 0u);
+    EXPECT_EQ(counts[0], counts[1]);
+    EXPECT_EQ(json[0], json[1]);
+}
+
+TEST(AccelDeterminism, ThreadedFastPathActuallyEngages)
+{
+    // Sanity check on the force-eager tests above: with no observer
+    // attached the same workload does run through superblocks, so a
+    // zero sblockExecs there means "fell back", not "never built".
+    if (!Machine::threadedSupported())
+        GTEST_SKIP() << "threaded backend not compiled in";
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    loader.add(callLoopModule());
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+
+    MachineConfig config;
+    applyMode(config, Mode::Threaded);
+    Machine machine(mem, image, config);
+    EXPECT_TRUE(machine.threadedActive());
+    machine.start("M", "main", std::array<Word, 1>{Word{100}});
+    ASSERT_EQ(machine.run().reason, StopReason::TopReturn);
+    EXPECT_GT(machine.accelStats().sblockBuilds, 0u);
+    EXPECT_GT(machine.accelStats().sblockExecs, 0u);
 }
 
 // ---------------------------------------------------------------------
@@ -156,7 +347,7 @@ TEST(AccelDeterminism, TraceByteIdenticalWithObserverAttached)
 /** Drive a machine mid-run, patch bump's immediate (77 -> 5) through
  *  pokeByte, and finish. Returns the final value. */
 Word
-patchMidRun(bool accel_on, std::string *stats_json)
+patchMidRun(Mode mode, std::string *stats_json)
 {
     const SystemLayout layout;
     Memory mem(layout.memWords);
@@ -165,7 +356,7 @@ patchMidRun(bool accel_on, std::string *stats_json)
     const LoadedImage image = loader.load(mem, LinkPlan{});
 
     MachineConfig config;
-    config.accel.enabled = accel_on;
+    applyMode(config, mode);
     Machine machine(mem, image, config);
     machine.start("M", "main", std::array<Word, 1>{Word{100}});
 
@@ -205,17 +396,57 @@ patchMidRun(bool accel_on, std::string *stats_json)
 
 TEST(AccelInvalidation, PokeByteMidRunDropsStaleDecode)
 {
-    std::string off_json, on_json;
-    const Word off = patchMidRun(false, &off_json);
-    const Word on = patchMidRun(true, &on_json);
-    // The patch must take effect under acceleration (stale cached
-    // decode of the old immediate would keep adding 77)...
-    EXPECT_EQ(on, off);
-    EXPECT_EQ(on_json, off_json);
-    // ...and the result must show a mix of old and new immediates,
-    // proving the patch landed mid-run, not before or after.
+    std::string off_json;
+    const Word off = patchMidRun(Mode::Off, &off_json);
+    // The result must show a mix of old and new immediates, proving
+    // the patch landed mid-run, not before or after.
     EXPECT_NE(off, static_cast<Word>(100 * 77));
     EXPECT_NE(off, static_cast<Word>(100 * 5));
+    for (Mode mode : {Mode::On, Mode::Threaded}) {
+        // The patch must take effect under acceleration (a stale
+        // cached decode of the old immediate would keep adding 77).
+        std::string json;
+        const Word value = patchMidRun(mode, &json);
+        EXPECT_EQ(value, off) << modeName(mode);
+        EXPECT_EQ(json, off_json) << modeName(mode);
+    }
+}
+
+TEST(AccelInvalidation, PokeByteInvalidatesWarmSuperblocks)
+{
+    // Warm the superblock cache over a complete threaded run, patch
+    // bump's immediate through pokeByte, and rerun on the same
+    // machine: the code-epoch move must flush every superblock before
+    // the next entry, or the second run would keep executing the old
+    // immediate out of the stale block.
+    const SystemLayout layout;
+    Memory mem(layout.memWords);
+    Loader loader{layout, SizeClasses::standard()};
+    loader.add(callLoopModule());
+    const LoadedImage image = loader.load(mem, LinkPlan{});
+
+    MachineConfig config;
+    applyMode(config, Mode::Threaded);
+    Machine machine(mem, image, config);
+    machine.start("M", "main", std::array<Word, 1>{Word{50}});
+    ASSERT_EQ(machine.run().reason, StopReason::TopReturn);
+    EXPECT_EQ(machine.popValue(), static_cast<Word>(50 * 77));
+
+    const PlacedModule &pm = image.modules().front();
+    const PlacedProc &bump = pm.procs.front();
+    std::vector<CodeByteAddr> sites;
+    for (unsigned i = 0; i < bump.bodyBytes; ++i) {
+        const CodeByteAddr a = bump.prologueAddr + bump.prologueBytes + i;
+        if (mem.peekByte(a) == 77)
+            sites.push_back(a);
+    }
+    ASSERT_EQ(sites.size(), 1u);
+    mem.pokeByte(sites.front(), 5);
+
+    machine.start("M", "main", std::array<Word, 1>{Word{50}});
+    ASSERT_EQ(machine.run().reason, StopReason::TopReturn);
+    EXPECT_EQ(machine.popValue(), static_cast<Word>(50 * 5));
+    EXPECT_GE(machine.accelStats().codeFlushes, 1u);
 }
 
 TEST(AccelInvalidation, RelocationFlushesMemoizedEntryPoints)

@@ -53,6 +53,7 @@ struct Options
     unsigned banks = 4;
     std::uint64_t timeslice = 0;
     bool accel = true;
+    bool threaded = false;             ///< verify: threaded backend
     std::optional<bool> accelOverride; ///< verify: force accel on/off
     Tick interval = 10000;
     std::string entryModule;
@@ -85,7 +86,7 @@ printUsage(std::ostream &os, const char *argv0)
           "digests (default 10000)\n"
           "  --entry=Mod.proc                entry point\n"
           "verify options:\n"
-          "  --accel=on|off                  force host acceleration "
+          "  --accel=on|off|threaded         force the host backend "
           "(digests must not care)\n"
           "  --postmortem-dir=DIR            write a divergence bundle "
           "on mismatch\n"
@@ -152,12 +153,23 @@ parseArgs(int argc, char **argv)
             opt.entryProc = v.substr(dot + 1);
         } else if (arg.rfind("--accel=", 0) == 0) {
             const std::string v = value("--accel=");
-            if (v == "on")
+            if (v == "on") {
                 opt.accel = true;
-            else if (v == "off")
+            } else if (v == "off") {
                 opt.accel = false;
-            else
+            } else if (v == "threaded") {
+                if (!Machine::threadedSupported()) {
+                    std::cerr << argv[0]
+                              << ": --accel=threaded is not supported "
+                                 "by this build (needs the computed-"
+                                 "goto extension)\n";
+                    std::exit(2);
+                }
+                opt.accel = true;
+                opt.threaded = true;
+            } else {
                 usage(argv[0]);
+            }
             opt.accelOverride = opt.accel;
         } else if (arg.rfind("--postmortem-dir=", 0) == 0) {
             opt.postmortemDir = value("--postmortem-dir=");
@@ -291,6 +303,7 @@ doVerify(const Options &opt)
 
     replay::VerifyOptions vo;
     vo.accelOverride = opt.accelOverride;
+    vo.threaded = opt.threaded;
     vo.divergenceDir = opt.postmortemDir;
     const replay::VerifyResult result = replayer.verify(vo);
 

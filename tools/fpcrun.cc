@@ -52,6 +52,7 @@ struct Options
     bool shortCalls = false;
     bool stats = false;
     bool accel = true;
+    bool threaded = false;
     bool accelStats = false;
     bool synthetic = false;
     unsigned depth = 8; ///< synthetic entry argument
@@ -91,10 +92,12 @@ printUsage(std::ostream &os, const char *argv0)
           "  --depth=N                       synthetic recursion depth\n"
           "  --entry=Mod.proc                entry point\n"
           "  --stats                         dump merged statistics\n"
-          "  --accel=on|off                  host-side acceleration "
-          "(default on;\n"
-          "                                  simulated numbers are "
-          "identical either way)\n"
+          "  --accel=on|off|threaded         host backend: burst, off, "
+          "or threaded-code\n"
+          "                                  superblocks (simulated "
+          "numbers are identical\n"
+          "                                  in every mode; default "
+          "on)\n"
           "  --accel-stats                   dump merged host cache "
           "counters\n"
           "  --trace-out=FILE                write a Chrome/Perfetto "
@@ -197,12 +200,23 @@ parseArgs(int argc, char **argv)
             opt.stats = true;
         } else if (arg.rfind("--accel=", 0) == 0) {
             const std::string v = value("--accel=");
-            if (v == "on")
+            if (v == "on") {
                 opt.accel = true;
-            else if (v == "off")
+            } else if (v == "off") {
                 opt.accel = false;
-            else
+            } else if (v == "threaded") {
+                if (!Machine::threadedSupported()) {
+                    std::cerr << argv[0]
+                              << ": --accel=threaded is not supported "
+                                 "by this build (needs the computed-"
+                                 "goto extension)\n";
+                    std::exit(2);
+                }
+                opt.accel = true;
+                opt.threaded = true;
+            } else {
                 usage(argv[0]);
+            }
         } else if (arg == "--accel-stats") {
             opt.accelStats = true;
         } else if (arg.rfind("--trace-out=", 0) == 0) {
@@ -297,6 +311,7 @@ try {
     rc.machine.numBanks = opt.banks;
     rc.machine.timesliceSteps = opt.timeslice;
     rc.machine.accel.enabled = opt.accel;
+    rc.machine.accel.threaded = opt.threaded;
     rc.plan.lowering = opt.lowering;
     rc.plan.shortCalls = opt.shortCalls;
     rc.trace = !opt.traceOut.empty();

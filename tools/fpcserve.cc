@@ -67,8 +67,9 @@ printUsage(std::ostream &os, const char *argv0)
           "  --banks=N                       register banks (I4)\n"
           "  --timeslice=N                   preempt every N "
           "instructions\n"
-          "  --accel=on|off                  host-side acceleration "
-          "(default on)\n"
+          "  --accel=on|off|threaded         host backend: burst, off, "
+          "or threaded-code\n"
+          "                                  superblocks (default on)\n"
           "  --queue-capacity=N              admitted-job bound across "
           "tenants (default 256)\n"
           "  --max-inflight=N                jobs on the pool at once "
@@ -190,12 +191,23 @@ parseArgs(int argc, char **argv)
                 std::stoull(value("--timeslice="));
         } else if (arg.rfind("--accel=", 0) == 0) {
             const std::string v = value("--accel=");
-            if (v == "on")
+            if (v == "on") {
                 sc.machine.accel.enabled = true;
-            else if (v == "off")
+            } else if (v == "off") {
                 sc.machine.accel.enabled = false;
-            else
+            } else if (v == "threaded") {
+                if (!Machine::threadedSupported()) {
+                    std::cerr << argv[0]
+                              << ": --accel=threaded is not supported "
+                                 "by this build (needs the computed-"
+                                 "goto extension)\n";
+                    std::exit(2);
+                }
+                sc.machine.accel.enabled = true;
+                sc.machine.accel.threaded = true;
+            } else {
                 usage(argv[0]);
+            }
         } else if (arg.rfind("--queue-capacity=", 0) == 0) {
             sc.queueCapacity =
                 std::stoull(value("--queue-capacity="));

@@ -52,6 +52,7 @@ struct Options
     bool stats = false;
     bool disasm = false;
     bool accel = true;
+    bool threaded = false;
     bool accelStats = false;
     unsigned banks = 4;
     std::uint64_t timeslice = 0;
@@ -84,10 +85,12 @@ printUsage(std::ostream &os, const char *argv0)
           "instructions\n"
           "  --entry=Mod.proc                entry point\n"
           "  --stats                         dump machine statistics\n"
-          "  --accel=on|off                  host-side acceleration "
-          "(default on;\n"
-          "                                  simulated numbers are "
-          "identical either way)\n"
+          "  --accel=on|off|threaded         host backend: burst, off, "
+          "or threaded-code\n"
+          "                                  superblocks (simulated "
+          "numbers are identical\n"
+          "                                  in every mode; default "
+          "on)\n"
           "  --accel-stats                   dump host cache counters\n"
           "  --disasm                        dump the loaded code\n"
           "  --trace-out=FILE                write a Chrome/Perfetto "
@@ -178,12 +181,23 @@ parseArgs(int argc, char **argv)
             opt.stats = true;
         } else if (arg.rfind("--accel=", 0) == 0) {
             const std::string v = value("--accel=");
-            if (v == "on")
+            if (v == "on") {
                 opt.accel = true;
-            else if (v == "off")
+            } else if (v == "off") {
                 opt.accel = false;
-            else
+            } else if (v == "threaded") {
+                if (!Machine::threadedSupported()) {
+                    std::cerr << argv[0]
+                              << ": --accel=threaded is not supported "
+                                 "by this build (needs the computed-"
+                                 "goto extension)\n";
+                    std::exit(2);
+                }
+                opt.accel = true;
+                opt.threaded = true;
+            } else {
                 usage(argv[0]);
+            }
         } else if (arg == "--accel-stats") {
             opt.accelStats = true;
         } else if (arg == "--disasm") {
@@ -372,6 +386,7 @@ try {
     config.numBanks = opt.banks;
     config.timesliceSteps = opt.timeslice;
     config.accel.enabled = opt.accel;
+    config.accel.threaded = opt.threaded;
     Machine machine(mem, image, config);
 
     // Observability: a tracer and/or profiler share the machine's one
