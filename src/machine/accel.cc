@@ -27,6 +27,14 @@ AccelStats::linkHitRate() const
     return static_cast<double>(linkHits()) / total;
 }
 
+double
+AccelStats::chainRate() const
+{
+    if (sblockExecs == 0)
+        return 0.0;
+    return static_cast<double>(sblockChainHits) / sblockExecs;
+}
+
 void
 AccelStats::merge(const AccelStats &other)
 {
@@ -45,6 +53,8 @@ AccelStats::merge(const AccelStats &other)
     sblockBuilds += other.sblockBuilds;
     sblockExecs += other.sblockExecs;
     sblockChainHits += other.sblockChainHits;
+    sblockFusionHits += other.sblockFusionHits;
+    deferredFlushes += other.deferredFlushes;
 }
 
 Accel::Accel(const AccelConfig &config, const LoadedImage &image,

@@ -86,6 +86,12 @@ struct AccelStats
     CountT sblockBuilds = 0;
     CountT sblockExecs = 0;
     CountT sblockChainHits = 0;
+    /** Dynamic executions of fused superinstructions (compare+branch
+     *  and load-pair handlers): fused pairs per block × executions. */
+    CountT sblockFusionHits = 0;
+    /** Times the deferred block accounting folded into MachineStats
+     *  (loop exits, cache flushes, boundary samples). */
+    CountT deferredFlushes = 0;
 
     CountT linkHits() const
     {
@@ -97,6 +103,9 @@ struct AccelStats
     }
     double icacheHitRate() const;
     double linkHitRate() const;
+    /** Block-to-block transitions served by the inline chain pointer,
+     *  as a fraction of superblock executions. */
+    double chainRate() const;
 
     /** Fold another machine's counters in (multi-worker runtimes). */
     void merge(const AccelStats &other);

@@ -164,6 +164,7 @@ Machine::reset()
     pcAbs_ = 0;
     codeBase_ = 0;
     codeBaseValid_ = false;
+    curProcEntry_ = 0;
     returnCtx_ = nilContext;
     sp_ = 0;
     retStack_.clear();
@@ -426,6 +427,37 @@ Machine::setSampler(CycleSampler *sampler, Tick interval_cycles)
 }
 
 void
+Machine::setBoundarySampler(BoundarySampler *sampler,
+                            Tick interval_cycles)
+{
+    bsampler_ = sampler;
+    bsampleInterval_ = interval_cycles > 0 ? interval_cycles : 1;
+    bsampleNextAt_ = stats_.cycles + bsampleInterval_;
+}
+
+void
+Machine::fireBoundarySample()
+{
+    // The accelerated loops only reach here at boundaries where their
+    // register-held deltas have been spilled; the block-granular
+    // opcode/length histograms and accel counters may still be
+    // deferred, so fold them now — samples must read a
+    // self-consistent machine.
+    if (sblocks_ && accel_)
+        sblocks_->flushDeferred(stats_, accel_->stats);
+    // Same catch-up discipline as the exact sampler: advance strictly
+    // past the current cycle count so each interval fires once.
+    do {
+        bsampleNextAt_ += bsampleInterval_;
+    } while (bsampleNextAt_ <= stats_.cycles);
+    bsampler_->onBoundarySample(*this);
+    // The anchor is only meaningful inside the callback; the threaded
+    // loop sets it just before calling here, everything else leaves
+    // it 0.
+    bsampleAnchorPc_ = 0;
+}
+
+void
 Machine::setRetained(Addr frame_ptr, bool retained)
 {
     heap_.setRetained(frame_ptr, retained);
@@ -550,6 +582,18 @@ Machine::run()
                 }
                 flush();
                 steps += done;
+                // Boundary sampling: the per-burst flush above folded
+                // every batched counter, so this is an exact point —
+                // slop is bounded by one burst. Anchor to the last
+                // executed instruction: when the budget expires inside
+                // a transfer, pc() already points at the destination,
+                // but the cycles belong to the source — the same
+                // charge-to-source convention the exact profiler uses.
+                if (bsampler_ != nullptr &&
+                    stats_.cycles >= bsampleNextAt_) [[unlikely]] {
+                    bsampleAnchorPc_ = instStart_;
+                    fireBoundarySample();
+                }
             }
         } else {
             while (stop_ == StopReason::Running) {
@@ -595,6 +639,15 @@ Machine::step()
             nextSampleAt_ += sampleInterval_;
         } while (nextSampleAt_ <= stats_.cycles);
         sampler_->onSample(*this);
+    }
+    if (bsampler_ != nullptr && stats_.cycles >= bsampleNextAt_)
+        [[unlikely]] {
+        // Anchor to the instruction that spent the cycles: a transfer
+        // that expires the budget has already moved pc() to its
+        // destination, but the exact profiler charges its cost to the
+        // source.
+        bsampleAnchorPc_ = instStart_;
+        fireBoundarySample();
     }
 }
 

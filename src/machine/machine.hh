@@ -175,6 +175,30 @@ class CycleSampler
     virtual void onSample(const Machine &machine) = 0;
 };
 
+/**
+ * Boundary sampling hook clocked on simulated cycles; attach with
+ * Machine::setBoundarySampler. Unlike a CycleSampler, an attached
+ * boundary sampler does NOT force the eager loop: the accelerated
+ * backends check the cycle budget only where their deferred
+ * accounting is (or can cheaply be made) exact — the threaded loop's
+ * block-exit and chain-follow sites and the burst loop's per-burst
+ * flush — so onBoundarySample fires at the first such boundary at or
+ * past each interval multiple. The documented slop contract: the
+ * firing cycle exceeds the nominal interval multiple by at most one
+ * superblock (≤ 64 instructions, threaded) or one burst (≤ 4096
+ * instructions, burst) worth of cycles; the eager loop fires exactly
+ * like a CycleSampler (≤ 1 instruction of slop). Deferred
+ * opcode/length histograms and accel counters are folded before the
+ * hook runs, so the machine the hook reads is self-consistent. Reads
+ * must be unaccounted; the hook charges zero simulated cycles.
+ */
+class BoundarySampler
+{
+  public:
+    virtual ~BoundarySampler() = default;
+    virtual void onBoundarySample(const Machine &machine) = 0;
+};
+
 struct Superblock;
 class SuperblockCache;
 
@@ -250,6 +274,32 @@ class Machine
      *  byte-identical with acceleration on or off. */
     void setSampler(CycleSampler *sampler, Tick interval_cycles);
     CycleSampler *sampler() const { return sampler_; }
+
+    /** Attach a boundary sampler fired at the first accel-boundary at
+     *  or past each interval_cycles multiple (next fire re-anchored at
+     *  the current cycle count); null detaches. Unlike setSampler this
+     *  keeps the accelerated loops running — see the BoundarySampler
+     *  slop contract. */
+    void setBoundarySampler(BoundarySampler *sampler,
+                            Tick interval_cycles);
+    BoundarySampler *boundarySampler() const { return bsampler_; }
+
+    /** Entry PC of the procedure the machine is currently executing,
+     *  maintained as a shadow-of-shadow top-frame register: set on
+     *  every call-like transfer, cleared (0) when a return or resume
+     *  lands somewhere whose entry is not tracked. Cheap enough for
+     *  the accelerated loops; sampling profilers attribute through it
+     *  and fall back to pc() when it reads 0. */
+    CodeByteAddr currentProcEntry() const { return curProcEntry_; }
+
+    /** Entry PC of the superblock whose execution expired the sampling
+     *  budget, valid only inside a BoundarySampler callback and only
+     *  when the threaded loop fired it (0 otherwise). Superblocks end
+     *  at XFERs, so at a threaded boundary pc()/currentProcEntry()
+     *  already point at the *destination* of the block's terminal
+     *  transfer; attributing through the anchor instead charges the
+     *  sample to the procedure that actually spent the cycles. */
+    CodeByteAddr boundaryAnchorPc() const { return bsampleAnchorPc_; }
     /** @} */
 
     /** @name Transfer primitives (also for trace-driven use). @{ */
@@ -437,6 +487,11 @@ class Machine
     /** Replay the accounting of a memoized link walk: n Table-kind
      *  word reads (each costing memCycles) plus n code-byte fetches. */
     void chargeLinkWalk(CountT table_reads, CountT code_bytes);
+    /** Fire the boundary sampler: fold any deferred accounting so the
+     *  machine is self-consistent, deliver the sample, and advance the
+     *  budget past the current cycle count (catch-up, like the
+     *  CycleSampler). Out of line — runs at most once per interval. */
+    void fireBoundarySample();
     void maybePreempt();
     void execArith(isa::Op op);
     void execCompare(isa::Op op);
@@ -505,6 +560,16 @@ class Machine
     CycleSampler *sampler_ = nullptr;
     Tick sampleInterval_ = 0;
     Tick nextSampleAt_ = 0;
+    BoundarySampler *bsampler_ = nullptr;
+    Tick bsampleInterval_ = 0;
+    Tick bsampleNextAt_ = 0;
+    /** Block-entry anchor for threaded boundary samples (see
+     *  boundaryAnchorPc()); set by the threaded loop around
+     *  fireBoundarySample, 0 everywhere else. */
+    CodeByteAddr bsampleAnchorPc_ = 0;
+    /** Shadow-of-shadow top-frame register: entry PC of the procedure
+     *  currently executing (0 when unknown, e.g. after a return). */
+    CodeByteAddr curProcEntry_ = 0;
 
     // timeslice preemption
     std::uint64_t sliceLeft_ = 0;

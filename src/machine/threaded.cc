@@ -73,6 +73,7 @@ SuperblockCache::flushAll(MachineStats &stats, AccelStats &astats)
 void
 SuperblockCache::flushDeferred(MachineStats &stats, AccelStats &astats)
 {
+    ++astats.deferredFlushes;
     for (auto &owned : arena_) {
         Superblock &b = *owned;
         if (b.execPending == 0)
@@ -86,6 +87,8 @@ SuperblockCache::flushDeferred(MachineStats &stats, AccelStats &astats)
                 static_cast<CountT>(count) * execs;
         astats.sblockExecs += execs;
         astats.icacheHits += static_cast<CountT>(b.n) * execs;
+        astats.sblockFusionHits +=
+            static_cast<CountT>(b.fusedPairs) * execs;
     }
 }
 
@@ -345,6 +348,7 @@ buildBlock(Memory &mem, CodeByteAddr entry, const void *const *labels)
             block->insts[i].handler =
                 labels[H_LtJz + (c - H_Lt) +
                        (br == H_JumpNotZeroFall ? 6 : 0)];
+            ++block->fusedPairs;
             ++i; // skip the branch: it belongs to the pair
             continue;
         }
@@ -354,6 +358,7 @@ buildBlock(Memory &mem, CodeByteAddr entry, const void *const *labels)
                 labels[c == H_LoadLocal
                            ? (br == H_LoadLocal ? H_LlLl : H_LlLi)
                            : (br == H_LoadLocal ? H_LiLl : H_LiLi)];
+            ++block->fusedPairs;
             ++i; // skip the second load: it belongs to the pair
         }
     }
@@ -569,6 +574,10 @@ Machine::threadedLoopT(std::uint64_t &steps)
     const unsigned bankWords = banks_.bankWords();
     const Addr globalEnd = layout_.globalEnd;
     const std::uint64_t maxSteps = config_.maxSteps;
+    // Boundary sampler, hoisted: the sampling-off cost is one
+    // register compare per outer-loop iteration and per chain follow
+    // — never per instruction.
+    BoundarySampler *const bsmp = bsampler_;
     (void)regCyc;
     (void)bankWords;
 
@@ -813,6 +822,25 @@ Machine::threadedLoopT(std::uint64_t &steps)
         if (st >= maxSteps) {
             stopWith(StopReason::StepLimit, "step budget exhausted");
             break;
+        }
+        // Boundary sampling: every path into this loop head has
+        // spilled the register-held deltas (block_done, the eager
+        // tail, the chain break below), so the sample point is exact
+        // up to the deferred histograms fireBoundarySample folds.
+        // Slop is bounded by one superblock: an expired budget breaks
+        // the chain-follow fast path at the block exit.
+        // Superblocks end at XFERs, so at this boundary pcAbs_ points
+        // at the *destination* of the block's terminal transfer;
+        // anchor the sample to the entry of the block that actually
+        // spent the budget (prev, when it reached its full exit) so
+        // attribution does not systematically shift one call deep.
+        if (bsmp != nullptr && stats_.cycles >= bsampleNextAt_)
+            [[unlikely]] {
+            // The eager-tail and early-exit paths clear prev; there
+            // instStart_ (the last executed instruction) is exact.
+            bsampleAnchorPc_ =
+                prev != nullptr ? prev->entry : instStart_;
+            fireBoundarySample();
         }
         // Per-iteration epoch poll, as the burst loop does: the
         // machine never pokes code while running, so the epoch cannot
@@ -1442,7 +1470,11 @@ Machine::threadedLoopT(std::uint64_t &steps)
             // external pokes (loader, relocator, test patching), never
             // while run() executes, so a chain hit can skip the outer
             // loop's epoch polls and cache probe entirely.
-            if (stop_ == StopReason::Running && cur->chainPc == pcAbs_)
+            // An expired sampling budget breaks the chain so the
+            // outer loop can fire the sample at this block boundary.
+            if (stop_ == StopReason::Running &&
+                cur->chainPc == pcAbs_ &&
+                (bsmp == nullptr || stats_.cycles < bsampleNextAt_))
                 [[likely]] {
                 Superblock *nb = cur->chain;
                 if (nb->n <= maxSteps - st) [[likely]] {
@@ -1531,6 +1563,10 @@ Machine::threadedLoopT(std::uint64_t &steps)
         accel_->sync(mem_.codeEpoch());
         stepCoreT<true>();
         ++steps;
+        if (bsampler_ != nullptr && stats_.cycles >= bsampleNextAt_) {
+            bsampleAnchorPc_ = instStart_;
+            fireBoundarySample();
+        }
     }
 }
 

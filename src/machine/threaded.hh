@@ -76,6 +76,9 @@ struct Superblock
     /** Sparse accounting deltas for one full execution. */
     std::vector<std::pair<std::uint8_t, std::uint32_t>> opDeltas;
     std::vector<std::pair<std::uint8_t, std::uint32_t>> lenDeltas;
+    /** Superinstructions fused at build time (compare+branch and
+     *  load-pair peepholes); host-side accounting only. */
+    std::uint32_t fusedPairs = 0;
 
     /** Full executions not yet folded into MachineStats. The
      *  opCount/instLenCount/AccelStats charges defer here (nothing

@@ -546,6 +546,7 @@ Machine::finishCall(const ProcTarget &target, XferKind kind,
     codeBase_ = target.codeBase;
     codeBaseValid_ = target.codeBaseValid;
     pcAbs_ = target.entryPc;
+    curProcEntry_ = target.entryPc;
 
     if (!followable)
         chargeRedirect();
@@ -594,6 +595,9 @@ Machine::doReturn()
             }
         }
         returnCtx_ = nilContext;
+        // The caller's entry PC was not stacked; sampling profilers
+        // fall back to pc()-based attribution until the next call.
+        curProcEntry_ = 0;
         return; // followable: no redirect
     }
 
@@ -642,6 +646,7 @@ Machine::resumeFrame(Addr frame_ptr, XferKind kind)
     lf_ = frame_ptr;
     curFrameFsiValid_ = false;
     curFrameRetainedHint_ = false;
+    curProcEntry_ = 0;
 
     gf_ = readFrameWord(frame_ptr, frame::globalFrameOffset);
     const Word seg = readMem(gf_, AccessKind::Table);

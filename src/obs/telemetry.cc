@@ -30,6 +30,12 @@ Telemetry::onSample(const Machine &machine)
 }
 
 void
+Telemetry::onBoundarySample(const Machine &machine)
+{
+    sample(machine);
+}
+
+void
 Telemetry::sample(const Machine &machine)
 {
     MetricsSample s;
@@ -62,6 +68,9 @@ Telemetry::sample(const Machine &machine)
         const AccelStats a = machine.accelStats();
         s.icacheHitRate = a.icacheHitRate();
         s.linkHitRate = a.linkHitRate();
+        s.sblockChainRate = a.chainRate();
+        s.sblockFusionHits = a.sblockFusionHits;
+        s.deferredFlushes = a.deferredFlushes;
     }
 
     if (provider_)
@@ -139,6 +148,9 @@ sampleJson(JsonWriter &w, const MetricsSample &s, bool include_accel)
         w.beginObject();
         w.kv("icacheHitRate", s.icacheHitRate);
         w.kv("linkHitRate", s.linkHitRate);
+        w.kv("sblockChainRate", s.sblockChainRate);
+        w.kv("sblockFusionHits", s.sblockFusionHits);
+        w.kv("deferredFlushes", s.deferredFlushes);
         w.endObject();
     } else {
         w.nullValue();
@@ -393,6 +405,32 @@ writeOpenMetrics(std::ostream &os, const MetricsExport &meta,
                               x.point(n, w, "", s.linkHitRate,
                                       s.cycles);
                       });
+        x.gaugeFamily("fpc_accel_chain_rate",
+                      "Superblock transitions served by the inline "
+                      "chain pointer, per execution.",
+                      [&](const std::string &n, unsigned w,
+                          const MetricsSample &s) {
+                          if (s.accelEnabled)
+                              x.point(n, w, "", s.sblockChainRate,
+                                      s.cycles);
+                      });
+        x.family("fpc_accel_fusion_hits", "counter",
+                 "Fused superinstruction executions (threaded "
+                 "backend).");
+        x.forEachSample([&](unsigned w, const MetricsSample &s) {
+            if (s.accelEnabled)
+                x.point("fpc_accel_fusion_hits_total", w, "",
+                        static_cast<double>(s.sblockFusionHits),
+                        s.cycles);
+        });
+        x.family("fpc_accel_deferred_flushes", "counter",
+                 "Deferred-accounting folds into MachineStats.");
+        x.forEachSample([&](unsigned w, const MetricsSample &s) {
+            if (s.accelEnabled)
+                x.point("fpc_accel_deferred_flushes_total", w, "",
+                        static_cast<double>(s.deferredFlushes),
+                        s.cycles);
+        });
     }
 
     // Provider gauges, one family per distinct name, in order of

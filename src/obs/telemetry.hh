@@ -62,6 +62,12 @@ struct MetricsSample
     bool accelEnabled = false;
     double icacheHitRate = 0.0;
     double linkHitRate = 0.0;
+    /** Threaded-backend internals (zero when the backend is off):
+     *  chain-served block transitions per superblock execution, fused
+     *  superinstruction executions, deferred-accounting folds. */
+    double sblockChainRate = 0.0;
+    CountT sblockFusionHits = 0;
+    CountT deferredFlushes = 0;
 
     /** Extra gauges contributed by a provider (scheduler/runtime
      *  state the obs layer cannot name without a layering cycle). */
@@ -74,7 +80,7 @@ struct MetricsSample
  * run with explicit sample() calls so even programs shorter than one
  * interval export a start and a final point.
  */
-class Telemetry : public CycleSampler
+class Telemetry : public CycleSampler, public BoundarySampler
 {
   public:
     static constexpr std::size_t defaultCapacity = 4096;
@@ -102,6 +108,13 @@ class Telemetry : public CycleSampler
     std::uint64_t stepBase() const { return stepBase_; }
 
     void onSample(const Machine &machine) override;
+
+    /** Sampled (accel-safe) mode: attach with
+     *  machine.setBoundarySampler(&telemetry, interval). Same
+     *  snapshot, but the stamps obey the BoundarySampler slop
+     *  contract instead of the exact-interval contract, and the accel
+     *  fast paths keep running. */
+    void onBoundarySample(const Machine &machine) override;
 
     /** Take a snapshot right now (run bracketing). */
     void sample(const Machine &machine);

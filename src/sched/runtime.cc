@@ -1,5 +1,6 @@
 #include "sched/runtime.hh"
 
+#include <algorithm>
 #include <exception>
 #include <optional>
 #include <thread>
@@ -109,6 +110,7 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
                     ExecContext &ctx, MachineStats &acc,
                     AccelStats &accel_acc, obs::Tracer *tracer,
                     obs::ProfileData *profile_acc,
+                    obs::SampledProfile *sampled_acc,
                     obs::Telemetry *telemetry)
 {
     JobResult out;
@@ -180,13 +182,31 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
     // one sampler slot and chains a telemetry sampler behind it, so
     // both fire on the same simulated-cycle boundaries.
     replay::Recorder replayRec;
+    const bool sampledMetrics =
+        config_.metricsSampled && !config_.record;
     if (config_.record) {
         replayRec.beginJob(id, worker_id);
         replayRec.setNext(telemetry);
         machine.setSampler(&replayRec, config_.metricsInterval);
-    } else if (telemetry != nullptr) {
+    } else if (telemetry != nullptr && !sampledMetrics) {
         machine.setSampler(telemetry, config_.metricsInterval);
     }
+
+    // Sampled (accel-safe) observability rides the boundary-sample
+    // slot instead: the fast paths keep running and the stamps obey
+    // the bounded-slop contract. The fanout lets the sampled profiler
+    // and sampled telemetry share the one slot on distinct budgets.
+    std::optional<obs::SampledProfiler> sampledProfiler;
+    obs::BoundaryFanout boundaryFan;
+    if (sampled_acc != nullptr) {
+        sampledProfiler.emplace(image);
+        boundaryFan.add(&*sampledProfiler, config_.sampleInterval);
+    }
+    if (sampledMetrics && telemetry != nullptr)
+        boundaryFan.add(telemetry, config_.metricsInterval);
+    if (!boundaryFan.empty())
+        machine.setBoundarySampler(&boundaryFan,
+                                   boundaryFan.machineInterval());
 
     if (config_.machine.timesliceSteps > 0) {
         // A single-process workload still takes the full ProcSwitch
@@ -225,6 +245,12 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
     }
     acc.merge(machine.stats());
     accel_acc.merge(machine.accelStats());
+    {
+        // Fold per job so a live scrape (serving) can surface accel
+        // gauges mid-run: mergedAccel_ only folds at join.
+        std::lock_guard<std::mutex> lock(liveMutex_);
+        liveAccel_.merge(machine.accelStats());
+    }
 
     out.execEndNs = obs::SpanCollector::nowNs();
     if (spans != nullptr) {
@@ -263,12 +289,15 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
     }
     if (profiler)
         profile_acc->merge(profiler->finish(machine.stats().cycles));
+    if (sampledProfiler)
+        sampled_acc->merge(sampledProfiler->finish());
 
     // The machine outlives this call inside the worker's context, but
     // every observer above is a stack local: detach them so nothing
     // dangles between jobs.
     machine.setObserver(nullptr);
     machine.setSampler(nullptr, 0);
+    machine.setBoundarySampler(nullptr, 0);
     machine.setScheduler(nullptr);
 
     return out;
@@ -298,6 +327,9 @@ Runtime::workerMain(unsigned worker_id)
     obs::ProfileData profile_acc;
     obs::ProfileData *profile_ptr =
         config_.profile ? &profile_acc : nullptr;
+    obs::SampledProfile sampled_acc;
+    obs::SampledProfile *sampled_ptr =
+        config_.profileSampled ? &sampled_acc : nullptr;
     obs::Telemetry *telemetry =
         config_.metrics ? telemetry_[worker_id].get() : nullptr;
     ExecContext ctx;
@@ -344,7 +376,7 @@ Runtime::workerMain(unsigned worker_id)
             try {
                 r = executeJob(jobs_[i], static_cast<unsigned>(i),
                                worker_id, ctx, acc, accelAcc, tracer,
-                               profile_ptr, telemetry);
+                               profile_ptr, sampled_ptr, telemetry);
             } catch (const std::exception &err) {
                 r.id = static_cast<unsigned>(i);
                 r.worker = worker_id;
@@ -374,6 +406,8 @@ Runtime::workerMain(unsigned worker_id)
     group_.mergeFrom(local);
     if (profile_ptr != nullptr)
         profile_.merge(profile_acc);
+    if (sampled_ptr != nullptr)
+        sampledProfile_.merge(sampled_acc);
 }
 
 void
@@ -407,6 +441,9 @@ Runtime::poolWorkerMain(unsigned worker_id)
     obs::ProfileData profile_acc;
     obs::ProfileData *profile_ptr =
         config_.profile ? &profile_acc : nullptr;
+    obs::SampledProfile sampled_acc;
+    obs::SampledProfile *sampled_ptr =
+        config_.profileSampled ? &sampled_acc : nullptr;
     obs::Telemetry *telemetry =
         config_.metrics && worker_id < telemetry_.size()
             ? telemetry_[worker_id].get()
@@ -440,7 +477,7 @@ Runtime::poolWorkerMain(unsigned worker_id)
             try {
                 r = executeJob(task.job, task.id, worker_id, ctx, acc,
                                accelAcc, tracer, profile_ptr,
-                               telemetry);
+                               sampled_ptr, telemetry);
             } catch (const std::exception &err) {
                 r.id = task.id;
                 r.worker = worker_id;
@@ -484,6 +521,15 @@ Runtime::poolWorkerMain(unsigned worker_id)
     group_.mergeFrom(local);
     if (profile_ptr != nullptr)
         profile_.merge(profile_acc);
+    if (sampled_ptr != nullptr)
+        sampledProfile_.merge(sampled_acc);
+}
+
+AccelStats
+Runtime::liveAccelStats() const
+{
+    std::lock_guard<std::mutex> lock(liveMutex_);
+    return liveAccel_;
 }
 
 bool
@@ -745,6 +791,11 @@ Runtime::metricsMeta() const
     meta.driver = config_.driver;
     meta.impl = implName(config_.machine.impl);
     meta.interval = config_.metricsInterval;
+    // Sampled series are not byte-identical across the accel switch
+    // anyway (their purpose is observing accelerated runs), so the
+    // accel gauges flow by default; exact mode keeps the strict
+    // byte-identity contract and exports them only on request.
+    meta.includeAccel = config_.metricsSampled && !config_.record;
     return meta;
 }
 

@@ -30,6 +30,7 @@
 
 #include "machine/machine.hh"
 #include "obs/profile.hh"
+#include "obs/sampled_profile.hh"
 #include "obs/spans.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
@@ -134,6 +135,16 @@ struct RuntimeConfig
     /** Attribute cycles to procedures (merged across all jobs). */
     bool profile = false;
 
+    /** Sampled (accel-safe) profiling: attribute cycle shares from
+     *  boundary samples (see obs::SampledProfiler) instead of exact
+     *  XFER observation, so the accel fast paths keep running.
+     *  Merged across all jobs; statistical, so it does not force the
+     *  static assignment. */
+    bool profileSampled = false;
+    /** Simulated-cycle budget between profile samples. Prime by
+     *  default so tight loops don't alias the sampling clock. */
+    Tick sampleInterval = 9973;
+
     /** Record a per-worker metrics time series (see obs::Telemetry):
      *  each job is sampled every metricsInterval simulated cycles and
      *  bracketed with a start and end snapshot; consecutive jobs lay
@@ -142,6 +153,13 @@ struct RuntimeConfig
     bool metrics = false;
     Tick metricsInterval = obs::Telemetry::defaultInterval;
     std::size_t metricsCapacity = obs::Telemetry::defaultCapacity;
+
+    /** Clock the telemetry off boundary samples instead of the exact
+     *  cycle sampler: sample stamps obey the bounded-slop contract
+     *  (machine/machine.hh) and accelerated runs keep their fast
+     *  paths. Ignored — exact forced — when record is set: replay
+     *  needs the exact sampler chain. */
+    bool metricsSampled = false;
 
     /** When nonempty, every failed job writes a postmortem bundle
      *  ("job-<id>-postmortem.json" + disassembly) into this
@@ -243,6 +261,18 @@ class Runtime
      *  RuntimeConfig::profile was set). */
     const obs::ProfileData &profile() const { return profile_; }
 
+    /** Merged sampled profile (valid after run() or stopPool() when
+     *  RuntimeConfig::profileSampled was set). */
+    const obs::SampledProfile &sampledProfile() const
+    {
+        return sampledProfile_;
+    }
+
+    /** Host-acceleration counters folded per completed job, readable
+     *  mid-run (accelStats() only folds at join): the serving layer's
+     *  live scrape reads accel gauges from here. */
+    AccelStats liveAccelStats() const;
+
     /** Write the multi-worker Chrome trace — one track per worker
      *  (valid after run() or stopPool() when RuntimeConfig::trace was
      *  set). */
@@ -321,6 +351,7 @@ class Runtime
                          MachineStats &acc, AccelStats &accel_acc,
                          obs::Tracer *tracer,
                          obs::ProfileData *profile_acc,
+                         obs::SampledProfile *sampled_acc,
                          obs::Telemetry *telemetry);
     void closeSpansOnAbort(const Job &job, unsigned id,
                            unsigned worker_id);
@@ -349,6 +380,9 @@ class Runtime
     AccelStats mergedAccel_;
     stats::StatGroup group_{"fpc_runtime"};
     obs::ProfileData profile_;
+    obs::SampledProfile sampledProfile_;
+    mutable std::mutex liveMutex_;
+    AccelStats liveAccel_;
     std::vector<std::unique_ptr<obs::Tracer>> tracers_;
     std::vector<std::unique_ptr<obs::Telemetry>> telemetry_;
     std::vector<replay::JobRecord> jobRecords_;

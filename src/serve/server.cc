@@ -98,6 +98,7 @@ Server::start()
     rc.metrics = config_.metrics;
     rc.metricsInterval = config_.metricsInterval;
     rc.metricsCapacity = config_.metricsCapacity;
+    rc.metricsSampled = config_.metricsSampled;
     rc.postmortemDir = config_.postmortemDir;
     rc.driver = config_.driver;
     rc.spans = spans_.get();
@@ -900,6 +901,31 @@ Server::scrapeText() const
                  "Error-budget burn rate over the last two quota "
                  "windows (1 = burning exactly the 1% budget).",
                  [](const TenantState &t) { return burnRate(t); });
+    }
+
+    // Host-acceleration internals, folded per completed job (live
+    // mid-run, unlike the post-stop accelStats()). Host-side only:
+    // they describe the accelerator, never simulated behavior.
+    if (config_.machine.accel.enabled) {
+        const AccelStats a = runtime_->liveAccelStats();
+        gauge("fpc_serve_accel_icache_hit_rate",
+              "Host predecode cache hit rate.", a.icacheHitRate());
+        gauge("fpc_serve_accel_link_hit_rate",
+              "Host XFER link cache hit rate.", a.linkHitRate());
+        gauge("fpc_serve_accel_chain_rate",
+              "Superblock transitions served by the inline chain "
+              "pointer, per execution.",
+              a.chainRate());
+        counter("fpc_serve_accel_sblock_execs",
+                "Superblock executions (threaded backend).",
+                a.sblockExecs);
+        counter("fpc_serve_accel_fusion_hits",
+                "Fused superinstruction executions (threaded "
+                "backend).",
+                a.sblockFusionHits);
+        counter("fpc_serve_accel_deferred_flushes",
+                "Deferred-accounting folds into MachineStats.",
+                a.deferredFlushes);
     }
 
     if (spans_) {

@@ -2,8 +2,8 @@
 """Strict checker for the OpenMetrics text exposition the drivers emit.
 
 Usage:
-    check_openmetrics.py --file <exposition.txt>
-    check_openmetrics.py <driver> [driver args...]
+    check_openmetrics.py [--require-accel] --file <exposition.txt>
+    check_openmetrics.py [--require-accel] <driver> [driver args...]
 
 In driver mode the driver is run with --openmetrics-out=<tmpfile>
 appended and the resulting exposition is validated. The checks follow
@@ -23,6 +23,11 @@ the OpenMetrics 1.0 text format:
     timestamps parse as numbers;
   * burn-rate gauges (names ending `_burn_rate`) are finite and
     non-negative;
+  * accelerator ratio gauges (names ending `_hit_rate` or
+    `_chain_rate`) are finite and within [0, 1];
+  * with `--require-accel`, at least one accelerator family (a name
+    containing `_accel_`) must be declared — the guard the CI scrape
+    smoke uses to catch the accel telemetry silently disappearing;
   * the exposition ends with the mandatory `# EOF` terminator and
     nothing follows it.
 
@@ -180,6 +185,11 @@ def check(text):
                 fail(lineno, line,
                      "burn-rate gauge must be finite and "
                      "non-negative, got %r" % value)
+        elif family.endswith(("_hit_rate", "_chain_rate")):
+            if not 0.0 <= fvalue <= 1.0:
+                fail(lineno, line,
+                     "ratio gauge must be within [0, 1], got %r"
+                     % value)
         samples += 1
 
     if not saw_eof:
@@ -216,10 +226,14 @@ def check(text):
             fail(lineno, line,
                  "le=\"+Inf\" bucket (%g) must equal _count (%g)"
                  % (fvalue, want))
-    return len(families), samples
+    return families, samples
 
 
 def main(argv):
+    require_accel = False
+    if len(argv) >= 2 and argv[1] == "--require-accel":
+        require_accel = True
+        argv = argv[:1] + argv[2:]
     if len(argv) >= 3 and argv[1] == "--file":
         with open(argv[2], "r", encoding="utf-8") as f:
             text = f.read()
@@ -242,9 +256,18 @@ def main(argv):
         sys.stderr.write(__doc__)
         return 2
 
-    nfam, nsamples = check(text)
+    families, nsamples = check(text)
+    if require_accel:
+        accel = sorted(n for n in families if "_accel_" in n)
+        if not accel:
+            sys.stderr.write(
+                "check_openmetrics: --require-accel: no accelerator "
+                "family (*_accel_*) declared\n")
+            return 1
+        print("check_openmetrics: accel families: %s"
+              % ", ".join(accel))
     print("check_openmetrics: OK (%d families, %d samples)"
-          % (nfam, nsamples))
+          % (len(families), nsamples))
     return 0
 
 

@@ -65,6 +65,9 @@ struct Options
     bool profile = false;
     unsigned profileTop = 20;
     std::string profileFolded; ///< folded-stacks path (flamegraph.pl)
+    bool profileSampled = false;
+    Tick sampleInterval = 9973; ///< cycles between boundary samples
+    bool telemetrySampled = false;
     std::string statsJson;     ///< "fpc-stats-v1" document path
     std::string metricsOut;    ///< "fpc-metrics-v1" time-series path
     Tick metricsInterval = obs::Telemetry::defaultInterval;
@@ -112,6 +115,22 @@ printUsage(std::ostream &os, const char *argv0)
           "(default 20)\n"
           "  --profile-folded=FILE           write folded stacks "
           "(flamegraph.pl)\n"
+          "  --profile-sampled               sampled (accel-safe) "
+          "profile: boundary\n"
+          "                                  samples instead of exact "
+          "XFER observation,\n"
+          "                                  so --accel fast paths "
+          "keep running\n"
+          "  --sample-interval=N             cycles between boundary "
+          "samples (default\n"
+          "                                  9973; prime to avoid "
+          "loop aliasing)\n"
+          "  --telemetry-mode=exact|sampled  exact: cycle-precise "
+          "sampler (forces the\n"
+          "                                  eager loop; default). "
+          "sampled: bounded-slop\n"
+          "                                  boundary samples, accel "
+          "fast paths kept\n"
           "  --stats-json=FILE               write merged statistics "
           "as JSON\n"
           "  --metrics-out=FILE              write a fpc-metrics-v1 "
@@ -229,8 +248,20 @@ parseArgs(int argc, char **argv)
             opt.profile = true;
             opt.profileTop = std::stoul(value("--profile-top="));
         } else if (arg.rfind("--profile-folded=", 0) == 0) {
-            opt.profile = true;
             opt.profileFolded = value("--profile-folded=");
+        } else if (arg == "--profile-sampled") {
+            opt.profileSampled = true;
+        } else if (arg.rfind("--sample-interval=", 0) == 0) {
+            opt.sampleInterval =
+                std::stoull(value("--sample-interval="));
+        } else if (arg.rfind("--telemetry-mode=", 0) == 0) {
+            const std::string v = value("--telemetry-mode=");
+            if (v == "exact")
+                opt.telemetrySampled = false;
+            else if (v == "sampled")
+                opt.telemetrySampled = true;
+            else
+                usage(argv[0]);
         } else if (arg.rfind("--stats-json=", 0) == 0) {
             opt.statsJson = value("--stats-json=");
         } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -268,6 +299,17 @@ parseArgs(int argc, char **argv)
     }
     if (opt.file.empty() && !opt.synthetic)
         usage(argv[0]);
+    // A folded path alone keeps its historical meaning (exact
+    // profile); with --profile-sampled it exports the sampled one.
+    if (!opt.profileFolded.empty() && !opt.profileSampled)
+        opt.profile = true;
+    if (opt.telemetrySampled && !opt.recordOut.empty()) {
+        std::cerr << argv[0]
+                  << ": --telemetry-mode=sampled cannot be combined "
+                     "with --record-out (replay requires the exact "
+                     "sampler chain)\n";
+        std::exit(2);
+    }
     return opt;
 }
 
@@ -317,13 +359,31 @@ try {
     rc.trace = !opt.traceOut.empty();
     rc.traceCapacity = opt.traceCapacity;
     rc.profile = opt.profile;
+    rc.profileSampled = opt.profileSampled;
+    rc.sampleInterval = opt.sampleInterval;
     rc.metrics =
         !opt.metricsOut.empty() || !opt.openmetricsOut.empty();
     rc.metricsInterval = opt.metricsInterval;
     rc.metricsCapacity = opt.metricsCapacity;
+    rc.metricsSampled = opt.telemetrySampled;
     rc.postmortemDir = opt.postmortemDir;
     rc.record = !opt.recordOut.empty();
     rc.driver = "fpcrun";
+
+    // Exact observation forces every worker's eager loop: say so
+    // once, up front, rather than letting an accelerated run
+    // silently lose its speedup.
+    const bool forcesEager =
+        rc.trace || rc.profile || rc.record ||
+        !rc.postmortemDir.empty() || (rc.metrics && !rc.metricsSampled);
+    if (opt.accel && forcesEager) {
+        warn("fpcrun: exact observation (--profile/--trace-out/"
+             "--record-out/--postmortem-dir/exact metrics) forces the "
+             "eager loop; --accel={} keeps only its XFER caches. Use "
+             "--profile-sampled / --telemetry-mode=sampled to keep "
+             "the fast path",
+             opt.threaded ? "threaded" : "on");
+    }
     // Batch spans: the runtime synthesizes request ⊃ queued ⊃ execute
     // trees per job (host time only — simulated numbers untouched).
     std::unique_ptr<obs::SpanCollector> spans;
@@ -441,6 +501,21 @@ try {
                   << " by exclusive cycles) ---\n";
         data.topTable(opt.profileTop).print(std::cout);
         if (!opt.profileFolded.empty()) {
+            std::ofstream out(opt.profileFolded);
+            if (!out) {
+                error("fpcrun: cannot write {}", opt.profileFolded);
+                return 1;
+            }
+            data.writeFolded(out);
+        }
+    }
+    if (opt.profileSampled) {
+        const obs::SampledProfile &data = runtime.sampledProfile();
+        std::cout << "\n--- merged sampled profile (top "
+                  << opt.profileTop << " by samples, interval "
+                  << opt.sampleInterval << " cycles) ---\n";
+        data.topTable(opt.profileTop).print(std::cout);
+        if (!opt.profileFolded.empty() && !opt.profile) {
             std::ofstream out(opt.profileFolded);
             if (!out) {
                 error("fpcrun: cannot write {}", opt.profileFolded);

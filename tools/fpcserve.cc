@@ -96,6 +96,13 @@ printUsage(std::ostream &os, const char *argv0)
           "(default "
        << obs::Telemetry::defaultInterval
        << ")\n"
+          "  --telemetry-mode=exact|sampled  exact: cycle-precise "
+          "sampler (forces the\n"
+          "                                  eager loop on every "
+          "worker; default).\n"
+          "                                  sampled: bounded-slop "
+          "boundary samples,\n"
+          "                                  accel fast paths kept\n"
           "  --openmetrics-out=FILE          write the series as "
           "OpenMetrics text at drain\n"
           "  --spans-out=FILE                write request spans as "
@@ -245,6 +252,14 @@ parseArgs(int argc, char **argv)
         } else if (arg.rfind("--metrics-interval=", 0) == 0) {
             sc.metricsInterval =
                 std::stoull(value("--metrics-interval="));
+        } else if (arg.rfind("--telemetry-mode=", 0) == 0) {
+            const std::string v = value("--telemetry-mode=");
+            if (v == "exact")
+                sc.metricsSampled = false;
+            else if (v == "sampled")
+                sc.metricsSampled = true;
+            else
+                usage(argv[0]);
         } else if (arg.rfind("--openmetrics-out=", 0) == 0) {
             opt.openmetricsOut = value("--openmetrics-out=");
         } else if (arg.rfind("--spans-out=", 0) == 0) {
@@ -290,6 +305,20 @@ parseArgs(int argc, char **argv)
     }
     sc.spans = !opt.spansOut.empty() || !opt.traceOut.empty();
     sc.trace = !opt.traceOut.empty();
+    // Exact observation forces every worker's eager loop: say so
+    // once, up front, rather than letting an accelerated server
+    // silently lose its speedup. (Spans are host-time only and do
+    // not force anything.)
+    const bool forcesEager =
+        sc.trace || !sc.postmortemDir.empty() ||
+        (sc.metrics && !sc.metricsSampled);
+    if (sc.machine.accel.enabled && forcesEager) {
+        warn("fpcserve: exact observation (--trace-out/"
+             "--postmortem-dir/exact metrics) forces the eager loop; "
+             "--accel={} keeps only its XFER caches. Use "
+             "--telemetry-mode=sampled to keep the fast path",
+             sc.machine.accel.threaded ? "threaded" : "on");
+    }
     return opt;
 }
 

@@ -30,6 +30,7 @@
 #include "obs/json.hh"
 #include "obs/postmortem.hh"
 #include "obs/profile.hh"
+#include "obs/sampled_profile.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "program/loader.hh"
@@ -63,6 +64,9 @@ struct Options
     bool profile = false;
     unsigned profileTop = 20;
     std::string profileFolded; ///< folded-stacks path (flamegraph.pl)
+    bool profileSampled = false;
+    Tick sampleInterval = 9973; ///< cycles between boundary samples
+    bool telemetrySampled = false;
     std::string statsJson;     ///< "fpc-stats-v1" document path
     std::string metricsOut;    ///< "fpc-metrics-v1" time-series path
     Tick metricsInterval = obs::Telemetry::defaultInterval;
@@ -104,6 +108,22 @@ printUsage(std::ostream &os, const char *argv0)
           "(default 20)\n"
           "  --profile-folded=FILE           write folded stacks "
           "(flamegraph.pl)\n"
+          "  --profile-sampled               sampled (accel-safe) "
+          "profile: boundary\n"
+          "                                  samples instead of exact "
+          "XFER observation,\n"
+          "                                  so --accel fast paths "
+          "keep running\n"
+          "  --sample-interval=N             cycles between boundary "
+          "samples (default\n"
+          "                                  9973; prime to avoid "
+          "loop aliasing)\n"
+          "  --telemetry-mode=exact|sampled  exact: cycle-precise "
+          "sampler (forces the\n"
+          "                                  eager loop; default). "
+          "sampled: bounded-slop\n"
+          "                                  boundary samples, accel "
+          "fast paths kept\n"
           "  --stats-json=FILE               write statistics as JSON\n"
           "  --metrics-out=FILE              write a fpc-metrics-v1 "
           "time series\n"
@@ -212,8 +232,20 @@ parseArgs(int argc, char **argv)
             opt.profile = true;
             opt.profileTop = std::stoul(value("--profile-top="));
         } else if (arg.rfind("--profile-folded=", 0) == 0) {
-            opt.profile = true;
             opt.profileFolded = value("--profile-folded=");
+        } else if (arg == "--profile-sampled") {
+            opt.profileSampled = true;
+        } else if (arg.rfind("--sample-interval=", 0) == 0) {
+            opt.sampleInterval =
+                std::stoull(value("--sample-interval="));
+        } else if (arg.rfind("--telemetry-mode=", 0) == 0) {
+            const std::string v = value("--telemetry-mode=");
+            if (v == "exact")
+                opt.telemetrySampled = false;
+            else if (v == "sampled")
+                opt.telemetrySampled = true;
+            else
+                usage(argv[0]);
         } else if (arg.rfind("--stats-json=", 0) == 0) {
             opt.statsJson = value("--stats-json=");
         } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -249,6 +281,17 @@ parseArgs(int argc, char **argv)
     }
     if (opt.file.empty())
         usage(argv[0]);
+    // A folded path alone keeps its historical meaning (exact
+    // profile); with --profile-sampled it exports the sampled one.
+    if (!opt.profileFolded.empty() && !opt.profileSampled)
+        opt.profile = true;
+    if (opt.telemetrySampled && !opt.recordOut.empty()) {
+        std::cerr << argv[0]
+                  << ": --telemetry-mode=sampled cannot be combined "
+                     "with --record-out (replay requires the exact "
+                     "sampler chain)\n";
+        std::exit(2);
+    }
     return opt;
 }
 
@@ -424,8 +467,39 @@ try {
         if (telemetryWanted)
             replayRec.setNext(&telemetry);
         machine.setSampler(&replayRec, opt.metricsInterval);
-    } else if (telemetryWanted) {
+    } else if (telemetryWanted && !opt.telemetrySampled) {
         machine.setSampler(&telemetry, opt.metricsInterval);
+    }
+
+    // Sampled (accel-safe) observability rides the boundary-sample
+    // slot: the accel fast paths keep running and sample stamps obey
+    // the bounded-slop contract (machine/machine.hh).
+    std::optional<obs::SampledProfiler> sampledProfiler;
+    obs::BoundaryFanout boundaryFan;
+    if (opt.profileSampled) {
+        sampledProfiler.emplace(image);
+        boundaryFan.add(&*sampledProfiler, opt.sampleInterval);
+    }
+    if (telemetryWanted && opt.telemetrySampled)
+        boundaryFan.add(&telemetry, opt.metricsInterval);
+    if (!boundaryFan.empty())
+        machine.setBoundarySampler(&boundaryFan,
+                                   boundaryFan.machineInterval());
+
+    // Exact observation forces the eager loop: say so once, up
+    // front, rather than letting an accelerated run silently lose
+    // its speedup.
+    const bool forcesEager =
+        !opt.traceOut.empty() || opt.profile ||
+        !opt.postmortemDir.empty() || !opt.recordOut.empty() ||
+        (telemetryWanted && !opt.telemetrySampled);
+    if (opt.accel && forcesEager) {
+        warn("fpcvm: exact observation (--profile/--trace-out/"
+             "--record-out/--postmortem-dir/exact metrics) forces the "
+             "eager loop; --accel={} keeps only its XFER caches. Use "
+             "--profile-sampled / --telemetry-mode=sampled to keep "
+             "the fast path",
+             opt.threaded ? "threaded" : "on");
     }
 
     if (opt.timeslice > 0) {
@@ -508,6 +582,21 @@ try {
             data.writeFolded(out);
         }
     }
+    if (sampledProfiler) {
+        const obs::SampledProfile data = sampledProfiler->finish();
+        std::cout << "\n--- sampled profile (top " << opt.profileTop
+                  << " by samples, interval " << opt.sampleInterval
+                  << " cycles) ---\n";
+        data.topTable(opt.profileTop).print(std::cout);
+        if (!opt.profileFolded.empty() && !opt.profile) {
+            std::ofstream out(opt.profileFolded);
+            if (!out) {
+                error("fpcvm: cannot write {}", opt.profileFolded);
+                return 1;
+            }
+            data.writeFolded(out);
+        }
+    }
     if (!opt.statsJson.empty()) {
         std::ofstream out(opt.statsJson);
         if (!out) {
@@ -538,7 +627,10 @@ try {
         meta.interval = opt.metricsInterval;
         // Host hit rates only on request, like --accel-stats: the
         // default series must be byte-identical with --accel=on|off.
-        meta.includeAccel = opt.accelStats;
+        // Sampled series are not byte-identical across the switch
+        // anyway (their purpose is observing accelerated runs), so
+        // there the accel gauges flow by default.
+        meta.includeAccel = opt.accelStats || opt.telemetrySampled;
         if (!opt.metricsOut.empty()) {
             std::ofstream out(opt.metricsOut);
             if (!out) {
