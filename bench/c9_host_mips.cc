@@ -28,6 +28,7 @@
 #include <array>
 
 #include "bench_util.hh"
+#include "obs/probes.hh"
 #include "obs/sampled_profile.hh"
 #include "obs/telemetry.hh"
 
@@ -359,6 +360,158 @@ printObsOverhead(unsigned repeat, JsonReport &json)
                  "exact observation pays the eager loop.\n";
 }
 
+/** The probe states the probe_overhead table compares on the
+ *  threaded backend. */
+enum class ProbeState
+{
+    Unprobed, ///< no probe sink at all
+    Probed,   ///< one hot procedure probed (selective deopt)
+    AllProbed ///< every procedure probed (upper bound on the cost)
+};
+
+constexpr std::array<ProbeState, 3> allProbeStates = {
+    ProbeState::Unprobed, ProbeState::Probed, ProbeState::AllProbed};
+
+/** A workload where instruction volume and call frequency separate:
+ *  kernel() holds ~95% of the instructions, tick() is called every
+ *  outer iteration (a hot probe target) but is three instructions
+ *  long. Probing tick() deopts only tick's superblocks, so the
+ *  retention column prices exactly what selective deopt promises:
+ *  unprobed code keeps threaded speed. */
+inline std::vector<Module>
+probeWorkload()
+{
+    return lang::compile(R"(
+        module Work;
+        var acc;
+        proc kernel(n) {
+            var i;
+            i = 0;
+            while (i < n) {
+                acc = acc + i;
+                i = i + 1;
+            }
+            return acc;
+        }
+        proc tick(x) { return x + 1; }
+        proc main(reps) {
+            var r;
+            r = 0;
+            while (r < reps) {
+                acc = kernel(400);
+                acc = tick(acc);
+                r = r + 1;
+            }
+            return acc;
+        }
+    )");
+}
+
+/**
+ * Probe overhead: wall time of the threaded backend with no probes,
+ * with one hot procedure probed ('entry:Work.tick ->
+ * quantize(cycles)' — only tick's superblocks deopt to the eager
+ * path), and with every procedure probed (the upper bound selective
+ * deopt avoids). Probes charge zero simulated cycles; this table is
+ * the host-side price. Same rebuilt-rig, interleaved min-of-N
+ * discipline as the obs_overhead table.
+ */
+void
+printProbeOverhead(unsigned repeat, JsonReport &json)
+{
+    constexpr Word workReps = 600;
+    std::cout << "\nDynamic-probe overhead on the threaded backend "
+                 "(kernel-heavy workload, tick() probed), min of "
+              << repeat << " runs:\n\n";
+    stats::Table table({"impl", "unprobed ms", "probed ms",
+                        "all-probed ms", "retention",
+                        "all-probed retention"});
+
+    obs::ProbeRegistry hotRegistry;
+    obs::ProbeRegistry allRegistry;
+    {
+        std::string err;
+        if (!obs::attachProbeSpecs(
+                hotRegistry,
+                {"entry:Work.tick -> quantize(cycles)"}, err) ||
+            !obs::attachProbeSpecs(
+                allRegistry, {"entry:Work.* -> quantize(cycles)"},
+                err))
+            throw std::runtime_error("probe spec: " + err);
+    }
+
+    double min_retention = 0;
+    bool first = true;
+    for (const EngineCombo &combo : allEngines()) {
+        constexpr unsigned innerReps = 5;
+        using clock = std::chrono::steady_clock;
+        std::array<double, 3> secs{};
+        if (repeat == 0)
+            repeat = 1;
+        for (unsigned r = 0; r < repeat; ++r) {
+            for (std::size_t i = 0; i < allProbeStates.size(); ++i) {
+                MachineConfig config = configFor(combo);
+                config.accel.enabled = true;
+                config.accel.threaded = true;
+                Rig rig(probeWorkload(), planFor(combo), config);
+                obs::ProbeRegistry *registry = nullptr;
+                switch (allProbeStates[i]) {
+                  case ProbeState::Unprobed:
+                    break;
+                  case ProbeState::Probed:
+                    registry = &hotRegistry;
+                    break;
+                  case ProbeState::AllProbed:
+                    registry = &allRegistry;
+                    break;
+                }
+                std::optional<obs::ProbeEngine> engine;
+                if (registry != nullptr) {
+                    engine.emplace(registry->snapshot(), rig.image,
+                                   "", 0);
+                    rig.machine->setProbeSink(&*engine,
+                                              engine->armedRanges());
+                }
+                // Warm run: frame free lists + host caches (the
+                // armed superblock set reaches steady state here).
+                runToResult(*rig.machine, "Work", "main", {workReps});
+                const auto t0 = clock::now();
+                for (unsigned k = 0; k < innerReps; ++k)
+                    runToResult(*rig.machine, "Work", "main",
+                                {workReps});
+                const std::chrono::duration<double> dt =
+                    clock::now() - t0;
+                if (r == 0 || dt.count() < secs[i])
+                    secs[i] = dt.count();
+            }
+        }
+
+        const double retention = secs[0] / secs[1];
+        const double all_retention = secs[0] / secs[2];
+        table.row(implName(combo.impl),
+                  stats::fixed(secs[0] * 1e3, 2),
+                  stats::fixed(secs[1] * 1e3, 2),
+                  stats::fixed(secs[2] * 1e3, 2),
+                  stats::percent(retention),
+                  stats::percent(all_retention));
+
+        const std::string impl = implName(combo.impl);
+        json.metric("probe_retention_" + impl, retention);
+        json.metric("all_probed_retention_" + impl, all_retention);
+        if (first || retention < min_retention)
+            min_retention = retention;
+        first = false;
+    }
+    table.print(std::cout);
+    json.table("probe_overhead", table);
+    json.metric("min_probe_retention", min_retention);
+
+    std::cout << "\nAcceptance shape: with one hot procedure probed, "
+                 "unprobed code retains >= 90% of unprobed threaded "
+                 "throughput (selective deopt); probing every "
+                 "procedure prices what that selectivity avoids.\n";
+}
+
 void
 BM_HostPrimes(benchmark::State &state)
 {
@@ -384,6 +537,7 @@ try {
 
     printHostThroughput(repeat, json);
     printObsOverhead(repeat, json);
+    printProbeOverhead(repeat, json);
     json.write();
     std::cout << "\n";
     benchmark::Initialize(&argc, argv);

@@ -55,6 +55,9 @@ AccelStats::merge(const AccelStats &other)
     sblockChainHits += other.sblockChainHits;
     sblockFusionHits += other.sblockFusionHits;
     deferredFlushes += other.deferredFlushes;
+    probeSites += other.probeSites;
+    probeDeoptBlocks += other.probeDeoptBlocks;
+    probeEagerSteps += other.probeEagerSteps;
 }
 
 Accel::Accel(const AccelConfig &config, const LoadedImage &image,

@@ -93,6 +93,14 @@ struct AccelStats
      *  (loop exits, cache flushes, boundary samples). */
     CountT deferredFlushes = 0;
 
+    /** Dynamic probes (machine.hh ProbeSink): armed code ranges
+     *  registered, superblocks selectively invalidated at arm time,
+     *  and steps the accelerated loops deoptimized to the exact eager
+     *  path because the PC lay inside an armed range. */
+    CountT probeSites = 0;
+    CountT probeDeoptBlocks = 0;
+    CountT probeEagerSteps = 0;
+
     CountT linkHits() const
     {
         return extHits + localHits + directHits + fatHits;

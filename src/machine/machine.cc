@@ -436,6 +436,34 @@ Machine::setBoundarySampler(BoundarySampler *sampler,
 }
 
 void
+Machine::setProbeSink(ProbeSink *sink, std::vector<ProbeRange> armed)
+{
+    probes_ = sink;
+    armed_ = std::move(armed);
+    if (sink == nullptr)
+        armed_.clear();
+    armedMin_ = ~static_cast<CodeByteAddr>(0);
+    armedMax_ = 0;
+    for (const ProbeRange &r : armed_) {
+        armedMin_ = std::min(armedMin_, r.begin);
+        armedMax_ = std::max(armedMax_, r.end);
+    }
+    if (accel_) {
+        accel_->stats.probeSites += static_cast<CountT>(armed_.size());
+        // Selective deopt: drop just the superblocks intersecting an
+        // armed range (and null chain pointers into them), so probed
+        // PCs re-enter through the outer loop's armed check while
+        // everything else keeps its blocks. Also restores the
+        // invariant the threaded chain-follow relies on: no live
+        // block or chain targets an armed entry.
+        if (sblocks_)
+            for (const ProbeRange &r : armed_)
+                sblocks_->invalidateRange(r.begin, r.end, stats_,
+                                          accel_->stats);
+    }
+}
+
+void
 Machine::fireBoundarySample()
 {
     // The accelerated loops only reach here at boundaries where their
@@ -569,11 +597,34 @@ Machine::run()
                         accel_->stats.icacheHits +=
                             acc.steps - acc.icacheMisses;
                 };
+                const bool armedChk =
+                    probes_ != nullptr && !armed_.empty();
                 try {
-                    while (done < burst &&
-                           stop_ == StopReason::Running) {
-                        stepCoreT<true, true>(&acc);
-                        ++done;
+                    if (armedChk) {
+                        // Selective deopt at burst granularity: a PC
+                        // inside an armed range takes one exact eager
+                        // step with the pending burst accounting
+                        // flushed first, so probe events there read
+                        // exact absolute stamps; unprobed code stays
+                        // batched.
+                        while (done < burst &&
+                               stop_ == StopReason::Running) {
+                            if (pcArmed(pcAbs_)) [[unlikely]] {
+                                flush();
+                                acc = BurstAcc();
+                                ++accel_->stats.probeEagerSteps;
+                                stepCoreT<true, false>();
+                            } else {
+                                stepCoreT<true, true>(&acc);
+                            }
+                            ++done;
+                        }
+                    } else {
+                        while (done < burst &&
+                               stop_ == StopReason::Running) {
+                            stepCoreT<true, true>(&acc);
+                            ++done;
+                        }
                     }
                 } catch (...) {
                     flush();

@@ -199,6 +199,50 @@ class BoundarySampler
     virtual void onBoundarySample(const Machine &machine) = 0;
 };
 
+/** A half-open range of code byte addresses a probe sink has armed
+ *  (typically one procedure's prologue + body). */
+struct ProbeRange
+{
+    CodeByteAddr begin = 0;
+    CodeByteAddr end = 0; ///< exclusive
+};
+
+/**
+ * Dynamic-probe hook; attach with Machine::setProbeSink. Unlike an
+ * XferObserver, an attached probe sink does NOT force the eager loop:
+ * the callbacks fire from inside the member transfer/frame/trap code
+ * all three backends share, where the accelerated loops' deferred
+ * counters are constant, so the refs/cycles deltas delivered here are
+ * exact under every backend. Absolute readings (machine.cycles(),
+ * stats().steps) obey a bounded-slop contract instead: events fired
+ * from unprobed threaded/burst code may lag the eager loop's stamps
+ * by at most one superblock or one burst of decode cycles, while
+ * events inside an armed range are exact — arming deoptimizes just
+ * the superblocks/bursts containing those PCs to the eager path
+ * (selective deopt; see setProbeSink). The hooks charge zero
+ * simulated cycles, so all simulated numbers are byte-identical with
+ * any probe set attached.
+ */
+class ProbeSink
+{
+  public:
+    virtual ~ProbeSink() = default;
+    /** After every completed transfer: the discipline, the storage
+     *  references and simulated cycles the transfer consumed. */
+    virtual void onProbeXfer(XferKind kind, CountT refs, Tick cycles,
+                             const Machine &machine) = 0;
+    /** After every frame allocation (fast = I4 fast-frame stack). */
+    virtual void onProbeFrameAlloc(unsigned fsi, bool fast,
+                                   const Machine &machine) = 0;
+    /** After every frame release. fsi is ~0u when the slow release
+     *  path cannot cheaply recover the size class. */
+    virtual void onProbeFrameFree(unsigned fsi, bool fast,
+                                  const Machine &machine) = 0;
+    /** On every trap, including unhandled traps that stop the run
+     *  (those never reach the XFER path). */
+    virtual void onProbeTrap(Word code, const Machine &machine) = 0;
+};
+
 struct Superblock;
 class SuperblockCache;
 
@@ -300,6 +344,30 @@ class Machine
      *  transfer; attributing through the anchor instead charges the
      *  sample to the procedure that actually spent the cycles. */
     CodeByteAddr boundaryAnchorPc() const { return bsampleAnchorPc_; }
+
+    /** Attach a dynamic-probe sink; null detaches. armed lists the
+     *  code ranges whose events need exact absolute stamps (probed
+     *  procedures): superblocks intersecting an armed range are
+     *  invalidated and those PCs execute on the exact eager path,
+     *  while unprobed code keeps full threaded/burst speed. An
+     *  attached sink does not force the eager loop — the detached
+     *  cost is one pointer null-check per transfer/frame/trap and the
+     *  armed check costs nothing until a sink is attached. */
+    void setProbeSink(ProbeSink *sink,
+                      std::vector<ProbeRange> armed = {});
+    ProbeSink *probeSink() const { return probes_; }
+
+    /** True when pc lies in a probe-armed range (exact-path code). */
+    bool
+    pcArmed(CodeByteAddr pc) const
+    {
+        if (pc < armedMin_ || pc >= armedMax_)
+            return false;
+        for (const ProbeRange &r : armed_)
+            if (pc >= r.begin && pc < r.end)
+                return true;
+        return false;
+    }
     /** @} */
 
     /** @name Transfer primitives (also for trace-driven use). @{ */
@@ -556,6 +624,13 @@ class Machine
 
     Scheduler scheduler_;
     Word trapCtx_ = nilContext;
+    /** Dynamic-probe sink and its armed code ranges. armedMin_/Max_
+     *  bound the ranges so pcArmed rejects in one compare when no
+     *  range (or no sink) is set. */
+    ProbeSink *probes_ = nullptr;
+    std::vector<ProbeRange> armed_;
+    CodeByteAddr armedMin_ = ~static_cast<CodeByteAddr>(0);
+    CodeByteAddr armedMax_ = 0;
     XferObserver *observer_ = nullptr;
     CycleSampler *sampler_ = nullptr;
     Tick sampleInterval_ = 0;

@@ -71,6 +71,36 @@ SuperblockCache::flushAll(MachineStats &stats, AccelStats &astats)
 }
 
 void
+SuperblockCache::invalidateRange(CodeByteAddr begin, CodeByteAddr end,
+                                 MachineStats &stats,
+                                 AccelStats &astats)
+{
+    // Fold first: dropped blocks may carry deferred executions.
+    flushDeferred(stats, astats);
+    const auto intersects = [&](const Superblock &b) {
+        return b.entry < end && b.entry + b.codeBytes > begin;
+    };
+    for (Superblock *&slot_entry : table_) {
+        if (slot_entry != nullptr && intersects(*slot_entry)) {
+            slot_entry = nullptr;
+            ++astats.probeDeoptBlocks;
+        }
+    }
+    // Chains bypass the outer loop's lookup (and its armed check), so
+    // no surviving chain may lead into the range.
+    for (auto &owned : arena_) {
+        Superblock &b = *owned;
+        if (b.chain == nullptr)
+            continue;
+        if (intersects(*b.chain) ||
+            (b.chainPc >= begin && b.chainPc < end)) {
+            b.chain = nullptr;
+            b.chainPc = ~0u;
+        }
+    }
+}
+
+void
 SuperblockCache::flushDeferred(MachineStats &stats, AccelStats &astats)
 {
     ++astats.deferredFlushes;
@@ -578,6 +608,11 @@ Machine::threadedLoopT(std::uint64_t &steps)
     // register compare per outer-loop iteration and per chain follow
     // — never per instruction.
     BoundarySampler *const bsmp = bsampler_;
+    // Probe arming, hoisted the same way: the no-probe cost is one
+    // register compare per outer-loop iteration. The armed set is
+    // fixed while run() executes (setProbeSink is an outside-the-run
+    // API), so hoisting is sound.
+    const bool armedChk = probes_ != nullptr && !armed_.empty();
     (void)regCyc;
     (void)bankWords;
 
@@ -848,6 +883,23 @@ Machine::threadedLoopT(std::uint64_t &steps)
         acc->sync(mem_.codeEpoch());
         if (cache.sync(mem_.codeEpoch(), stats_, acc->stats))
             prev = nullptr;
+
+        // Selective deopt: an armed PC takes one exact eager step
+        // instead of entering the block world, so probe events inside
+        // armed ranges read exact absolute stamps. Because this check
+        // guards every find/build below, no superblock is ever built
+        // (or chained to) with its entry inside an armed range —
+        // setProbeSink invalidated any pre-existing ones — which is
+        // what keeps the chain-follow fast re-entry at full_exit
+        // sound without its own armed check.
+        if (armedChk && pcArmed(pcAbs_)) [[unlikely]] {
+            prev = nullptr;
+            ++acc->stats.probeEagerSteps;
+            stepCoreT<true>();
+            ++st;
+            steps = st;
+            continue;
+        }
 
         Superblock *sb;
         if (prev != nullptr && prev->chainPc == pcAbs_) {

@@ -148,6 +148,15 @@ class SuperblockCache
     /** Drop all blocks (deferred accounting folds into stats first). */
     void flushAll(MachineStats &stats, AccelStats &astats);
 
+    /** Selective deopt for dynamic probes: forget the table entries of
+     *  blocks intersecting [begin, end) and null every chain pointer
+     *  into them, folding deferred accounting first. Arena blocks stay
+     *  alive (nothing dangles); the outer loop's armed check keeps the
+     *  range on the exact eager path afterwards. Counts the dropped
+     *  blocks into AccelStats::probeDeoptBlocks. */
+    void invalidateRange(CodeByteAddr begin, CodeByteAddr end,
+                         MachineStats &stats, AccelStats &astats);
+
     /** Fold every block's deferred execution accounting into the
      *  simulated opcode/length histograms and the host counters.
      *  Called on every threaded-loop exit (RAII) and before any

@@ -58,6 +58,12 @@ struct Machine::XferProbe
             static_cast<double>(cycles));
         if (refs == 0 && !m.xferRedirected_)
             ++s.xferFast[kindIndex(kind)];
+        // Dynamic probes sample the same deltas; the deferred
+        // burst/threaded counters are constant across the member
+        // transfer code bracketed here, so refs/cycles are exact
+        // under every backend (machine.hh ProbeSink contract).
+        if (m.probes_ != nullptr)
+            m.probes_->onProbeXfer(kind, refs, cycles, m);
         if (m.observer_ != nullptr) {
             XferRecord rec;
             rec.kind = kind;
@@ -220,6 +226,8 @@ Machine::allocFrame(unsigned fsi)
             const Addr lf = fastFrames_.back();
             fastFrames_.pop_back();
             ++stats_.fastFrameAllocs;
+            if (probes_ != nullptr)
+                probes_->onProbeFrameAlloc(fastFsi_, true, *this);
             return {lf, fastFsi_, true};
         }
         // Underflow: fall back to the AV heap, still standard-sized.
@@ -228,6 +236,8 @@ Machine::allocFrame(unsigned fsi)
         const Addr lf = heap_.alloc(fastFsi_);
         stats_.cycles +=
             config_.latency.memCycles * (mem_.totalRefs() - refs0);
+        if (probes_ != nullptr)
+            probes_->onProbeFrameAlloc(fastFsi_, false, *this);
         return {lf, fastFsi_, false};
     }
     ++stats_.slowFrameAllocs;
@@ -235,6 +245,8 @@ Machine::allocFrame(unsigned fsi)
     const Addr lf = heap_.alloc(fsi);
     stats_.cycles +=
         config_.latency.memCycles * (mem_.totalRefs() - refs0);
+    if (probes_ != nullptr)
+        probes_->onProbeFrameAlloc(fsi, false, *this);
     return {lf, fsi, false};
 }
 
@@ -253,6 +265,8 @@ Machine::releaseFrame(Addr frame_ptr, int bank)
         ++stats_.fastFrameFrees;
         if (bank >= 0)
             banks_.free(bank); // contents die with the frame
+        if (probes_ != nullptr)
+            probes_->onProbeFrameFree(fastFsi_, true, *this);
         return;
     }
 
@@ -265,6 +279,14 @@ Machine::releaseFrame(Addr frame_ptr, int bank)
         if (!freed)
             flushBank(bank); // retained frame lives on in storage
         banks_.free(bank);
+    }
+    if (probes_ != nullptr) {
+        // The slow path releases arbitrary frames; the size class is
+        // only known when the register hint covers this frame.
+        const unsigned fsi = curFrameFsiValid_ && frame_ptr == lf_
+                                 ? curFrameFsi_
+                                 : ~0u;
+        probes_->onProbeFrameFree(fsi, false, *this);
     }
 }
 
@@ -709,6 +731,11 @@ Machine::resumeProcess(Word ctx)
 void
 Machine::trap(Word code, const std::string &message)
 {
+    // The trap probe site hooks here rather than the XFER path:
+    // an unhandled trap stops the run without ever constructing an
+    // XferProbe, and probes should see it regardless.
+    if (probes_ != nullptr)
+        probes_->onProbeTrap(code, *this);
     if (trapCtx_ == nilContext) {
         stopWith(StopReason::Error, message);
         return;

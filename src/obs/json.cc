@@ -296,6 +296,11 @@ accelStatsJson(JsonWriter &w, const AccelStats &s)
     w.kv("execs", s.sblockExecs);
     w.kv("chainHits", s.sblockChainHits);
     w.endObject();
+    w.key("probes").beginObject();
+    w.kv("sites", s.probeSites);
+    w.kv("deoptBlocks", s.probeDeoptBlocks);
+    w.kv("eagerSteps", s.probeEagerSteps);
+    w.endObject();
     w.endObject();
 }
 

@@ -1,0 +1,525 @@
+#include "obs/probe_lang.hh"
+
+#include <cctype>
+
+namespace fpc::obs
+{
+
+namespace
+{
+
+/** Cursor over the spec text with the usual recursive-descent
+ *  helpers; whitespace is skipped between tokens. */
+struct Cursor
+{
+    std::string_view s;
+    std::size_t pos = 0;
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+    bool done()
+    {
+        skipWs();
+        return pos >= s.size();
+    }
+    char
+    peek()
+    {
+        skipWs();
+        return pos < s.size() ? s[pos] : '\0';
+    }
+    bool
+    eat(char c)
+    {
+        skipWs();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+    bool
+    eatWord(std::string_view word)
+    {
+        skipWs();
+        if (s.substr(pos, word.size()) != word)
+            return false;
+        pos += word.size();
+        return true;
+    }
+    /** Identifier-ish token: letters, digits, and the characters
+     *  procedure names and globs use. */
+    std::string
+    token(std::string_view extra = "")
+    {
+        skipWs();
+        std::string out;
+        while (pos < s.size()) {
+            const char c = s[pos];
+            const bool word =
+                std::isalnum(static_cast<unsigned char>(c)) ||
+                c == '_' || c == '.' || c == '*' || c == '?';
+            if (!word && extra.find(c) == std::string_view::npos)
+                break;
+            out.push_back(c);
+            ++pos;
+        }
+        return out;
+    }
+};
+
+bool
+parseUint(const std::string &tok, std::uint64_t &out)
+{
+    if (tok.empty())
+        return false;
+    out = 0;
+    for (char c : tok) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+        out = out * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return true;
+}
+
+bool
+parseCmp(Cursor &c, ProbeCmp &out)
+{
+    if (c.eatWord("=="))
+        out = ProbeCmp::Eq;
+    else if (c.eatWord("!="))
+        out = ProbeCmp::Ne;
+    else if (c.eatWord("<="))
+        out = ProbeCmp::Le;
+    else if (c.eatWord(">="))
+        out = ProbeCmp::Ge;
+    else if (c.eatWord("<"))
+        out = ProbeCmp::Lt;
+    else if (c.eatWord(">"))
+        out = ProbeCmp::Gt;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseXferKind(const std::string &tok, XferKind &out)
+{
+    if (tok == "extcall")
+        out = XferKind::ExtCall;
+    else if (tok == "localcall")
+        out = XferKind::LocalCall;
+    else if (tok == "directcall")
+        out = XferKind::DirectCall;
+    else if (tok == "fatcall")
+        out = XferKind::FatCall;
+    else if (tok == "return")
+        out = XferKind::Return;
+    else if (tok == "coroutine")
+        out = XferKind::Coroutine;
+    else if (tok == "procswitch")
+        out = XferKind::ProcSwitch;
+    else if (tok == "trap")
+        out = XferKind::Trap;
+    else
+        return false;
+    return true;
+}
+
+const char *
+xferKindToken(XferKind kind)
+{
+    switch (kind) {
+    case XferKind::ExtCall:
+        return "extcall";
+    case XferKind::LocalCall:
+        return "localcall";
+    case XferKind::DirectCall:
+        return "directcall";
+    case XferKind::FatCall:
+        return "fatcall";
+    case XferKind::Return:
+        return "return";
+    case XferKind::Coroutine:
+        return "coroutine";
+    case XferKind::ProcSwitch:
+        return "procswitch";
+    case XferKind::Trap:
+        return "trap";
+    default:
+        return "?";
+    }
+}
+
+bool
+parseExpr(const std::string &tok, ProbeExpr &out)
+{
+    if (tok == "refs")
+        out = ProbeExpr::Refs;
+    else if (tok == "cycles")
+        out = ProbeExpr::Cycles;
+    else if (tok == "depth")
+        out = ProbeExpr::Depth;
+    else if (tok == "fsi")
+        out = ProbeExpr::Fsi;
+    else
+        return false;
+    return true;
+}
+
+bool
+parsePredicate(Cursor &c, ProbePredicate &out, std::string &err)
+{
+    const std::string key = c.token();
+    if (key == "depth" || key == "fsi") {
+        out.kind = key == "depth" ? ProbePredicate::Kind::Depth
+                                  : ProbePredicate::Kind::Fsi;
+        if (!parseCmp(c, out.cmp)) {
+            err = "expected comparison after '" + key + "'";
+            return false;
+        }
+        if (!parseUint(c.token(), out.number)) {
+            err = "expected number after '" + key + "' comparison";
+            return false;
+        }
+        return true;
+    }
+    if (key == "tenant" || key == "caller") {
+        out.kind = key == "tenant" ? ProbePredicate::Kind::Tenant
+                                   : ProbePredicate::Kind::Caller;
+        out.cmp = ProbeCmp::Eq;
+        if (!c.eatWord("==")) {
+            err = "'" + key + "' only supports '=='";
+            return false;
+        }
+        out.text = c.token();
+        if (out.text.empty()) {
+            err = "expected pattern after '" + key + " =='";
+            return false;
+        }
+        return true;
+    }
+    if (key == "callstr") {
+        out.kind = ProbePredicate::Kind::CallString;
+        out.cmp = ProbeCmp::Eq;
+        if (!c.eatWord("==")) {
+            err = "'callstr' only supports '=='";
+            return false;
+        }
+        do {
+            const std::string part = c.token();
+            if (part.empty()) {
+                err = "expected glob in 'callstr' path";
+                return false;
+            }
+            out.path.push_back(part);
+        } while (c.eat('/'));
+        return true;
+    }
+    err = key.empty() ? "expected predicate"
+                      : "unknown predicate '" + key + "'";
+    return false;
+}
+
+/** Canonical rendering: the identity probes are merged/deduped by. */
+std::string
+render(const ProbeSpec &spec)
+{
+    std::string out;
+    switch (spec.site) {
+    case ProbeSite::Entry:
+        out = "entry:" + spec.pattern;
+        break;
+    case ProbeSite::Exit:
+        out = "exit:" + spec.pattern;
+        break;
+    case ProbeSite::Xfer:
+        out = std::string("xfer:") + xferKindToken(spec.kind);
+        break;
+    case ProbeSite::Trap:
+        out = "trap";
+        break;
+    case ProbeSite::ProcSwitch:
+        out = "procswitch";
+        break;
+    case ProbeSite::FrameAlloc:
+        out = "alloc";
+        break;
+    case ProbeSite::FrameFree:
+        out = "free";
+        break;
+    }
+    if (!spec.predicates.empty()) {
+        out += "{";
+        bool first = true;
+        for (const ProbePredicate &p : spec.predicates) {
+            if (!first)
+                out += ", ";
+            first = false;
+            switch (p.kind) {
+            case ProbePredicate::Kind::Depth:
+                out += "depth ";
+                out += probeCmpName(p.cmp);
+                out += " " + std::to_string(p.number);
+                break;
+            case ProbePredicate::Kind::Fsi:
+                out += "fsi ";
+                out += probeCmpName(p.cmp);
+                out += " " + std::to_string(p.number);
+                break;
+            case ProbePredicate::Kind::Tenant:
+                out += "tenant == " + p.text;
+                break;
+            case ProbePredicate::Kind::Caller:
+                out += "caller == " + p.text;
+                break;
+            case ProbePredicate::Kind::CallString: {
+                out += "callstr == ";
+                bool firstPart = true;
+                for (const std::string &part : p.path) {
+                    if (!firstPart)
+                        out += "/";
+                    firstPart = false;
+                    out += part;
+                }
+                break;
+            }
+            }
+        }
+        out += "}";
+    }
+    out += " -> ";
+    out += probeActionName(spec.action);
+    if (spec.action == ProbeAction::Capture)
+        out += "(" + std::to_string(spec.captureDepth) + ")";
+    else if (spec.action != ProbeAction::Count)
+        out += std::string("(") + probeExprName(spec.expr) + ")";
+    return out;
+}
+
+} // namespace
+
+bool
+parseProbeSpec(std::string_view input, ProbeSpec &out, std::string &err)
+{
+    out = ProbeSpec();
+    Cursor c{input};
+
+    // -- site ---------------------------------------------------------
+    const std::string site = c.token();
+    if (site == "entry" || site == "exit") {
+        if (!c.eat(':')) {
+            err = "expected ':<glob>' after '" + site + "'";
+            return false;
+        }
+        out.site =
+            site == "entry" ? ProbeSite::Entry : ProbeSite::Exit;
+        out.pattern = c.token();
+        if (out.pattern.empty()) {
+            err = "expected procedure glob after '" + site + ":'";
+            return false;
+        }
+    } else if (site == "xfer") {
+        if (!c.eat(':')) {
+            err = "expected ':<kind>' after 'xfer'";
+            return false;
+        }
+        out.site = ProbeSite::Xfer;
+        if (!parseXferKind(c.token(), out.kind)) {
+            err = "unknown XFER kind (want extcall/localcall/"
+                  "directcall/fatcall/return/coroutine/procswitch/"
+                  "trap)";
+            return false;
+        }
+    } else if (site == "trap") {
+        out.site = ProbeSite::Trap;
+    } else if (site == "procswitch") {
+        out.site = ProbeSite::ProcSwitch;
+    } else if (site == "alloc") {
+        out.site = ProbeSite::FrameAlloc;
+    } else if (site == "free") {
+        out.site = ProbeSite::FrameFree;
+    } else {
+        err = site.empty()
+                  ? "empty probe spec"
+                  : "unknown probe site '" + site + "'";
+        return false;
+    }
+
+    // -- predicates ---------------------------------------------------
+    if (c.eat('{')) {
+        do {
+            ProbePredicate pred;
+            if (!parsePredicate(c, pred, err))
+                return false;
+            out.predicates.push_back(std::move(pred));
+        } while (c.eat(','));
+        if (!c.eat('}')) {
+            err = "expected '}' closing the predicate list";
+            return false;
+        }
+    }
+
+    // -- action -------------------------------------------------------
+    if (c.eatWord("->")) {
+        const std::string action = c.token();
+        if (action == "count") {
+            out.action = ProbeAction::Count;
+        } else if (action == "sum" || action == "min" ||
+                   action == "max" || action == "quantize") {
+            out.action = action == "sum"   ? ProbeAction::Sum
+                         : action == "min" ? ProbeAction::Min
+                         : action == "max" ? ProbeAction::Max
+                                           : ProbeAction::Quantize;
+            if (!c.eat('(')) {
+                err = "expected '(<expr>)' after '" + action + "'";
+                return false;
+            }
+            if (!parseExpr(c.token(), out.expr)) {
+                err = "unknown expression (want refs/cycles/depth/"
+                      "fsi)";
+                return false;
+            }
+            if (!c.eat(')')) {
+                err = "expected ')' after the expression";
+                return false;
+            }
+        } else if (action == "capture") {
+            out.action = ProbeAction::Capture;
+            std::uint64_t n = 0;
+            if (!c.eat('(') || !parseUint(c.token(), n) ||
+                !c.eat(')')) {
+                err = "expected 'capture(<N>)'";
+                return false;
+            }
+            if (n == 0 || n > 65536) {
+                err = "capture ring size must be in [1, 65536]";
+                return false;
+            }
+            out.captureDepth = static_cast<std::uint32_t>(n);
+        } else {
+            err = action.empty()
+                      ? "expected action after '->'"
+                      : "unknown action '" + action + "'";
+            return false;
+        }
+    }
+
+    if (!c.done()) {
+        err = "trailing garbage at offset " + std::to_string(c.pos);
+        return false;
+    }
+    out.text = render(out);
+    return true;
+}
+
+bool
+probeGlobMatch(std::string_view pattern, std::string_view name)
+{
+    // Classic backtracking glob: linear in practice, no recursion.
+    std::size_t p = 0, n = 0;
+    std::size_t starP = std::string_view::npos, starN = 0;
+    while (n < name.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == name[n])) {
+            ++p;
+            ++n;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            starP = p++;
+            starN = n;
+        } else if (starP != std::string_view::npos) {
+            p = starP + 1;
+            n = ++starN;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+const char *
+probeSiteName(ProbeSite site)
+{
+    switch (site) {
+    case ProbeSite::Entry:
+        return "entry";
+    case ProbeSite::Exit:
+        return "exit";
+    case ProbeSite::Xfer:
+        return "xfer";
+    case ProbeSite::Trap:
+        return "trap";
+    case ProbeSite::ProcSwitch:
+        return "procswitch";
+    case ProbeSite::FrameAlloc:
+        return "alloc";
+    case ProbeSite::FrameFree:
+        return "free";
+    }
+    return "?";
+}
+
+const char *
+probeActionName(ProbeAction action)
+{
+    switch (action) {
+    case ProbeAction::Count:
+        return "count";
+    case ProbeAction::Sum:
+        return "sum";
+    case ProbeAction::Min:
+        return "min";
+    case ProbeAction::Max:
+        return "max";
+    case ProbeAction::Quantize:
+        return "quantize";
+    case ProbeAction::Capture:
+        return "capture";
+    }
+    return "?";
+}
+
+const char *
+probeExprName(ProbeExpr expr)
+{
+    switch (expr) {
+    case ProbeExpr::Refs:
+        return "refs";
+    case ProbeExpr::Cycles:
+        return "cycles";
+    case ProbeExpr::Depth:
+        return "depth";
+    case ProbeExpr::Fsi:
+        return "fsi";
+    }
+    return "?";
+}
+
+const char *
+probeCmpName(ProbeCmp cmp)
+{
+    switch (cmp) {
+    case ProbeCmp::Eq:
+        return "==";
+    case ProbeCmp::Ne:
+        return "!=";
+    case ProbeCmp::Lt:
+        return "<";
+    case ProbeCmp::Le:
+        return "<=";
+    case ProbeCmp::Gt:
+        return ">";
+    case ProbeCmp::Ge:
+        return ">=";
+    }
+    return "?";
+}
+
+} // namespace fpc::obs

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The fpcprobe specification language: a DTrace-idiom one-liner per
+ * probe, parsed from --probe='<site>{<predicate>} -> <action>'.
+ *
+ * Grammar (whitespace insignificant outside identifiers):
+ *
+ *   spec       := site [ '{' predicates '}' ] [ '->' action ]
+ *   site       := 'entry:' glob          procedure entry, by
+ *                                        "Module.proc" name or glob
+ *               | 'exit:' glob           procedure exit (RETURN from)
+ *               | 'xfer:' kind           every transfer of one kind
+ *               | 'trap'                 every trap, handled or not
+ *               | 'procswitch'           every process switch
+ *               | 'alloc'                every frame allocation
+ *               | 'free'                 every frame release
+ *   kind       := 'extcall' | 'localcall' | 'directcall' | 'fatcall'
+ *               | 'return' | 'coroutine' | 'procswitch' | 'trap'
+ *   predicates := pred ( ',' pred )*
+ *   pred       := 'depth' cmp uint       shadow-stack call depth
+ *               | 'fsi' cmp uint         frame-size class
+ *               | 'tenant' '==' ident    serving tenant name
+ *               | 'caller' '==' glob     immediate caller's name
+ *               | 'callstr' '==' glob ( '/' glob )*
+ *                                        call-string suffix match
+ *                                        against the shadow stack
+ *   cmp        := '==' | '!=' | '<' | '<=' | '>' | '>='
+ *   action     := 'count'                                (default)
+ *               | 'sum(' expr ')' | 'min(' expr ')' | 'max(' expr ')'
+ *               | 'quantize(' expr ')'   log2 histogram
+ *               | 'capture(' uint ')'    last-N event ring
+ *   expr       := 'refs' | 'cycles' | 'depth' | 'fsi'
+ *
+ * Globs support '*' (any run, including empty) and '?' (any one
+ * character); everything else matches literally. A parsed ProbeSpec
+ * is image-independent — name patterns bind to PCs when the spec is
+ * compiled against a LoadedImage (obs/probes.hh).
+ */
+
+#ifndef FPC_OBS_PROBE_LANG_HH
+#define FPC_OBS_PROBE_LANG_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xfer/context.hh"
+
+namespace fpc::obs
+{
+
+enum class ProbeSite : std::uint8_t
+{
+    Entry,      ///< procedure entry (call-like transfer landing)
+    Exit,       ///< procedure exit (RETURN leaving)
+    Xfer,       ///< every transfer of spec.kind
+    Trap,       ///< every trap (including unhandled)
+    ProcSwitch, ///< every process switch
+    FrameAlloc, ///< every frame allocation
+    FrameFree,  ///< every frame release
+};
+
+enum class ProbeCmp : std::uint8_t
+{
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+};
+
+/** The value expression an action aggregates. */
+enum class ProbeExpr : std::uint8_t
+{
+    Refs,   ///< storage references of the event's transfer
+    Cycles, ///< simulated cycles of the event's transfer
+    Depth,  ///< shadow-stack call depth at the event
+    Fsi,    ///< frame-size class (frame events / callee frames)
+};
+
+enum class ProbeAction : std::uint8_t
+{
+    Count,
+    Sum,
+    Min,
+    Max,
+    Quantize, ///< log2 histogram of expr
+    Capture,  ///< last-N ring of events
+};
+
+struct ProbePredicate
+{
+    enum class Kind : std::uint8_t
+    {
+        Depth,
+        Fsi,
+        Tenant,
+        Caller,
+        CallString,
+    };
+    Kind kind = Kind::Depth;
+    ProbeCmp cmp = ProbeCmp::Eq;
+    std::uint64_t number = 0;       ///< Depth / Fsi operand
+    std::string text;               ///< Tenant / Caller pattern
+    std::vector<std::string> path;  ///< CallString suffix patterns
+};
+
+/** One parsed probe, still image-independent. */
+struct ProbeSpec
+{
+    std::string text; ///< the normalized source line (identity)
+    ProbeSite site = ProbeSite::Entry;
+    std::string pattern;                 ///< Entry/Exit name glob
+    XferKind kind = XferKind::ExtCall;   ///< Xfer site
+    std::vector<ProbePredicate> predicates;
+    ProbeAction action = ProbeAction::Count;
+    ProbeExpr expr = ProbeExpr::Cycles;
+    std::uint32_t captureDepth = 0;      ///< Capture ring size
+};
+
+/** Parse one spec; false (with a diagnosis in err) on malformed
+ *  input. out.text is set to a canonical rendering of the spec, so
+ *  equal probes compare equal regardless of input spacing. */
+bool parseProbeSpec(std::string_view input, ProbeSpec &out,
+                    std::string &err);
+
+/** '*' / '?' glob match (full-string). */
+bool probeGlobMatch(std::string_view pattern, std::string_view name);
+
+/** Stable lowercase names for export (site / action / expr). */
+const char *probeSiteName(ProbeSite site);
+const char *probeActionName(ProbeAction action);
+const char *probeExprName(ProbeExpr expr);
+const char *probeCmpName(ProbeCmp cmp);
+
+} // namespace fpc::obs
+
+#endif // FPC_OBS_PROBE_LANG_HH

@@ -120,7 +120,18 @@ class BoundaryFanout final : public BoundarySampler
         interval = interval > 0 ? interval : 1;
         targets_.push_back({target, interval, interval});
     }
+    /** Detach a target; its interval stops contributing to
+     *  machineInterval(), so re-arm the machine's sampler after
+     *  removal. Unknown targets are ignored. */
+    void
+    remove(BoundarySampler *target)
+    {
+        std::erase_if(targets_, [target](const Target &t) {
+            return t.target == target;
+        });
+    }
     bool empty() const { return targets_.empty(); }
+    std::size_t size() const { return targets_.size(); }
     /** The interval to hand machine.setBoundarySampler (the finest
      *  of the added budgets; 0 when empty). */
     Tick

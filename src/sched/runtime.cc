@@ -208,6 +208,22 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
         machine.setBoundarySampler(&boundaryFan,
                                    boundaryFan.machineInterval());
 
+    // Dynamic probes: compile the registry's current snapshot against
+    // this job's image and attach as the machine's probe sink.
+    // Entry/exit sites arm their procedures' code ranges, so the
+    // accelerated backends deoptimize only the superblocks/bursts
+    // containing probed PCs; everything else keeps full speed.
+    std::optional<obs::ProbeEngine> probeEngine;
+    if (config_.probes != nullptr) {
+        obs::ProbeRegistry::Snapshot snap = config_.probes->snapshot();
+        if (!snap->empty()) {
+            probeEngine.emplace(std::move(snap), image, job.tenant,
+                                worker_id);
+            machine.setProbeSink(&*probeEngine,
+                                 probeEngine->armedRanges());
+        }
+    }
+
     if (config_.machine.timesliceSteps > 0) {
         // A single-process workload still takes the full ProcSwitch
         // XFER on every timeslice: the scheduler hook hands back the
@@ -291,6 +307,11 @@ Runtime::executeJob(const Job &job, unsigned id, unsigned worker_id,
         profile_acc->merge(profiler->finish(machine.stats().cycles));
     if (sampledProfiler)
         sampled_acc->merge(sampledProfiler->finish());
+
+    if (probeEngine) {
+        machine.setProbeSink(nullptr);
+        probeEngine->finishInto(*config_.probes);
+    }
 
     // The machine outlives this call inside the worker's context, but
     // every observer above is a stack local: detach them so nothing

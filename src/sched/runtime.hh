@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "machine/machine.hh"
+#include "obs/probes.hh"
 #include "obs/profile.hh"
 #include "obs/sampled_profile.hh"
 #include "obs/spans.hh"
@@ -59,6 +60,10 @@ struct Job
     std::string module;
     std::string proc;
     std::vector<Word> args;
+
+    /** Owning tenant (serving mode); probe `tenant ==` predicates
+     *  match against it. Empty in batch mode. */
+    std::string tenant;
 
     /** Span propagation context (see obs::SpanRef). When requestId is
      *  nonzero the serving layer owns the request/admission/queued/
@@ -172,6 +177,18 @@ struct RuntimeConfig
      *  Forces the static assignment so job→worker mapping — part of
      *  the fpc-record-v1 header — is reproducible. */
     bool record = false;
+
+    /** Dynamic probes (see obs/probes.hh). When non-null and active,
+     *  every job compiles the registry's current snapshot against its
+     *  image, attaches a ProbeEngine as the machine's ProbeSink (which
+     *  selectively deoptimizes only the armed code ranges under the
+     *  accelerated backends), and folds its aggregation buffers back
+     *  at completion. Probes are host-time only — simulated stats /
+     *  metrics / traces stay byte-identical with any probe set
+     *  attached — but batch run() forces the static job-to-worker
+     *  assignment while probes are attached so fpc-probes-v1 capture
+     *  rings are reproducible. */
+    obs::ProbeRegistry *probes = nullptr;
 
     /** Identity stamped into metrics/postmortem exports. */
     std::string driver = "runtime";
@@ -367,7 +384,8 @@ class Runtime
     bool staticAssignment() const
     {
         return config_.trace || config_.metrics || config_.record ||
-               !config_.postmortemDir.empty();
+               !config_.postmortemDir.empty() ||
+               (config_.probes != nullptr && config_.probes->active());
     }
     obs::MetricsExport metricsMeta() const;
 

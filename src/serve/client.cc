@@ -127,4 +127,40 @@ Client::ping()
     return call(req, reply) && reply.status == Status::Pong;
 }
 
+bool
+Client::probeAttach(const std::string &spec, Reply &reply)
+{
+    Request req;
+    req.op = ReqOp::Probe;
+    req.probe.reqId = nextReqId_++;
+    req.probe.action = ProbeAction::Attach;
+    req.probe.spec = spec;
+    return call(req, reply);
+}
+
+bool
+Client::probeDetach(std::uint32_t id, Reply &reply)
+{
+    Request req;
+    req.op = ReqOp::Probe;
+    req.probe.reqId = nextReqId_++;
+    req.probe.action = ProbeAction::Detach;
+    req.probe.id = id;
+    return call(req, reply);
+}
+
+bool
+Client::probeRead(std::string &text)
+{
+    Request req;
+    req.op = ReqOp::Probe;
+    req.probe.reqId = nextReqId_++;
+    req.probe.action = ProbeAction::Read;
+    Reply reply;
+    if (!call(req, reply) || reply.status != Status::ProbeText)
+        return false;
+    text = std::move(reply.text);
+    return true;
+}
+
 } // namespace fpc::serve

@@ -74,6 +74,12 @@ class Client
                        const std::vector<Word> &args, Reply &reply);
     bool scrape(std::string &text);
     bool ping();
+    /** Live probe management (PROBE op). probeAttach parses nothing
+     *  client-side: the server answers BadRequest with a diagnosis in
+     *  reply.error for malformed specs. @{ */
+    bool probeAttach(const std::string &spec, Reply &reply);
+    bool probeDetach(std::uint32_t id, Reply &reply);
+    bool probeRead(std::string &text);
     /** @} */
 
   private:

@@ -20,6 +20,7 @@ statusName(Status status)
       case Status::BadRequest: return "bad-request";
       case Status::ScrapeText: return "scrape";
       case Status::Pong: return "pong";
+      case Status::ProbeText: return "probe";
       default: return "?";
     }
 }
@@ -157,6 +158,12 @@ encodeRequest(const Request &req)
         putU16(out, static_cast<std::uint16_t>(s.args.size()));
         for (Word a : s.args)
             putU16(out, a);
+    } else if (req.op == ReqOp::Probe) {
+        const ProbeRequest &p = req.probe;
+        putU32(out, p.reqId);
+        putU8(out, static_cast<std::uint8_t>(p.action));
+        putString(out, p.spec);
+        putU32(out, p.id);
     }
     return out;
 }
@@ -191,6 +198,26 @@ decodeRequest(std::string_view payload, Request &out, std::string &err)
             s.args.push_back(c.u16());
         if (!c.done()) {
             err = "truncated or malformed SUBMIT payload";
+            return false;
+        }
+        return true;
+      }
+      case static_cast<std::uint8_t>(ReqOp::Probe): {
+        out.op = ReqOp::Probe;
+        ProbeRequest &p = out.probe;
+        p.reqId = c.u32();
+        const std::uint8_t action = c.u8();
+        if (c.ok &&
+            (action < static_cast<std::uint8_t>(ProbeAction::Attach) ||
+             action > static_cast<std::uint8_t>(ProbeAction::Read))) {
+            err = "unknown probe action " + std::to_string(action);
+            return false;
+        }
+        p.action = static_cast<ProbeAction>(action);
+        p.spec = c.str();
+        p.id = c.u32();
+        if (!c.done()) {
+            err = "truncated or malformed PROBE payload";
             return false;
         }
         return true;
@@ -230,6 +257,10 @@ encodeReply(const Reply &reply)
       case Status::ScrapeText:
         putString(out, reply.text);
         break;
+      case Status::ProbeText:
+        putU32(out, reply.probeId);
+        putString(out, reply.text);
+        break;
       case Status::Pong:
         break;
     }
@@ -242,7 +273,7 @@ decodeReply(std::string_view payload, Reply &out, std::string &err)
     Cursor c{payload};
     out.reqId = c.u32();
     const auto status = c.u8();
-    if (status > static_cast<std::uint8_t>(Status::Pong)) {
+    if (status > static_cast<std::uint8_t>(Status::ProbeText)) {
         err = "unknown reply status " + std::to_string(status);
         return false;
     }
@@ -268,6 +299,10 @@ decodeReply(std::string_view payload, Reply &out, std::string &err)
         out.error = c.str();
         break;
       case Status::ScrapeText:
+        out.text = c.str();
+        break;
+      case Status::ProbeText:
+        out.probeId = c.u32();
         out.text = c.str();
         break;
       case Status::Pong:

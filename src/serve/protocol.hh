@@ -36,10 +36,12 @@ enum class ReqOp : std::uint8_t
     Submit = 1, ///< run a job
     Scrape = 2, ///< fetch the server's OpenMetrics exposition
     Ping = 3,   ///< liveness check
+    Probe = 4,  ///< live probe attach / detach / read
 };
 
 /** Reply status. Submit replies use Ok/Rejected/OverQuota/Draining/
- *  BadRequest; Scrape answers ScrapeText; Ping answers Pong. */
+ *  BadRequest; Scrape answers ScrapeText; Ping answers Pong; Probe
+ *  answers ProbeText (or BadRequest). */
 enum class Status : std::uint8_t
 {
     Ok = 0,         ///< the job ran; see the result fields
@@ -49,6 +51,15 @@ enum class Status : std::uint8_t
     BadRequest = 4, ///< malformed frame / unknown program / bad source
     ScrapeText = 5,
     Pong = 6,
+    ProbeText = 7,  ///< probe op accepted; text carries the payload
+};
+
+/** ProbeRequest action selector. */
+enum class ProbeAction : std::uint8_t
+{
+    Attach = 1, ///< parse spec and attach; reply text = probe id
+    Detach = 2, ///< detach probe id
+    Read = 3,   ///< reply text = the fpc-probes-v1 document
 };
 
 const char *statusName(Status status);
@@ -68,10 +79,23 @@ struct SubmitRequest
     std::vector<Word> args;
 };
 
+/** Live probe management on a running daemon. Attach/detach mutate
+ *  only the server's probe registry — jobs already executing keep
+ *  their compiled snapshot and are never interrupted; the change
+ *  takes effect from the next job dispatched. */
+struct ProbeRequest
+{
+    std::uint32_t reqId = 0;
+    ProbeAction action = ProbeAction::Read;
+    std::string spec;       ///< Attach: the probe one-liner
+    std::uint32_t id = 0;   ///< Detach: probe id to remove
+};
+
 struct Request
 {
     ReqOp op = ReqOp::Ping;
     SubmitRequest submit; ///< valid when op == Submit
+    ProbeRequest probe;   ///< valid when op == Probe
 };
 
 struct Reply
@@ -100,8 +124,11 @@ struct Reply
     // Status::Rejected / OverQuota — explicit backpressure.
     std::uint32_t retryAfterMs = 0;
 
-    // Status::ScrapeText.
+    // Status::ScrapeText / ProbeText. For probe attach replies, text
+    // is empty and probeId carries the assigned id; probe reads put
+    // the fpc-probes-v1 document in text.
     std::string text;
+    std::uint32_t probeId = 0;
 };
 
 /** @name Payload encoding.

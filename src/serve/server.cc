@@ -111,7 +111,14 @@ Server::start()
             std::lock_guard<std::mutex> lock(tenantGaugeMutex_);
             for (const auto &entry : tenantGauges_)
                 g.push_back(entry);
+            probes_.gauges(g);
         };
+    if (!config_.probeSpecs.empty()) {
+        std::string perr;
+        if (!obs::attachProbeSpecs(probes_, config_.probeSpecs, perr))
+            fatal("fpcserve: {}", perr);
+    }
+    rc.probes = &probes_;
     runtime_ = std::make_unique<sched::Runtime>(rc);
     runtime_->startPool();
 
@@ -225,6 +232,9 @@ Server::connLoop(std::shared_ptr<Conn> conn)
           case ReqOp::Submit:
             handleSubmit(conn, std::move(req.submit));
             break;
+          case ReqOp::Probe:
+            handleProbe(conn, req.probe);
+            break;
         }
     }
     conn->open.store(false, std::memory_order_relaxed);
@@ -258,6 +268,53 @@ Server::resolveModules(const SubmitRequest &req, std::string &err)
         err = e.what();
         return nullptr;
     }
+}
+
+void
+Server::handleProbe(const std::shared_ptr<Conn> &conn,
+                    const ProbeRequest &req)
+{
+    // Probe ops mutate only the registry: jobs already executing keep
+    // the snapshot they compiled at dispatch and complete normally —
+    // live attach/detach never drops an in-flight request.
+    Reply reply;
+    reply.reqId = req.reqId;
+    switch (req.action) {
+      case ProbeAction::Attach: {
+        obs::ProbeSpec spec;
+        std::string err;
+        if (!obs::parseProbeSpec(req.spec, spec, err)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++badRequests_;
+            reply.status = Status::BadRequest;
+            reply.error = "bad probe spec: " + err;
+            break;
+        }
+        reply.status = Status::ProbeText;
+        reply.probeId = probes_.attach(std::move(spec));
+        break;
+      }
+      case ProbeAction::Detach:
+        if (!probes_.detach(req.id)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++badRequests_;
+            reply.status = Status::BadRequest;
+            reply.error =
+                "no probe with id " + std::to_string(req.id);
+            break;
+        }
+        reply.status = Status::ProbeText;
+        reply.probeId = req.id;
+        break;
+      case ProbeAction::Read: {
+        std::ostringstream os;
+        probes_.writeJson(os, config_.driver);
+        reply.status = Status::ProbeText;
+        reply.text = os.str();
+        break;
+      }
+    }
+    sendReply(conn, reply);
 }
 
 void
@@ -382,6 +439,7 @@ Server::handleSubmit(const std::shared_ptr<Conn> &conn,
         p.job.module = std::move(module);
         p.job.proc = proc;
         p.job.args = std::move(req.args);
+        p.job.tenant = tenant;
         p.admitted = std::chrono::steady_clock::now();
         p.admittedNs =
             std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -926,6 +984,16 @@ Server::scrapeText() const
         counter("fpc_serve_accel_deferred_flushes",
                 "Deferred-accounting folds into MachineStats.",
                 a.deferredFlushes);
+        counter("fpc_serve_accel_probe_sites",
+                "Probe code ranges armed at sink attach.",
+                a.probeSites);
+        counter("fpc_serve_accel_probe_deopt_blocks",
+                "Superblocks invalidated by probe arming.",
+                a.probeDeoptBlocks);
+        counter("fpc_serve_accel_probe_eager_steps",
+                "Instructions taken on the exact eager path inside "
+                "armed probe ranges.",
+                a.probeEagerSteps);
     }
 
     if (spans_) {
@@ -941,6 +1009,80 @@ Server::scrapeText() const
         gauge("fpc_serve_spans_open",
               "Requests with a span currently open.",
               static_cast<double>(spans_->openCount()));
+    }
+
+    // Dynamic probe aggregations, live against the registry's merged
+    // totals. All-gauge families (a probe can detach and re-attach,
+    // so monotonicity is not guaranteed); one labeled sample per
+    // attached probe.
+    {
+        const auto probes = probes_.read();
+        gauge("fpc_probe_attached", "Probes currently attached.",
+              static_cast<double>(probes.size()));
+        if (!probes.empty()) {
+            os << "# HELP fpc_probe_hits Events matched per attached "
+                  "probe.\n"
+               << "# TYPE fpc_probe_hits gauge\n";
+            for (const auto &[e, agg] : probes)
+                os << "fpc_probe_hits{id=\"" << e.id << "\",spec=\""
+                   << labelEscape(e.spec.text) << "\"} " << agg.hits
+                   << "\n";
+        }
+        auto distFamily = [&](const char *name, const char *help,
+                              obs::ProbeAction action) {
+            bool any = false;
+            for (const auto &entry : probes)
+                if (entry.first.spec.action == action)
+                    any = true;
+            if (!any)
+                return;
+            os << "# HELP " << name << " " << help << "\n"
+               << "# TYPE " << name << " gauge\n";
+            for (const auto &[e, agg] : probes) {
+                if (e.spec.action != action)
+                    continue;
+                double v = 0.0;
+                if (agg.dist.count() != 0)
+                    v = action == obs::ProbeAction::Sum
+                            ? agg.dist.total()
+                        : action == obs::ProbeAction::Min
+                            ? agg.dist.min()
+                            : agg.dist.max();
+                os << name << "{id=\"" << e.id << "\"} " << v << "\n";
+            }
+        };
+        distFamily("fpc_probe_value_sum",
+                   "Sum of the probe's expression over matches.",
+                   obs::ProbeAction::Sum);
+        distFamily("fpc_probe_value_min",
+                   "Minimum of the probe's expression over matches.",
+                   obs::ProbeAction::Min);
+        distFamily("fpc_probe_value_max",
+                   "Maximum of the probe's expression over matches.",
+                   obs::ProbeAction::Max);
+        bool anyQuant = false;
+        for (const auto &entry : probes)
+            if (entry.first.spec.action == obs::ProbeAction::Quantize)
+                anyQuant = true;
+        if (anyQuant) {
+            // pow="k": bucket k counts values in [2^(k-1), 2^k)
+            // (pow="0" counts exact zeros); zero buckets elided.
+            os << "# HELP fpc_probe_quantize_bucket Log2 histogram "
+                  "of the probe's expression.\n"
+               << "# TYPE fpc_probe_quantize_bucket gauge\n";
+            for (const auto &[e, agg] : probes) {
+                if (e.spec.action != obs::ProbeAction::Quantize)
+                    continue;
+                for (std::size_t b = 0;
+                     b < agg.quant.buckets.size(); ++b) {
+                    if (agg.quant.buckets[b] == 0)
+                        continue;
+                    os << "fpc_probe_quantize_bucket{id=\"" << e.id
+                       << "\",pow=\"" << b << "\"} "
+                       << agg.quant.buckets[b] << "\n";
+                }
+            }
+        }
     }
 
     os << "# EOF\n";

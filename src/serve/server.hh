@@ -100,6 +100,10 @@ struct ServerConfig
      *  the result reply carries the bundle path. */
     std::string postmortemDir;
 
+    /** Probe specs attached before start() (--probe=); clients can
+     *  attach/detach/read more at runtime via the PROBE op. */
+    std::vector<std::string> probeSpecs;
+
     std::string driver = "fpcserve";
 };
 
@@ -166,6 +170,11 @@ class Server
     /** @} */
 
     const sched::Runtime &runtime() const { return *runtime_; }
+
+    /** The live probe registry (attach/detach/read; fpc-probes-v1 via
+     *  ProbeRegistry::writeJson). Valid from construction. */
+    obs::ProbeRegistry &probes() { return probes_; }
+    const obs::ProbeRegistry &probes() const { return probes_; }
 
     /** @name Totals for drivers and tests. @{ */
     std::uint64_t jobsCompleted() const;
@@ -234,6 +243,8 @@ class Server
     void connLoop(std::shared_ptr<Conn> conn);
     void handleSubmit(const std::shared_ptr<Conn> &conn,
                       SubmitRequest &&req);
+    void handleProbe(const std::shared_ptr<Conn> &conn,
+                     const ProbeRequest &req);
     void onComplete(const Pending &meta, sched::JobResult r);
     std::shared_ptr<const std::vector<Module>>
     resolveModules(const SubmitRequest &req, std::string &err);
@@ -253,6 +264,9 @@ class Server
 
     ServerConfig config_;
     unsigned maxInFlight_ = 0;
+    /** Lives above runtime_ so every in-flight engine folds before
+     *  the registry dies. */
+    obs::ProbeRegistry probes_;
     std::unique_ptr<sched::Runtime> runtime_;
 
     int listenFd_ = -1;

@@ -678,5 +678,146 @@ TEST(Server, ScrapeExposesAttributionHistogramsAndSlo)
     server.stop();
 }
 
+// ---------------------------------------------------------------------
+// Live probe management (PROBE op).
+// ---------------------------------------------------------------------
+
+TEST(Protocol, ProbeRequestsAndRepliesRoundTrip)
+{
+    serve::Request req;
+    req.op = serve::ReqOp::Probe;
+    req.probe.reqId = 17;
+    req.probe.action = serve::ProbeAction::Attach;
+    req.probe.spec = "entry:Fib.fib -> quantize(cycles)";
+    req.probe.id = 3;
+
+    serve::Request out;
+    std::string err;
+    ASSERT_TRUE(
+        serve::decodeRequest(serve::encodeRequest(req), out, err))
+        << err;
+    EXPECT_EQ(out.op, serve::ReqOp::Probe);
+    EXPECT_EQ(out.probe.reqId, 17u);
+    EXPECT_EQ(out.probe.action, serve::ProbeAction::Attach);
+    EXPECT_EQ(out.probe.spec, req.probe.spec);
+    EXPECT_EQ(out.probe.id, 3u);
+
+    serve::Reply reply;
+    reply.reqId = 17;
+    reply.status = serve::Status::ProbeText;
+    reply.probeId = 5;
+    reply.text = "{\"schema\": \"fpc-probes-v1\"}";
+    serve::Reply replyOut;
+    ASSERT_TRUE(
+        serve::decodeReply(serve::encodeReply(reply), replyOut, err))
+        << err;
+    EXPECT_EQ(replyOut.status, serve::Status::ProbeText);
+    EXPECT_EQ(replyOut.probeId, 5u);
+    EXPECT_EQ(replyOut.text, reply.text);
+
+    // An out-of-range action is a decode error, not a crash.
+    req.probe.action = static_cast<serve::ProbeAction>(9);
+    EXPECT_FALSE(
+        serve::decodeRequest(serve::encodeRequest(req), out, err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Server, ProbeAttachReadDetachRoundTripsLive)
+{
+    serve::ServerConfig sc;
+    sc.workers = 2;
+    serve::Server server(sc);
+    server.start();
+    serve::Client client = connectTo(server);
+
+    // Attach while serving; jobs dispatched afterwards are probed.
+    serve::Reply reply;
+    ASSERT_TRUE(
+        client.probeAttach("entry:Fib.fib -> quantize(cycles)",
+                           reply));
+    ASSERT_EQ(reply.status, serve::Status::ProbeText) << reply.error;
+    const std::uint32_t id = reply.probeId;
+    EXPECT_EQ(server.probes().attachedCount(), 1u);
+
+    // Attach is idempotent on the canonical spelling.
+    ASSERT_TRUE(
+        client.probeAttach("entry:Fib.fib->quantize( cycles )",
+                           reply));
+    ASSERT_EQ(reply.status, serve::Status::ProbeText) << reply.error;
+    EXPECT_EQ(reply.probeId, id);
+    EXPECT_EQ(server.probes().attachedCount(), 1u);
+
+    // A malformed spec diagnoses without touching the registry or the
+    // connection.
+    ASSERT_TRUE(client.probeAttach("entry:{{{", reply));
+    EXPECT_EQ(reply.status, serve::Status::BadRequest);
+    EXPECT_FALSE(reply.error.empty());
+    EXPECT_EQ(server.probes().attachedCount(), 1u);
+
+    // Jobs keep completing with the probe attached, and their events
+    // fold into the registry: fib(10) makes 177 fib() calls.
+    ASSERT_TRUE(client.submitSource("", kFibSource, {10}, reply));
+    ASSERT_EQ(reply.status, serve::Status::Ok);
+    EXPECT_TRUE(reply.jobOk) << reply.error;
+    EXPECT_EQ(reply.value, 55u);
+
+    std::string text;
+    ASSERT_TRUE(client.probeRead(text));
+    EXPECT_NE(text.find("\"schema\": \"fpc-probes-v1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"driver\": \"fpcserve\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"hits\": 177"), std::string::npos) << text;
+
+    // The scrape mirrors the aggregations as fpc_probe_* gauges.
+    ASSERT_TRUE(client.scrape(text));
+    EXPECT_NE(text.find("fpc_probe_attached 1"), std::string::npos);
+    EXPECT_NE(text.find("fpc_probe_hits{id=\"" + std::to_string(id) +
+                        "\",spec=\""),
+              std::string::npos);
+    EXPECT_NE(text.find("fpc_probe_quantize_bucket{id=\"" +
+                        std::to_string(id) + "\",pow=\""),
+              std::string::npos);
+
+    // Detach; the next job runs unprobed and the gauges go away.
+    ASSERT_TRUE(client.probeDetach(id, reply));
+    EXPECT_EQ(reply.status, serve::Status::ProbeText) << reply.error;
+    EXPECT_EQ(server.probes().attachedCount(), 0u);
+    ASSERT_TRUE(client.probeDetach(id, reply));
+    EXPECT_EQ(reply.status, serve::Status::BadRequest);
+
+    ASSERT_TRUE(client.submitSource("", kFibSource, {10}, reply));
+    ASSERT_EQ(reply.status, serve::Status::Ok);
+    EXPECT_EQ(reply.value, 55u);
+    ASSERT_TRUE(client.scrape(text));
+    EXPECT_NE(text.find("fpc_probe_attached 0"), std::string::npos);
+    EXPECT_EQ(text.find("fpc_probe_hits{"), std::string::npos);
+
+    server.stop();
+    EXPECT_EQ(server.jobsCompleted(), 2u);
+}
+
+TEST(Server, StartupProbeSpecsAttachBeforeServing)
+{
+    serve::ServerConfig sc;
+    sc.workers = 1;
+    sc.probeSpecs = {"entry:Fib.fib -> sum(cycles)"};
+    serve::Server server(sc);
+    server.start();
+    EXPECT_EQ(server.probes().attachedCount(), 1u);
+
+    serve::Client client = connectTo(server);
+    serve::Reply reply;
+    ASSERT_TRUE(client.submitSource("", kFibSource, {8}, reply));
+    ASSERT_EQ(reply.status, serve::Status::Ok);
+    EXPECT_TRUE(reply.jobOk) << reply.error;
+
+    std::string text;
+    ASSERT_TRUE(client.probeRead(text));
+    // fib(8) makes 67 fib() calls.
+    EXPECT_NE(text.find("\"hits\": 67"), std::string::npos) << text;
+    server.stop();
+}
+
 } // namespace
 } // namespace fpc

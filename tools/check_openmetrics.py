@@ -2,8 +2,10 @@
 """Strict checker for the OpenMetrics text exposition the drivers emit.
 
 Usage:
-    check_openmetrics.py [--require-accel] --file <exposition.txt>
-    check_openmetrics.py [--require-accel] <driver> [driver args...]
+    check_openmetrics.py [--require-accel] [--require-probes] \\
+        --file <exposition.txt>
+    check_openmetrics.py [--require-accel] [--require-probes] \\
+        <driver> [driver args...]
 
 In driver mode the driver is run with --openmetrics-out=<tmpfile>
 appended and the resulting exposition is validated. The checks follow
@@ -28,6 +30,11 @@ the OpenMetrics 1.0 text format:
   * with `--require-accel`, at least one accelerator family (a name
     containing `_accel_`) must be declared — the guard the CI scrape
     smoke uses to catch the accel telemetry silently disappearing;
+  * with `--require-probes`, the probe families must be present:
+    `fpc_probe_attached` plus at least one per-probe family, every
+    `fpc_probe_*` family declared as a gauge (probes detach and
+    re-attach, so their exports are not monotone), and every
+    `fpc_probe_hits` sample labeled with `id` and `spec`;
   * the exposition ends with the mandatory `# EOF` terminator and
     nothing follows it.
 
@@ -86,7 +93,10 @@ def check(text):
         sys.exit(1)
 
     families = {}      # name -> type
+    helps = set()      # every family a HELP line introduced
     last_help = None   # family name from the preceding HELP line
+    # (family, labels) -> lineno, for fpc_probe_hits label checks
+    probe_hits = []
     saw_eof = False
     samples = 0
     # (family, non-le labels) -> [(lineno, line, le, value)]
@@ -110,8 +120,10 @@ def check(text):
             name = m.group(1)
             if not METRIC_NAME.fullmatch(name):
                 fail(lineno, line, "bad metric name %r" % name)
-            if name in families:
-                fail(lineno, line, "family %r declared twice" % name)
+            if name in helps:
+                fail(lineno, line,
+                     "duplicate HELP line for family %r" % name)
+            helps.add(name)
             last_help = name
             continue
 
@@ -123,6 +135,9 @@ def check(text):
             if name != last_help:
                 fail(lineno, line,
                      "TYPE must directly follow its HELP line")
+            if name in families:
+                fail(lineno, line,
+                     "duplicate TYPE line for family %r" % name)
             if mtype not in ALLOWED_TYPES:
                 fail(lineno, line, "unknown metric type %r" % mtype)
             families[name] = mtype
@@ -190,6 +205,8 @@ def check(text):
                 fail(lineno, line,
                      "ratio gauge must be within [0, 1], got %r"
                      % value)
+        if family == "fpc_probe_hits":
+            probe_hits.append((lineno, line, dict(labels)))
         samples += 1
 
     if not saw_eof:
@@ -226,13 +243,25 @@ def check(text):
             fail(lineno, line,
                  "le=\"+Inf\" bucket (%g) must equal _count (%g)"
                  % (fvalue, want))
+
+    for lineno, line, labels in probe_hits:
+        for want in ("id", "spec"):
+            if want not in labels:
+                fail(lineno, line,
+                     "fpc_probe_hits sample missing the %r label"
+                     % want)
     return families, samples
 
 
 def main(argv):
     require_accel = False
-    if len(argv) >= 2 and argv[1] == "--require-accel":
-        require_accel = True
+    require_probes = False
+    while len(argv) >= 2 and argv[1] in ("--require-accel",
+                                         "--require-probes"):
+        if argv[1] == "--require-accel":
+            require_accel = True
+        else:
+            require_probes = True
         argv = argv[:1] + argv[2:]
     if len(argv) >= 3 and argv[1] == "--file":
         with open(argv[2], "r", encoding="utf-8") as f:
@@ -266,6 +295,27 @@ def main(argv):
             return 1
         print("check_openmetrics: accel families: %s"
               % ", ".join(accel))
+    if require_probes:
+        probes = sorted(n for n in families
+                        if n.startswith("fpc_probe_"))
+        if "fpc_probe_attached" not in families:
+            sys.stderr.write(
+                "check_openmetrics: --require-probes: the "
+                "fpc_probe_attached family is not declared\n")
+            return 1
+        if len(probes) < 2:
+            sys.stderr.write(
+                "check_openmetrics: --require-probes: no per-probe "
+                "family (fpc_probe_hits/...) declared\n")
+            return 1
+        bad = [n for n in probes if families[n] != "gauge"]
+        if bad:
+            sys.stderr.write(
+                "check_openmetrics: --require-probes: probe families "
+                "must be gauges, got: %s\n" % ", ".join(bad))
+            return 1
+        print("check_openmetrics: probe families: %s"
+              % ", ".join(probes))
     print("check_openmetrics: OK (%d families, %d samples)"
           % (len(families), nsamples))
     return 0

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * fpcprobe — live probe management on a running fpcserve.
+ *
+ * Speaks the fpc-serve-v1 PROBE op: attach a probe spec, detach one
+ * by id, or read every attached probe's aggregations as an
+ * fpc-probes-v1 document. Attach/detach take effect from the next
+ * dispatched job; jobs already executing keep their snapshot and are
+ * never interrupted, so probing a production daemon is safe:
+ *
+ *   fpcprobe --port=7533 attach 'entry:Primes.isPrime -> quantize(cycles)'
+ *   fpcprobe --port=7533 read
+ *   fpcprobe --port=7533 detach 1
+ *
+ * attach prints the assigned probe id (the handle detach wants) on
+ * stdout; read prints the JSON document. Malformed specs are parsed
+ * server-side: the server answers BAD_REQUEST with the parser's
+ * diagnosis, which lands on stderr here.
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "serve/client.hh"
+
+using namespace fpc;
+
+namespace
+{
+
+struct Options
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::string command; ///< attach | detach | read
+    std::string operand; ///< attach: spec; detach: id
+};
+
+void
+printUsage(std::ostream &os, const char *argv0)
+{
+    os << "usage: " << argv0
+       << " [options] attach '<spec>'\n"
+          "       " << argv0 << " [options] detach <id>\n"
+          "       " << argv0 << " [options] read\n"
+          "  --host=ADDR   server address (default 127.0.0.1)\n"
+          "  --port=N      server port (required)\n"
+          "  --help        show this help\n"
+          "probe specs: '<site>{<predicate>,...} -> <action>', e.g.\n"
+          "  'entry:Primes.isPrime -> count'\n"
+          "  'entry:Sort.* {depth<=8} -> quantize(cycles)'\n"
+          "  'xfer:return {tenant==gold} -> sum(refs)'\n";
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    printUsage(std::cerr, argv0);
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const std::string &prefix) {
+            return arg.substr(prefix.size());
+        };
+        if (arg.rfind("--host=", 0) == 0) {
+            opt.host = value("--host=");
+        } else if (arg.rfind("--port=", 0) == 0) {
+            opt.port = static_cast<std::uint16_t>(
+                std::stoul(value("--port=")));
+        } else if (arg == "--help") {
+            printUsage(std::cout, argv[0]);
+            std::exit(0);
+        } else if (arg.rfind("--", 0) == 0) {
+            usage(argv[0]);
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.empty() || opt.port == 0)
+        usage(argv[0]);
+    opt.command = positional[0];
+    if (opt.command == "attach" || opt.command == "detach") {
+        if (positional.size() != 2)
+            usage(argv[0]);
+        opt.operand = positional[1];
+    } else if (opt.command == "read") {
+        if (positional.size() != 1)
+            usage(argv[0]);
+    } else {
+        usage(argv[0]);
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    const Options opt = parseArgs(argc, argv);
+
+    serve::Client client;
+    std::string err;
+    if (!client.connect(opt.host, opt.port, err)) {
+        error("fpcprobe: {}", err);
+        return 1;
+    }
+
+    if (opt.command == "attach") {
+        serve::Reply reply;
+        if (!client.probeAttach(opt.operand, reply)) {
+            error("fpcprobe: connection lost during attach");
+            return 1;
+        }
+        if (reply.status != serve::Status::ProbeText) {
+            error("fpcprobe: attach refused: {}", reply.error);
+            return 1;
+        }
+        std::cout << reply.probeId << "\n";
+    } else if (opt.command == "detach") {
+        std::uint32_t id = 0;
+        try {
+            id = static_cast<std::uint32_t>(std::stoul(opt.operand));
+        } catch (const std::exception &) {
+            usage(argv[0]);
+        }
+        serve::Reply reply;
+        if (!client.probeDetach(id, reply)) {
+            error("fpcprobe: connection lost during detach");
+            return 1;
+        }
+        if (reply.status != serve::Status::ProbeText) {
+            error("fpcprobe: detach refused: {}", reply.error);
+            return 1;
+        }
+    } else {
+        std::string text;
+        if (!client.probeRead(text)) {
+            error("fpcprobe: read failed");
+            return 1;
+        }
+        std::cout << text;
+    }
+    return 0;
+} catch (const std::exception &err) {
+    error("fpcprobe: {}", err.what());
+    return 1;
+}

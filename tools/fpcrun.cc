@@ -30,6 +30,7 @@
 #include "common/logging.hh"
 #include "lang/codegen.hh"
 #include "obs/json.hh"
+#include "obs/probes.hh"
 #include "replay/record.hh"
 #include "sched/runtime.hh"
 #include "serve/drain.hh"
@@ -76,6 +77,8 @@ struct Options
     std::string postmortemDir;  ///< per-failed-job bundle directory
     std::string recordOut;      ///< "fpc-record-v1" recording path
     std::string spansOut;       ///< "fpc-spans-v1" span log path
+    std::vector<std::string> probeSpecs; ///< --probe= (repeatable)
+    std::string probeOut;       ///< "fpc-probes-v1" document path
 };
 
 void
@@ -151,6 +154,16 @@ printUsage(std::ostream &os, const char *argv0)
           "recording of every job\n"
           "  --spans-out=FILE                write per-job host-time "
           "spans as fpc-spans-v1\n"
+          "  --probe=SPEC                    attach a dynamic probe "
+          "(repeatable); e.g.\n"
+          "                                  'entry:Mod.proc"
+          "{depth<=4} -> quantize(cycles)'\n"
+          "                                  zero simulated cost; "
+          "accel backends deopt\n"
+          "                                  only the probed "
+          "procedures\n"
+          "  --probe-out=FILE                write probe aggregations "
+          "as fpc-probes-v1\n"
           "  --log-level=error|warn|info|debug  stderr verbosity "
           "(default info)\n"
           "  --help                          show this help\n";
@@ -280,6 +293,10 @@ parseArgs(int argc, char **argv)
             opt.recordOut = value("--record-out=");
         } else if (arg.rfind("--spans-out=", 0) == 0) {
             opt.spansOut = value("--spans-out=");
+        } else if (arg.rfind("--probe=", 0) == 0) {
+            opt.probeSpecs.push_back(value("--probe="));
+        } else if (arg.rfind("--probe-out=", 0) == 0) {
+            opt.probeOut = value("--probe-out=");
         } else if (arg.rfind("--log-level=", 0) == 0) {
             LogLevel level;
             if (!parseLogLevel(value("--log-level="), level))
@@ -369,6 +386,21 @@ try {
     rc.postmortemDir = opt.postmortemDir;
     rc.record = !opt.recordOut.empty();
     rc.driver = "fpcrun";
+
+    // Dynamic probes ride the selective-deopt path: only superblocks
+    // covering a probed procedure fall back to the eager loop, so
+    // probes are deliberately absent from the forcesEager warning
+    // below.
+    obs::ProbeRegistry probeRegistry;
+    if (!opt.probeSpecs.empty()) {
+        std::string perr;
+        if (!obs::attachProbeSpecs(probeRegistry, opt.probeSpecs,
+                                   perr)) {
+            error("fpcrun: {}", perr);
+            return 2;
+        }
+        rc.probes = &probeRegistry;
+    }
 
     // Exact observation forces every worker's eager loop: say so
     // once, up front, rather than letting an accelerated run
@@ -484,6 +516,11 @@ try {
                       << stats::percent(a.linkHitRate()) << ")\n"
                       << "flushes: " << a.codeFlushes << " code, "
                       << a.tableFlushes << " link\n";
+            if (a.probeSites != 0 || a.probeEagerSteps != 0)
+                std::cout << "probes: " << a.probeSites
+                          << " armed sites, " << a.probeDeoptBlocks
+                          << " deopt blocks, " << a.probeEagerSteps
+                          << " eager steps\n";
         }
     }
 
@@ -569,6 +606,14 @@ try {
             return 1;
         }
         obs::writeSpansLog(out, "fpcrun", *spans);
+    }
+    if (!opt.probeOut.empty()) {
+        std::ofstream out(opt.probeOut);
+        if (!out) {
+            error("fpcrun: cannot write {}", opt.probeOut);
+            return 1;
+        }
+        probeRegistry.writeJson(out, "fpcrun");
     }
     if (!opt.recordOut.empty()) {
         replay::RecordLog log;

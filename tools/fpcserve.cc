@@ -48,6 +48,7 @@ struct Options
     std::string openmetricsOut;
     std::string spansOut;
     std::string traceOut;
+    std::string probeOut;
 };
 
 void
@@ -113,6 +114,14 @@ printUsage(std::ostream &os, const char *argv0)
           "drop-oldest (default "
        << obs::SpanCollector::defaultCapacity
        << ")\n"
+          "  --probe=SPEC                    attach a dynamic probe at "
+          "start (repeatable);\n"
+          "                                  clients can attach/detach "
+          "more live via the\n"
+          "                                  PROBE op; results in "
+          "SCRAPE as fpc_probe_*\n"
+          "  --probe-out=FILE                write probe aggregations "
+          "as fpc-probes-v1 at drain\n"
           "  --log-level=error|warn|info|debug  stderr verbosity "
           "(default info)\n"
           "  --help                          show this help\n";
@@ -269,6 +278,10 @@ parseArgs(int argc, char **argv)
         } else if (arg.rfind("--spans-capacity=", 0) == 0) {
             sc.spansCapacity =
                 std::stoull(value("--spans-capacity="));
+        } else if (arg.rfind("--probe=", 0) == 0) {
+            sc.probeSpecs.push_back(value("--probe="));
+        } else if (arg.rfind("--probe-out=", 0) == 0) {
+            opt.probeOut = value("--probe-out=");
         } else if (arg.rfind("--slo=", 0) == 0) {
             const std::string v = value("--slo=");
             const auto colon = v.rfind(':');
@@ -401,6 +414,14 @@ try {
             return 1;
         }
         server.writeSpansTrace(out);
+    }
+    if (!opt.probeOut.empty()) {
+        std::ofstream out(opt.probeOut);
+        if (!out) {
+            error("fpcserve: cannot write {}", opt.probeOut);
+            return 1;
+        }
+        server.probes().writeJson(out, "fpcserve");
     }
     if (!server.spanFaults().empty())
         warn("fpcserve: span checker found {} fault(s)",

@@ -29,6 +29,7 @@
 #include "obs/fanout.hh"
 #include "obs/json.hh"
 #include "obs/postmortem.hh"
+#include "obs/probes.hh"
 #include "obs/profile.hh"
 #include "obs/sampled_profile.hh"
 #include "obs/telemetry.hh"
@@ -74,6 +75,8 @@ struct Options
     std::string openmetricsOut; ///< OpenMetrics exposition path
     std::string postmortemDir;  ///< bundle directory on error stops
     std::string recordOut;      ///< "fpc-record-v1" recording path
+    std::vector<std::string> probeSpecs; ///< --probe= one-liners
+    std::string probeOut;       ///< "fpc-probes-v1" document path
 };
 
 void
@@ -141,6 +144,15 @@ printUsage(std::ostream &os, const char *argv0)
           "on error stops\n"
           "  --record-out=FILE               write an fpc-record-v1 "
           "recording (fpcreplay)\n"
+          "  --probe=SPEC                    attach a dynamic probe "
+          "(repeatable); e.g.\n"
+          "                                  'entry:Mod.proc"
+          "{depth<=4} -> quantize(cycles)'\n"
+          "                                  zero simulated cost; "
+          "accel backends deopt only\n"
+          "                                  the probed procedures\n"
+          "  --probe-out=FILE                write probe aggregations "
+          "as fpc-probes-v1\n"
           "  --log-level=error|warn|info|debug  stderr verbosity "
           "(default info)\n"
           "  --help                          show this help\n";
@@ -262,6 +274,10 @@ parseArgs(int argc, char **argv)
             opt.postmortemDir = value("--postmortem-dir=");
         } else if (arg.rfind("--record-out=", 0) == 0) {
             opt.recordOut = value("--record-out=");
+        } else if (arg.rfind("--probe=", 0) == 0) {
+            opt.probeSpecs.push_back(value("--probe="));
+        } else if (arg.rfind("--probe-out=", 0) == 0) {
+            opt.probeOut = value("--probe-out=");
         } else if (arg.rfind("--log-level=", 0) == 0) {
             LogLevel level;
             if (!parseLogLevel(value("--log-level="), level))
@@ -379,6 +395,10 @@ dumpAccelStats(const Machine &machine)
               << stats::percent(a.linkHitRate()) << ")\n"
               << "flushes: " << a.codeFlushes << " code, "
               << a.tableFlushes << " link\n";
+    if (a.probeSites != 0 || a.probeEagerSteps != 0)
+        std::cout << "probes: " << a.probeSites << " armed sites, "
+                  << a.probeDeoptBlocks << " deopt blocks, "
+                  << a.probeEagerSteps << " eager steps\n";
 }
 
 } // namespace
@@ -502,6 +522,24 @@ try {
              opt.threaded ? "threaded" : "on");
     }
 
+    // Dynamic probes: zero simulated cost and accel-safe (only the
+    // armed procedures deoptimize), so they are deliberately absent
+    // from forcesEager above.
+    obs::ProbeRegistry probeRegistry;
+    std::optional<obs::ProbeEngine> probeEngine;
+    if (!opt.probeSpecs.empty()) {
+        std::string perr;
+        if (!obs::attachProbeSpecs(probeRegistry, opt.probeSpecs,
+                                   perr)) {
+            error("fpcvm: {}", perr);
+            return 2;
+        }
+        probeEngine.emplace(probeRegistry.snapshot(), image,
+                            "default", 0);
+        machine.setProbeSink(&*probeEngine,
+                             probeEngine->armedRanges());
+    }
+
     if (opt.timeslice > 0) {
         // Single program, so every expired slice switches the process
         // to itself — still a full ProcSwitch XFER through the engine.
@@ -523,6 +561,11 @@ try {
         replayRec.finish(machine, result); // before popValue below
     if (telemetryWanted)
         telemetry.sample(machine);
+
+    if (probeEngine) {
+        machine.setProbeSink(nullptr);
+        probeEngine->finishInto(probeRegistry);
+    }
 
     for (const Word v : machine.output())
         std::cout << static_cast<SWord>(v) << "\n";
@@ -596,6 +639,14 @@ try {
             }
             data.writeFolded(out);
         }
+    }
+    if (!opt.probeOut.empty()) {
+        std::ofstream out(opt.probeOut);
+        if (!out) {
+            error("fpcvm: cannot write {}", opt.probeOut);
+            return 1;
+        }
+        probeRegistry.writeJson(out, "fpcvm");
     }
     if (!opt.statsJson.empty()) {
         std::ofstream out(opt.statsJson);
